@@ -1,0 +1,56 @@
+// Shared helpers for the table/figure reproduction benches: canonical cloud
+// and model profiles matching the paper's experimental setup, and plain
+// fixed-width table printing so each binary's output reads like the paper's
+// corresponding table or figure series.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "src/rubberband.h"
+
+namespace rubberband::bench {
+
+// ResNet-50 profile used by the simulated experiments (Figures 9-12): the
+// paper parameterizes per-iteration latency directly (mean 4 s at batch 512,
+// 12 s at batch 2048) and sweeps its variance for stragglers.
+inline ModelProfile ResNet50Profile(double mean_iter_seconds, double iter_sigma,
+                                    double dataset_gb = 0.0) {
+  ModelProfile profile;
+  profile.name = "resnet50";
+  profile.iter_latency_1gpu =
+      Distribution::TruncatedNormal(mean_iter_seconds, iter_sigma, 0.1 * mean_iter_seconds);
+  profile.scaling = ResNet50(Cifar10(), 512).true_scaling;
+  profile.dataset_gb = dataset_gb;
+  profile.trial_startup_seconds = 2.0;
+  profile.sync_seconds = 1.0;
+  profile.cross_node_latency_factor = 2.3;
+  return profile;
+}
+
+// p3.8xlarge on-demand cloud (the paper's default worker type).
+inline CloudProfile P38Cloud(double queuing_seconds = 5.0, double init_seconds = 10.0) {
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(queuing_seconds, init_seconds);
+  return cloud;
+}
+
+inline void Heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline std::string PlusMinus(double mean, double stddev, const char* fmt = "%.2f") {
+  char m[64];
+  char s[64];
+  std::snprintf(m, sizeof(m), fmt, mean);
+  std::snprintf(s, sizeof(s), fmt, stddev);
+  return std::string(m) + " +/- " + s;
+}
+
+}  // namespace rubberband::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

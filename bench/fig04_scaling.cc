@@ -1,0 +1,40 @@
+// Figure 4: scaling of deep learning models with increasing GPUs.
+//
+// Throughput normalized to a single GPU, measured through the profiler (the
+// same instrumentation path RubberBand uses before planning). Expected
+// shape: all models sub-linear, BERT worst, with saturation at high worker
+// counts.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace rubberband;
+  using namespace rubberband::bench;
+
+  Heading("Figure 4: normalized training throughput vs #GPUs");
+
+  const WorkloadSpec workloads[] = {ResNet50(ImageNet(), 512), ResNet101Cifar10(),
+                                    ResNet152Cifar100(), BertRte()};
+  const int gpu_counts[] = {1, 2, 4, 8, 16};
+
+  std::printf("%-20s", "model");
+  for (int gpus : gpu_counts) {
+    std::printf("%10d", gpus);
+  }
+  std::printf("\n");
+
+  for (const WorkloadSpec& workload : workloads) {
+    ProfilerOptions options;
+    options.iters_per_allocation = 32;
+    options.max_gpus = 16;
+    const ModelProfile profile = ProfileWorkload(workload, options).profile;
+    std::printf("%-20s", workload.name.c_str());
+    for (int gpus : gpu_counts) {
+      std::printf("%10.2f", profile.scaling.Speedup(gpus));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(ideal linear scaling would read 1, 2, 4, 8, 16)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Microbenchmarks for the placement controller: steady-state re-placement,
+// displacement-heavy churn, and scale-down bin-packing.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/placement/controller.h"
+
+namespace rubberband {
+namespace {
+
+void BM_PlaceFreshStage(benchmark::State& state) {
+  const int trials = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    PlacementController controller(4);
+    for (int n = 0; n < trials; ++n) {
+      controller.AddNode(n);
+    }
+    std::map<TrialId, int> allocations;
+    for (int t = 0; t < trials; ++t) {
+      allocations[t] = 4;
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(controller.Place(allocations));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlaceFreshStage)->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Complexity();
+
+void BM_PlaceIdempotent(benchmark::State& state) {
+  PlacementController controller(4);
+  std::map<TrialId, int> allocations;
+  for (int n = 0; n < 64; ++n) {
+    controller.AddNode(n);
+    allocations[n] = 4;
+  }
+  controller.Place(allocations);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.Place(allocations));
+  }
+}
+BENCHMARK(BM_PlaceIdempotent);
+
+void BM_PlaceRandomChurn(benchmark::State& state) {
+  PlacementController controller(4);
+  for (int n = 0; n < 32; ++n) {
+    controller.AddNode(n);
+  }
+  Rng rng(7);
+  std::map<TrialId, int> allocations;
+  for (auto _ : state) {
+    const TrialId trial = static_cast<TrialId>(rng.UniformInt(0, 31));
+    if (rng.UniformInt(0, 3) == 0) {
+      allocations.erase(trial);
+    } else {
+      allocations[trial] = static_cast<int>(rng.UniformInt(1, 8));
+    }
+    benchmark::DoNotOptimize(controller.Place(allocations));
+  }
+}
+BENCHMARK(BM_PlaceRandomChurn);
+
+void BM_ScaleDownRepack(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PlacementController controller(4);
+    std::map<TrialId, int> wide;
+    for (int n = 0; n < 64; ++n) {
+      controller.AddNode(n);
+      wide[n] = 4;
+    }
+    controller.Place(wide);
+    // Shrink to a quarter of the trials at double the allocation: the
+    // executor's stage-boundary repack.
+    std::map<TrialId, int> narrow;
+    for (int t = 0; t < 16; ++t) {
+      narrow[t] = 8;
+    }
+    state.ResumeTiming();
+    controller.Place({});
+    benchmark::DoNotOptimize(controller.Place(narrow));
+  }
+}
+BENCHMARK(BM_ScaleDownRepack);
+
+}  // namespace
+}  // namespace rubberband
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Microbenchmarks and ablations for the allocation planners: end-to-end
+// planning latency for each policy, and the cost of Algorithm 2's
+// multi-warm-start design choice (DESIGN.md ablation: single vs multi warm
+// start, and simulator sample count vs plan quality).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rubberband {
+namespace {
+
+using bench::P38Cloud;
+using bench::ResNet50Profile;
+
+PlannerInputs Inputs(int trials, double deadline_minutes) {
+  return PlannerInputs{MakeSha(trials, 4, 508, 2), ResNet50Profile(4.0, 0.4), P38Cloud(),
+                       Minutes(deadline_minutes)};
+}
+
+void BM_PlanStatic(benchmark::State& state) {
+  const PlannerInputs inputs = Inputs(static_cast<int>(state.range(0)), 30.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanStatic(inputs));
+  }
+}
+BENCHMARK(BM_PlanStatic)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PlanNaiveElastic(benchmark::State& state) {
+  const PlannerInputs inputs = Inputs(static_cast<int>(state.range(0)), 30.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanNaiveElastic(inputs));
+  }
+}
+BENCHMARK(BM_PlanNaiveElastic)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PlanGreedy(benchmark::State& state) {
+  const PlannerInputs inputs = Inputs(static_cast<int>(state.range(0)), 30.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanGreedy(inputs));
+  }
+}
+BENCHMARK(BM_PlanGreedy)->Arg(16)->Arg(64)->Arg(256);
+
+// Ablation: warm-start multiplicity. Reports the found plan's predicted
+// cost (lower is better) alongside the planning time.
+void BM_GreedyWarmStarts(benchmark::State& state) {
+  const PlannerInputs inputs = Inputs(64, 20.0);
+  PlannerOptions options;
+  options.warm_start_multipliers.clear();
+  for (int i = 1; i <= state.range(0); ++i) {
+    options.warm_start_multipliers.push_back(static_cast<double>(i));
+  }
+  double cost = 0.0;
+  for (auto _ : state) {
+    const PlannedJob job = PlanGreedy(inputs, options);
+    cost = job.estimate.cost_mean.dollars();
+    benchmark::DoNotOptimize(job);
+  }
+  state.counters["plan_cost_$"] = cost;
+}
+BENCHMARK(BM_GreedyWarmStarts)->DenseRange(1, 3);
+
+// Ablation: simulator samples per candidate evaluation vs plan quality.
+void BM_GreedySimSamples(benchmark::State& state) {
+  const PlannerInputs inputs = Inputs(64, 20.0);
+  PlannerOptions options;
+  options.sim_samples = static_cast<int>(state.range(0));
+  double cost = 0.0;
+  for (auto _ : state) {
+    const PlannedJob job = PlanGreedy(inputs, options);
+    cost = job.estimate.cost_mean.dollars();
+    benchmark::DoNotOptimize(job);
+  }
+  state.counters["plan_cost_$"] = cost;
+}
+BENCHMARK(BM_GreedySimSamples)->Arg(1)->Arg(5)->Arg(20)->Arg(100);
+
+}  // namespace
+}  // namespace rubberband
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Microbenchmarks for RubberBand's own hot paths: DAG construction and
+// Algorithm 1 plan simulation. The planner calls these in its inner loop,
+// so their throughput bounds how many candidate plans a search can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/dag/builder.h"
+
+namespace rubberband {
+namespace {
+
+using bench::P38Cloud;
+using bench::ResNet50Profile;
+
+ExperimentSpec SpecForTrials(int trials) { return MakeSha(trials, 4, 508, 2); }
+
+void BM_BuildDag(benchmark::State& state) {
+  const ExperimentSpec spec = SpecForTrials(static_cast<int>(state.range(0)));
+  const AllocationPlan plan = AllocationPlan::Uniform(spec.num_stages(), spec.stage(0).num_trials);
+  const ModelProfile profile = ResNet50Profile(4.0, 0.4);
+  const CloudProfile cloud = P38Cloud();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildDag(spec, plan, profile, cloud));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildDag)->Arg(16)->Arg(64)->Arg(256)->Arg(512)->Complexity();
+
+void BM_SimulatePlanSample(benchmark::State& state) {
+  const ExperimentSpec spec = SpecForTrials(static_cast<int>(state.range(0)));
+  const AllocationPlan plan = AllocationPlan::Uniform(spec.num_stages(), spec.stage(0).num_trials);
+  const ModelProfile profile = ResNet50Profile(4.0, 0.4);
+  const CloudProfile cloud = P38Cloud();
+  const ExecutionDag dag = BuildDag(spec, plan, profile, cloud);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SamplePlan(dag, profile, cloud, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SimulatePlanSample)->Arg(16)->Arg(64)->Arg(256)->Arg(512)->Complexity();
+
+void BM_SimulatePlanEstimate20Samples(benchmark::State& state) {
+  const ExperimentSpec spec = SpecForTrials(64);
+  const AllocationPlan plan = AllocationPlan::Uniform(spec.num_stages(), 64);
+  const ModelProfile profile = ResNet50Profile(4.0, 0.4);
+  const CloudProfile cloud = P38Cloud();
+  const ExecutionDag dag = BuildDag(spec, plan, profile, cloud);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulatePlan(dag, profile, cloud, {20, 1}));
+  }
+}
+BENCHMARK(BM_SimulatePlanEstimate20Samples);
+
+void BM_EndToEndExecution(benchmark::State& state) {
+  const ExperimentSpec spec = MakeSha(16, 2, 30, 2);
+  const AllocationPlan plan = AllocationPlan::Uniform(spec.num_stages(), 16);
+  const WorkloadSpec workload = ResNet101Cifar10();
+  const CloudProfile cloud = P38Cloud();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    ExecutorOptions options;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(ExecutePlan(spec, plan, workload, cloud, options));
+  }
+}
+BENCHMARK(BM_EndToEndExecution);
+
+}  // namespace
+}  // namespace rubberband
+
+BENCHMARK_MAIN();

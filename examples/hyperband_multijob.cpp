@@ -1,0 +1,54 @@
+// Hyperband as a RubberBand multi-job (paper Figure 6: "a collection of
+// [specifications] can specify Hyperband-based methods as a multi-job").
+//
+// Each Hyperband bracket is an independent SHA job; RubberBand compiles a
+// separate elastic plan per bracket and executes them back to back, then
+// reports the best configuration across all brackets.
+
+#include <cstdio>
+
+#include "src/rubberband.h"
+
+int main() {
+  using namespace rubberband;
+
+  const std::vector<ExperimentSpec> brackets = MakeHyperband({/*max_iters=*/27,
+                                                              /*reduction_factor=*/3});
+  const WorkloadSpec workload = ResNet50(Cifar10(), 512);
+  const ModelProfile profile = ProfileWorkload(workload).profile;
+
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(5.0, 10.0);
+
+  const Seconds per_bracket_deadline = Minutes(15);
+  Money total_cost;
+  Seconds total_jct = 0.0;
+  double best_accuracy = 0.0;
+  HyperparameterConfig best_config;
+
+  std::printf("%-9s %-34s %12s %10s %8s\n", "bracket", "spec", "plan cost", "JCT", "acc");
+  for (size_t s = 0; s < brackets.size(); ++s) {
+    const ExperimentSpec& bracket = brackets[s];
+    const PlannedJob job = CompilePlan(bracket, profile, cloud, per_bracket_deadline);
+    ExecutorOptions options;
+    options.seed = s + 1;  // each bracket samples fresh configurations
+    const ExecutionReport report = Execute(bracket, job.plan, workload, cloud, options);
+
+    total_cost += report.cost.Total();
+    total_jct += report.jct;
+    if (report.best_accuracy > best_accuracy) {
+      best_accuracy = report.best_accuracy;
+      best_config = report.best_config;
+    }
+    std::printf("%-9zu %-34s %12s %10s %7.1f%%\n", s, bracket.ToString().c_str(),
+                report.cost.Total().ToString().c_str(), FormatDuration(report.jct).c_str(),
+                100.0 * report.best_accuracy);
+  }
+
+  std::printf("\nHyperband total: cost %s, wall time %s\n", total_cost.ToString().c_str(),
+              FormatDuration(total_jct).c_str());
+  std::printf("best configuration overall: %s (%.1f%%)\n", best_config.ToString().c_str(),
+              100.0 * best_accuracy);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "src/cloud/billing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rubberband {
+
+void BillingMeter::RecordInstanceUsage(Seconds launch, Seconds terminate) {
+  if (terminate < launch) {
+    throw std::invalid_argument("instance terminated before launch");
+  }
+  instance_intervals_.push_back(Interval{launch, terminate});
+}
+
+void BillingMeter::RecordFunctionUsage(int gpus, Seconds duration) {
+  if (gpus < 0 || duration < 0.0) {
+    throw std::invalid_argument("negative function usage");
+  }
+  function_records_.push_back(FunctionRecord{gpus, duration});
+}
+
+void BillingMeter::RecordDataIngress(double gigabytes) {
+  if (gigabytes < 0.0) {
+    throw std::invalid_argument("negative ingress");
+  }
+  ingress_gb_ += gigabytes;
+}
+
+CostBreakdown BillingMeter::Price(const InstanceType& type, const PricingPolicy& policy) const {
+  CostBreakdown breakdown;
+  switch (policy.billing) {
+    case BillingModel::kPerInstance: {
+      const Money per_second = type.PricePerSecond();
+      for (const Interval& interval : instance_intervals_) {
+        const Seconds billed =
+            std::max(interval.terminate - interval.launch, policy.minimum_billed_seconds);
+        breakdown.compute += per_second * billed;
+      }
+      break;
+    }
+    case BillingModel::kPerFunction: {
+      const Money gpu_second = type.GpuSecondPrice();
+      for (const FunctionRecord& record : function_records_) {
+        breakdown.compute += gpu_second * (static_cast<double>(record.gpus) * record.duration);
+      }
+      break;
+    }
+  }
+  breakdown.data = policy.data_price_per_gb * ingress_gb_;
+  return breakdown;
+}
+
+double BillingMeter::TotalInstanceSeconds() const {
+  double total = 0.0;
+  for (const Interval& interval : instance_intervals_) {
+    total += interval.terminate - interval.launch;
+  }
+  return total;
+}
+
+double BillingMeter::TotalGpuSecondsUsed() const {
+  double total = 0.0;
+  for (const FunctionRecord& record : function_records_) {
+    total += static_cast<double>(record.gpus) * record.duration;
+  }
+  return total;
+}
+
+}  // namespace rubberband

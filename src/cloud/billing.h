@@ -1,0 +1,65 @@
+// Billing meter: the cost ledger of a (simulated) cloud account.
+//
+// The runtime records raw usage events — instance lifetimes, function-style
+// task executions, and data ingress — and the meter prices them under a
+// PricingPolicy. Keeping raw events (rather than accumulating dollars as we
+// go) lets the same execution be priced under both billing models, which is
+// how the paper's per-instance vs per-function comparisons work.
+
+#ifndef SRC_CLOUD_BILLING_H_
+#define SRC_CLOUD_BILLING_H_
+
+#include <vector>
+
+#include "src/cloud/instance.h"
+#include "src/cloud/pricing.h"
+#include "src/common/money.h"
+#include "src/common/time.h"
+
+namespace rubberband {
+
+struct CostBreakdown {
+  Money compute;
+  Money data;
+  Money Total() const { return compute + data; }
+};
+
+class BillingMeter {
+ public:
+  // One instance acquisition, alive over [launch, terminate).
+  void RecordInstanceUsage(Seconds launch, Seconds terminate);
+
+  // One function-style task execution holding `gpus` GPUs for `duration`.
+  void RecordFunctionUsage(int gpus, Seconds duration);
+
+  void RecordDataIngress(double gigabytes);
+
+  // Prices the recorded events. Per-instance mode prices instance
+  // lifetimes (with the per-acquisition minimum charge); per-function mode
+  // prices the function records at the GPU-second rate. Data ingress is
+  // priced identically under both.
+  CostBreakdown Price(const InstanceType& type, const PricingPolicy& policy) const;
+
+  double TotalInstanceSeconds() const;
+  double TotalGpuSecondsUsed() const;
+  double total_ingress_gb() const { return ingress_gb_; }
+  int num_acquisitions() const { return static_cast<int>(instance_intervals_.size()); }
+
+ private:
+  struct Interval {
+    Seconds launch = 0.0;
+    Seconds terminate = 0.0;
+  };
+  struct FunctionRecord {
+    int gpus = 0;
+    Seconds duration = 0.0;
+  };
+
+  std::vector<Interval> instance_intervals_;
+  std::vector<FunctionRecord> function_records_;
+  double ingress_gb_ = 0.0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_CLOUD_BILLING_H_

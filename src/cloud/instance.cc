@@ -1,0 +1,22 @@
+#include "src/cloud/instance.h"
+
+namespace rubberband {
+
+InstanceType P3_2xlarge() { return InstanceType{"p3.2xlarge", 1, Money::FromCents(306)}; }
+
+InstanceType P3_8xlarge() { return InstanceType{"p3.8xlarge", 4, Money::FromCents(1224)}; }
+
+InstanceType P3_16xlarge() { return InstanceType{"p3.16xlarge", 8, Money::FromCents(2448)}; }
+
+InstanceType R5_4xlarge() { return InstanceType{"r5.4xlarge", 0, Money::FromCents(101)}; }
+
+std::optional<InstanceType> FindInstanceType(const std::string& name) {
+  for (const InstanceType& type : {P3_2xlarge(), P3_8xlarge(), P3_16xlarge(), R5_4xlarge()}) {
+    if (type.name == name) {
+      return type;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rubberband

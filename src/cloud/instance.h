@@ -1,0 +1,48 @@
+// Cloud instance types.
+//
+// The catalog mirrors the EC2 offerings the paper evaluates on: the p3
+// GPU family for workers and r5.4xlarge for the driver/checkpoint host.
+// Prices are on-demand us-east-1 prices; every price is a parameter, so
+// experiments can override (e.g. Table 1 quotes $7.50/hr for p3.16xlarge).
+
+#ifndef SRC_CLOUD_INSTANCE_H_
+#define SRC_CLOUD_INSTANCE_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/money.h"
+
+namespace rubberband {
+
+struct InstanceType {
+  std::string name;
+  int gpus = 0;
+  Money price_per_hour;
+
+  Money PricePerSecond() const { return price_per_hour * (1.0 / 3600.0); }
+
+  // Price of a single GPU for one second; the rate the per-function billing
+  // model charges for the resources a function actually holds.
+  Money GpuSecondPrice() const {
+    return gpus > 0 ? price_per_hour * (1.0 / (3600.0 * gpus)) : Money();
+  }
+
+  InstanceType WithPrice(Money new_price_per_hour) const {
+    InstanceType copy = *this;
+    copy.price_per_hour = new_price_per_hour;
+    return copy;
+  }
+};
+
+// On-demand catalog.
+InstanceType P3_2xlarge();   // 1x V100, ~$3.06/hr
+InstanceType P3_8xlarge();   // 4x V100, ~$12.24/hr
+InstanceType P3_16xlarge();  // 8x V100, ~$24.48/hr
+InstanceType R5_4xlarge();   // CPU-only driver host, ~$1.01/hr
+
+std::optional<InstanceType> FindInstanceType(const std::string& name);
+
+}  // namespace rubberband
+
+#endif  // SRC_CLOUD_INSTANCE_H_

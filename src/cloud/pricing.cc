@@ -1,0 +1,15 @@
+#include "src/cloud/pricing.h"
+
+namespace rubberband {
+
+std::string ToString(BillingModel model) {
+  switch (model) {
+    case BillingModel::kPerInstance:
+      return "per-instance";
+    case BillingModel::kPerFunction:
+      return "per-function";
+  }
+  return "unknown";
+}
+
+}  // namespace rubberband

@@ -1,0 +1,55 @@
+// Cloud pricing policy (paper section 4.1, "Cost modeling").
+//
+// Three modeled parameters drive total job cost: compute price (carried by
+// the InstanceType), billing granularity (per-instance vs per-function), and
+// data-ingress price per GB. All major providers bill per-second with a
+// 60-second minimum per acquisition, which the policy reproduces.
+
+#ifndef SRC_CLOUD_PRICING_H_
+#define SRC_CLOUD_PRICING_H_
+
+#include <string>
+
+#include "src/common/money.h"
+#include "src/common/time.h"
+
+namespace rubberband {
+
+enum class BillingModel {
+  // Traditional instance billing: an instance is charged from launch until
+  // termination, whether or not its GPUs are doing useful work (idle
+  // straggler-wait time is billed).
+  kPerInstance,
+  // Serverless-style billing that charges only for the resources a task
+  // actually holds while it runs (approximates per-function pricing trends).
+  kPerFunction,
+};
+
+std::string ToString(BillingModel model);
+
+struct PricingPolicy {
+  BillingModel billing = BillingModel::kPerInstance;
+  // Minimum charge applied to each instance acquisition (per-instance mode).
+  Seconds minimum_billed_seconds = 60.0;
+  // Ingress price per GB of dataset downloaded to each instance. Zero within
+  // a region; up to ~$0.16/GB in the paper's sweep.
+  Money data_price_per_gb;
+};
+
+// Spot (pre-emptible) capacity: much cheaper than on-demand, but instances
+// can be reclaimed by the provider at any time. The paper's evaluation uses
+// on-demand (GPU spot prices are stable but reclamation interrupts
+// training); the executor supports spot as an extension — trials restart
+// from their last checkpoint on a replacement instance.
+struct SpotMarket {
+  bool enabled = false;
+  // Spot price as a fraction of the on-demand price (~0.3 for p3 family).
+  double discount = 0.3;
+  // Mean time between reclamations per instance (exponentially
+  // distributed).
+  Seconds mean_time_to_preemption = 4.0 * 3600.0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_CLOUD_PRICING_H_

@@ -1,0 +1,3 @@
+#include "src/cloud/provisioning.h"
+
+// ProvisioningModel is a plain aggregate; this file anchors the target.

@@ -1,0 +1,36 @@
+// Provisioning overhead model (paper section 4.1, "Performance modeling").
+//
+// Two latency sources between "job asks for an instance" and "instance is
+// usable": scaling latency (provider-side queuing delay until the instance
+// launches) and instance initialization latency (dependency install, joining
+// the cluster). Large overheads make mid-job scale-up unattractive, which is
+// exactly the effect the Figure 12 sweep studies.
+
+#ifndef SRC_CLOUD_PROVISIONING_H_
+#define SRC_CLOUD_PROVISIONING_H_
+
+#include "src/common/distribution.h"
+
+namespace rubberband {
+
+struct ProvisioningModel {
+  // Delay from provisioning request to instance launch (billing starts at
+  // launch: the provider charges while init scripts run).
+  Distribution queuing_delay = Distribution::Constant(0.0);
+  // Delay from launch to the instance being ready to run trial workers.
+  Distribution init_latency = Distribution::Constant(0.0);
+
+  // Expected request -> ready latency.
+  double MeanReadyLatency() const { return queuing_delay.Mean() + init_latency.Mean(); }
+
+  static ProvisioningModel Instant() { return ProvisioningModel{}; }
+
+  static ProvisioningModel Fixed(double queuing_seconds, double init_seconds) {
+    return ProvisioningModel{Distribution::Constant(queuing_seconds),
+                             Distribution::Constant(init_seconds)};
+  }
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_CLOUD_PROVISIONING_H_

@@ -1,0 +1,71 @@
+#include "src/cloud/simulated_cloud.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace rubberband {
+
+SimulatedCloud::SimulatedCloud(Simulation& sim, CloudProfile profile)
+    : sim_(sim), profile_(std::move(profile)), rng_(sim.rng().Fork()) {}
+
+void SimulatedCloud::RequestInstances(int count, double dataset_gb,
+                                      std::function<void(InstanceId)> on_ready) {
+  for (int i = 0; i < count; ++i) {
+    ++pending_;
+    const InstanceId id = next_id_++;
+    const Seconds queuing = profile_.provisioning.queuing_delay.Sample(rng_);
+    const Seconds init = profile_.provisioning.init_latency.Sample(rng_);
+    const Seconds launch_at = sim_.now() + queuing;
+    const Seconds ready_at = launch_at + init;
+    if (dataset_gb > 0.0) {
+      meter_.RecordDataIngress(dataset_gb);
+    }
+    sim_.ScheduleAt(ready_at, [this, id, launch_at, ready_at, on_ready]() {
+      --pending_;
+      ready_.emplace(id, Instance{launch_at, ready_at});
+      if (profile_.spot.enabled) {
+        SchedulePreemption(id);
+      }
+      on_ready(id);
+    });
+  }
+}
+
+void SimulatedCloud::SchedulePreemption(InstanceId id) {
+  const Seconds delay = rng_.Exponential(profile_.spot.mean_time_to_preemption);
+  sim_.ScheduleIn(delay, [this, id]() {
+    auto it = ready_.find(id);
+    if (it == ready_.end()) {
+      return;  // already terminated by the job
+    }
+    meter_.RecordInstanceUsage(it->second.launch, sim_.now());
+    ready_.erase(it);
+    ++num_preemptions_;
+    if (on_preempted_) {
+      on_preempted_(id);
+    }
+  });
+}
+
+void SimulatedCloud::TerminateInstance(InstanceId id) {
+  auto it = ready_.find(id);
+  if (it == ready_.end()) {
+    throw std::logic_error("terminating unknown or pending instance");
+  }
+  meter_.RecordInstanceUsage(it->second.launch, sim_.now());
+  ready_.erase(it);
+}
+
+void SimulatedCloud::TerminateAll() {
+  std::vector<InstanceId> ids;
+  ids.reserve(ready_.size());
+  for (const auto& [id, instance] : ready_) {
+    ids.push_back(id);
+  }
+  for (InstanceId id : ids) {
+    TerminateInstance(id);
+  }
+}
+
+}  // namespace rubberband

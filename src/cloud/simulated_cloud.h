@@ -1,0 +1,89 @@
+// SimulatedCloud: a discrete-event cloud provider.
+//
+// Substitute for AWS EC2 + boto in the paper's implementation (section 5,
+// "Cluster management"): serves provisioning requests after the profile's
+// queuing + init delays, terminates instances immediately, and keeps the
+// billing ledger. Provisioning requests always succeed (the paper's provider
+// assumption); delays and prices are the modeled parameters.
+
+#ifndef SRC_CLOUD_SIMULATED_CLOUD_H_
+#define SRC_CLOUD_SIMULATED_CLOUD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/cloud/billing.h"
+#include "src/cloud/cloud_profile.h"
+#include "src/sim/simulation.h"
+
+namespace rubberband {
+
+using InstanceId = int64_t;
+
+class SimulatedCloud {
+ public:
+  SimulatedCloud(Simulation& sim, CloudProfile profile);
+
+  SimulatedCloud(const SimulatedCloud&) = delete;
+  SimulatedCloud& operator=(const SimulatedCloud&) = delete;
+
+  // Requests `count` instances. `on_ready` fires once per instance when it
+  // becomes usable (after queuing delay + init latency). Billing starts at
+  // launch (after queuing delay, before init completes), as real providers
+  // charge while init scripts run. If `dataset_gb` > 0, each instance
+  // ingresses that much data during init (charged at the data price).
+  void RequestInstances(int count, double dataset_gb, std::function<void(InstanceId)> on_ready);
+
+  // Terminates a ready instance and closes its billing interval.
+  void TerminateInstance(InstanceId id);
+
+  // Registers the callback invoked when the provider reclaims a spot
+  // instance (only fires when the profile's spot market is enabled). The
+  // instance is already gone (billing closed) when the handler runs.
+  void SetPreemptionHandler(std::function<void(InstanceId)> handler) {
+    on_preempted_ = std::move(handler);
+  }
+
+  int num_preemptions() const { return num_preemptions_; }
+
+  // Terminates everything still running (end-of-job cleanup).
+  void TerminateAll();
+
+  // Records a function-style task execution for per-function pricing.
+  void RecordFunctionUsage(int gpus, Seconds duration) {
+    meter_.RecordFunctionUsage(gpus, duration);
+  }
+
+  int num_ready() const { return static_cast<int>(ready_.size()); }
+  int num_pending() const { return pending_; }
+
+  const CloudProfile& profile() const { return profile_; }
+  const BillingMeter& meter() const { return meter_; }
+
+  // Prices the ledger under the profile's own pricing policy (spot
+  // discount applied when the spot market is enabled).
+  CostBreakdown Cost() const { return meter_.Price(profile_.BilledInstance(), profile_.pricing); }
+
+ private:
+  struct Instance {
+    Seconds launch = 0.0;
+    Seconds ready = 0.0;
+  };
+
+  Simulation& sim_;
+  CloudProfile profile_;
+  Rng rng_;
+  BillingMeter meter_;
+  void SchedulePreemption(InstanceId id);
+
+  std::map<InstanceId, Instance> ready_;
+  std::function<void(InstanceId)> on_preempted_;
+  int pending_ = 0;
+  int num_preemptions_ = 0;
+  InstanceId next_id_ = 0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_CLOUD_SIMULATED_CLOUD_H_

@@ -1,0 +1,91 @@
+#include "src/common/flags.h"
+
+#include <stdexcept>
+
+namespace rubberband {
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    if (arg.size() <= 2 || arg[2] == '-') {
+      throw std::invalid_argument("malformed flag: " + arg);
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      continue;
+    }
+    const std::string key = arg.substr(2);
+    // "--key value" when the next token is not itself a flag; bare switch
+    // otherwise.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[key] = argv[++i];
+    } else {
+      flags.values_[key] = "";
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  read_[key] = true;
+  return it->second;
+}
+
+int Flags::GetInt(const std::string& key, int fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  read_[key] = true;
+  return std::stoi(it->second);
+}
+
+int64_t Flags::GetInt64(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  read_[key] = true;
+  return std::stoll(it->second);
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  read_[key] = true;
+  return std::stod(it->second);
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  read_[key] = true;
+  const std::string& value = it->second;
+  return value.empty() || value == "true" || value == "1";
+}
+
+std::vector<std::string> Flags::UnusedKeys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (read_.count(key) == 0) {
+      unused.push_back(key);
+    }
+  }
+  return unused;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for the tools/ binaries:
+// "--key=value", "--key value" and bare "--switch" forms, with typed
+// accessors and defaults. Unknown positional arguments are kept in order.
+
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rubberband {
+
+class Flags {
+ public:
+  // Parses argv (excluding argv[0]). Throws std::invalid_argument on a
+  // malformed flag (e.g. "---x").
+  static Flags Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  int GetInt(const std::string& key, int fallback) const;
+  int64_t GetInt64(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  // A bare "--switch" (no value) and "--switch=true/1" are true;
+  // "--switch=false/0" is false.
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Keys that were parsed but never read by any accessor — catches typos.
+  std::vector<std::string> UnusedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_COMMON_FLAGS_H_

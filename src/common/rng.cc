@@ -1,0 +1,36 @@
+#include "src/common/rng.h"
+
+namespace rubberband {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::LogNormal(double log_mean, double log_stddev) {
+  std::lognormal_distribution<double> dist(log_mean, log_stddev);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+Rng Rng::Fork() {
+  // Mix the next draw so sibling forks are decorrelated.
+  const uint64_t child_seed = engine_() * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  return Rng(child_seed);
+}
+
+}  // namespace rubberband

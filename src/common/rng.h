@@ -1,0 +1,43 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (latency distributions, hyperparameter
+// sampling, straggler injection) draws through an Rng that is explicitly
+// seeded, so simulated experiments are reproducible run-to-run and seeds
+// can be swept for error bars, as the paper does (3 seeds per experiment).
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace rubberband {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  double Normal(double mean, double stddev);
+  double LogNormal(double log_mean, double log_stddev);
+  double Exponential(double mean);
+
+  // Derives an independent child stream; used to give each trial/worker its
+  // own stream so that adding a component does not perturb the draws made by
+  // the others.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,52 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rubberband {
+
+void RunningStats::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStats::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(values.begin(), values.end(), 0.0) / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) {
+    stats.Add(v);
+  }
+  return stats.stddev();
+}
+
+}  // namespace rubberband

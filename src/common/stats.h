@@ -1,0 +1,42 @@
+// Summary statistics used throughout the evaluation harness: running
+// mean/stddev accumulators for reporting "x ± y" rows and percentile helpers
+// for latency analysis.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rubberband {
+
+class RunningStats {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample standard deviation (n-1 denominator); 0 with fewer than 2 samples.
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford's sum of squared deviations.
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// p in [0, 100]; linear interpolation between closest ranks. `values` need
+// not be sorted. Returns 0 for an empty input.
+double Percentile(std::vector<double> values, double p);
+
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+}  // namespace rubberband
+
+#endif  // SRC_COMMON_STATS_H_

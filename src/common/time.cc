@@ -1,0 +1,26 @@
+#include "src/common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rubberband {
+
+std::string FormatDuration(Seconds seconds) {
+  long long total = static_cast<long long>(std::llround(seconds));
+  const bool negative = total < 0;
+  if (negative) {
+    total = -total;
+  }
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const long long s = total % 60;
+  char buf[32];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lld:%02lld:%02lld", negative ? "-" : "", h, m, s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld", negative ? "-" : "", m, s);
+  }
+  return buf;
+}
+
+}  // namespace rubberband

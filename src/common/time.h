@@ -1,0 +1,22 @@
+// Simulation time. The discrete-event kernel and everything above it measure
+// time as double seconds since experiment start; these helpers keep
+// formatting consistent with the paper's "MM:SS" job-completion-time rows.
+
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <string>
+
+namespace rubberband {
+
+using Seconds = double;
+
+constexpr Seconds Minutes(double m) { return m * 60.0; }
+constexpr Seconds Hours(double h) { return h * 3600.0; }
+
+// Formats as "MM:SS" (or "H:MM:SS" beyond an hour), as in Table 2.
+std::string FormatDuration(Seconds seconds);
+
+}  // namespace rubberband
+
+#endif  // SRC_COMMON_TIME_H_

@@ -1,0 +1,148 @@
+#include "src/dag/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rubberband {
+
+int GpusPerTrial(int gpus, int trials) {
+  if (gpus < 1 || trials < 1) {
+    throw std::invalid_argument("gpus and trials must be positive");
+  }
+  return gpus >= trials ? gpus / trials : 1;
+}
+
+Distribution TrainNodeLatency(const ModelProfile& model, int64_t iters, int gpus_per_trial,
+                              double latency_factor) {
+  const Distribution per_iter = model.IterLatency(gpus_per_trial).Scaled(latency_factor);
+  const double mean = model.trial_startup_seconds + static_cast<double>(iters) * per_iter.Mean();
+  const double stddev = std::sqrt(static_cast<double>(iters)) * per_iter.StdDev();
+  if (stddev <= 0.0) {
+    return Distribution::Constant(mean);
+  }
+  return Distribution::TruncatedNormal(mean, stddev, model.trial_startup_seconds);
+}
+
+int ColocatedCapacity(int trials, int gpus_per_trial, int instances, int gpus_per_instance) {
+  if (gpus_per_trial > gpus_per_instance) {
+    // Gangs larger than a node span several whole nodes; a minimal span is
+    // colocated by definition.
+    return trials;
+  }
+  return instances * (gpus_per_instance / gpus_per_trial);
+}
+
+ExecutionDag BuildDag(const ExperimentSpec& spec, const AllocationPlan& plan,
+                      const ModelProfile& model, const CloudProfile& cloud) {
+  spec.Validate();
+  plan.Validate(spec.num_stages());
+  const int gpus_per_instance = cloud.gpus_per_instance();
+  if (gpus_per_instance < 1) {
+    throw std::invalid_argument("worker instance type has no GPUs");
+  }
+
+  ExecutionDag dag;
+  int cluster_instances = 0;
+  std::vector<int> frontier;  // nodes the next stage's entry depends on
+
+  for (int i = 0; i < spec.num_stages(); ++i) {
+    const Stage& stage = spec.stage(i);
+    const int gpus = plan.gpus(i);
+    const int instances_needed = (gpus + gpus_per_instance - 1) / gpus_per_instance;
+
+    StageMeta meta;
+    meta.instances = instances_needed;
+
+    // Scale up if the provisioned cluster is too small for this stage.
+    std::vector<int> entry = frontier;
+    if (instances_needed > cluster_instances) {
+      DagNode scale;
+      scale.type = NodeType::kScale;
+      scale.stage = i;
+      scale.latency = cloud.provisioning.queuing_delay;
+      scale.deps = frontier;
+      scale.new_instances = instances_needed - cluster_instances;
+      const int scale_id = dag.AddNode(std::move(scale));
+      meta.scale_node = scale_id;
+
+      entry.clear();
+      for (int k = 0; k < instances_needed - cluster_instances; ++k) {
+        DagNode init;
+        init.type = NodeType::kInitInstance;
+        init.stage = i;
+        init.latency = cloud.provisioning.init_latency;
+        init.deps = {scale_id};
+        const int init_id = dag.AddNode(std::move(init));
+        meta.init_nodes.push_back(init_id);
+        entry.push_back(init_id);
+      }
+    }
+    cluster_instances = instances_needed;
+
+    // Training: parallel when the allocation covers all trials, serial
+    // chains over the available GPU slots otherwise.
+    const int gpus_per_trial = GpusPerTrial(gpus, stage.num_trials);
+    meta.gpus_per_trial = gpus_per_trial;
+    const Distribution train_latency = TrainNodeLatency(model, stage.iters_per_trial, gpus_per_trial);
+
+    std::vector<int> tails;
+    if (gpus >= stage.num_trials) {
+      // Gangs that do not pack cleanly onto instances (e.g. 3-GPU gangs on
+      // 4-GPU nodes) leave some trials spanning extra nodes; those pay the
+      // cross-node penalty.
+      const int colocated = ColocatedCapacity(stage.num_trials, gpus_per_trial, instances_needed,
+                                              gpus_per_instance);
+      meta.fragmented_trials = std::max(0, stage.num_trials - colocated);
+      const Distribution fragmented_latency =
+          TrainNodeLatency(model, stage.iters_per_trial, gpus_per_trial,
+                           model.cross_node_latency_factor);
+      for (int t = 0; t < stage.num_trials; ++t) {
+        DagNode train;
+        train.type = NodeType::kTrain;
+        train.stage = i;
+        train.latency = t < colocated ? train_latency : fragmented_latency;
+        train.deps = entry;
+        train.gpus = gpus_per_trial;
+        train.trial = t;
+        const int train_id = dag.AddNode(std::move(train));
+        meta.train_nodes.push_back(train_id);
+        tails.push_back(train_id);
+      }
+    } else {
+      // `gpus` slots of one GPU each; slot s runs trials s, s+gpus, ...
+      std::vector<int> slot_tail(static_cast<size_t>(gpus), -1);
+      for (int t = 0; t < stage.num_trials; ++t) {
+        const size_t slot = static_cast<size_t>(t % gpus);
+        DagNode train;
+        train.type = NodeType::kTrain;
+        train.stage = i;
+        train.latency = train_latency;
+        train.deps = slot_tail[slot] >= 0 ? std::vector<int>{slot_tail[slot]} : entry;
+        train.gpus = 1;
+        train.trial = t;
+        const int train_id = dag.AddNode(std::move(train));
+        meta.train_nodes.push_back(train_id);
+        slot_tail[slot] = train_id;
+      }
+      for (int tail : slot_tail) {
+        tails.push_back(tail);
+      }
+    }
+
+    // Stage-terminating synchronization barrier.
+    DagNode sync;
+    sync.type = NodeType::kSync;
+    sync.stage = i;
+    sync.latency = Distribution::Constant(model.sync_seconds);
+    sync.deps = tails;
+    meta.sync_node = dag.AddNode(std::move(sync));
+
+    frontier = {meta.sync_node};
+    dag.stages().push_back(std::move(meta));
+  }
+
+  return dag;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,50 @@
+// DAG construction (paper section 4.2, "DAG construction").
+//
+// Parses the specification and allocation plan together stage-by-stage,
+// extending dependency edges from the frontier:
+//   * if the stage needs more instances than are provisioned, a blocking
+//     SCALE node extends the previous frontier, followed by one parallel
+//     INIT_INSTANCE node per new instance;
+//   * one TRAIN node is added per trial; when the allocation cannot run all
+//     trials in parallel (GPUs < trials), queued trials become TRAIN nodes
+//     with serial dependencies on a previously run trial (an allocation of
+//     1 GPU degenerates to a fully sequential chain);
+//   * a SYNC node closes the stage, depending on the whole frontier.
+// Scale-downs are free and instantaneous and add no nodes; the cost model
+// releases instances at the stage boundary.
+
+#ifndef SRC_DAG_BUILDER_H_
+#define SRC_DAG_BUILDER_H_
+
+#include "src/cloud/cloud_profile.h"
+#include "src/dag/node.h"
+#include "src/model/profile.h"
+#include "src/planner/plan.h"
+#include "src/spec/experiment_spec.h"
+
+namespace rubberband {
+
+// GPUs each trial receives when `gpus` are shared fairly among `trials`
+// (the fair-share rule of section 5's scheduler): a whole multiple when
+// gpus >= trials, otherwise 1 each with queuing.
+int GpusPerTrial(int gpus, int trials);
+
+// Aggregate latency distribution of training one trial for `iters`
+// iterations at `gpus_per_trial`, including the fixed startup cost: a
+// normal approximation to the sum of iid per-iteration draws (CLT),
+// truncated below at the startup cost. `latency_factor` scales the
+// per-iteration latency (cross-node penalty for fragmented placements).
+Distribution TrainNodeLatency(const ModelProfile& model, int64_t iters, int gpus_per_trial,
+                              double latency_factor = 1.0);
+
+// How many of `trials` gangs of `gpus_per_trial` GPUs can be placed without
+// spanning extra nodes on `instances` nodes of `gpus_per_instance`; the
+// remainder train at the cross-node penalty.
+int ColocatedCapacity(int trials, int gpus_per_trial, int instances, int gpus_per_instance);
+
+ExecutionDag BuildDag(const ExperimentSpec& spec, const AllocationPlan& plan,
+                      const ModelProfile& model, const CloudProfile& cloud);
+
+}  // namespace rubberband
+
+#endif  // SRC_DAG_BUILDER_H_

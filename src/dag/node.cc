@@ -1,0 +1,74 @@
+#include "src/dag/node.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rubberband {
+
+std::string ToString(NodeType type) {
+  switch (type) {
+    case NodeType::kScale:
+      return "SCALE";
+    case NodeType::kInitInstance:
+      return "INIT_INSTANCE";
+    case NodeType::kTrain:
+      return "TRAIN";
+    case NodeType::kSync:
+      return "SYNC";
+  }
+  return "UNKNOWN";
+}
+
+int ExecutionDag::AddNode(DagNode node) {
+  node.id = static_cast<int>(nodes_.size());
+  for (int dep : node.deps) {
+    if (dep < 0 || dep >= node.id) {
+      throw std::logic_error("DAG dependency must reference an earlier node");
+    }
+    ++successor_count_[static_cast<size_t>(dep)];
+  }
+  nodes_.push_back(std::move(node));
+  successor_count_.push_back(0);
+  return nodes_.back().id;
+}
+
+std::vector<int> ExecutionDag::Frontier() const {
+  std::vector<int> frontier;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (successor_count_[i] == 0) {
+      frontier.push_back(static_cast<int>(i));
+    }
+  }
+  return frontier;
+}
+
+int ExecutionDag::TotalInstancesProvisioned() const {
+  int total = 0;
+  for (const DagNode& node : nodes_) {
+    if (node.type == NodeType::kScale) {
+      total += node.new_instances;
+    }
+  }
+  return total;
+}
+
+std::string ExecutionDag::ToString() const {
+  std::ostringstream os;
+  for (const DagNode& node : nodes_) {
+    os << node.id << " " << rubberband::ToString(node.type) << " stage=" << node.stage;
+    if (node.type == NodeType::kTrain) {
+      os << " trial=" << node.trial << " gpus=" << node.gpus;
+    }
+    if (!node.deps.empty()) {
+      os << " deps=[";
+      for (size_t i = 0; i < node.deps.size(); ++i) {
+        os << (i > 0 ? "," : "") << node.deps[i];
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rubberband

@@ -1,0 +1,85 @@
+// Execution DAG (paper section 4.2).
+//
+// RubberBand models a job's execution as a directed acyclic graph of tasks,
+// each carrying a latency distribution; edges are task dependencies. Four
+// node types:
+//   SCALE          provision resources from the provider (queuing delay)
+//   INIT_INSTANCE  make a provisioned instance usable (dependency install)
+//   TRAIN          train one trial for a stage's worth of iterations
+//   SYNC           end-of-stage barrier that ranks and prunes trials
+// Deprovisioning has negligible latency and no cost and is unrepresented.
+//
+// Nodes are appended with dependencies on already-present nodes only, so the
+// node id order is a topological order — Algorithm 1's sampling pass is a
+// single forward sweep.
+
+#ifndef SRC_DAG_NODE_H_
+#define SRC_DAG_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/distribution.h"
+
+namespace rubberband {
+
+enum class NodeType { kScale, kInitInstance, kTrain, kSync };
+
+std::string ToString(NodeType type);
+
+struct DagNode {
+  int id = -1;
+  NodeType type = NodeType::kTrain;
+  int stage = -1;
+  Distribution latency = Distribution::Constant(0.0);
+  std::vector<int> deps;  // predecessor node ids (all < id)
+
+  // TRAIN: GPUs the trial holds and which trial slot it trains.
+  int gpus = 0;
+  int trial = -1;
+  // SCALE: instances being added by this provisioning request.
+  int new_instances = 0;
+};
+
+// Per-stage bookkeeping the cost model needs (which instances are held for
+// the span of which stage).
+struct StageMeta {
+  int instances = 0;       // cluster size (instances) during this stage
+  int gpus_per_trial = 0;  // 0 means trials queue serially on 1 GPU each
+  int fragmented_trials = 0;  // trials paying the cross-node penalty
+  int scale_node = -1;     // -1 when no scale-up precedes this stage
+  std::vector<int> init_nodes;
+  std::vector<int> train_nodes;
+  int sync_node = -1;
+};
+
+class ExecutionDag {
+ public:
+  // Appends a node; all deps must reference existing nodes. Returns its id.
+  int AddNode(DagNode node);
+
+  const std::vector<DagNode>& nodes() const { return nodes_; }
+  const DagNode& node(int id) const { return nodes_.at(static_cast<size_t>(id)); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  // Node ids with no successors (the construction frontier).
+  std::vector<int> Frontier() const;
+
+  std::vector<StageMeta>& stages() { return stages_; }
+  const std::vector<StageMeta>& stages() const { return stages_; }
+
+  // Total instances ever provisioned (sum over SCALE nodes); drives the
+  // per-instance data-ingress charge.
+  int TotalInstancesProvisioned() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<DagNode> nodes_;
+  std::vector<int> successor_count_;
+  std::vector<StageMeta> stages_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_DAG_NODE_H_

@@ -1,0 +1,142 @@
+#include "src/dag/simulate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace rubberband {
+namespace {
+
+// Per-instance compute cost for one sampled execution. Reconstructs each
+// instance slot's launch -> release interval from the stage spans.
+Money PerInstanceComputeCost(const ExecutionDag& dag, const CloudProfile& cloud,
+                             const std::vector<double>& finish) {
+  const Money per_second = cloud.instance.PricePerSecond();
+  const Seconds min_billed = cloud.pricing.minimum_billed_seconds;
+  Money total;
+
+  std::vector<double> slot_launch;  // launch time of each alive instance
+  double prev_stage_end = 0.0;
+  const auto bill = [&](double launch, double release) {
+    total += per_second * std::max(release - launch, min_billed);
+  };
+
+  for (const StageMeta& meta : dag.stages()) {
+    const int needed = meta.instances;
+    const int alive = static_cast<int>(slot_launch.size());
+    if (needed > alive) {
+      // New instances launch when the provider serves the SCALE request.
+      const double launch =
+          meta.scale_node >= 0 ? finish[static_cast<size_t>(meta.scale_node)] : prev_stage_end;
+      slot_launch.resize(static_cast<size_t>(needed), launch);
+    } else if (needed < alive) {
+      // Shrink at the stage boundary; release the most recently launched
+      // instances first (they have accrued the least minimum-charge value).
+      for (int k = 0; k < alive - needed; ++k) {
+        bill(slot_launch.back(), prev_stage_end);
+        slot_launch.pop_back();
+      }
+    }
+    prev_stage_end = finish[static_cast<size_t>(meta.sync_node)];
+  }
+  for (double launch : slot_launch) {
+    bill(launch, prev_stage_end);
+  }
+  return total;
+}
+
+Money PerFunctionComputeCost(const ExecutionDag& dag, const CloudProfile& cloud,
+                             const std::vector<double>& latency) {
+  const Money gpu_second = cloud.instance.GpuSecondPrice();
+  Money total;
+  for (const DagNode& node : dag.nodes()) {
+    if (node.type == NodeType::kTrain) {
+      total += gpu_second * (static_cast<double>(node.gpus) * latency[static_cast<size_t>(node.id)]);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+PlanSample SamplePlan(const ExecutionDag& dag, const ModelProfile& model,
+                      const CloudProfile& cloud, Rng& rng) {
+  const size_t n = static_cast<size_t>(dag.size());
+  std::vector<double> latency(n, 0.0);
+  std::vector<double> finish(n, 0.0);
+
+  // Algorithm 1: ids are topologically ordered, so one forward sweep
+  // computes every node's finish time.
+  for (const DagNode& node : dag.nodes()) {
+    const size_t id = static_cast<size_t>(node.id);
+    latency[id] = node.latency.Sample(rng);
+    double start = 0.0;
+    for (int dep : node.deps) {
+      start = std::max(start, finish[static_cast<size_t>(dep)]);
+    }
+    finish[id] = start + latency[id];
+  }
+
+  PlanSample sample;
+  for (double f : finish) {
+    sample.duration = std::max(sample.duration, f);
+  }
+
+  switch (cloud.pricing.billing) {
+    case BillingModel::kPerInstance:
+      sample.compute_cost = PerInstanceComputeCost(dag, cloud, finish);
+      break;
+    case BillingModel::kPerFunction:
+      sample.compute_cost = PerFunctionComputeCost(dag, cloud, latency);
+      break;
+  }
+  sample.data_cost = cloud.pricing.data_price_per_gb *
+                     (model.dataset_gb * static_cast<double>(dag.TotalInstancesProvisioned()));
+  sample.cost = sample.compute_cost + sample.data_cost;
+  return sample;
+}
+
+std::vector<Seconds> MeanFinishTimes(const ExecutionDag& dag) {
+  std::vector<Seconds> finish(static_cast<size_t>(dag.size()), 0.0);
+  for (const DagNode& node : dag.nodes()) {
+    double start = 0.0;
+    for (int dep : node.deps) {
+      start = std::max(start, finish[static_cast<size_t>(dep)]);
+    }
+    finish[static_cast<size_t>(node.id)] = start + node.latency.Mean();
+  }
+  return finish;
+}
+
+PlanEstimate SimulatePlan(const ExecutionDag& dag, const ModelProfile& model,
+                          const CloudProfile& cloud, const SimulateOptions& options) {
+  Rng rng(options.seed);
+  RunningStats jct_stats;
+  RunningStats cost_stats;
+  RunningStats compute_stats;
+  RunningStats data_stats;
+  std::vector<double> durations;
+  durations.reserve(static_cast<size_t>(options.num_samples));
+
+  for (int i = 0; i < options.num_samples; ++i) {
+    const PlanSample sample = SamplePlan(dag, model, cloud, rng);
+    jct_stats.Add(sample.duration);
+    cost_stats.Add(sample.cost.dollars());
+    compute_stats.Add(sample.compute_cost.dollars());
+    data_stats.Add(sample.data_cost.dollars());
+    durations.push_back(sample.duration);
+  }
+
+  PlanEstimate estimate;
+  estimate.jct_mean = jct_stats.mean();
+  estimate.jct_stddev = jct_stats.stddev();
+  estimate.jct_p95 = Percentile(durations, 95.0);
+  estimate.cost_mean = Money::FromDollars(cost_stats.mean());
+  estimate.compute_cost_mean = Money::FromDollars(compute_stats.mean());
+  estimate.data_cost_mean = Money::FromDollars(data_stats.mean());
+  estimate.cost_stddev_dollars = cost_stats.stddev();
+  return estimate;
+}
+
+}  // namespace rubberband

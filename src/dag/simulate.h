@@ -1,0 +1,71 @@
+// Plan simulation (paper section 4.2, "Simulation", and Algorithm 1).
+//
+// JCT: sample a latency for every node and take the critical path (one
+// forward sweep — node ids are topologically ordered). Averaged over a
+// configurable number of samples.
+//
+// Cost, per sample:
+//   * per-function billing sums each billable TRAIN node's GPU-seconds at
+//     the GPU-second rate — resources are released the moment a trial
+//     finishes, so stragglers do not inflate cost;
+//   * per-instance billing reconstructs each instance's launch->release
+//     interval: instances launch when their stage's SCALE completes, are
+//     held through every stage that needs them (billed through the stage's
+//     SYNC — the critical path *within* the stage — which is how
+//     straggler-induced idling shows up as cost), are released at stage
+//     boundaries when the plan shrinks, and pay the per-acquisition minimum
+//     charge;
+//   * data ingress is charged once per instance ever provisioned.
+
+#ifndef SRC_DAG_SIMULATE_H_
+#define SRC_DAG_SIMULATE_H_
+
+#include <cstdint>
+
+#include "src/cloud/cloud_profile.h"
+#include "src/common/money.h"
+#include "src/common/time.h"
+#include "src/dag/node.h"
+#include "src/model/profile.h"
+
+namespace rubberband {
+
+struct PlanEstimate {
+  Seconds jct_mean = 0.0;
+  Seconds jct_stddev = 0.0;
+  Seconds jct_p95 = 0.0;
+  Money cost_mean;
+  Money compute_cost_mean;
+  Money data_cost_mean;
+  double cost_stddev_dollars = 0.0;
+
+  bool MeetsDeadline(Seconds deadline) const { return jct_mean <= deadline; }
+};
+
+struct SimulateOptions {
+  int num_samples = 20;
+  uint64_t seed = 42;
+};
+
+// One Monte-Carlo draw of (duration, cost) for the DAG.
+struct PlanSample {
+  Seconds duration = 0.0;
+  Money cost;
+  Money compute_cost;
+  Money data_cost;
+};
+
+PlanSample SamplePlan(const ExecutionDag& dag, const ModelProfile& model,
+                      const CloudProfile& cloud, Rng& rng);
+
+PlanEstimate SimulatePlan(const ExecutionDag& dag, const ModelProfile& model,
+                          const CloudProfile& cloud, const SimulateOptions& options = {});
+
+// Deterministic forward pass using every node's mean latency; returns each
+// node's finish time (indexed by node id). Used for rendering plans and for
+// tests that need exact expected timings.
+std::vector<Seconds> MeanFinishTimes(const ExecutionDag& dag);
+
+}  // namespace rubberband
+
+#endif  // SRC_DAG_SIMULATE_H_

@@ -1,0 +1,168 @@
+#include "src/executor/asha.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "src/cloud/simulated_cloud.h"
+#include "src/sim/simulation.h"
+#include "src/trainer/synthetic_trainer.h"
+
+namespace rubberband {
+namespace {
+
+struct RungEntry {
+  double accuracy = 0.0;
+  int trial = -1;
+  bool promoted = false;
+};
+
+class AshaRun {
+ public:
+  AshaRun(const WorkloadSpec& workload, const CloudProfile& cloud, const AshaOptions& options)
+      : workload_(workload),
+        options_(options),
+        sim_(options.seed),
+        cloud_(sim_, cloud),
+        config_rng_(options.seed ^ 0xA5A5A5A5ULL) {
+    // Rung budgets: min_iters * eta^r, capped at max_iters.
+    int64_t budget = options_.min_iters;
+    while (budget < options_.max_iters) {
+      rung_budgets_.push_back(budget);
+      budget *= options_.reduction_factor;
+    }
+    rung_budgets_.push_back(options_.max_iters);
+    rungs_.resize(rung_budgets_.size());
+    report_.rungs.resize(rung_budgets_.size());
+  }
+
+  AshaReport Run() {
+    const int gpg = cloud_.profile().gpus_per_instance();
+    const int total_gpus = options_.num_workers * options_.gpus_per_trial;
+    const int instances = (total_gpus + gpg - 1) / gpg;
+    cloud_.RequestInstances(instances, workload_.dataset.size_gb, [this](InstanceId) {
+      if (++instances_ready_ == 1) {
+        // Workers start as soon as capacity exists; the pool is
+        // gang-homogeneous so one instance is enough to begin.
+      }
+    });
+    // Start every worker once the full pool is up (ASHA assumes a fixed
+    // cluster that exists for the whole run).
+    sim_.ScheduleIn(cloud_.profile().provisioning.MeanReadyLatency() + 1e-9, [this] {
+      for (int w = 0; w < options_.num_workers; ++w) {
+        OnWorkerFree();
+      }
+    });
+    sim_.Run();
+
+    report_.jct = finish_time_;
+    report_.cost = cloud_.Cost();
+    return report_;
+  }
+
+ private:
+  struct Job {
+    int trial = -1;
+    int rung = 0;
+  };
+
+  // ASHA's get_job: prefer the highest-rung promotable result; otherwise
+  // sample a new configuration at rung 0.
+  Job GetJob() {
+    for (int r = static_cast<int>(rungs_.size()) - 2; r >= 0; --r) {
+      std::optional<int> promotable = FindPromotable(r);
+      if (promotable.has_value()) {
+        ++report_.rungs[static_cast<size_t>(r)].promoted;
+        return Job{*promotable, r + 1};
+      }
+    }
+    const HyperparameterConfig config = space_.Sample(config_rng_);
+    const int id = static_cast<int>(trials_.size());
+    trials_.emplace_back(workload_, config,
+                         options_.seed * 6364136223846793005ULL + static_cast<uint64_t>(id));
+    ++report_.configurations_sampled;
+    return Job{id, 0};
+  }
+
+  // Top 1/eta of rung r's completed results, not yet promoted.
+  std::optional<int> FindPromotable(int r) {
+    auto& rung = rungs_[static_cast<size_t>(r)];
+    const int top_k = static_cast<int>(rung.size()) / options_.reduction_factor;
+    if (top_k < 1) {
+      return std::nullopt;
+    }
+    std::vector<RungEntry*> sorted;
+    sorted.reserve(rung.size());
+    for (RungEntry& entry : rung) {
+      sorted.push_back(&entry);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const RungEntry* a, const RungEntry* b) { return a->accuracy > b->accuracy; });
+    for (int i = 0; i < top_k; ++i) {
+      if (!sorted[static_cast<size_t>(i)]->promoted) {
+        sorted[static_cast<size_t>(i)]->promoted = true;
+        return sorted[static_cast<size_t>(i)]->trial;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void OnWorkerFree() {
+    if (sim_.now() >= options_.time_limit) {
+      if (++workers_done_ == options_.num_workers) {
+        cloud_.TerminateAll();
+        finish_time_ = sim_.now();
+      }
+      return;
+    }
+    const Job job = GetJob();
+    SyntheticTrainer& trainer = trials_[static_cast<size_t>(job.trial)];
+    trainer.Configure(options_.gpus_per_trial, /*colocated=*/true);
+
+    const int64_t target = rung_budgets_[static_cast<size_t>(job.rung)];
+    const int64_t iters = target - trainer.cum_iters();
+    Seconds duration = workload_.trial_startup_seconds;
+    for (int64_t i = 0; i < iters; ++i) {
+      duration += trainer.SampleIterLatency();
+    }
+    sim_.ScheduleIn(duration, [this, job, iters, duration] {
+      SyntheticTrainer& t = trials_[static_cast<size_t>(job.trial)];
+      t.Advance(iters);
+      const double accuracy = t.Evaluate();
+      rungs_[static_cast<size_t>(job.rung)].push_back(RungEntry{accuracy, job.trial, false});
+      ++report_.rungs[static_cast<size_t>(job.rung)].completed;
+      cloud_.RecordFunctionUsage(options_.gpus_per_trial, duration);
+      if (accuracy > report_.best_accuracy) {
+        report_.best_accuracy = accuracy;
+        report_.best_config = t.config();
+        report_.best_config_cum_iters = t.cum_iters();
+      }
+      OnWorkerFree();
+    });
+  }
+
+  WorkloadSpec workload_;
+  AshaOptions options_;
+  Simulation sim_;
+  SimulatedCloud cloud_;
+  SearchSpace space_;
+  Rng config_rng_;
+
+  std::deque<SyntheticTrainer> trials_;
+  std::vector<int64_t> rung_budgets_;
+  std::vector<std::vector<RungEntry>> rungs_;
+  AshaReport report_;
+  int instances_ready_ = 0;
+  int workers_done_ = 0;
+  Seconds finish_time_ = 0.0;
+};
+
+}  // namespace
+
+AshaReport RunAsha(const WorkloadSpec& workload, const CloudProfile& cloud,
+                   const AshaOptions& options) {
+  AshaRun run(workload, cloud, options);
+  return run.Run();
+}
+
+}  // namespace rubberband

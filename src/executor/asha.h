@@ -1,0 +1,66 @@
+// ASHA: Asynchronous Successive Halving (Li et al., the paper's primary
+// related system, section 7).
+//
+// Where RubberBand executes a declarative SHA specification in synchronized
+// stages, ASHA runs a fixed pool of workers with no barriers: each worker
+// loops, taking either a promotion (a trial whose result placed in the top
+// 1/eta of its rung) or — ASHA's hallmark — a freshly sampled configuration
+// whenever no promotion is waiting. Rung r trains a trial to min_iters *
+// eta^r cumulative iterations.
+//
+// Implemented here as the baseline RubberBand argues against: always
+// sampling new configurations keeps the fixed cluster busy, but under a
+// time constraint that spending is largely wasted on configurations that
+// can never be trained far enough to win (the HyperSched observation the
+// paper cites). The executor runs on the same simulated cloud and billing
+// substrate, so costs are directly comparable.
+
+#ifndef SRC_EXECUTOR_ASHA_H_
+#define SRC_EXECUTOR_ASHA_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/cloud/billing.h"
+#include "src/cloud/cloud_profile.h"
+#include "src/common/money.h"
+#include "src/common/time.h"
+#include "src/trainer/model_zoo.h"
+#include "src/trainer/search_space.h"
+
+namespace rubberband {
+
+struct AshaOptions {
+  int64_t min_iters = 1;    // rung 0 cumulative budget (r)
+  int64_t max_iters = 50;   // top rung cumulative budget (R)
+  int reduction_factor = 3; // eta
+  int gpus_per_trial = 1;   // every worker gang has this fixed size
+  int num_workers = 8;      // concurrent worker gangs (fixed pool)
+  Seconds time_limit = 0.0; // wall-clock budget; the run stops here
+  uint64_t seed = 0;
+};
+
+struct AshaRungStats {
+  int completed = 0;  // results recorded at this rung
+  int promoted = 0;   // results promoted to the next rung
+};
+
+struct AshaReport {
+  int configurations_sampled = 0;
+  double best_accuracy = 0.0;
+  HyperparameterConfig best_config;
+  int64_t best_config_cum_iters = 0;
+  Seconds jct = 0.0;
+  CostBreakdown cost;
+  std::vector<AshaRungStats> rungs;
+};
+
+// Runs ASHA to the time limit on a fixed cluster sized for
+// num_workers * gpus_per_trial GPUs.
+AshaReport RunAsha(const WorkloadSpec& workload, const CloudProfile& cloud,
+                   const AshaOptions& options);
+
+}  // namespace rubberband
+
+#endif  // SRC_EXECUTOR_ASHA_H_

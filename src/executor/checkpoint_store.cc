@@ -1,0 +1,35 @@
+#include "src/executor/checkpoint_store.h"
+
+#include <stdexcept>
+
+namespace rubberband {
+
+Seconds CheckpointStore::Save(int trial, double size_gb) {
+  if (size_gb < 0.0) {
+    throw std::invalid_argument("negative checkpoint size");
+  }
+  sizes_gb_[trial] = size_gb;
+  ++saves_;
+  gb_moved_ += size_gb;
+  return TransferLatency(size_gb);
+}
+
+Seconds CheckpointStore::Fetch(int trial) {
+  auto it = sizes_gb_.find(trial);
+  if (it == sizes_gb_.end()) {
+    throw std::logic_error("no checkpoint stored for trial");
+  }
+  ++fetches_;
+  gb_moved_ += it->second;
+  return TransferLatency(it->second);
+}
+
+double CheckpointStore::stored_gb() const {
+  double total = 0.0;
+  for (const auto& [trial, size] : sizes_gb_) {
+    total += size;
+  }
+  return total;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,69 @@
+// Checkpoint object store (paper section 5, "Trial life-cycle").
+//
+// Due to the symmetric nature of synchronous data-parallel training only
+// one worker saves its state; the checkpoint (model, optimizer, LR
+// schedule, metadata) is serialized into a shared object store hosted on
+// the driver node, and newly instantiated workers fetch it by reference to
+// restore. This store models the transfer costs: latency is a fixed
+// per-object overhead plus size over the driver link bandwidth, and the
+// ledger tracks bytes moved (checkpoint traffic is how migration cost
+// scales with model size).
+
+#ifndef SRC_EXECUTOR_CHECKPOINT_STORE_H_
+#define SRC_EXECUTOR_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/time.h"
+
+namespace rubberband {
+
+struct CheckpointStoreOptions {
+  // Driver-node network bandwidth available to checkpoint traffic.
+  double bandwidth_gbps = 10.0;
+  // Fixed per-transfer overhead (serialization, object-store metadata).
+  Seconds base_latency = 0.1;
+};
+
+class CheckpointStore {
+ public:
+  CheckpointStore() = default;
+  explicit CheckpointStore(const CheckpointStoreOptions& options) : options_(options) {}
+
+  // Persists trial `id`'s checkpoint of `size_gb`; returns the transfer
+  // latency the saving worker pays. Overwrites any previous checkpoint for
+  // the trial (only the newest matters).
+  Seconds Save(int trial, double size_gb);
+
+  // Latency for a new worker gang to fetch trial `id`'s checkpoint.
+  // Throws std::logic_error if no checkpoint was ever saved.
+  Seconds Fetch(int trial);
+
+  // Drops a terminated trial's checkpoint (frees driver memory).
+  void Evict(int trial) { sizes_gb_.erase(trial); }
+
+  bool Has(int trial) const { return sizes_gb_.count(trial) > 0; }
+  int num_stored() const { return static_cast<int>(sizes_gb_.size()); }
+  double stored_gb() const;
+
+  int64_t saves() const { return saves_; }
+  int64_t fetches() const { return fetches_; }
+  double gb_moved() const { return gb_moved_; }
+
+ private:
+  Seconds TransferLatency(double size_gb) const {
+    // bandwidth_gbps is in gigaBITS per second.
+    return options_.base_latency + size_gb * 8.0 / options_.bandwidth_gbps;
+  }
+
+  CheckpointStoreOptions options_;
+  std::map<int, double> sizes_gb_;
+  int64_t saves_ = 0;
+  int64_t fetches_ = 0;
+  double gb_moved_ = 0.0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_EXECUTOR_CHECKPOINT_STORE_H_

@@ -1,0 +1,60 @@
+#include "src/executor/cluster_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rubberband {
+
+void ClusterManager::OnInstanceReady(InstanceId id) {
+  ready_.push_back(id);
+  if (waiter_ && num_ready() >= waiting_for_) {
+    auto callback = std::move(waiter_);
+    waiter_ = nullptr;
+    callback();
+  }
+}
+
+void ClusterManager::EnsureInstances(int target, std::function<void()> on_ready) {
+  if (waiter_) {
+    throw std::logic_error("ClusterManager already has an outstanding scale request");
+  }
+  if (num_ready() >= target) {
+    on_ready();
+    return;
+  }
+  waiter_ = std::move(on_ready);
+  waiting_for_ = target;
+  const int missing = target - num_ready() - cloud_.num_pending();
+  if (missing > 0) {
+    cloud_.RequestInstances(missing, dataset_gb_,
+                            [this](InstanceId id) { OnInstanceReady(id); });
+  }
+}
+
+void ClusterManager::RequestExtra(int count, std::function<void(InstanceId)> on_ready) {
+  cloud_.RequestInstances(count, dataset_gb_, [this, on_ready](InstanceId id) {
+    OnInstanceReady(id);
+    on_ready(id);
+  });
+}
+
+void ClusterManager::OnInstancePreempted(InstanceId id) {
+  auto it = std::find(ready_.begin(), ready_.end(), id);
+  if (it == ready_.end()) {
+    throw std::logic_error("preemption reported for an instance the manager does not hold");
+  }
+  ready_.erase(it);
+}
+
+void ClusterManager::Deprovision(const std::vector<InstanceId>& ids) {
+  for (InstanceId id : ids) {
+    auto it = std::find(ready_.begin(), ready_.end(), id);
+    if (it == ready_.end()) {
+      throw std::logic_error("deprovisioning an instance the manager does not hold");
+    }
+    ready_.erase(it);
+    cloud_.TerminateInstance(id);
+  }
+}
+
+}  // namespace rubberband

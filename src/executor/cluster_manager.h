@@ -1,0 +1,61 @@
+// Cluster manager (paper section 5, "Cluster management").
+//
+// Extends the cloud provider with ad-hoc scale requests: the scheduler asks
+// for a target cluster size; the manager provisions the difference and
+// reports once the target is reached. Deprovisioning takes specific
+// instances (the executor only retires nodes the placement controller has
+// emptied). Total provisioned-compute cost is tracked by the underlying
+// provider's billing meter for the lifetime of the experiment.
+
+#ifndef SRC_EXECUTOR_CLUSTER_MANAGER_H_
+#define SRC_EXECUTOR_CLUSTER_MANAGER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/cloud/simulated_cloud.h"
+
+namespace rubberband {
+
+class ClusterManager {
+ public:
+  // `dataset_gb` is ingressed by every newly provisioned instance.
+  ClusterManager(SimulatedCloud& cloud, double dataset_gb)
+      : cloud_(cloud), dataset_gb_(dataset_gb) {}
+
+  ClusterManager(const ClusterManager&) = delete;
+  ClusterManager& operator=(const ClusterManager&) = delete;
+
+  // Grows the cluster to at least `target` ready instances, then calls
+  // `on_ready` (immediately if already large enough). One outstanding
+  // request at a time.
+  void EnsureInstances(int target, std::function<void()> on_ready);
+
+  void Deprovision(const std::vector<InstanceId>& ids);
+
+  // Drops a spot instance the provider reclaimed (billing was closed by the
+  // provider; nothing to terminate).
+  void OnInstancePreempted(InstanceId id);
+
+  // Requests `count` replacement instances outside the EnsureInstances
+  // waiter; `on_ready` fires per instance as it becomes usable.
+  void RequestExtra(int count, std::function<void(InstanceId)> on_ready);
+
+  const std::vector<InstanceId>& ready_instances() const { return ready_; }
+  int num_ready() const { return static_cast<int>(ready_.size()); }
+
+  SimulatedCloud& cloud() { return cloud_; }
+
+ private:
+  void OnInstanceReady(InstanceId id);
+
+  SimulatedCloud& cloud_;
+  double dataset_gb_;
+  std::vector<InstanceId> ready_;
+  std::function<void()> waiter_;
+  int waiting_for_ = 0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_EXECUTOR_CLUSTER_MANAGER_H_

@@ -1,0 +1,418 @@
+#include "src/executor/executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/dag/builder.h"
+
+namespace rubberband {
+
+Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
+                   const WorkloadSpec& workload, const CloudProfile& cloud_profile,
+                   const ExecutorOptions& options)
+    : spec_(spec),
+      plan_(plan),
+      workload_(workload),
+      options_(options),
+      sim_(options.seed),
+      cloud_(sim_, cloud_profile),
+      manager_(cloud_, workload.dataset.size_gb),
+      placement_(cloud_profile.gpus_per_instance(), options.placement) {
+  spec_.Validate();
+  plan_.Validate(spec_.num_stages());
+}
+
+int Executor::DesiredInstances(int stage) const {
+  const int gpg = cloud_.profile().gpus_per_instance();
+  return (plan_.gpus(stage) + gpg - 1) / gpg;
+}
+
+ExecutionReport Executor::Run() {
+  if (current_stage_ >= 0) {
+    throw std::logic_error("Executor::Run may only be called once");
+  }
+  cloud_.SetPreemptionHandler([this](InstanceId id) { HandlePreemption(id); });
+  // Sample one configuration per initial trial (random search over the
+  // user-provided space).
+  SearchSpace space;
+  Rng config_rng(options_.seed ^ 0xC0FFEE);
+  const int initial_trials = spec_.stage(0).num_trials;
+  for (int i = 0; i < initial_trials; ++i) {
+    trials_.emplace_back(i, workload_, space.Sample(config_rng),
+                         options_.seed * 7919 + static_cast<uint64_t>(i));
+    survivors_.push_back(i);
+  }
+
+  StartStage(0);
+  sim_.Run();
+  if (!finished_) {
+    throw std::logic_error("simulation drained without completing the experiment");
+  }
+  return report_;
+}
+
+void Executor::StartStage(int stage) {
+  current_stage_ = stage;
+  completed_in_stage_ = 0;
+  const Stage& spec_stage = spec_.stage(stage);
+  if (static_cast<int>(survivors_.size()) != spec_stage.num_trials) {
+    throw std::logic_error("survivor count does not match the specification");
+  }
+  for (TrialId id : survivors_) {
+    Trial& trial = trials_[static_cast<size_t>(id)];
+    trial.AssignStageWork(spec_stage.iters_per_trial);
+    // Checkpoint at the stage boundary (one worker serializes into the
+    // driver's object store): migrations restore from here, and if a spot
+    // instance is reclaimed mid-stage the interrupted trial restarts here.
+    trial.SaveCheckpoint();
+    checkpoint_store_.Save(id, workload_.checkpoint_gb);
+  }
+
+  manager_.EnsureInstances(DesiredInstances(stage), [this, stage] { BeginTraining(stage); });
+}
+
+void Executor::BeginTraining(int stage) {
+  // Register any newly provisioned instances with the placement controller.
+  for (InstanceId id : manager_.ready_instances()) {
+    if (std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(), id) ==
+        nodes_in_controller_.end()) {
+      placement_.AddNode(id);
+      nodes_in_controller_.push_back(id);
+      report_.trace.Record(sim_.now(), TraceEventType::kInstanceReady, stage, -1, id);
+    }
+  }
+
+  const int gpus = plan_.gpus(stage);
+  const StageSchedule schedule = BuildStageSchedule(survivors_, gpus);
+  gpus_per_trial_ = schedule.gpus_per_trial;
+  queued_.assign(schedule.queued.begin(), schedule.queued.end());
+
+  allocations_.clear();
+  for (TrialId id : schedule.running) {
+    allocations_[id] = gpus_per_trial_;
+  }
+  // Stage boundaries are migration points (every survivor restores from its
+  // checkpoint onto a fresh worker gang anyway), so re-pack from scratch:
+  // bin-packing before scale-down is what frees whole nodes for safe
+  // deprovisioning (paper Figure 5). Within a stage, placements are
+  // preserved.
+  placement_.Place({});
+  const PlacementResult placed = placement_.Place(allocations_);
+  for (TrialId id : placed.unplaced) {
+    // Cluster cannot fit the trial right now (possible under the scatter
+    // strategy); queue it behind the others.
+    allocations_.erase(id);
+    queued_.push_back(id);
+  }
+
+  // Bin-packing done: retire surplus idle nodes so the cluster matches the
+  // plan (deprovisioning is safe because no trial holds GPUs on them).
+  const int desired_instances = DesiredInstances(stage);
+  for (PlacementNodeId idle : placement_.IdleNodes()) {
+    if (manager_.num_ready() <= desired_instances) {
+      break;
+    }
+    placement_.RemoveNode(idle);
+    nodes_in_controller_.erase(
+        std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(), idle));
+    manager_.Deprovision({idle});
+    report_.trace.Record(sim_.now(), TraceEventType::kInstanceReleased, stage, -1, idle);
+  }
+
+  report_.trace.Record(sim_.now(), TraceEventType::kStageStart, stage);
+
+  StageLogEntry log;
+  log.stage = stage;
+  log.num_trials = static_cast<int>(survivors_.size());
+  log.gpus = gpus;
+  log.gpus_per_trial = gpus_per_trial_;
+  log.instances = manager_.num_ready();
+  log.start_cum_iters = stage > 0 ? spec_.CumulativeIters(stage - 1) : 0;
+  log.end_cum_iters = spec_.CumulativeIters(stage);
+  log.start = sim_.now();
+  report_.stage_log.push_back(log);
+
+  for (TrialId id : schedule.running) {
+    if (allocations_.count(id) > 0) {
+      StartTrialOnStage(id, gpus_per_trial_);
+    }
+  }
+}
+
+void Executor::StartTrialOnStage(TrialId id, int gpus) {
+  Trial& trial = trials_[static_cast<size_t>(id)];
+  Seconds startup = workload_.trial_startup_seconds;
+  if (trial.has_checkpoint()) {
+    trial.RestoreFromCheckpoint();
+    // The fresh gang fetches the checkpoint from the driver's object store.
+    startup += checkpoint_store_.Fetch(id);
+  }
+  trial.set_state(TrialState::kRunning);
+  trial.trainer().Configure(gpus, placement_.IsColocated(id));
+  busy_start_[id] = sim_.now();
+  report_.trace.Record(sim_.now(), TraceEventType::kTrialStart, current_stage_, id);
+  const int generation = ++generation_[id];
+  // Worker gang startup: checkpoint fetch + peer rendezvous.
+  sim_.ScheduleIn(startup, [this, id, generation] {
+    if (generation_[id] == generation) {
+      ScheduleNextIteration(id);
+    }
+  });
+}
+
+void Executor::ScheduleNextIteration(TrialId id) {
+  Trial& trial = trials_[static_cast<size_t>(id)];
+  if (trial.remaining_iters() <= 0) {
+    OnTrialStageDone(id);
+    return;
+  }
+  const Seconds latency = trial.trainer().SampleIterLatency();
+  const int generation = generation_[id];
+  sim_.ScheduleIn(latency, [this, id, generation] {
+    if (generation_[id] != generation) {
+      return;  // this worker gang was destroyed (preemption/migration)
+    }
+    Trial& t = trials_[static_cast<size_t>(id)];
+    t.trainer().Advance(1);
+    t.CompleteIteration();
+    ScheduleNextIteration(id);
+  });
+}
+
+void Executor::OnTrialStageDone(TrialId id) {
+  Trial& trial = trials_[static_cast<size_t>(id)];
+  trial.set_state(TrialState::kCompleted);
+  ++completed_in_stage_;
+  report_.trace.Record(sim_.now(), TraceEventType::kTrialComplete, current_stage_, id);
+
+  const Seconds busy = sim_.now() - busy_start_[id];
+  const int gpus = allocations_.count(id) > 0 ? allocations_[id] : gpus_per_trial_;
+  cloud_.RecordFunctionUsage(gpus, busy);
+
+  if (options_.record_throughput) {
+    const Seconds training_time = busy - workload_.trial_startup_seconds;
+    const int64_t iters = spec_.stage(current_stage_).iters_per_trial;
+    if (training_time > 0.0 && iters > 0) {
+      report_.trial_throughputs.push_back(static_cast<double>(workload_.batch_size * iters) /
+                                          training_time);
+    }
+  }
+
+  allocations_.erase(id);
+  if (!queued_.empty()) {
+    const TrialId next = queued_.front();
+    queued_.pop_front();
+    allocations_[next] = gpus_per_trial_;
+    const PlacementResult placed = placement_.Place(allocations_);
+    if (!placed.unplaced.empty()) {
+      // The freed slot may have been on a since-preempted node; requeue and
+      // wait for capacity (the next completion or a replacement instance).
+      allocations_.erase(next);
+      queued_.push_front(next);
+    } else {
+      StartTrialOnStage(next, gpus_per_trial_);
+      return;
+    }
+  }
+
+  if (completed_in_stage_ == static_cast<int>(survivors_.size())) {
+    const int stage = current_stage_;
+    sim_.ScheduleIn(workload_.sync_seconds, [this, stage] { Sync(stage); });
+    return;
+  }
+
+  if (options_.reallocate_freed_resources && queued_.empty()) {
+    ReallocateFreedResources();
+  }
+}
+
+void Executor::ReallocateFreedResources() {
+  std::vector<TrialId> running;
+  for (const auto& [id, gpus] : allocations_) {
+    running.push_back(id);
+  }
+  if (running.empty()) {
+    return;
+  }
+  const int new_share = GpusPerTrial(plan_.gpus(current_stage_),
+                                     static_cast<int>(running.size()));
+  // Hysteresis: resizing destroys and recreates every running gang (each
+  // paying startup again), so only act when the fair share has at least
+  // doubled — otherwise completion-by-completion churn thrashes the stage.
+  bool worthwhile = false;
+  for (TrialId id : running) {
+    worthwhile = worthwhile || new_share >= 2 * allocations_[id];
+  }
+  if (!worthwhile) {
+    return;
+  }
+
+  // Resize every running gang: checkpoint, settle the finished billing
+  // segment, destroy the gang (generation bump inside StartTrialOnStage)
+  // and restart at the new size — including a fresh startup cost, which is
+  // part of why this policy underdelivers.
+  for (TrialId id : running) {
+    Trial& trial = trials_[static_cast<size_t>(id)];
+    trial.SaveCheckpoint();
+    checkpoint_store_.Save(id, workload_.checkpoint_gb);
+    cloud_.RecordFunctionUsage(allocations_[id], sim_.now() - busy_start_[id]);
+    allocations_[id] = new_share;
+  }
+  const PlacementResult placed = placement_.Place(allocations_);
+  for (TrialId id : running) {
+    const bool unplaced =
+        std::find(placed.unplaced.begin(), placed.unplaced.end(), id) != placed.unplaced.end();
+    if (unplaced) {
+      // Could not fit at the larger size (fragmentation); keep it running
+      // at one GPU on whatever fits.
+      allocations_[id] = 1;
+      placement_.Place(allocations_);
+    }
+    StartTrialOnStage(id, allocations_[id]);
+  }
+}
+
+void Executor::HandlePreemption(InstanceId instance) {
+  ++report_.preemptions;
+  if (finished_) {
+    return;
+  }
+  report_.trace.Record(sim_.now(), TraceEventType::kPreemption, current_stage_, -1, instance);
+  manager_.OnInstancePreempted(instance);
+  const bool tracked = std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(),
+                                 instance) != nodes_in_controller_.end();
+  if (!tracked) {
+    return;  // reclaimed before the executor ever used it
+  }
+  nodes_in_controller_.erase(
+      std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(), instance));
+
+  // Every trial with workers on the reclaimed node loses its gang; roll it
+  // back to the stage-start checkpoint and queue it for restart.
+  for (TrialId id : placement_.EvictNode(instance)) {
+    Trial& trial = trials_[static_cast<size_t>(id)];
+    if (trial.state() != TrialState::kRunning) {
+      continue;  // already finished its stage work; ranking state is safe
+    }
+    ++generation_[id];  // invalidate in-flight iteration events
+    const int gpus = allocations_.count(id) > 0 ? allocations_[id] : gpus_per_trial_;
+    cloud_.RecordFunctionUsage(gpus, sim_.now() - busy_start_[id]);
+    allocations_.erase(id);
+    trial.set_state(TrialState::kPending);
+    trial.RestoreFromCheckpoint();
+    trial.AssignStageWork(spec_.stage(current_stage_).iters_per_trial);
+    pending_restart_.push_back(id);
+    ++report_.trial_restarts;
+    report_.trace.Record(sim_.now(), TraceEventType::kTrialRestart, current_stage_, id);
+  }
+
+  // Ask for a replacement to keep the cluster at the planned size; restart
+  // what we can as soon as it arrives (or immediately, if spare capacity
+  // remains).
+  manager_.RequestExtra(1, [this](InstanceId replacement) {
+    if (finished_) {
+      return;
+    }
+    placement_.AddNode(replacement);
+    nodes_in_controller_.push_back(replacement);
+    TryRestartPending();
+  });
+  TryRestartPending();
+}
+
+void Executor::TryRestartPending() {
+  while (!pending_restart_.empty()) {
+    const TrialId id = pending_restart_.front();
+    allocations_[id] = gpus_per_trial_;
+    const PlacementResult placed = placement_.Place(allocations_);
+    if (!placed.unplaced.empty()) {
+      allocations_.erase(id);
+      break;  // no capacity yet; wait for the replacement instance
+    }
+    pending_restart_.pop_front();
+    StartTrialOnStage(id, gpus_per_trial_);
+  }
+}
+
+void Executor::Sync(int stage) {
+  report_.stage_log.back().end = sim_.now();
+  report_.trace.Record(sim_.now(), TraceEventType::kSync, stage);
+
+  // Evaluate every trial that ran this stage and rank them.
+  for (TrialId id : survivors_) {
+    Trial& trial = trials_[static_cast<size_t>(id)];
+    trial.set_last_accuracy(trial.trainer().Evaluate());
+  }
+  std::vector<TrialId> ranked = survivors_;
+  std::sort(ranked.begin(), ranked.end(), [this](TrialId a, TrialId b) {
+    const double accuracy_a = trials_[static_cast<size_t>(a)].last_accuracy();
+    const double accuracy_b = trials_[static_cast<size_t>(b)].last_accuracy();
+    return accuracy_a != accuracy_b ? accuracy_a > accuracy_b : a < b;
+  });
+
+  if (stage + 1 >= spec_.num_stages()) {
+    Finish(stage);
+    return;
+  }
+
+  // Promote the top performers; terminate the rest.
+  const int keep = spec_.stage(stage + 1).num_trials;
+  survivors_.assign(ranked.begin(), ranked.begin() + keep);
+  for (size_t i = static_cast<size_t>(keep); i < ranked.size(); ++i) {
+    trials_[static_cast<size_t>(ranked[i])].set_state(TrialState::kTerminated);
+    checkpoint_store_.Evict(ranked[i]);  // free driver memory
+    report_.trace.Record(sim_.now(), TraceEventType::kTrialTerminated, stage, ranked[i]);
+  }
+  // Survivors are checkpointed so their next worker gang (possibly on
+  // different instances, at a different size) can restore them.
+  for (TrialId id : survivors_) {
+    trials_[static_cast<size_t>(id)].SaveCheckpoint();
+    trials_[static_cast<size_t>(id)].set_state(TrialState::kPaused);
+  }
+  StartStage(stage + 1);
+}
+
+void Executor::Finish(int final_stage) {
+  (void)final_stage;
+  const TrialId best = *std::max_element(
+      survivors_.begin(), survivors_.end(), [this](TrialId a, TrialId b) {
+        return trials_[static_cast<size_t>(a)].last_accuracy() <
+               trials_[static_cast<size_t>(b)].last_accuracy();
+      });
+  const Trial& winner = trials_[static_cast<size_t>(best)];
+  report_.best_accuracy = winner.last_accuracy();
+  report_.best_config = winner.config();
+  report_.jct = sim_.now();
+
+  // Release the whole cluster and settle the bill.
+  placement_.Place({});
+  for (InstanceId id : nodes_in_controller_) {
+    placement_.RemoveNode(id);
+  }
+  nodes_in_controller_.clear();
+  const std::vector<InstanceId> remaining = manager_.ready_instances();
+  manager_.Deprovision(remaining);
+  for (InstanceId id : remaining) {
+    report_.trace.Record(sim_.now(), TraceEventType::kInstanceReleased, final_stage, -1, id);
+  }
+  report_.cost = cloud_.Cost();
+  report_.checkpoint_saves = checkpoint_store_.saves();
+  report_.checkpoint_fetches = checkpoint_store_.fetches();
+  report_.checkpoint_gb_moved = checkpoint_store_.gb_moved();
+  const double provisioned_gpu_seconds =
+      cloud_.meter().TotalInstanceSeconds() * cloud_.profile().gpus_per_instance();
+  report_.realized_utilization =
+      provisioned_gpu_seconds > 0.0
+          ? cloud_.meter().TotalGpuSecondsUsed() / provisioned_gpu_seconds
+          : 0.0;
+  finished_ = true;
+}
+
+ExecutionReport ExecutePlan(const ExperimentSpec& spec, const AllocationPlan& plan,
+                            const WorkloadSpec& workload, const CloudProfile& cloud_profile,
+                            const ExecutorOptions& options) {
+  Executor executor(spec, plan, workload, cloud_profile, options);
+  return executor.Run();
+}
+
+}  // namespace rubberband

@@ -1,0 +1,147 @@
+// Executor: end-to-end elastic execution of a planned experiment (paper
+// section 5).
+//
+// Drives the discrete-event runtime: samples trial configurations from the
+// search space, walks the specification stage by stage following the
+// allocation plan — scaling the cluster through the cluster manager,
+// placing worker gangs through the placement controller, running trial
+// iterations (with straggler noise from the synthetic trainer), queueing
+// trials when the allocation is smaller than the stage, ranking trials at
+// each SYNC barrier and terminating the losers, and checkpoint/restoring
+// survivors across stage migrations. Produces the "real" columns of
+// Table 2: realized JCT, realized cost (from the provider's billing
+// ledger), and the accuracy of the winning configuration.
+
+#ifndef SRC_EXECUTOR_EXECUTOR_H_
+#define SRC_EXECUTOR_EXECUTOR_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/cloud/simulated_cloud.h"
+#include "src/executor/checkpoint_store.h"
+#include "src/executor/cluster_manager.h"
+#include "src/executor/scheduler.h"
+#include "src/executor/trace.h"
+#include "src/executor/trial.h"
+#include "src/placement/controller.h"
+#include "src/planner/plan.h"
+#include "src/spec/experiment_spec.h"
+#include "src/trainer/model_zoo.h"
+#include "src/trainer/search_space.h"
+
+namespace rubberband {
+
+struct ExecutorOptions {
+  uint64_t seed = 0;
+  // Table 1 ablation: kScatter disables locality-aware placement.
+  PlacementStrategy placement = PlacementStrategy::kPacked;
+  // Collect per-trial training throughput samples (Table 1's metric).
+  bool record_throughput = false;
+  // HyperSched-style policy (paper sections 2.1/3.2): when a trial finishes
+  // its stage work early, immediately reallocate the freed GPUs to the
+  // trials still running — each survivor is checkpointed, its gang
+  // destroyed, and a larger gang created (paying startup again). The paper
+  // argues this is worse than deprovisioning: sub-linear scaling means the
+  // extra GPUs add little throughput while the instances keep billing.
+  bool reallocate_freed_resources = false;
+};
+
+struct StageLogEntry {
+  int stage = 0;
+  int num_trials = 0;
+  int gpus = 0;
+  int gpus_per_trial = 0;
+  int instances = 0;
+  int64_t start_cum_iters = 0;  // "epoch range" bounds, as in Table 3
+  int64_t end_cum_iters = 0;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+};
+
+struct ExecutionReport {
+  Seconds jct = 0.0;
+  CostBreakdown cost;
+  double best_accuracy = 0.0;
+  HyperparameterConfig best_config;
+  std::vector<StageLogEntry> stage_log;
+  std::vector<double> trial_throughputs;  // samples/second, per trial-stage
+  // Spot-market statistics (zero on on-demand runs).
+  int preemptions = 0;
+  int trial_restarts = 0;
+  // Busy GPU-seconds over provisioned GPU-seconds: the utilization the
+  // paper's whole argument is about (elastic plans waste less).
+  double realized_utilization = 0.0;
+  // Checkpoint-store traffic (saves at stage boundaries, fetches on every
+  // gang (re)start).
+  int64_t checkpoint_saves = 0;
+  int64_t checkpoint_fetches = 0;
+  double checkpoint_gb_moved = 0.0;
+  ExecutionTrace trace;
+};
+
+class Executor {
+ public:
+  Executor(const ExperimentSpec& spec, const AllocationPlan& plan, const WorkloadSpec& workload,
+           const CloudProfile& cloud_profile, const ExecutorOptions& options = {});
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Runs the experiment to completion and reports. Call once.
+  ExecutionReport Run();
+
+ private:
+  void StartStage(int stage);
+  void BeginTraining(int stage);
+  void StartTrialOnStage(TrialId id, int gpus);
+  void ScheduleNextIteration(TrialId id);
+  void OnTrialStageDone(TrialId id);
+  void Sync(int stage);
+  void Finish(int final_stage);
+  // Spot-market fault handling: restart interrupted trials from their
+  // stage-start checkpoints on replacement capacity.
+  void HandlePreemption(InstanceId instance);
+  void TryRestartPending();
+  void ReallocateFreedResources();
+  int DesiredInstances(int stage) const;
+
+  ExperimentSpec spec_;
+  AllocationPlan plan_;
+  WorkloadSpec workload_;
+  ExecutorOptions options_;
+
+  Simulation sim_;
+  SimulatedCloud cloud_;
+  ClusterManager manager_;
+  PlacementController placement_;
+  CheckpointStore checkpoint_store_;
+
+  std::deque<Trial> trials_;  // indexed by TrialId
+  std::vector<TrialId> survivors_;
+  std::deque<TrialId> queued_;
+  std::map<TrialId, int> allocations_;
+  std::map<TrialId, Seconds> busy_start_;
+  // Bumped every time a trial's worker gang is (re)created; in-flight
+  // iteration events from a destroyed gang check it and become no-ops.
+  std::map<TrialId, int> generation_;
+  std::deque<TrialId> pending_restart_;
+  std::vector<InstanceId> nodes_in_controller_;
+
+  int current_stage_ = -1;
+  int gpus_per_trial_ = 1;
+  int completed_in_stage_ = 0;
+  bool finished_ = false;
+  ExecutionReport report_;
+};
+
+// Convenience wrapper: plan is executed on a fresh simulated cloud built
+// from `cloud_profile`.
+ExecutionReport ExecutePlan(const ExperimentSpec& spec, const AllocationPlan& plan,
+                            const WorkloadSpec& workload, const CloudProfile& cloud_profile,
+                            const ExecutorOptions& options = {});
+
+}  // namespace rubberband
+
+#endif  // SRC_EXECUTOR_EXECUTOR_H_

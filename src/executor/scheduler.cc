@@ -1,0 +1,24 @@
+#include "src/executor/scheduler.h"
+
+#include <stdexcept>
+
+namespace rubberband {
+
+StageSchedule BuildStageSchedule(const std::vector<TrialId>& trials, int gpus) {
+  if (trials.empty() || gpus < 1) {
+    throw std::invalid_argument("schedule needs trials and at least one GPU");
+  }
+  StageSchedule schedule;
+  const int n = static_cast<int>(trials.size());
+  if (gpus >= n) {
+    schedule.gpus_per_trial = gpus / n;
+    schedule.running = trials;
+  } else {
+    schedule.gpus_per_trial = 1;
+    schedule.running.assign(trials.begin(), trials.begin() + gpus);
+    schedule.queued.assign(trials.begin() + gpus, trials.end());
+  }
+  return schedule;
+}
+
+}  // namespace rubberband

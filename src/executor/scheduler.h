@@ -1,0 +1,32 @@
+// Scheduling helpers (paper section 5, "Scheduling and placement").
+//
+// During a stage, if the allocation covers all trials they run in parallel
+// with the stage's GPUs divided fairly; otherwise each GPU is assigned to a
+// single trial until it completes, and unscheduled trials queue until a
+// slot frees.
+
+#ifndef SRC_EXECUTOR_SCHEDULER_H_
+#define SRC_EXECUTOR_SCHEDULER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/placement/cluster_state.h"
+
+namespace rubberband {
+
+struct StageSchedule {
+  // GPUs per running trial (identical for every trial in the stage).
+  int gpus_per_trial = 1;
+  // Trials that start immediately.
+  std::vector<TrialId> running;
+  // Trials waiting for a slot (only non-empty when gpus < trials).
+  std::vector<TrialId> queued;
+};
+
+// Divides `gpus` fairly among `trials` (ids in priority order).
+StageSchedule BuildStageSchedule(const std::vector<TrialId>& trials, int gpus);
+
+}  // namespace rubberband
+
+#endif  // SRC_EXECUTOR_SCHEDULER_H_

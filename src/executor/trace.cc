@@ -1,0 +1,55 @@
+#include "src/executor/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rubberband {
+
+std::string ToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kStageStart:
+      return "STAGE_START";
+    case TraceEventType::kInstanceReady:
+      return "INSTANCE_READY";
+    case TraceEventType::kInstanceReleased:
+      return "INSTANCE_RELEASED";
+    case TraceEventType::kTrialStart:
+      return "TRIAL_START";
+    case TraceEventType::kTrialComplete:
+      return "TRIAL_COMPLETE";
+    case TraceEventType::kTrialTerminated:
+      return "TRIAL_TERMINATED";
+    case TraceEventType::kSync:
+      return "SYNC";
+    case TraceEventType::kPreemption:
+      return "PREEMPTION";
+    case TraceEventType::kTrialRestart:
+      return "TRIAL_RESTART";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<TraceEvent> ExecutionTrace::OfType(TraceEventType type) const {
+  std::vector<TraceEvent> matching;
+  for (const TraceEvent& event : events_) {
+    if (event.type == type) {
+      matching.push_back(event);
+    }
+  }
+  return matching;
+}
+
+std::string ExecutionTrace::ToCsv() const {
+  std::ostringstream os;
+  os << "time_s,event,stage,trial,instance\n";
+  char line[128];
+  for (const TraceEvent& event : events_) {
+    std::snprintf(line, sizeof(line), "%.3f,%s,%d,%d,%lld\n", event.time,
+                  ToString(event.type).c_str(), event.stage, event.trial,
+                  static_cast<long long>(event.instance));
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace rubberband

@@ -1,0 +1,62 @@
+// Execution trace: a structured event log of everything the executor did —
+// cluster scaling, trial life-cycle transitions, synchronization barriers,
+// preemptions. Exportable as CSV for offline analysis (the moral
+// equivalent of the timeline instrumentation the paper's evaluation is
+// built on).
+
+#ifndef SRC_EXECUTOR_TRACE_H_
+#define SRC_EXECUTOR_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace rubberband {
+
+enum class TraceEventType {
+  kStageStart,
+  kInstanceReady,
+  kInstanceReleased,
+  kTrialStart,
+  kTrialComplete,
+  kTrialTerminated,
+  kSync,
+  kPreemption,
+  kTrialRestart,
+};
+
+std::string ToString(TraceEventType type);
+
+struct TraceEvent {
+  Seconds time = 0.0;
+  TraceEventType type = TraceEventType::kStageStart;
+  int stage = -1;
+  int trial = -1;     // -1 when not trial-scoped
+  int64_t instance = -1;  // -1 when not instance-scoped
+};
+
+class ExecutionTrace {
+ public:
+  void Record(Seconds time, TraceEventType type, int stage, int trial = -1,
+              int64_t instance = -1) {
+    events_.push_back(TraceEvent{time, type, stage, trial, instance});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // Events of one type, in order.
+  std::vector<TraceEvent> OfType(TraceEventType type) const;
+
+  // "time,event,stage,trial,instance" rows with a header line.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_EXECUTOR_TRACE_H_

@@ -1,0 +1,30 @@
+#include "src/executor/trial.h"
+
+#include <stdexcept>
+
+namespace rubberband {
+
+std::string ToString(TrialState state) {
+  switch (state) {
+    case TrialState::kPending:
+      return "PENDING";
+    case TrialState::kRunning:
+      return "RUNNING";
+    case TrialState::kPaused:
+      return "PAUSED";
+    case TrialState::kCompleted:
+      return "COMPLETED";
+    case TrialState::kTerminated:
+      return "TERMINATED";
+  }
+  return "UNKNOWN";
+}
+
+void Trial::RestoreFromCheckpoint() {
+  if (!checkpoint_.has_value()) {
+    throw std::logic_error("trial has no checkpoint to restore from");
+  }
+  trainer_.Restore(*checkpoint_);
+}
+
+}  // namespace rubberband

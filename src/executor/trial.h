@@ -1,0 +1,62 @@
+// Trial life-cycle (paper section 5, "Trial life-cycle").
+//
+// A trial is one hyperparameter configuration's training run: a gang of
+// workers driven through iterations by the scheduler, checkpointable
+// between iterations so it can be paused, migrated to a different worker
+// gang (resize), resumed or terminated. The synthetic trainer stands in for
+// the PyTorch DDP model replicas.
+
+#ifndef SRC_EXECUTOR_TRIAL_H_
+#define SRC_EXECUTOR_TRIAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/trainer/synthetic_trainer.h"
+
+namespace rubberband {
+
+enum class TrialState { kPending, kRunning, kPaused, kCompleted, kTerminated };
+
+std::string ToString(TrialState state);
+
+class Trial {
+ public:
+  Trial(int id, const WorkloadSpec& workload, const HyperparameterConfig& config, uint64_t seed)
+      : id_(id), trainer_(workload, config, seed) {}
+
+  int id() const { return id_; }
+  const HyperparameterConfig& config() const { return trainer_.config(); }
+  SyntheticTrainer& trainer() { return trainer_; }
+  const SyntheticTrainer& trainer() const { return trainer_; }
+
+  TrialState state() const { return state_; }
+  void set_state(TrialState state) { state_ = state; }
+
+  // Iterations left in the current stage's work assignment.
+  int64_t remaining_iters() const { return remaining_iters_; }
+  void AssignStageWork(int64_t iters) { remaining_iters_ = iters; }
+  void CompleteIteration() { --remaining_iters_; }
+
+  // Checkpoint/restore across migrations. Restoring requires a prior
+  // checkpoint (workers are destroyed and recreated between stages).
+  void SaveCheckpoint() { checkpoint_ = trainer_.Checkpoint(); }
+  void RestoreFromCheckpoint();
+  bool has_checkpoint() const { return checkpoint_.has_value(); }
+
+  double last_accuracy() const { return last_accuracy_; }
+  void set_last_accuracy(double accuracy) { last_accuracy_ = accuracy; }
+
+ private:
+  int id_;
+  SyntheticTrainer trainer_;
+  TrialState state_ = TrialState::kPending;
+  int64_t remaining_iters_ = 0;
+  std::optional<TrainerCheckpoint> checkpoint_;
+  double last_accuracy_ = 0.0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_EXECUTOR_TRIAL_H_

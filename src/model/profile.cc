@@ -1,0 +1,3 @@
+#include "src/model/profile.h"
+
+// ModelProfile is a plain aggregate; this file anchors the target.

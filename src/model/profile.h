@@ -1,0 +1,57 @@
+// ModelProfile: the "model scaling profile S" input of Algorithms 1 and 2.
+//
+// Everything the planner knows about the workload's performance: the
+// single-GPU per-iteration latency distribution, the scaling function, the
+// dataset footprint each instance must ingress, and fixed per-trial
+// overheads (worker startup / checkpoint restore). Produced either by the
+// Profiler (measuring a live trainer) or constructed directly for
+// simulation-only studies.
+
+#ifndef SRC_MODEL_PROFILE_H_
+#define SRC_MODEL_PROFILE_H_
+
+#include <string>
+
+#include "src/common/distribution.h"
+#include "src/model/scaling.h"
+
+namespace rubberband {
+
+struct ModelProfile {
+  std::string name = "model";
+
+  // Latency of one training iteration on a single GPU (includes the
+  // all-reduce step time at that scale).
+  Distribution iter_latency_1gpu = Distribution::Constant(1.0);
+
+  ScalingFunction scaling;
+
+  // Dataset ingress per instance, in GB (charged at the cloud data price).
+  double dataset_gb = 0.0;
+
+  // Fixed latency to (re)start a trial's worker gang: loading checkpoints
+  // and establishing peer-to-peer connections.
+  double trial_startup_seconds = 0.0;
+
+  // Latency of the end-of-stage evaluation/synchronization step.
+  double sync_seconds = 0.0;
+
+  // Per-iteration latency multiplier when a trial's worker gang spans more
+  // nodes than necessary (cross-node all-reduce). The profiler measures it
+  // by comparing a deliberately scattered probe placement against a packed
+  // one. The planner uses it to cost plans whose allocations fragment
+  // across instances (e.g. 3-GPU gangs on 4-GPU nodes).
+  double cross_node_latency_factor = 1.0;
+
+  // Per-iteration latency distribution at `gpus` workers: the single-GPU
+  // latency scaled by the inverse speedup.
+  Distribution IterLatency(int gpus) const {
+    return iter_latency_1gpu.Scaled(scaling.LatencyFactor(gpus));
+  }
+
+  double MeanIterLatency(int gpus) const { return IterLatency(gpus).Mean(); }
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_MODEL_PROFILE_H_

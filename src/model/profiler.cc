@@ -1,0 +1,63 @@
+#include "src/model/profiler.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/trainer/synthetic_trainer.h"
+
+namespace rubberband {
+
+ProfileResult ProfileWorkload(const WorkloadSpec& workload, const ProfilerOptions& options) {
+  Rng rng(options.seed);
+  SearchSpace space;
+  // The probe trial uses an arbitrary configuration: by the shared-scaling
+  // assumption (paper section 3), hyperparameters do not affect throughput.
+  SyntheticTrainer probe(workload, space.Sample(rng), options.seed ^ 0x9E3779B9ULL);
+
+  ProfileResult result;
+  std::vector<double> one_gpu_samples;
+  std::vector<std::pair<int, double>> scaling_points;
+  double mean_at_one = 0.0;
+
+  for (int gpus = 1; gpus <= options.max_gpus; gpus *= 2) {
+    probe.Configure(gpus, /*colocated=*/true);
+    RunningStats stats;
+    for (int i = 0; i < options.iters_per_allocation; ++i) {
+      const double latency = probe.SampleIterLatency();
+      stats.Add(latency);
+      result.profiling_seconds += latency;
+      if (gpus == 1) {
+        one_gpu_samples.push_back(latency);
+      }
+    }
+    if (gpus == 1) {
+      mean_at_one = stats.mean();
+      scaling_points.emplace_back(1, 1.0);
+    } else {
+      scaling_points.emplace_back(gpus, mean_at_one / stats.mean());
+    }
+  }
+
+  ModelProfile& profile = result.profile;
+  profile.name = workload.name;
+  profile.iter_latency_1gpu = Distribution::Empirical(std::move(one_gpu_samples));
+  profile.scaling = ScalingFunction::FromPoints(std::move(scaling_points));
+  profile.dataset_gb = workload.dataset.size_gb;
+  profile.trial_startup_seconds = workload.trial_startup_seconds;
+  profile.sync_seconds = workload.sync_seconds;
+
+  // Measure the cross-node penalty: run the 2-GPU probe deliberately
+  // scattered across nodes and compare against the packed placement.
+  probe.Configure(2, /*colocated=*/true);
+  const double packed = probe.MeanIterLatency();
+  probe.Configure(2, /*colocated=*/false);
+  const double scattered = probe.MeanIterLatency();
+  result.profiling_seconds += packed * options.iters_per_allocation +
+                              scattered * options.iters_per_allocation;
+  profile.cross_node_latency_factor = scattered / packed;
+  return result;
+}
+
+}  // namespace rubberband

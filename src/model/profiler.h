@@ -1,0 +1,39 @@
+// Profiler (paper section 5, "Planning").
+//
+// Before execution, RubberBand profiles the job for a configurable period:
+// it iteratively scales a probe trial's allocation by powers of two,
+// measures per-iteration training latencies at each allocation, and fits
+// (a) an empirical single-GPU latency distribution and (b) the scaling
+// function, which together parameterize the simulator. DL training is
+// highly repetitive, so a handful of iterations per allocation suffices and
+// profiling costs minutes, not the job's hours.
+
+#ifndef SRC_MODEL_PROFILER_H_
+#define SRC_MODEL_PROFILER_H_
+
+#include "src/common/time.h"
+#include "src/model/profile.h"
+#include "src/trainer/model_zoo.h"
+#include "src/trainer/search_space.h"
+
+namespace rubberband {
+
+struct ProfilerOptions {
+  int iters_per_allocation = 8;  // probe iterations measured per allocation
+  int max_gpus = 32;             // largest power-of-two allocation probed
+  uint64_t seed = 0;
+};
+
+struct ProfileResult {
+  ModelProfile profile;
+  // Wall-clock the profiling phase itself consumed (counts against the job
+  // if profiling shares its deadline).
+  Seconds profiling_seconds = 0.0;
+};
+
+// Profiles the workload by driving a SyntheticTrainer probe trial.
+ProfileResult ProfileWorkload(const WorkloadSpec& workload, const ProfilerOptions& options = {});
+
+}  // namespace rubberband
+
+#endif  // SRC_MODEL_PROFILER_H_

@@ -1,0 +1,86 @@
+#include "src/model/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rubberband {
+
+ScalingFunction::ScalingFunction() : linear_(true) {}
+
+ScalingFunction::ScalingFunction(std::vector<std::pair<int, double>> points)
+    : points_(std::move(points)) {}
+
+ScalingFunction ScalingFunction::FromPoints(std::vector<std::pair<int, double>> points) {
+  for (const auto& [gpus, speedup] : points) {
+    if (gpus < 1 || speedup <= 0.0) {
+      throw std::invalid_argument("scaling points require gpus >= 1 and speedup > 0");
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](const auto& a, const auto& b) { return a.first == b.first; }),
+               points.end());
+  if (points.empty() || points.front().first != 1) {
+    points.insert(points.begin(), {1, 1.0});
+  } else {
+    points.front().second = 1.0;
+  }
+  return ScalingFunction(std::move(points));
+}
+
+ScalingFunction ScalingFunction::Amdahl(double overhead) {
+  if (overhead < 0.0 || overhead > 1.0) {
+    throw std::invalid_argument("Amdahl overhead must be in [0, 1]");
+  }
+  ScalingFunction fn;
+  fn.linear_ = false;
+  fn.amdahl_overhead_ = overhead;
+  return fn;
+}
+
+double ScalingFunction::Speedup(int gpus) const {
+  if (gpus < 1) {
+    throw std::invalid_argument("gpus must be >= 1");
+  }
+  if (linear_) {
+    return static_cast<double>(gpus);
+  }
+  if (amdahl_overhead_ >= 0.0) {
+    const double n = static_cast<double>(gpus);
+    return n / (1.0 + amdahl_overhead_ * (n - 1.0));
+  }
+  // Point-based: piecewise-linear in log2(gpus).
+  if (gpus <= points_.front().first) {
+    return points_.front().second;
+  }
+  if (gpus >= points_.back().first) {
+    // Extrapolate the last segment's log-linear trend (which may decline —
+    // communication-bound strong scaling), floored at 0.25.
+    if (points_.size() < 2) {
+      return points_.back().second;
+    }
+    const auto& [g1, s1] = points_[points_.size() - 2];
+    const auto& [g2, s2] = points_.back();
+    const double slope =
+        (s2 - s1) / (std::log2(static_cast<double>(g2)) - std::log2(static_cast<double>(g1)));
+    const double extrapolated =
+        s2 + slope * (std::log2(static_cast<double>(gpus)) - std::log2(static_cast<double>(g2)));
+    return std::max(extrapolated, 0.25);
+  }
+  const auto upper = std::upper_bound(
+      points_.begin(), points_.end(), gpus,
+      [](int value, const std::pair<int, double>& point) { return value < point.first; });
+  const auto lower = upper - 1;
+  const double x = std::log2(static_cast<double>(gpus));
+  const double x1 = std::log2(static_cast<double>(lower->first));
+  const double x2 = std::log2(static_cast<double>(upper->first));
+  const double t = (x - x1) / (x2 - x1);
+  return lower->second + t * (upper->second - lower->second);
+}
+
+double ScalingFunction::Efficiency(int gpus) const {
+  return Speedup(gpus) / static_cast<double>(gpus);
+}
+
+}  // namespace rubberband

@@ -1,0 +1,61 @@
+// Scaling function: how distributed data-parallel training speeds up with
+// the number of GPUs allocated to one trial (paper Figure 4).
+//
+// Communication overheads make the speedup sub-linear; RubberBand measures
+// it empirically (profiler) rather than deriving it from the architecture.
+// The function is represented as profile points (gpus -> speedup over one
+// GPU) interpolated piecewise-linearly in log2(gpus); a parametric
+// Amdahl-style constructor covers synthetic studies.
+//
+// Speedup need NOT be monotone: under strong scaling (fixed effective batch
+// size) the per-GPU micro-batch shrinks as workers are added until
+// all-reduce communication dominates and throughput *declines*. This hump
+// shape is what makes a static cluster wasteful in late stages — the paper's
+// Figure 1 survivor "is allocated the entire cluster despite needing fewer
+// resources" — and what the elastic planner exploits.
+
+#ifndef SRC_MODEL_SCALING_H_
+#define SRC_MODEL_SCALING_H_
+
+#include <utility>
+#include <vector>
+
+namespace rubberband {
+
+class ScalingFunction {
+ public:
+  // Identity: speedup(n) = n (perfect linear scaling).
+  ScalingFunction();
+
+  // From measured points (gpus, speedup). Must include gpus = 1 with
+  // speedup = 1 or it will be added. Points are sorted and deduplicated.
+  static ScalingFunction FromPoints(std::vector<std::pair<int, double>> points);
+
+  // Amdahl-style: speedup(n) = n / (1 + overhead * (n - 1)). overhead = 0 is
+  // linear; overhead = 1 means no benefit from parallelism.
+  static ScalingFunction Amdahl(double overhead);
+
+  // Speedup over a single GPU, interpolated/extrapolated from the points
+  // (log-linear extrapolation of the last segment, floored at 0.25 — even a
+  // badly over-scaled trial keeps making some progress).
+  double Speedup(int gpus) const;
+
+  // Per-iteration latency multiplier relative to 1 GPU: 1 / Speedup(n).
+  double LatencyFactor(int gpus) const { return 1.0 / Speedup(gpus); }
+
+  // Parallel efficiency: Speedup(n) / n.
+  double Efficiency(int gpus) const;
+
+  const std::vector<std::pair<int, double>>& points() const { return points_; }
+
+ private:
+  explicit ScalingFunction(std::vector<std::pair<int, double>> points);
+
+  bool linear_ = false;
+  double amdahl_overhead_ = -1.0;  // < 0 when point-based.
+  std::vector<std::pair<int, double>> points_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_MODEL_SCALING_H_

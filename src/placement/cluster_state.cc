@@ -1,0 +1,71 @@
+#include "src/placement/cluster_state.h"
+
+#include <set>
+#include <sstream>
+
+namespace rubberband {
+
+int PlacementNode::UsedGpus() const {
+  int used = 0;
+  for (const auto& [trial, gpus] : assigned) {
+    used += gpus;
+  }
+  return used;
+}
+
+void PlacementPlan::Assign(TrialId trial, PlacementNodeId node, int gpus) {
+  auto& list = assignments_[trial];
+  for (WorkerAssignment& existing : list) {
+    if (existing.node == node) {
+      existing.gpus += gpus;
+      return;
+    }
+  }
+  list.push_back(WorkerAssignment{node, gpus});
+}
+
+void PlacementPlan::RemoveTrial(TrialId trial) { assignments_.erase(trial); }
+
+int PlacementPlan::TrialGpus(TrialId trial) const {
+  auto it = assignments_.find(trial);
+  if (it == assignments_.end()) {
+    return 0;
+  }
+  int total = 0;
+  for (const WorkerAssignment& assignment : it->second) {
+    total += assignment.gpus;
+  }
+  return total;
+}
+
+int PlacementPlan::TrialSpan(TrialId trial) const {
+  auto it = assignments_.find(trial);
+  if (it == assignments_.end()) {
+    return 0;
+  }
+  std::set<PlacementNodeId> nodes;
+  for (const WorkerAssignment& assignment : it->second) {
+    nodes.insert(assignment.node);
+  }
+  return static_cast<int>(nodes.size());
+}
+
+const std::vector<WorkerAssignment>& PlacementPlan::Assignments(TrialId trial) const {
+  static const std::vector<WorkerAssignment> kEmpty;
+  auto it = assignments_.find(trial);
+  return it == assignments_.end() ? kEmpty : it->second;
+}
+
+std::string PlacementPlan::ToString() const {
+  std::ostringstream os;
+  for (const auto& [trial, list] : assignments_) {
+    os << "trial " << trial << ":";
+    for (const WorkerAssignment& assignment : list) {
+      os << " (node " << assignment.node << ", " << assignment.gpus << " gpus)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rubberband

@@ -1,0 +1,133 @@
+// Time-minimizing planner under a cost budget — the dual of Algorithm 2.
+//
+// The cost-minimizing planner descends from a fast warm start, shedding
+// allocation where it buys the most cost per second given up. This planner
+// ascends from the *cheapest* plan, adding allocation where it buys the
+// most time per dollar spent, until the budget is exhausted or extra GPUs
+// stop helping (the scaling plateau).
+
+#include <algorithm>
+#include <limits>
+
+#include "src/planner/planner.h"
+
+namespace rubberband {
+
+int NextHigherFairAllocation(int current, int trials) {
+  if (current < 1) {
+    return 1;
+  }
+  if (current >= trials) {
+    return ((current / trials) + 1) * trials;
+  }
+  for (int v = current + 1; v <= trials; ++v) {
+    if (trials % v == 0) {
+      return v;
+    }
+  }
+  return 2 * trials;
+}
+
+namespace {
+
+struct Evaluated {
+  AllocationPlan plan;
+  PlanEstimate estimate;
+};
+
+// Cheapest static allocation ignoring any deadline (the ascent's floor).
+Evaluated CheapestStatic(const PlannerInputs& inputs, const PlannerOptions& options) {
+  Evaluated best;
+  bool have = false;
+  for (int gpus = 1; gpus <= std::min(64, options.max_total_gpus); ++gpus) {
+    const AllocationPlan plan = AllocationPlan::Uniform(inputs.spec.num_stages(), gpus);
+    const PlanEstimate estimate = EstimatePlan(inputs, plan, options);
+    if (!have || estimate.cost_mean < best.estimate.cost_mean ||
+        (estimate.cost_mean == best.estimate.cost_mean &&
+         estimate.jct_mean < best.estimate.jct_mean)) {
+      best = Evaluated{plan, estimate};
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PlannedJob PlanGreedyMinTime(const PlannerInputs& inputs, Money budget,
+                             const PlannerOptions& options) {
+  inputs.spec.Validate();
+
+  PlannedJob result;
+  result.planner = "rubberband-min-time";
+
+  Evaluated current = CheapestStatic(inputs, options);
+  if (current.estimate.cost_mean > budget) {
+    // Even the cheapest plan busts the budget: best effort, flagged.
+    result.plan = current.plan;
+    result.estimate = current.estimate;
+    result.feasible = false;
+    return result;
+  }
+
+  constexpr int kMaxIterations = 10'000;
+  const int gpg = inputs.cloud.gpus_per_instance();
+  for (int iteration = 0; iteration < kMaxIterations; ++iteration) {
+    Evaluated best_candidate;
+    double best_marginal = -std::numeric_limits<double>::infinity();
+    bool found = false;
+
+    for (int i = 0; i < inputs.spec.num_stages(); ++i) {
+      const int trials = inputs.spec.stage(i).num_trials;
+      const int cur = current.plan.gpus(i);
+      std::vector<int> steps;
+      const int fair_step = NextHigherFairAllocation(cur, trials);
+      const int cap = std::min(trials * options.max_gpus_per_trial, options.max_total_gpus);
+      if (fair_step <= cap) {
+        steps.push_back(fair_step);
+      }
+      // Instance-aligned step: jump to the smallest fair allocation that
+      // engages one more instance (crosses flat per-instance cost regions).
+      const int cur_instances = (cur + gpg - 1) / gpg;
+      const int aligned = RoundUpToFairAllocation(cur_instances * gpg + 1, trials);
+      if (aligned > cur && aligned <= cap && aligned != fair_step) {
+        steps.push_back(aligned);
+      }
+
+      for (int higher : steps) {
+        AllocationPlan candidate = current.plan;
+        candidate.gpus(i) = higher;
+        const PlanEstimate estimate = EstimatePlan(inputs, candidate, options);
+        if (estimate.cost_mean > budget) {
+          continue;
+        }
+        const double time_saved = current.estimate.jct_mean - estimate.jct_mean;
+        if (time_saved <= 0.0) {
+          continue;
+        }
+        const double cost_added =
+            estimate.cost_mean.dollars() - current.estimate.cost_mean.dollars();
+        // A candidate that is faster *and* no more expensive dominates.
+        const double marginal = cost_added <= 0.0 ? std::numeric_limits<double>::infinity()
+                                                  : time_saved / cost_added;
+        if (!found || marginal > best_marginal) {
+          best_candidate = Evaluated{std::move(candidate), estimate};
+          best_marginal = marginal;
+          found = true;
+        }
+      }
+    }
+
+    if (!found) {
+      break;
+    }
+    current = std::move(best_candidate);
+  }
+
+  result.plan = std::move(current.plan);
+  result.estimate = current.estimate;
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace rubberband

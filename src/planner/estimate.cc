@@ -1,0 +1,64 @@
+#include <algorithm>
+
+#include "src/dag/builder.h"
+#include "src/planner/planner.h"
+
+namespace rubberband {
+
+PlanEstimate EstimatePlan(const PlannerInputs& inputs, const AllocationPlan& plan,
+                          const PlannerOptions& options) {
+  const ExecutionDag dag = BuildDag(inputs.spec, plan, inputs.model, inputs.cloud);
+  SimulateOptions sim;
+  sim.num_samples = options.sim_samples;
+  sim.seed = options.seed;
+  return SimulatePlan(dag, inputs.model, inputs.cloud, sim);
+}
+
+int NextLowerFairAllocation(int current, int trials) {
+  if (current <= 1) {
+    return 0;
+  }
+  if (current > trials) {
+    // Multiples of `trials`: step down to the next lower multiple (or to
+    // `trials` itself if current was not aligned).
+    const int lower = ((current - 1) / trials) * trials;
+    return std::max(lower, trials);
+  }
+  // current <= trials: largest divisor of `trials` strictly below current.
+  for (int v = current - 1; v >= 1; --v) {
+    if (trials % v == 0) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+int FairFloorAllocation(int value, int trials) {
+  if (value < 1) {
+    return 0;
+  }
+  if (value >= trials) {
+    return (value / trials) * trials;
+  }
+  for (int v = value; v >= 1; --v) {
+    if (trials % v == 0) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+int RoundUpToFairAllocation(int value, int trials) {
+  value = std::max(value, 1);
+  if (value >= trials) {
+    return ((value + trials - 1) / trials) * trials;
+  }
+  for (int v = value; v <= trials; ++v) {
+    if (trials % v == 0) {
+      return v;
+    }
+  }
+  return trials;
+}
+
+}  // namespace rubberband

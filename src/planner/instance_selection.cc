@@ -1,0 +1,51 @@
+// Instance-type selection: plan against each candidate type and keep the
+// cheapest feasible result. The trade-off being navigated: bigger nodes
+// colocate larger gangs (no cross-node penalty up to 8 GPUs on a
+// p3.16xlarge) but provision in coarser, more expensive units, so
+// fine-grained elastic plans can prefer smaller nodes.
+
+#include <stdexcept>
+
+#include "src/planner/planner.h"
+
+namespace rubberband {
+
+TypedPlannedJob PlanWithInstanceSelection(const PlannerInputs& inputs,
+                                          const std::vector<InstanceType>& candidates,
+                                          const PlannerOptions& options) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("no candidate instance types");
+  }
+
+  TypedPlannedJob best;
+  bool have_feasible = false;
+  bool have_any = false;
+
+  for (const InstanceType& type : candidates) {
+    if (type.gpus < 1) {
+      continue;  // CPU-only hosts cannot run trials
+    }
+    PlannerInputs typed = inputs;
+    typed.cloud.instance = type;
+    PlannedJob job = PlanGreedy(typed, options);
+
+    const bool better_feasible =
+        job.feasible && (!have_feasible || job.estimate.cost_mean < best.job.estimate.cost_mean);
+    const bool better_fallback =
+        !have_feasible && !job.feasible &&
+        (!have_any || job.estimate.jct_mean < best.job.estimate.jct_mean);
+    if (better_feasible || better_fallback) {
+      best.job = std::move(job);
+      best.cloud = typed.cloud;
+      have_feasible = have_feasible || best.job.feasible;
+    }
+    have_any = true;
+  }
+
+  if (!have_any) {
+    throw std::invalid_argument("no candidate instance type has GPUs");
+  }
+  return best;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,46 @@
+#include "src/planner/multi_job.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace rubberband {
+
+MultiJobPlan PlanMultiJob(const std::vector<ExperimentSpec>& brackets, const ModelProfile& model,
+                          const CloudProfile& cloud, Seconds deadline,
+                          const PlannerOptions& options) {
+  if (brackets.empty()) {
+    throw std::invalid_argument("multi-job needs at least one bracket");
+  }
+
+  // Initial deadline shares, proportional to total trial-iterations.
+  std::vector<double> work;
+  work.reserve(brackets.size());
+  for (const ExperimentSpec& bracket : brackets) {
+    bracket.Validate();
+    work.push_back(static_cast<double>(bracket.TotalWork()));
+  }
+  const double total_work = std::accumulate(work.begin(), work.end(), 0.0);
+
+  MultiJobPlan result;
+  result.feasible = true;
+  Seconds remaining_deadline = deadline;
+  double remaining_work = total_work;
+
+  for (size_t i = 0; i < brackets.size(); ++i) {
+    const Seconds share =
+        remaining_work > 0.0 ? remaining_deadline * (work[i] / remaining_work) : 0.0;
+    PlannedJob job = PlanGreedy({brackets[i], model, cloud, share}, options);
+    result.feasible = result.feasible && job.feasible;
+    result.total_jct_mean += job.estimate.jct_mean;
+    result.total_cost_mean += job.estimate.cost_mean;
+    // Slack (or overrun) rolls into the remaining brackets.
+    remaining_deadline -= job.estimate.jct_mean;
+    remaining_work -= work[i];
+    result.jobs.push_back(std::move(job));
+  }
+
+  result.feasible = result.feasible && result.total_jct_mean <= deadline;
+  return result;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,33 @@
+// Multi-job planning (paper Figure 6: "a collection of [specifications]
+// can specify Hyperband-based methods as a multi-job").
+//
+// A Hyperband run executes its SHA brackets back to back; the multi-job
+// planner splits one overall time constraint across the brackets and
+// compiles an elastic plan per bracket. Deadline shares start proportional
+// to each bracket's total work (GPU-iterations), and slack left over by a
+// bracket that planned under its share rolls forward into the remaining
+// brackets.
+
+#ifndef SRC_PLANNER_MULTI_JOB_H_
+#define SRC_PLANNER_MULTI_JOB_H_
+
+#include <vector>
+
+#include "src/planner/planner.h"
+
+namespace rubberband {
+
+struct MultiJobPlan {
+  std::vector<PlannedJob> jobs;  // one per bracket, in execution order
+  Seconds total_jct_mean = 0.0;
+  Money total_cost_mean;
+  bool feasible = false;  // every bracket met its share
+};
+
+MultiJobPlan PlanMultiJob(const std::vector<ExperimentSpec>& brackets, const ModelProfile& model,
+                          const CloudProfile& cloud, Seconds deadline,
+                          const PlannerOptions& options = {});
+
+}  // namespace rubberband
+
+#endif  // SRC_PLANNER_MULTI_JOB_H_

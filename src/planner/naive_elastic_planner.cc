@@ -1,0 +1,65 @@
+// Naive elastic baseline (paper section 6.3.1).
+//
+// The cluster is resized elastically, but each trial's allocation is a
+// constant number of GPUs across all stages (the strategy of prior work
+// such as ASHA's elastic deployments): stage i gets t * trials_i GPUs. The
+// planner enumerates t and returns the cheapest feasible choice. This
+// policy front-loads enormous clusters under tight deadlines (512 GPUs in
+// the paper's 20-minute experiment) because the only way to speed up the
+// long final stages is to raise t for *every* stage.
+
+#include "src/planner/planner.h"
+
+namespace rubberband {
+
+PlannedJob PlanNaiveElastic(const PlannerInputs& inputs, const PlannerOptions& options) {
+  inputs.spec.Validate();
+
+  PlannedJob best;
+  best.planner = "naive-elastic";
+  PlannedJob fastest;
+  fastest.planner = "naive-elastic";
+  bool have_best = false;
+  bool have_fastest = false;
+
+  for (int t = 1; t <= options.max_gpus_per_trial; ++t) {
+    std::vector<int> stage_gpus;
+    bool within_cap = true;
+    for (const Stage& stage : inputs.spec.stages()) {
+      const int gpus = t * stage.num_trials;
+      if (gpus > options.max_total_gpus) {
+        within_cap = false;
+        break;
+      }
+      stage_gpus.push_back(gpus);
+    }
+    if (!within_cap) {
+      break;
+    }
+    const AllocationPlan plan{std::move(stage_gpus)};
+    const PlanEstimate estimate = EstimatePlan(inputs, plan, options);
+
+    if (!have_fastest || estimate.jct_mean < fastest.estimate.jct_mean) {
+      fastest.plan = plan;
+      fastest.estimate = estimate;
+      have_fastest = true;
+    }
+    if (!estimate.MeetsDeadline(inputs.deadline)) {
+      continue;
+    }
+    if (!have_best || estimate.cost_mean < best.estimate.cost_mean) {
+      best.plan = plan;
+      best.estimate = estimate;
+      have_best = true;
+    }
+  }
+
+  if (have_best) {
+    best.feasible = true;
+    return best;
+  }
+  fastest.feasible = false;
+  return fastest;
+}
+
+}  // namespace rubberband

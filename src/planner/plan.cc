@@ -1,0 +1,46 @@
+#include "src/planner/plan.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace rubberband {
+
+AllocationPlan AllocationPlan::Uniform(int num_stages, int gpus) {
+  return AllocationPlan(std::vector<int>(static_cast<size_t>(num_stages), gpus));
+}
+
+int AllocationPlan::MaxGpus() const {
+  if (stage_gpus_.empty()) {
+    return 0;
+  }
+  return *std::max_element(stage_gpus_.begin(), stage_gpus_.end());
+}
+
+bool AllocationPlan::IsStatic() const {
+  return std::all_of(stage_gpus_.begin(), stage_gpus_.end(),
+                     [this](int g) { return g == stage_gpus_.front(); });
+}
+
+void AllocationPlan::Validate(int num_spec_stages) const {
+  if (num_stages() != num_spec_stages) {
+    throw std::invalid_argument("plan stage count does not match experiment spec");
+  }
+  for (int g : stage_gpus_) {
+    if (g < 1) {
+      throw std::invalid_argument("plan allocates fewer than 1 GPU to a stage");
+    }
+  }
+}
+
+std::string AllocationPlan::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < stage_gpus_.size(); ++i) {
+    os << (i > 0 ? ", " : "") << stage_gpus_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace rubberband

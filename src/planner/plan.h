@@ -1,0 +1,42 @@
+// Resource allocation plan: the planner's output and the execution model's
+// input — one GPU count per stage (the vector a in paper section 4), shared
+// fairly among the stage's running trials.
+
+#ifndef SRC_PLANNER_PLAN_H_
+#define SRC_PLANNER_PLAN_H_
+
+#include <string>
+#include <vector>
+
+namespace rubberband {
+
+class AllocationPlan {
+ public:
+  AllocationPlan() = default;
+  explicit AllocationPlan(std::vector<int> stage_gpus) : stage_gpus_(std::move(stage_gpus)) {}
+
+  // A static plan: the same GPU count in every stage.
+  static AllocationPlan Uniform(int num_stages, int gpus);
+
+  int num_stages() const { return static_cast<int>(stage_gpus_.size()); }
+  int gpus(int stage) const { return stage_gpus_.at(static_cast<size_t>(stage)); }
+  int& gpus(int stage) { return stage_gpus_.at(static_cast<size_t>(stage)); }
+  const std::vector<int>& stage_gpus() const { return stage_gpus_; }
+
+  int MaxGpus() const;
+  bool IsStatic() const;
+
+  // Validates positivity and stage-count agreement with `num_spec_stages`.
+  void Validate(int num_spec_stages) const;
+
+  std::string ToString() const;
+
+  bool operator==(const AllocationPlan&) const = default;
+
+ private:
+  std::vector<int> stage_gpus_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_PLANNER_PLAN_H_

@@ -1,0 +1,119 @@
+#include "src/planner/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/dag/builder.h"
+#include "src/dag/simulate.h"
+
+namespace rubberband {
+namespace {
+
+struct StageSpan {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  int gpus = 0;
+};
+
+std::vector<StageSpan> ComputeSpans(const ExperimentSpec& spec, const AllocationPlan& plan,
+                                    const ModelProfile& model, const CloudProfile& cloud) {
+  const ExecutionDag dag = BuildDag(spec, plan, model, cloud);
+  const std::vector<Seconds> finish = MeanFinishTimes(dag);
+  std::vector<StageSpan> spans;
+  Seconds previous_end = 0.0;
+  for (size_t i = 0; i < dag.stages().size(); ++i) {
+    StageSpan span;
+    span.start = previous_end;
+    span.end = finish[static_cast<size_t>(dag.stages()[i].sync_node)];
+    span.gpus = plan.gpus(static_cast<int>(i));
+    previous_end = span.end;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+// Renders spans onto a fixed time axis [0, horizon].
+std::string RenderSpans(const std::vector<StageSpan>& spans, Seconds horizon, int width) {
+  // GPU levels: one row per distinct allocation value, descending.
+  std::set<int, std::greater<int>> levels;
+  for (const StageSpan& span : spans) {
+    levels.insert(span.gpus);
+  }
+
+  const auto stage_at = [&](Seconds t) -> const StageSpan* {
+    for (const StageSpan& span : spans) {
+      if (t >= span.start && t < span.end) {
+        return &span;
+      }
+    }
+    return nullptr;
+  };
+
+  std::ostringstream os;
+  os << "GPUs\n";
+  for (int level : levels) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "%4d |", level);
+    os << label;
+    for (int c = 0; c < width; ++c) {
+      const Seconds t = horizon * (static_cast<double>(c) + 0.5) / width;
+      const StageSpan* span = stage_at(t);
+      os << (span != nullptr && span->gpus >= level ? '#' : ' ');
+    }
+    os << "\n";
+  }
+  os << "     +" << std::string(static_cast<size_t>(width), '-') << " time\n";
+
+  // Stage ruler.
+  os << "      ";
+  for (int c = 0; c < width; ++c) {
+    const Seconds t = horizon * (static_cast<double>(c) + 0.5) / width;
+    int index = -1;
+    for (size_t i = 0; i < spans.size(); ++i) {
+      if (t >= spans[i].start && t < spans[i].end) {
+        index = static_cast<int>(i);
+        break;
+      }
+    }
+    os << (index >= 0 ? static_cast<char>('0' + index % 10) : ' ');
+  }
+  os << "  (stage)\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string RenderPlan(const ExperimentSpec& spec, const AllocationPlan& plan,
+                       const ModelProfile& model, const CloudProfile& cloud, int width) {
+  width = std::max(width, 16);
+  const std::vector<StageSpan> spans = ComputeSpans(spec, plan, model, cloud);
+  const Seconds horizon = spans.empty() ? 1.0 : spans.back().end;
+  std::ostringstream os;
+  os << "plan " << plan.ToString() << ", JCT (mean) " << FormatDuration(horizon) << "\n";
+  os << RenderSpans(spans, horizon, width);
+  return os.str();
+}
+
+std::string RenderComparison(const ExperimentSpec& spec, const AllocationPlan& static_plan,
+                             const AllocationPlan& elastic_plan, const ModelProfile& model,
+                             const CloudProfile& cloud, int width) {
+  width = std::max(width, 16);
+  const std::vector<StageSpan> static_spans = ComputeSpans(spec, static_plan, model, cloud);
+  const std::vector<StageSpan> elastic_spans = ComputeSpans(spec, elastic_plan, model, cloud);
+  const Seconds horizon =
+      std::max(static_spans.empty() ? 0.0 : static_spans.back().end,
+               elastic_spans.empty() ? 0.0 : elastic_spans.back().end);
+
+  std::ostringstream os;
+  os << "-- static " << static_plan.ToString() << " --\n"
+     << RenderSpans(static_spans, horizon, width) << "\n-- elastic " << elastic_plan.ToString()
+     << " --\n"
+     << RenderSpans(elastic_spans, horizon, width);
+  return os.str();
+}
+
+}  // namespace rubberband

@@ -1,0 +1,32 @@
+// ASCII rendering of allocation plans: GPUs over time, the view of the
+// paper's Figure 1. RenderComparison prints the static and elastic plans
+// side by side so the front-loaded shape (and the static cluster's idle
+// tail) is visible at a glance.
+
+#ifndef SRC_PLANNER_RENDER_H_
+#define SRC_PLANNER_RENDER_H_
+
+#include <string>
+
+#include "src/cloud/cloud_profile.h"
+#include "src/model/profile.h"
+#include "src/planner/plan.h"
+#include "src/spec/experiment_spec.h"
+
+namespace rubberband {
+
+// One plan as a Gantt-style chart: rows are GPU levels, columns are time
+// buckets, '#' marks allocated capacity; a stage-index ruler runs along the
+// bottom. `width` is the chart width in columns.
+std::string RenderPlan(const ExperimentSpec& spec, const AllocationPlan& plan,
+                       const ModelProfile& model, const CloudProfile& cloud, int width = 64);
+
+// Two plans, same time axis, labelled (cf. paper Figure 1's static vs
+// elastic panels).
+std::string RenderComparison(const ExperimentSpec& spec, const AllocationPlan& static_plan,
+                             const AllocationPlan& elastic_plan, const ModelProfile& model,
+                             const CloudProfile& cloud, int width = 64);
+
+}  // namespace rubberband
+
+#endif  // SRC_PLANNER_RENDER_H_

@@ -1,0 +1,42 @@
+#include "src/sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rubberband {
+
+void EventQueue::ScheduleAt(Seconds at, Callback fn) {
+  if (at < now_) {
+    throw std::logic_error("event scheduled in the past");
+  }
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the event header and move the closure.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = event.at;
+  event.fn();
+  return true;
+}
+
+void EventQueue::RunUntil(Seconds until) {
+  while (!heap_.empty() && heap_.top().at <= until) {
+    RunNext();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void EventQueue::RunAll() {
+  while (RunNext()) {
+  }
+}
+
+}  // namespace rubberband

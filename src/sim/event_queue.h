@@ -1,0 +1,65 @@
+// Discrete-event queue.
+//
+// Substrate for the runtime layers: the simulated cloud provider (queuing
+// delay, instance initialization) and the executor (trial iterations, stage
+// synchronization barriers) both run as events on one queue. Events at equal
+// timestamps fire in scheduling order, which makes runs deterministic.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace rubberband {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute time `at`. Scheduling in the past is an
+  // error (indicates a causality bug in the caller).
+  void ScheduleAt(Seconds at, Callback fn);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  Seconds now() const { return now_; }
+
+  // Pops and runs the earliest event, advancing the clock. Returns false if
+  // the queue was empty.
+  bool RunNext();
+
+  // Runs events until the queue is empty or the next event is strictly
+  // after `until`; the clock ends at min(until, time of last event run).
+  void RunUntil(Seconds until);
+
+  // Drains the queue completely.
+  void RunAll();
+
+ private:
+  struct Event {
+    Seconds at;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Seconds now_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,4 @@
+#include "src/sim/simulation.h"
+
+// Simulation is header-only today; this translation unit anchors the target
+// and leaves room for non-inline additions.

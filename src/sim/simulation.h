@@ -1,0 +1,39 @@
+// Simulation context: owns the event queue, the clock, and the root random
+// stream. Passed by reference into every runtime component (cloud provider,
+// executor) so they share one timeline.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/sim/event_queue.h"
+
+namespace rubberband {
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed) : rng_(seed) {}
+
+  Seconds now() const { return queue_.now(); }
+  EventQueue& queue() { return queue_; }
+  Rng& rng() { return rng_; }
+
+  void ScheduleAt(Seconds at, EventQueue::Callback fn) { queue_.ScheduleAt(at, std::move(fn)); }
+  void ScheduleIn(Seconds delay, EventQueue::Callback fn) {
+    queue_.ScheduleAt(now() + delay, std::move(fn));
+  }
+
+  void Run() { queue_.RunAll(); }
+  void RunUntil(Seconds until) { queue_.RunUntil(until); }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_SIM_SIMULATION_H_

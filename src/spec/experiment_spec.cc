@@ -1,0 +1,70 @@
+#include "src/spec/experiment_spec.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace rubberband {
+
+ExperimentSpec& ExperimentSpec::AddStage(int num_trials, int64_t iters_per_trial) {
+  stages_.push_back(Stage{num_trials, iters_per_trial});
+  return *this;
+}
+
+int64_t ExperimentSpec::TotalWork() const {
+  int64_t work = 0;
+  for (const Stage& s : stages_) {
+    work += static_cast<int64_t>(s.num_trials) * s.iters_per_trial;
+  }
+  return work;
+}
+
+int64_t ExperimentSpec::CumulativeIters(int index) const {
+  int64_t cum = 0;
+  for (int i = 0; i <= index; ++i) {
+    cum += stage(i).iters_per_trial;
+  }
+  return cum;
+}
+
+int ExperimentSpec::MaxTrials() const {
+  int max_trials = 0;
+  for (const Stage& s : stages_) {
+    max_trials = std::max(max_trials, s.num_trials);
+  }
+  return max_trials;
+}
+
+void ExperimentSpec::Validate() const {
+  if (stages_.empty()) {
+    throw std::invalid_argument("experiment spec has no stages");
+  }
+  int prev_trials = stages_.front().num_trials;
+  for (const Stage& s : stages_) {
+    if (s.num_trials <= 0) {
+      throw std::invalid_argument("stage has non-positive trial count");
+    }
+    if (s.iters_per_trial <= 0) {
+      throw std::invalid_argument("stage has non-positive iteration count");
+    }
+    if (s.num_trials > prev_trials) {
+      throw std::invalid_argument("trial count increases across stages");
+    }
+    prev_trials = s.num_trials;
+  }
+}
+
+std::string ExperimentSpec::ToString() const {
+  std::ostringstream os;
+  os << "ExperimentSpec[";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << "(" << stages_[i].num_trials << " trials x " << stages_[i].iters_per_trial << " iters)";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace rubberband

@@ -1,0 +1,30 @@
+#include "src/spec/hyperband.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/spec/sha.h"
+
+namespace rubberband {
+
+std::vector<ExperimentSpec> MakeHyperband(const HyperbandParams& params) {
+  if (params.max_iters < 1 || params.reduction_factor < 2) {
+    throw std::invalid_argument("invalid Hyperband parameters");
+  }
+  const double eta = params.reduction_factor;
+  const int s_max =
+      static_cast<int>(std::floor(std::log(static_cast<double>(params.max_iters)) / std::log(eta)));
+
+  std::vector<ExperimentSpec> brackets;
+  for (int s = s_max; s >= 0; --s) {
+    const double eta_s = std::pow(eta, s);
+    const int n = static_cast<int>(
+        std::ceil(static_cast<double>(s_max + 1) / static_cast<double>(s + 1) * eta_s));
+    const int64_t r =
+        std::max<int64_t>(1, static_cast<int64_t>(static_cast<double>(params.max_iters) / eta_s));
+    brackets.push_back(MakeSha(ShaParams{n, r, params.max_iters, params.reduction_factor}));
+  }
+  return brackets;
+}
+
+}  // namespace rubberband

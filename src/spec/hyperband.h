@@ -1,0 +1,31 @@
+// Hyperband bracket generator (Li et al.).
+//
+// Hyperband hedges SHA's aggressiveness by running several SHA brackets
+// with different trade-offs between the number of configurations and the
+// budget each receives. In RubberBand's model (paper Figure 6), a Hyperband
+// job is simply a *collection* of experiment specifications — a multi-job —
+// each of which is planned independently.
+
+#ifndef SRC_SPEC_HYPERBAND_H_
+#define SRC_SPEC_HYPERBAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/spec/experiment_spec.h"
+
+namespace rubberband {
+
+struct HyperbandParams {
+  int64_t max_iters = 0;     // R: maximum budget for any single trial.
+  int reduction_factor = 3;  // eta.
+};
+
+// Returns the brackets s = s_max, ..., 0 where s_max = floor(log_eta(R)).
+// Bracket s starts n = ceil((s_max + 1) / (s + 1) * eta^s) trials at
+// r = R / eta^s initial iterations.
+std::vector<ExperimentSpec> MakeHyperband(const HyperbandParams& params);
+
+}  // namespace rubberband
+
+#endif  // SRC_SPEC_HYPERBAND_H_

@@ -1,0 +1,44 @@
+#include "src/spec/sha.h"
+
+#include <stdexcept>
+
+namespace rubberband {
+
+ExperimentSpec MakeSha(const ShaParams& params) {
+  if (params.num_trials < 1 || params.min_iters < 1 || params.max_iters < params.min_iters ||
+      params.reduction_factor < 2) {
+    throw std::invalid_argument("invalid SHA parameters");
+  }
+
+  ExperimentSpec spec;
+  const int eta = params.reduction_factor;
+  int64_t eta_pow = 1;  // eta^i
+  int64_t cumulative = 0;
+
+  for (int i = 0;; ++i) {
+    const int trials = static_cast<int>(params.num_trials / eta_pow);
+    if (trials < 1 || cumulative >= params.max_iters) {
+      break;
+    }
+    int64_t incr = params.min_iters * eta_pow;
+    if (trials == 1) {
+      // Final survivor trains out the rest of the budget R (this is what
+      // produces Table 3's 13-50 epoch range rather than 13-40).
+      incr = params.max_iters - cumulative;
+    }
+    if (cumulative + incr > params.max_iters) {
+      incr = params.max_iters - cumulative;
+    }
+    spec.AddStage(trials, incr);
+    cumulative += incr;
+    if (trials == 1) {
+      break;
+    }
+    eta_pow *= eta;
+  }
+
+  spec.Validate();
+  return spec;
+}
+
+}  // namespace rubberband

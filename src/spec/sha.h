@@ -1,0 +1,41 @@
+// Successive Halving (SHA) specification generator (Jamieson & Talwalkar).
+//
+// SHA(n, r, R, eta): start with n trials, give each trial r iterations in
+// the first stage, keep the top 1/eta after every stage while multiplying
+// the per-stage work assignment by eta, until one trial remains and the
+// cumulative budget reaches R.
+//
+// Calibrated against the paper's own instances:
+//   SHA(n=64, r=4, R=508, eta=2)  -> stages of 4,8,16,32,64,128,256 iters
+//                                    (cumulative exactly 508) over
+//                                    64,32,16,8,4,2,1 trials.
+//   SHA(n=32, r=1, R=50, eta=3)   -> Table 3's schedule: 32 trials epochs
+//                                    0-1, 10 trials 1-4, 3 trials 4-13,
+//                                    1 trial 13-50.
+
+#ifndef SRC_SPEC_SHA_H_
+#define SRC_SPEC_SHA_H_
+
+#include <cstdint>
+
+#include "src/spec/experiment_spec.h"
+
+namespace rubberband {
+
+struct ShaParams {
+  int num_trials = 0;       // n: initial trial count.
+  int64_t min_iters = 0;    // r: iterations assigned in the first stage.
+  int64_t max_iters = 0;    // R: cumulative budget of the longest survivor.
+  int reduction_factor = 2; // eta.
+};
+
+ExperimentSpec MakeSha(const ShaParams& params);
+
+inline ExperimentSpec MakeSha(int num_trials, int64_t min_iters, int64_t max_iters,
+                              int reduction_factor = 2) {
+  return MakeSha(ShaParams{num_trials, min_iters, max_iters, reduction_factor});
+}
+
+}  // namespace rubberband
+
+#endif  // SRC_SPEC_SHA_H_

@@ -1,0 +1,22 @@
+#include "src/trainer/dataset.h"
+
+namespace rubberband {
+
+Dataset Cifar10() { return Dataset{"cifar10", 0.15, 50'000}; }
+
+Dataset Cifar100() { return Dataset{"cifar100", 0.15, 50'000}; }
+
+Dataset ImageNet() { return Dataset{"imagenet", 150.0, 1'281'167}; }
+
+Dataset RteGlue() { return Dataset{"rte", 0.002, 2'490}; }
+
+std::optional<Dataset> FindDataset(const std::string& name) {
+  for (const Dataset& dataset : {Cifar10(), Cifar100(), ImageNet(), RteGlue()}) {
+    if (dataset.name == name) {
+      return dataset;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rubberband

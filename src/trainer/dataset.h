@@ -1,0 +1,32 @@
+// Dataset catalog.
+//
+// The planner only observes two dataset properties: the per-instance
+// ingress footprint in GB (drives the data-movement cost studied in
+// Figure 10) and the number of training samples (converts iterations to
+// epochs and throughput to samples/second).
+
+#ifndef SRC_TRAINER_DATASET_H_
+#define SRC_TRAINER_DATASET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rubberband {
+
+struct Dataset {
+  std::string name;
+  double size_gb = 0.0;
+  int64_t num_train_samples = 0;
+};
+
+Dataset Cifar10();    // ~150 MB, 50k samples
+Dataset Cifar100();   // ~150 MB, 50k samples
+Dataset ImageNet();   // ~150 GB, 1.28M samples
+Dataset RteGlue();    // ~2 MB, 2.5k samples
+
+std::optional<Dataset> FindDataset(const std::string& name);
+
+}  // namespace rubberband
+
+#endif  // SRC_TRAINER_DATASET_H_

@@ -1,0 +1,23 @@
+#include "src/trainer/learning_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rubberband {
+
+double LearningCurveModel::ExpectedAccuracy(double quality, double cum_iters) const {
+  const double asymptote = base_asymptote + quality_range * quality;
+  const double progress = 1.0 - std::exp(-cum_iters / tau_iters);
+  return floor + (asymptote - floor) * progress;
+}
+
+double LearningCurveModel::NoisyAccuracy(double quality, double cum_iters, Rng& rng) const {
+  const double expected = ExpectedAccuracy(quality, cum_iters);
+  // Noise shrinks as the run converges: sigma * exp(-t / (4 tau)) keeps
+  // early-stage rankings noisy while late-stage rankings stabilize.
+  const double sigma = eval_noise * std::exp(-cum_iters / (4.0 * tau_iters));
+  const double noisy = expected + rng.Normal(0.0, sigma);
+  return std::clamp(noisy, 0.0, 1.0);
+}
+
+}  // namespace rubberband

@@ -1,0 +1,42 @@
+// Synthetic learning-curve model.
+//
+// Validation accuracy as a function of cumulative training iterations, with
+// the two properties the paper's background section leans on: diminishing
+// returns (rate of improvement decays as training progresses) and noisy
+// intermediate metrics (early measurements are imperfect predictors of
+// final quality — which is why SHA's staged elimination is the right
+// structure rather than one-shot selection).
+//
+//   acc(q, t) = floor + (asymptote(q) - floor) * (1 - exp(-t / tau))
+//   asymptote(q) = base + range * q
+//
+// where q is the configuration's latent quality. Evaluation adds zero-mean
+// noise whose magnitude shrinks as training progresses.
+
+#ifndef SRC_TRAINER_LEARNING_CURVE_H_
+#define SRC_TRAINER_LEARNING_CURVE_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace rubberband {
+
+struct LearningCurveModel {
+  double floor = 0.10;           // accuracy before any training (chance level)
+  double base_asymptote = 0.55;  // converged accuracy of the worst config
+  double quality_range = 0.40;   // extra converged accuracy at quality = 1
+  double tau_iters = 10.0;       // convergence time constant, in iterations
+  double eval_noise = 0.01;      // stddev of evaluation noise early in training
+
+  // Noise-free expected accuracy.
+  double ExpectedAccuracy(double quality, double cum_iters) const;
+
+  // Expected accuracy plus evaluation noise (clamped to [0, 1]). Noise
+  // decays with training progress: early metrics are less reliable.
+  double NoisyAccuracy(double quality, double cum_iters, Rng& rng) const;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_TRAINER_LEARNING_CURVE_H_

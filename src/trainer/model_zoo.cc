@@ -1,0 +1,124 @@
+#include "src/trainer/model_zoo.h"
+
+namespace rubberband {
+
+int WorkloadSpec::MicroSteps(int gpus) const {
+  if (gpus < 1 || max_batch_per_gpu < 1) {
+    return 1;
+  }
+  const int capacity = gpus * max_batch_per_gpu;
+  return (batch_size + capacity - 1) / capacity;
+}
+
+// Scaling curves saturate under strong scaling (fixed effective batch):
+// speedup rises sub-linearly (Figure 4) and plateaus once per-GPU
+// micro-batches become communication-bound — past that point extra GPUs buy
+// essentially nothing, which is why reallocating a whole static cluster to
+// the lone surviving trial wastes money (the paper's Figure 1). The plateau
+// position scales with batch size: bigger batches keep more GPUs busy.
+
+WorkloadSpec ResNet50(const Dataset& dataset, int batch_size) {
+  WorkloadSpec spec;
+  spec.name = "resnet50-" + dataset.name;
+  spec.dataset = dataset;
+  spec.batch_size = batch_size;
+  // Calibrated to the paper's simulated experiments: mean per-iteration
+  // latency of 4 s at batch 512 (Figure 9) and 12 s at batch 2048
+  // (Figure 12); latency scales roughly linearly in batch.
+  spec.base_iter_seconds = 4.0 * static_cast<double>(batch_size) / 512.0;
+  spec.iter_noise_sigma = 0.1 * spec.base_iter_seconds;
+  spec.max_batch_per_gpu = 256;
+  // The plateau position depends on the batch size: strong scaling divides
+  // the fixed batch across workers, so smaller batches hit the
+  // communication wall at fewer GPUs (~64 samples per GPU).
+  if (batch_size >= 1024) {
+    spec.true_scaling = ScalingFunction::FromPoints(
+        {{1, 1.0}, {2, 1.85}, {4, 3.4}, {8, 5.9}, {16, 9.5}, {32, 10.8}, {64, 11.2}});
+  } else {
+    spec.true_scaling = ScalingFunction::FromPoints(
+        {{1, 1.0}, {2, 1.85}, {4, 3.4}, {8, 5.5}, {16, 5.9}, {32, 6.1}, {64, 6.2}});
+  }
+  spec.cross_node_latency_factor = 2.3;
+  spec.curve = LearningCurveModel{0.10, 0.70, 0.20, 40.0, 0.02};
+  spec.checkpoint_gb = 0.20;  // ~25M params + SGD momentum
+  spec.trial_startup_seconds = 5.0;
+  spec.sync_seconds = 2.0;
+  return spec;
+}
+
+WorkloadSpec ResNet101Cifar10(int batch_size) {
+  WorkloadSpec spec;
+  spec.name = "resnet101-cifar10";
+  spec.dataset = Cifar10();
+  spec.batch_size = batch_size;
+  // One "iteration" of the Table 2 workload is an epoch over CIFAR-10;
+  // ~88 s on one V100 at batch 1024 reproduces the stage spans implied by
+  // the paper's Table 3 schedule.
+  spec.base_iter_seconds = 88.0 * static_cast<double>(batch_size) / 1024.0;
+  spec.iter_noise_sigma = 8.0;
+  spec.max_batch_per_gpu = 256;
+  spec.true_scaling = ScalingFunction::FromPoints({{1, 1.0},
+                                                   {2, 1.80},
+                                                   {4, 3.2},
+                                                   {8, 5.4},
+                                                   {12, 5.55},
+                                                   {16, 5.60},
+                                                   {24, 5.65},
+                                                   {32, 5.70}});
+  spec.cross_node_latency_factor = 2.3;
+  spec.curve = LearningCurveModel{0.10, 0.80, 0.13, 10.0, 0.02};
+  spec.checkpoint_gb = 0.35;  // ~45M params + SGD momentum
+  spec.trial_startup_seconds = 15.0;
+  spec.sync_seconds = 5.0;
+  return spec;
+}
+
+WorkloadSpec ResNet152Cifar100(int batch_size) {
+  WorkloadSpec spec;
+  spec.name = "resnet152-cifar100";
+  spec.dataset = Cifar100();
+  spec.batch_size = batch_size;
+  spec.base_iter_seconds = 130.0 * static_cast<double>(batch_size) / 1024.0;
+  spec.iter_noise_sigma = 10.0;
+  spec.max_batch_per_gpu = 128;
+  spec.true_scaling = ScalingFunction::FromPoints(
+      {{1, 1.0}, {2, 1.78}, {4, 3.1}, {8, 5.1}, {12, 5.25}, {16, 5.3}, {24, 5.35}, {32, 5.4}});
+  spec.cross_node_latency_factor = 2.3;
+  spec.curve = LearningCurveModel{0.01, 0.55, 0.20, 30.0, 0.02};
+  spec.checkpoint_gb = 0.48;  // ~60M params + SGD momentum
+  spec.trial_startup_seconds = 18.0;
+  spec.sync_seconds = 6.0;
+  return spec;
+}
+
+WorkloadSpec BertRte(int batch_size) {
+  WorkloadSpec spec;
+  spec.name = "bert-rte";
+  spec.dataset = RteGlue();
+  spec.batch_size = batch_size;
+  // Fine-tuning epoch over RTE; BERT's all-reduce volume makes it the
+  // worst scaler in Figure 4 and pushes its peak to very few GPUs.
+  spec.base_iter_seconds = 60.0 * static_cast<double>(batch_size) / 32.0;
+  spec.iter_noise_sigma = 4.0;
+  spec.max_batch_per_gpu = 8;
+  spec.true_scaling = ScalingFunction::FromPoints(
+      {{1, 1.0}, {2, 1.60}, {4, 2.6}, {8, 3.9}, {16, 4.05}, {32, 4.1}});
+  spec.cross_node_latency_factor = 2.6;
+  spec.curve = LearningCurveModel{0.50, 0.58, 0.12, 8.0, 0.02};
+  spec.checkpoint_gb = 1.30;  // ~110M params + Adam moments
+  spec.trial_startup_seconds = 12.0;
+  spec.sync_seconds = 4.0;
+  return spec;
+}
+
+std::optional<WorkloadSpec> FindWorkload(const std::string& name) {
+  for (const WorkloadSpec& spec : {ResNet50(Cifar10(), 512), ResNet101Cifar10(1024),
+                                   ResNet152Cifar100(1024), BertRte(32)}) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,72 @@
+// Model zoo: ground-truth workload characteristics for the deep learning
+// models the paper evaluates (ResNet-50/101/152, BERT).
+//
+// These are the *simulated hardware truth* — what a p3-class GPU cluster
+// would actually exhibit. RubberBand itself never reads them directly; the
+// Profiler measures a SyntheticTrainer built from a WorkloadSpec and fits a
+// ModelProfile, mirroring how the real system profiles a live PyTorch job.
+// Scaling curves are shaped after the paper's Figure 4 (sub-linear, with
+// communication-heavy BERT scaling worst).
+
+#ifndef SRC_TRAINER_MODEL_ZOO_H_
+#define SRC_TRAINER_MODEL_ZOO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/model/scaling.h"
+#include "src/trainer/dataset.h"
+#include "src/trainer/learning_curve.h"
+
+namespace rubberband {
+
+struct WorkloadSpec {
+  std::string name;
+  Dataset dataset;
+  int batch_size = 0;
+
+  // Mean latency of one full-batch training iteration on a single GPU
+  // (gradient accumulation over micro-batches included).
+  double base_iter_seconds = 0.0;
+  // Per-iteration latency noise (stddev), the straggler knob of Figure 9.
+  double iter_noise_sigma = 0.0;
+
+  // The largest micro-batch one GPU can hold; a trial on g GPUs runs
+  // ceil(batch_size / (g * max_batch_per_gpu)) gradient-accumulation steps
+  // so the effective batch size never changes with the allocation (strong
+  // scaling, paper section 3).
+  int max_batch_per_gpu = 0;
+
+  // Ground-truth scaling with co-located workers.
+  ScalingFunction true_scaling;
+
+  // Latency multiplier (> 1) when a trial's workers are scattered across
+  // more nodes than necessary; Table 1 measures the resulting throughput
+  // collapse when the placement controller is disabled.
+  double cross_node_latency_factor = 2.2;
+
+  LearningCurveModel curve;
+
+  // Serialized checkpoint footprint (model + optimizer + LR schedule), in
+  // GB; drives migration transfer costs through the checkpoint store.
+  double checkpoint_gb = 0.1;
+
+  // Fixed overheads.
+  double trial_startup_seconds = 1.0;  // worker rendezvous + gang setup
+  double sync_seconds = 1.0;           // end-of-stage evaluation barrier
+
+  // Gradient-accumulation micro-steps at an allocation of `gpus`.
+  int MicroSteps(int gpus) const;
+};
+
+// The paper's evaluation workloads.
+WorkloadSpec ResNet50(const Dataset& dataset, int batch_size);   // Figs 9-12
+WorkloadSpec ResNet101Cifar10(int batch_size = 1024);            // Tables 2-4
+WorkloadSpec ResNet152Cifar100(int batch_size = 1024);           // Table 4
+WorkloadSpec BertRte(int batch_size = 32);                       // Table 4
+
+std::optional<WorkloadSpec> FindWorkload(const std::string& name);
+
+}  // namespace rubberband
+
+#endif  // SRC_TRAINER_MODEL_ZOO_H_

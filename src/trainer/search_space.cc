@@ -1,0 +1,39 @@
+#include "src/trainer/search_space.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rubberband {
+
+std::string HyperparameterConfig::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "config#%d{lr=%.2e, wd=%.2e, momentum=%.3f, q=%.3f}", id,
+                learning_rate, weight_decay, momentum, quality);
+  return buf;
+}
+
+HyperparameterConfig SearchSpace::Sample(Rng& rng) {
+  HyperparameterConfig config;
+  config.id = next_id_++;
+  config.learning_rate = std::pow(10.0, rng.Uniform(options_.log10_lr_min, options_.log10_lr_max));
+  config.weight_decay = std::pow(10.0, rng.Uniform(options_.log10_wd_min, options_.log10_wd_max));
+  config.momentum = rng.Uniform(options_.momentum_min, options_.momentum_max);
+  config.quality = Quality(config);
+  return config;
+}
+
+double SearchSpace::Quality(const HyperparameterConfig& config) const {
+  const auto& o = options_;
+  // Each coordinate is normalized by half its range, so a config at the edge
+  // of the space contributes ~1 to the squared distance.
+  const double d_lr =
+      (std::log10(config.learning_rate) - o.optimal_log10_lr) / ((o.log10_lr_max - o.log10_lr_min) / 2.0);
+  const double d_wd =
+      (std::log10(config.weight_decay) - o.optimal_log10_wd) / ((o.log10_wd_max - o.log10_wd_min) / 2.0);
+  const double d_mom =
+      (config.momentum - o.optimal_momentum) / ((o.momentum_max - o.momentum_min) / 2.0);
+  const double distance_sq = d_lr * d_lr + d_wd * d_wd + d_mom * d_mom;
+  return std::exp(-distance_sq);
+}
+
+}  // namespace rubberband

@@ -1,0 +1,68 @@
+// Hyperparameter search space and configurations.
+//
+// RubberBand is agnostic to how the space is designed or navigated (paper
+// section 2): the user supplies a space and a sampling method. This module
+// provides the standard random-search space over learning rate, weight
+// decay and momentum. Each sampled configuration carries a latent *quality*
+// in [0, 1], computed from a smooth response surface around a hidden
+// optimum; the synthetic learning curve converts quality into asymptotic
+// accuracy. This preserves the property hyperparameter tuning relies on:
+// configurations closer to the optimum rank higher once trained enough,
+// while early intermediate metrics are noisy predictors.
+
+#ifndef SRC_TRAINER_SEARCH_SPACE_H_
+#define SRC_TRAINER_SEARCH_SPACE_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace rubberband {
+
+struct HyperparameterConfig {
+  int id = 0;
+  double learning_rate = 0.0;
+  double weight_decay = 0.0;
+  double momentum = 0.0;
+  // Latent closeness to the hidden optimum (1 = optimal). Derived, not
+  // sampled: deterministic in the hyperparameter values.
+  double quality = 0.0;
+
+  std::string ToString() const;
+};
+
+class SearchSpace {
+ public:
+  struct Options {
+    double log10_lr_min = -4.0;
+    double log10_lr_max = 0.0;
+    double log10_wd_min = -6.0;
+    double log10_wd_max = -2.0;
+    double momentum_min = 0.80;
+    double momentum_max = 0.99;
+    // Hidden optimum (defaults are a typical SGD sweet spot).
+    double optimal_log10_lr = -1.0;
+    double optimal_log10_wd = -4.0;
+    double optimal_momentum = 0.9;
+  };
+
+  SearchSpace() : SearchSpace(Options{}) {}
+  explicit SearchSpace(const Options& options) : options_(options) {}
+
+  // Random-search sampling: log-uniform lr and weight decay, uniform
+  // momentum. Assigns the next sequential id.
+  HyperparameterConfig Sample(Rng& rng);
+
+  // Response surface: quality = exp(-||normalized distance to optimum||^2).
+  double Quality(const HyperparameterConfig& config) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  int next_id_ = 0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_TRAINER_SEARCH_SPACE_H_

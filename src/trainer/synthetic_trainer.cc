@@ -1,0 +1,69 @@
+#include "src/trainer/synthetic_trainer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rubberband {
+
+SyntheticTrainer::SyntheticTrainer(const WorkloadSpec& workload,
+                                   const HyperparameterConfig& config, uint64_t seed)
+    : workload_(workload), config_(config), rng_(seed) {}
+
+void SyntheticTrainer::Configure(int gpus, bool colocated) {
+  if (gpus < 1) {
+    throw std::invalid_argument("trainer needs at least one GPU");
+  }
+  gpus_ = gpus;
+  colocated_ = colocated;
+}
+
+Seconds SyntheticTrainer::MeanIterLatency() const {
+  double latency = workload_.base_iter_seconds * workload_.true_scaling.LatencyFactor(gpus_);
+  if (!colocated_) {
+    latency *= workload_.cross_node_latency_factor;
+  }
+  return latency;
+}
+
+Seconds SyntheticTrainer::SampleIterLatency() {
+  const double mean = MeanIterLatency();
+  // Straggler noise scales with the same factor as the mean so that the
+  // coefficient of variation is allocation-independent.
+  const double sigma = workload_.iter_noise_sigma * (mean / workload_.base_iter_seconds);
+  const double latency = rng_.Normal(mean, sigma);
+  // Iterations cannot take less than a tenth of the mean (a physical floor;
+  // also keeps the truncated-normal draw positive).
+  return std::max(latency, 0.1 * mean);
+}
+
+void SyntheticTrainer::Advance(int64_t iters) {
+  if (iters < 0) {
+    throw std::invalid_argument("cannot train a negative number of iterations");
+  }
+  cum_iters_ += iters;
+}
+
+double SyntheticTrainer::Evaluate() {
+  return workload_.curve.NoisyAccuracy(config_.quality, static_cast<double>(cum_iters_), rng_);
+}
+
+double SyntheticTrainer::ExpectedAccuracy() const {
+  return workload_.curve.ExpectedAccuracy(config_.quality, static_cast<double>(cum_iters_));
+}
+
+double SyntheticTrainer::SamplesPerSecond() const {
+  return static_cast<double>(workload_.batch_size) / MeanIterLatency();
+}
+
+TrainerCheckpoint SyntheticTrainer::Checkpoint() const {
+  return TrainerCheckpoint{cum_iters_, config_.id};
+}
+
+void SyntheticTrainer::Restore(const TrainerCheckpoint& checkpoint) {
+  if (checkpoint.config_id != config_.id) {
+    throw std::logic_error("checkpoint belongs to a different configuration");
+  }
+  cum_iters_ = checkpoint.cum_iters;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,79 @@
+// SyntheticTrainer: the stand-in for a distributed PyTorch DDP training job.
+//
+// Implements the trial training contract from paper section 3 ("Training
+// assumptions"): an iterative procedure that returns intermediate metrics
+// after each iteration, can be checkpointed between iterations, keeps the
+// effective batch size constant via gradient accumulation (strong scaling),
+// and whose per-iteration latency depends on the resource allocation through
+// the workload's ground-truth scaling function. Placement quality enters as
+// a latency multiplier: a trial whose worker gang is scattered across more
+// nodes than necessary pays the cross-node communication penalty the
+// placement controller exists to avoid (Table 1).
+
+#ifndef SRC_TRAINER_SYNTHETIC_TRAINER_H_
+#define SRC_TRAINER_SYNTHETIC_TRAINER_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/trainer/model_zoo.h"
+#include "src/trainer/search_space.h"
+
+namespace rubberband {
+
+struct TrainerCheckpoint {
+  int64_t cum_iters = 0;
+  int config_id = 0;
+};
+
+class SyntheticTrainer {
+ public:
+  SyntheticTrainer(const WorkloadSpec& workload, const HyperparameterConfig& config,
+                   uint64_t seed);
+
+  // (Re)configures the worker gang after (re)placement. `gpus` is the
+  // current allocation; `colocated` says whether the placement controller
+  // packed the workers onto a minimal node set.
+  void Configure(int gpus, bool colocated);
+
+  // Latency of the next training iteration under the current configuration
+  // (samples straggler noise). Does not advance progress.
+  Seconds SampleIterLatency();
+
+  // Expected (noise-free) iteration latency under the current configuration.
+  Seconds MeanIterLatency() const;
+
+  // Advances training progress by `iters` full-batch iterations.
+  void Advance(int64_t iters);
+
+  // Validation accuracy at the current progress (with evaluation noise).
+  double Evaluate();
+
+  // Noise-free accuracy (used for final reporting).
+  double ExpectedAccuracy() const;
+
+  // Training throughput in samples/second under the current configuration
+  // (expected, noise-free); the Table 1 metric.
+  double SamplesPerSecond() const;
+
+  TrainerCheckpoint Checkpoint() const;
+  void Restore(const TrainerCheckpoint& checkpoint);
+
+  int64_t cum_iters() const { return cum_iters_; }
+  int gpus() const { return gpus_; }
+  const HyperparameterConfig& config() const { return config_; }
+  const WorkloadSpec& workload() const { return workload_; }
+
+ private:
+  WorkloadSpec workload_;
+  HyperparameterConfig config_;
+  Rng rng_;
+  int64_t cum_iters_ = 0;
+  int gpus_ = 1;
+  bool colocated_ = true;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_TRAINER_SYNTHETIC_TRAINER_H_

@@ -1,0 +1,97 @@
+// ASHA baseline executor: asynchronous rung promotion semantics and the
+// comparison RubberBand's evaluation leans on.
+
+#include "src/executor/asha.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rubberband.h"
+
+namespace rubberband {
+namespace {
+
+CloudProfile TestCloud() {
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(5.0, 10.0);
+  return cloud;
+}
+
+AshaOptions TestOptions() {
+  AshaOptions options;
+  options.min_iters = 1;
+  options.max_iters = 27;
+  options.reduction_factor = 3;
+  options.num_workers = 8;
+  options.time_limit = Minutes(30);
+  options.seed = 3;
+  return options;
+}
+
+TEST(Asha, RunsToTimeLimitAndReports) {
+  const AshaReport report = RunAsha(ResNet101Cifar10(), TestCloud(), TestOptions());
+  EXPECT_GT(report.configurations_sampled, 8);  // kept sampling beyond the pool
+  EXPECT_GT(report.best_accuracy, 0.5);
+  EXPECT_GE(report.jct, Minutes(30));  // in-flight tasks drain past the limit
+  // Grace: at most one in-flight top-rung task (18 iters x ~88 s at 1 GPU).
+  EXPECT_LT(report.jct, Minutes(30) + 15.0 + 18 * 110.0);
+  EXPECT_GT(report.cost.Total().dollars(), 0.0);
+}
+
+TEST(Asha, RungCountsFollowGeometricDecay) {
+  const AshaReport report = RunAsha(ResNet101Cifar10(), TestCloud(), TestOptions());
+  ASSERT_GE(report.rungs.size(), 3u);
+  // Rung 0 completes the most results; each promotion gate passes ~1/eta.
+  EXPECT_GT(report.rungs[0].completed, report.rungs[1].completed);
+  EXPECT_GE(report.rungs[1].completed, report.rungs[2].completed);
+  // Promotions out of a rung never exceed completions into it.
+  for (size_t r = 0; r + 1 < report.rungs.size(); ++r) {
+    EXPECT_LE(report.rungs[r].promoted, report.rungs[r].completed);
+    EXPECT_EQ(report.rungs[r + 1].completed, report.rungs[r].promoted);
+  }
+}
+
+TEST(Asha, DeterministicForFixedSeed) {
+  const AshaReport a = RunAsha(ResNet101Cifar10(), TestCloud(), TestOptions());
+  const AshaReport b = RunAsha(ResNet101Cifar10(), TestCloud(), TestOptions());
+  EXPECT_EQ(a.configurations_sampled, b.configurations_sampled);
+  EXPECT_DOUBLE_EQ(a.best_accuracy, b.best_accuracy);
+  EXPECT_EQ(a.cost.Total(), b.cost.Total());
+}
+
+TEST(Asha, MoreWorkersSampleMoreConfigurations) {
+  AshaOptions small = TestOptions();
+  small.num_workers = 4;
+  AshaOptions large = TestOptions();
+  large.num_workers = 16;
+  const AshaReport a = RunAsha(ResNet101Cifar10(), TestCloud(), small);
+  const AshaReport b = RunAsha(ResNet101Cifar10(), TestCloud(), large);
+  EXPECT_GT(b.configurations_sampled, a.configurations_sampled);
+}
+
+TEST(Asha, RubberBandReachesDeeperTrainingAtComparableCost) {
+  // The paper's argument (via HyperSched): under a time constraint,
+  // continually sampling new configurations is an ineffective use of
+  // resources — RubberBand trains its winner to the full budget R, while
+  // ASHA spreads the same spending over many shallow runs.
+  const WorkloadSpec workload = ResNet101Cifar10();
+  const CloudProfile cloud = TestCloud();
+
+  AshaOptions asha_options = TestOptions();
+  asha_options.max_iters = 50;
+  asha_options.time_limit = Minutes(20);
+  const AshaReport asha = RunAsha(workload, cloud, asha_options);
+
+  const ExperimentSpec spec = MakeSha(32, 1, 50, 3);
+  const ModelProfile profile = ProfileWorkload(workload).profile;
+  const PlannedJob job = CompilePlan(spec, profile, cloud, Minutes(20));
+  ASSERT_TRUE(job.feasible);
+  const ExecutionReport rubberband = Execute(spec, job.plan, workload, cloud);
+
+  // RubberBand's winner is trained to R = 50; ASHA's best is much shallower.
+  EXPECT_LT(asha.best_config_cum_iters, 50);
+  EXPECT_GE(rubberband.best_accuracy + 0.02, asha.best_accuracy);
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,68 @@
+#include "src/executor/checkpoint_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rubberband.h"
+
+namespace rubberband {
+namespace {
+
+TEST(CheckpointStore, TransferLatencyScalesWithSize) {
+  CheckpointStoreOptions options;
+  options.bandwidth_gbps = 8.0;  // 1 GB/s
+  options.base_latency = 0.5;
+  CheckpointStore store(options);
+  EXPECT_NEAR(store.Save(0, 2.0), 0.5 + 2.0, 1e-9);
+  EXPECT_NEAR(store.Fetch(0), 0.5 + 2.0, 1e-9);
+  EXPECT_NEAR(store.Save(1, 0.0), 0.5, 1e-9);  // metadata-only checkpoint
+}
+
+TEST(CheckpointStore, TracksLedger) {
+  CheckpointStore store;
+  store.Save(0, 1.0);
+  store.Save(1, 0.5);
+  store.Save(0, 1.0);  // overwrite: still one stored object for trial 0
+  store.Fetch(1);
+  EXPECT_EQ(store.num_stored(), 2);
+  EXPECT_NEAR(store.stored_gb(), 1.5, 1e-12);
+  EXPECT_EQ(store.saves(), 3);
+  EXPECT_EQ(store.fetches(), 1);
+  EXPECT_NEAR(store.gb_moved(), 3.0, 1e-12);
+}
+
+TEST(CheckpointStore, EvictFreesMemoryAndFetchOfMissingThrows) {
+  CheckpointStore store;
+  store.Save(7, 0.3);
+  store.Evict(7);
+  EXPECT_EQ(store.num_stored(), 0);
+  EXPECT_THROW(store.Fetch(7), std::logic_error);
+  EXPECT_THROW(store.Save(1, -0.1), std::invalid_argument);
+}
+
+TEST(CheckpointStore, ExecutorAccountsCheckpointTraffic) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);  // stages of 8, 4, 2 trials
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  const WorkloadSpec workload = ResNet101Cifar10();
+  const ExecutionReport report =
+      ExecutePlan(spec, AllocationPlan({8, 8, 8}), workload, cloud);
+
+  // One save per trial per stage boundary: 8 + 4 + 2.
+  EXPECT_EQ(report.checkpoint_saves, 14);
+  // Every gang start fetches (all trials hold a stage-start checkpoint).
+  EXPECT_EQ(report.checkpoint_fetches, 14);
+  EXPECT_NEAR(report.checkpoint_gb_moved, 28 * workload.checkpoint_gb, 1e-9);
+}
+
+TEST(CheckpointStore, BiggerModelsMoveMoreBytes) {
+  const ExperimentSpec spec = MakeSha(4, 2, 6, 2);
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  const ExecutionReport resnet =
+      ExecutePlan(spec, AllocationPlan({4, 4}), ResNet101Cifar10(), cloud);
+  const ExecutionReport bert = ExecutePlan(spec, AllocationPlan({4, 4}), BertRte(), cloud);
+  EXPECT_GT(bert.checkpoint_gb_moved, 3.0 * resnet.checkpoint_gb_moved);
+}
+
+}  // namespace
+}  // namespace rubberband

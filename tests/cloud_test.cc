@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "src/cloud/billing.h"
+#include "src/cloud/instance.h"
+#include "src/cloud/pricing.h"
+#include "src/cloud/simulated_cloud.h"
+#include "src/sim/simulation.h"
+
+namespace rubberband {
+namespace {
+
+TEST(InstanceType, CatalogPricesAndGpus) {
+  EXPECT_EQ(P3_2xlarge().gpus, 1);
+  EXPECT_EQ(P3_8xlarge().gpus, 4);
+  EXPECT_EQ(P3_16xlarge().gpus, 8);
+  EXPECT_EQ(R5_4xlarge().gpus, 0);
+  EXPECT_EQ(P3_8xlarge().price_per_hour, Money::FromCents(1224));
+  // Per-GPU pricing is roughly uniform across the p3 family.
+  EXPECT_NEAR(P3_16xlarge().price_per_hour.dollars() / 8,
+              P3_2xlarge().price_per_hour.dollars(), 0.01);
+}
+
+TEST(InstanceType, DerivedRates) {
+  const InstanceType p3 = P3_8xlarge();
+  EXPECT_NEAR(p3.PricePerSecond().dollars() * 3600.0, 12.24, 1e-6);
+  EXPECT_NEAR(p3.GpuSecondPrice().dollars() * 3600.0 * 4, 12.24, 1e-6);
+  EXPECT_EQ(R5_4xlarge().GpuSecondPrice(), Money());
+}
+
+TEST(InstanceType, FindAndOverridePrice) {
+  ASSERT_TRUE(FindInstanceType("p3.16xlarge").has_value());
+  EXPECT_EQ(FindInstanceType("p3.16xlarge")->gpus, 8);
+  EXPECT_FALSE(FindInstanceType("nonexistent").has_value());
+  // Table 1 uses the paper's quoted $7.50/hr price.
+  const InstanceType discounted = P3_16xlarge().WithPrice(Money::FromCents(750));
+  EXPECT_EQ(discounted.price_per_hour, Money::FromCents(750));
+  EXPECT_EQ(discounted.gpus, 8);
+}
+
+TEST(BillingMeter, PerInstancePricesLifetimes) {
+  BillingMeter meter;
+  meter.RecordInstanceUsage(0.0, 3600.0);
+  meter.RecordInstanceUsage(100.0, 1900.0);
+  PricingPolicy policy;
+  const CostBreakdown cost = meter.Price(P3_8xlarge(), policy);
+  EXPECT_NEAR(cost.compute.dollars(), 12.24 * (3600.0 + 1800.0) / 3600.0, 1e-6);
+  EXPECT_EQ(cost.data, Money());
+}
+
+TEST(BillingMeter, MinimumChargePerAcquisition) {
+  BillingMeter meter;
+  meter.RecordInstanceUsage(0.0, 5.0);  // 5s of use bills as 60s
+  PricingPolicy policy;
+  const CostBreakdown cost = meter.Price(P3_8xlarge(), policy);
+  EXPECT_NEAR(cost.compute.dollars(), 12.24 * 60.0 / 3600.0, 1e-6);
+}
+
+TEST(BillingMeter, PerFunctionIgnoresInstanceLifetimes) {
+  BillingMeter meter;
+  meter.RecordInstanceUsage(0.0, 10'000.0);   // idle instance time
+  meter.RecordFunctionUsage(4, 3600.0);        // the actual work
+  PricingPolicy policy;
+  policy.billing = BillingModel::kPerFunction;
+  const CostBreakdown cost = meter.Price(P3_8xlarge(), policy);
+  // 4 GPU-hours at $12.24 / 4 GPUs per hour.
+  EXPECT_NEAR(cost.compute.dollars(), 12.24, 1e-6);
+}
+
+TEST(BillingMeter, DataIngressPricedUnderBothModels) {
+  BillingMeter meter;
+  meter.RecordDataIngress(150.0);
+  PricingPolicy policy;
+  policy.data_price_per_gb = Money::FromCents(1);
+  EXPECT_NEAR(meter.Price(P3_8xlarge(), policy).data.dollars(), 1.50, 1e-9);
+  policy.billing = BillingModel::kPerFunction;
+  EXPECT_NEAR(meter.Price(P3_8xlarge(), policy).data.dollars(), 1.50, 1e-9);
+}
+
+TEST(BillingMeter, RejectsMalformedRecords) {
+  BillingMeter meter;
+  EXPECT_THROW(meter.RecordInstanceUsage(10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(meter.RecordFunctionUsage(-1, 5.0), std::invalid_argument);
+  EXPECT_THROW(meter.RecordDataIngress(-1.0), std::invalid_argument);
+}
+
+TEST(BillingMeter, UsageTotals) {
+  BillingMeter meter;
+  meter.RecordInstanceUsage(0.0, 100.0);
+  meter.RecordInstanceUsage(50.0, 150.0);
+  meter.RecordFunctionUsage(2, 30.0);
+  EXPECT_DOUBLE_EQ(meter.TotalInstanceSeconds(), 200.0);
+  EXPECT_DOUBLE_EQ(meter.TotalGpuSecondsUsed(), 60.0);
+  EXPECT_EQ(meter.num_acquisitions(), 2);
+}
+
+CloudProfile TestProfile() {
+  CloudProfile profile;
+  profile.instance = P3_8xlarge();
+  profile.provisioning = ProvisioningModel::Fixed(5.0, 10.0);
+  return profile;
+}
+
+TEST(SimulatedCloud, ProvisioningAppliesQueuingAndInitDelays) {
+  Simulation sim(0);
+  SimulatedCloud cloud(sim, TestProfile());
+  std::vector<Seconds> ready_times;
+  cloud.RequestInstances(3, 0.0, [&](InstanceId) { ready_times.push_back(sim.now()); });
+  EXPECT_EQ(cloud.num_pending(), 3);
+  sim.Run();
+  ASSERT_EQ(ready_times.size(), 3u);
+  for (Seconds t : ready_times) {
+    EXPECT_DOUBLE_EQ(t, 15.0);  // 5s queuing + 10s init
+  }
+  EXPECT_EQ(cloud.num_ready(), 3);
+  EXPECT_EQ(cloud.num_pending(), 0);
+}
+
+TEST(SimulatedCloud, BillingStartsAtLaunchNotReady) {
+  Simulation sim(0);
+  SimulatedCloud cloud(sim, TestProfile());
+  InstanceId instance = -1;
+  cloud.RequestInstances(1, 0.0, [&](InstanceId id) { instance = id; });
+  sim.Run();                            // ready at t=15 (launched at t=5)
+  sim.ScheduleAt(105.0, [&] { cloud.TerminateInstance(instance); });
+  sim.Run();
+  // Billed from launch (5) to terminate (105): 100 seconds, over the 60s
+  // minimum.
+  EXPECT_DOUBLE_EQ(cloud.meter().TotalInstanceSeconds(), 100.0);
+}
+
+TEST(SimulatedCloud, DatasetIngressChargedPerInstance) {
+  Simulation sim(0);
+  CloudProfile profile = TestProfile();
+  profile.pricing.data_price_per_gb = Money::FromCents(16);
+  SimulatedCloud cloud(sim, profile);
+  cloud.RequestInstances(4, 150.0, [](InstanceId) {});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(cloud.meter().total_ingress_gb(), 600.0);
+  EXPECT_NEAR(cloud.Cost().data.dollars(), 0.16 * 600.0, 1e-9);
+}
+
+TEST(SimulatedCloud, TerminateUnknownInstanceThrows) {
+  Simulation sim(0);
+  SimulatedCloud cloud(sim, TestProfile());
+  EXPECT_THROW(cloud.TerminateInstance(42), std::logic_error);
+}
+
+TEST(SimulatedCloud, TerminateAllClosesEveryInterval) {
+  Simulation sim(0);
+  SimulatedCloud cloud(sim, TestProfile());
+  cloud.RequestInstances(5, 0.0, [](InstanceId) {});
+  sim.Run();
+  sim.ScheduleAt(100.0, [&] { cloud.TerminateAll(); });
+  sim.Run();
+  EXPECT_EQ(cloud.num_ready(), 0);
+  EXPECT_EQ(cloud.meter().num_acquisitions(), 5);
+}
+
+TEST(PricingPolicy, ToStringForBillingModels) {
+  EXPECT_EQ(ToString(BillingModel::kPerInstance), "per-instance");
+  EXPECT_EQ(ToString(BillingModel::kPerFunction), "per-function");
+}
+
+}  // namespace
+}  // namespace rubberband

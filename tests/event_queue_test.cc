@@ -1,0 +1,93 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace rubberband {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(3.0, [&] { order.push_back(3); });
+  queue.ScheduleAt(1.0, [&] { order.push_back(1); });
+  queue.ScheduleAt(2.0, [&] { order.push_back(2); });
+  queue.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesRunInSchedulingOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  queue.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue queue;
+  queue.ScheduleAt(10.0, [] {});
+  queue.RunAll();
+  EXPECT_THROW(queue.ScheduleAt(5.0, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.ScheduleAt(1.0, [&] {
+    ++fired;
+    queue.ScheduleAt(2.0, [&] { ++fired; });
+  });
+  queue.RunAll();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue queue;
+  int fired = 0;
+  queue.ScheduleAt(1.0, [&] { ++fired; });
+  queue.ScheduleAt(5.0, [&] { ++fired; });
+  queue.RunUntil(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.RunNext());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(Simulation, ScheduleInUsesCurrentTime) {
+  Simulation sim(0);
+  std::vector<double> times;
+  sim.ScheduleIn(2.0, [&] {
+    times.push_back(sim.now());
+    sim.ScheduleIn(3.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);
+}
+
+TEST(Simulation, SeededRngIsDeterministic) {
+  Simulation a(123);
+  Simulation b(123);
+  EXPECT_DOUBLE_EQ(a.rng().Uniform(0, 1), b.rng().Uniform(0, 1));
+}
+
+}  // namespace
+}  // namespace rubberband

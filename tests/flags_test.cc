@@ -1,0 +1,69 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace rubberband {
+namespace {
+
+Flags ParseAll(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags flags = ParseAll({"--trials=32", "--deadline-min=20.5", "--name=abc"});
+  EXPECT_EQ(flags.GetInt("trials", 0), 32);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("deadline-min", 0.0), 20.5);
+  EXPECT_EQ(flags.GetString("name"), "abc");
+}
+
+TEST(Flags, SpaceSeparatedForm) {
+  const Flags flags = ParseAll({"--trials", "64", "--name", "xyz"});
+  EXPECT_EQ(flags.GetInt("trials", 0), 64);
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+}
+
+TEST(Flags, BareSwitches) {
+  const Flags flags = ParseAll({"--render", "--spot=false", "--verbose=1"});
+  EXPECT_TRUE(flags.GetBool("render"));
+  EXPECT_FALSE(flags.GetBool("spot"));
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.GetBool("absent"));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+}
+
+TEST(Flags, SwitchFollowedByFlagDoesNotConsumeIt) {
+  const Flags flags = ParseAll({"--render", "--trials=8"});
+  EXPECT_TRUE(flags.GetBool("render"));
+  EXPECT_EQ(flags.GetInt("trials", 0), 8);
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags flags = ParseAll({});
+  EXPECT_EQ(flags.GetInt("trials", 7), 7);
+  EXPECT_EQ(flags.GetInt64("big", 1ll << 40), 1ll << 40);
+  EXPECT_EQ(flags.GetString("name", "default"), "default");
+}
+
+TEST(Flags, PositionalArgumentsPreserved) {
+  const Flags flags = ParseAll({"plan", "--trials=2", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "plan");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(Flags, MalformedFlagThrows) {
+  EXPECT_THROW(ParseAll({"---bad"}), std::invalid_argument);
+  EXPECT_THROW(ParseAll({"--"}), std::invalid_argument);
+}
+
+TEST(Flags, UnusedKeysDetectsTypos) {
+  const Flags flags = ParseAll({"--trials=2", "--typo=1"});
+  EXPECT_EQ(flags.GetInt("trials", 0), 2);
+  const std::vector<std::string> unused = flags.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "src/planner/planner.h"
+#include "src/spec/sha.h"
+
+namespace rubberband {
+namespace {
+
+PlannerInputs TestInputs(Seconds deadline) {
+  PlannerInputs inputs;
+  inputs.spec = MakeSha(8, 2, 14, 2);
+  inputs.model.iter_latency_1gpu = Distribution::Constant(30.0);
+  inputs.model.scaling = ScalingFunction::FromPoints({{1, 1.0}, {2, 1.8}, {4, 3.0}, {8, 4.0}});
+  inputs.cloud.provisioning = ProvisioningModel::Fixed(2.0, 5.0);
+  inputs.deadline = deadline;
+  return inputs;
+}
+
+TEST(InstanceSelection, PicksCheapestFeasibleType) {
+  const PlannerInputs inputs = TestInputs(Minutes(30));
+  const std::vector<InstanceType> candidates = {P3_2xlarge(), P3_8xlarge(), P3_16xlarge()};
+  const TypedPlannedJob selected = PlanWithInstanceSelection(inputs, candidates);
+  ASSERT_TRUE(selected.job.feasible);
+
+  // Cross-check: no candidate type yields a cheaper feasible plan.
+  for (const InstanceType& type : candidates) {
+    PlannerInputs typed = inputs;
+    typed.cloud.instance = type;
+    const PlannedJob job = PlanGreedy(typed);
+    if (job.feasible) {
+      EXPECT_GE(job.estimate.cost_mean.dollars(),
+                selected.job.estimate.cost_mean.dollars() - 1e-6)
+          << type.name;
+    }
+  }
+}
+
+TEST(InstanceSelection, SkipsCpuOnlyTypes) {
+  const PlannerInputs inputs = TestInputs(Minutes(30));
+  const TypedPlannedJob selected =
+      PlanWithInstanceSelection(inputs, {R5_4xlarge(), P3_8xlarge()});
+  EXPECT_EQ(selected.cloud.instance.name, "p3.8xlarge");
+}
+
+TEST(InstanceSelection, RejectsDegenerateCatalogs) {
+  const PlannerInputs inputs = TestInputs(Minutes(30));
+  EXPECT_THROW(PlanWithInstanceSelection(inputs, {}), std::invalid_argument);
+  EXPECT_THROW(PlanWithInstanceSelection(inputs, {R5_4xlarge()}), std::invalid_argument);
+}
+
+TEST(InstanceSelection, InfeasibleDeadlineReturnsBestEffort) {
+  const PlannerInputs inputs = TestInputs(1.0);
+  const TypedPlannedJob selected =
+      PlanWithInstanceSelection(inputs, {P3_2xlarge(), P3_16xlarge()});
+  EXPECT_FALSE(selected.job.feasible);
+  EXPECT_GT(selected.job.estimate.jct_mean, 1.0);
+}
+
+TEST(InstanceSelection, FinerGranularityWinsWhenGangsAreSmall) {
+  // All gangs in this spec are 1-2 GPUs; 1-GPU nodes provision exactly what
+  // each stage needs, while 8-GPU nodes round every stage up.
+  PlannerInputs inputs = TestInputs(Minutes(40));
+  const TypedPlannedJob selected =
+      PlanWithInstanceSelection(inputs, {P3_2xlarge(), P3_16xlarge()});
+  ASSERT_TRUE(selected.job.feasible);
+  EXPECT_EQ(selected.cloud.instance.name, "p3.2xlarge");
+}
+
+}  // namespace
+}  // namespace rubberband

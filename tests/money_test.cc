@@ -1,0 +1,79 @@
+#include "src/common/money.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rubberband {
+namespace {
+
+TEST(Money, DefaultIsZero) {
+  Money m;
+  EXPECT_EQ(m.micros(), 0);
+  EXPECT_EQ(m.dollars(), 0.0);
+}
+
+TEST(Money, Constructors) {
+  EXPECT_EQ(Money::FromMicros(1'230'000).dollars(), 1.23);
+  EXPECT_EQ(Money::FromCents(123).micros(), 1'230'000);
+  EXPECT_EQ(Money::FromDollars(1.23).micros(), 1'230'000);
+  EXPECT_EQ(Money::FromDollars(-0.5).micros(), -500'000);
+}
+
+TEST(Money, Arithmetic) {
+  const Money a = Money::FromCents(150);
+  const Money b = Money::FromCents(50);
+  EXPECT_EQ((a + b).micros(), Money::FromCents(200).micros());
+  EXPECT_EQ((a - b).micros(), Money::FromCents(100).micros());
+  EXPECT_EQ((-b).micros(), -500'000);
+
+  Money c = a;
+  c += b;
+  EXPECT_EQ(c, Money::FromCents(200));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(Money, ScalingRoundsToNearestMicro) {
+  const Money rate = Money::FromDollars(12.24);  // $/hour
+  const Money per_second = rate * (1.0 / 3600.0);
+  EXPECT_EQ(per_second.micros(), 3400);  // 12.24e6 / 3600 = 3400 exactly
+  EXPECT_EQ((Money::FromMicros(10) * 0.25).micros(), 3);  // 2.5 rounds to 3
+}
+
+TEST(Money, RatioOfAmounts) {
+  EXPECT_DOUBLE_EQ(Money::FromDollars(30.0) / Money::FromDollars(15.0), 2.0);
+}
+
+TEST(Money, Comparisons) {
+  EXPECT_LT(Money::FromCents(99), Money::FromCents(100));
+  EXPECT_GE(Money::FromCents(100), Money::FromCents(100));
+  EXPECT_EQ(Money::FromDollars(1.0), Money::FromCents(100));
+}
+
+TEST(Money, ToStringRoundsToCents) {
+  EXPECT_EQ(Money::FromDollars(12.344999).ToString(), "$12.34");
+  EXPECT_EQ(Money::FromDollars(12.345001).ToString(), "$12.35");
+  EXPECT_EQ(Money::FromDollars(-3.5).ToString(), "-$3.50");
+  EXPECT_EQ(Money().ToString(), "$0.00");
+  EXPECT_EQ(Money::FromDollars(1234.5).ToString(), "$1234.50");
+}
+
+TEST(Money, StreamOperator) {
+  std::ostringstream os;
+  os << Money::FromCents(1568);
+  EXPECT_EQ(os.str(), "$15.68");
+}
+
+TEST(Money, NoDriftOverManySmallCharges) {
+  // One month of per-second billing at $3.06/hr must price exactly.
+  const Money per_second = Money::FromDollars(3.06) * (1.0 / 3600.0);
+  Money total;
+  for (int i = 0; i < 3600; ++i) {
+    total += per_second;
+  }
+  EXPECT_EQ(total, Money::FromDollars(3.06));
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,61 @@
+#include "src/planner/multi_job.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/profiler.h"
+#include "src/spec/hyperband.h"
+#include "src/trainer/model_zoo.h"
+
+namespace rubberband {
+namespace {
+
+CloudProfile TestCloud() {
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(2.0, 5.0);
+  return cloud;
+}
+
+TEST(MultiJob, PlansEveryBracketWithinTheSharedDeadline) {
+  const std::vector<ExperimentSpec> brackets = MakeHyperband({27, 3});
+  const ModelProfile profile = ProfileWorkload(ResNet50(Cifar10(), 512)).profile;
+  const MultiJobPlan plan = PlanMultiJob(brackets, profile, TestCloud(), Hours(1));
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.jobs.size(), brackets.size());
+  EXPECT_LE(plan.total_jct_mean, Hours(1));
+  Money summed;
+  Seconds jct = 0.0;
+  for (const PlannedJob& job : plan.jobs) {
+    EXPECT_TRUE(job.feasible);
+    summed += job.estimate.cost_mean;
+    jct += job.estimate.jct_mean;
+  }
+  EXPECT_EQ(summed, plan.total_cost_mean);
+  EXPECT_DOUBLE_EQ(jct, plan.total_jct_mean);
+}
+
+TEST(MultiJob, TighterSharedDeadlineCostsMore) {
+  const std::vector<ExperimentSpec> brackets = MakeHyperband({27, 3});
+  const ModelProfile profile = ProfileWorkload(ResNet50(Cifar10(), 512)).profile;
+  const MultiJobPlan tight = PlanMultiJob(brackets, profile, TestCloud(), Minutes(25));
+  const MultiJobPlan loose = PlanMultiJob(brackets, profile, TestCloud(), Hours(2));
+  if (tight.feasible && loose.feasible) {
+    EXPECT_GE(tight.total_cost_mean.dollars(), loose.total_cost_mean.dollars() - 1e-6);
+  }
+}
+
+TEST(MultiJob, ImpossibleDeadlineIsFlagged) {
+  const std::vector<ExperimentSpec> brackets = MakeHyperband({27, 3});
+  const ModelProfile profile = ProfileWorkload(ResNet50(Cifar10(), 512)).profile;
+  const MultiJobPlan plan = PlanMultiJob(brackets, profile, TestCloud(), 10.0);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.jobs.size(), brackets.size());  // best-effort plans still returned
+}
+
+TEST(MultiJob, RejectsEmptyBracketList) {
+  const ModelProfile profile = ProfileWorkload(ResNet50(Cifar10(), 512)).profile;
+  EXPECT_THROW(PlanMultiJob({}, profile, TestCloud(), Hours(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,222 @@
+// Placement controller (Algorithm 3) behaviour and invariants.
+
+#include "src/placement/controller.h"
+
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace rubberband {
+namespace {
+
+PlacementController MakeCluster(int nodes, int gpus_per_node = 4,
+                                PlacementStrategy strategy = PlacementStrategy::kPacked) {
+  PlacementController controller(gpus_per_node, strategy);
+  for (int i = 0; i < nodes; ++i) {
+    controller.AddNode(i);
+  }
+  return controller;
+}
+
+// No node may ever hold more GPUs than it has.
+void ExpectNoOversubscription(const PlacementController& controller) {
+  std::map<PlacementNodeId, int> used;
+  for (const auto& [trial, assignments] : controller.plan().all()) {
+    for (const WorkerAssignment& assignment : assignments) {
+      used[assignment.node] += assignment.gpus;
+    }
+  }
+  for (const auto& [node, gpus] : used) {
+    EXPECT_LE(gpus, controller.gpus_per_node()) << "node " << node;
+  }
+}
+
+TEST(Placement, SmallTrialsAreColocatedOnSingleNodes) {
+  PlacementController controller = MakeCluster(4);
+  const PlacementResult result = controller.Place({{0, 2}, {1, 2}, {2, 4}, {3, 3}});
+  EXPECT_TRUE(result.unplaced.empty());
+  for (TrialId trial : {0, 1, 2, 3}) {
+    EXPECT_EQ(controller.plan().TrialSpan(trial), 1) << "trial " << trial;
+    EXPECT_TRUE(controller.IsColocated(trial));
+  }
+  ExpectNoOversubscription(controller);
+}
+
+TEST(Placement, LargeTrialAcquiresMinimalNodeSet) {
+  PlacementController controller = MakeCluster(4);
+  controller.Place({{0, 8}});
+  EXPECT_EQ(controller.plan().TrialGpus(0), 8);
+  EXPECT_EQ(controller.plan().TrialSpan(0), 2);  // ceil(8/4)
+  EXPECT_TRUE(controller.IsColocated(0));
+}
+
+TEST(Placement, BestFitPacksBeforeOpeningNewNodes) {
+  PlacementController controller = MakeCluster(3);
+  controller.Place({{0, 2}, {1, 2}});
+  // Both 2-GPU trials share one node, leaving two nodes idle.
+  EXPECT_EQ(controller.IdleNodes().size(), 2u);
+}
+
+TEST(Placement, SatisfiedPlacementIsStableAcrossEpochs) {
+  PlacementController controller = MakeCluster(2);
+  controller.Place({{0, 2}, {1, 2}});
+  const std::string before = controller.plan().ToString();
+  controller.Place({{0, 2}, {1, 2}});  // same allocations: nothing moves
+  EXPECT_EQ(controller.plan().ToString(), before);
+}
+
+TEST(Placement, ChangedAllocationIsReplaced) {
+  PlacementController controller = MakeCluster(2);
+  controller.Place({{0, 1}});
+  controller.Place({{0, 4}});
+  EXPECT_EQ(controller.plan().TrialGpus(0), 4);
+  ExpectNoOversubscription(controller);
+}
+
+TEST(Placement, DepartedTrialsAreEvicted) {
+  PlacementController controller = MakeCluster(2);
+  controller.Place({{0, 4}, {1, 4}});
+  controller.Place({{1, 4}});
+  EXPECT_FALSE(controller.plan().HasTrial(0));
+  EXPECT_EQ(controller.IdleNodes().size(), 1u);
+}
+
+TEST(Placement, DisplacementEvictsSmallerTrialToFitLarger) {
+  PlacementController controller = MakeCluster(1);
+  controller.Place({{0, 1}});
+  // A 4-GPU trial arrives on the single node; the 1-GPU trial must be
+  // displaced (larger allocations may displace smaller ones), and with no
+  // room left anywhere it ends up unplaced.
+  const PlacementResult result = controller.Place({{0, 1}, {1, 4}});
+  EXPECT_EQ(controller.plan().TrialGpus(1), 4);
+  ASSERT_EQ(result.unplaced.size(), 1u);
+  EXPECT_EQ(result.unplaced.front(), 0);
+  EXPECT_FALSE(controller.plan().HasTrial(0));
+  ExpectNoOversubscription(controller);
+}
+
+TEST(Placement, DisplacedTrialGetsRePlacedElsewhere) {
+  PlacementController controller = MakeCluster(3);
+  // Fill the cluster so every node is partially used: 3+3+2 over three
+  // 4-GPU nodes.
+  controller.Place({{0, 2}, {1, 3}, {3, 3}});
+  // A 4-GPU trial arrives: it displaces the 2-GPU trial (the only one
+  // smaller than it), which then re-enters the queue and lands scattered
+  // across the leftover single GPUs.
+  const PlacementResult result = controller.Place({{0, 2}, {1, 3}, {3, 3}, {2, 4}});
+  EXPECT_TRUE(result.unplaced.empty());
+  EXPECT_EQ(controller.plan().TrialGpus(2), 4);
+  EXPECT_TRUE(controller.IsColocated(2));
+  EXPECT_EQ(controller.plan().TrialGpus(0), 2);
+  EXPECT_EQ(controller.plan().TrialSpan(0), 2);  // relocated, split 1+1
+  ExpectNoOversubscription(controller);
+}
+
+TEST(Placement, ReservedTrialsAreNeverPerturbed) {
+  PlacementController controller = MakeCluster(1);
+  controller.Place({{0, 2}});
+  // Trial 0 is locked; trial 1 wants the whole node and would otherwise
+  // displace it. With the lock, trial 1 cannot be placed.
+  const PlacementResult result = controller.Place({{0, 2}, {1, 4}}, {0});
+  EXPECT_EQ(controller.plan().TrialGpus(0), 2);
+  ASSERT_EQ(result.unplaced.size(), 1u);
+  EXPECT_EQ(result.unplaced.front(), 1);
+  ExpectNoOversubscription(controller);
+}
+
+TEST(Placement, UnplaceableTrialReportedNotPartiallyPlaced) {
+  PlacementController controller = MakeCluster(1);
+  const PlacementResult result = controller.Place({{0, 4}, {1, 4}});
+  ASSERT_EQ(result.unplaced.size(), 1u);
+  const TrialId loser = result.unplaced.front();
+  EXPECT_FALSE(controller.plan().HasTrial(loser));
+  ExpectNoOversubscription(controller);
+}
+
+TEST(Placement, SplitFallbackScattersWhenNoNodeFits) {
+  PlacementController controller = MakeCluster(2);
+  // 3-GPU gangs on 4-GPU nodes: two fit colocated, the third must split.
+  const PlacementResult result = controller.Place({{0, 3}, {1, 3}, {2, 2}});
+  EXPECT_TRUE(result.unplaced.empty());
+  EXPECT_EQ(controller.plan().TrialGpus(2), 2);
+  EXPECT_EQ(controller.plan().TrialSpan(2), 2);  // 1+1 across nodes
+  EXPECT_FALSE(controller.IsColocated(2));
+  ExpectNoOversubscription(controller);
+}
+
+TEST(Placement, IdleNodesSafeToDeprovision) {
+  PlacementController controller = MakeCluster(4);
+  controller.Place({{0, 4}, {1, 4}});
+  const std::vector<PlacementNodeId> idle = controller.IdleNodes();
+  EXPECT_EQ(idle.size(), 2u);
+  for (PlacementNodeId node : idle) {
+    controller.RemoveNode(node);  // must not throw
+  }
+  EXPECT_EQ(controller.num_nodes(), 2);
+}
+
+TEST(Placement, RemoveBusyNodeThrows) {
+  PlacementController controller = MakeCluster(1);
+  controller.Place({{0, 4}});
+  EXPECT_THROW(controller.RemoveNode(0), std::logic_error);
+  EXPECT_THROW(controller.RemoveNode(99), std::logic_error);
+}
+
+TEST(Placement, AddDuplicateNodeThrows) {
+  PlacementController controller = MakeCluster(1);
+  EXPECT_THROW(controller.AddNode(0), std::logic_error);
+}
+
+TEST(Placement, ScatterStrategySpraysAcrossNodes) {
+  PlacementController controller = MakeCluster(4, 4, PlacementStrategy::kScatter);
+  const PlacementResult result = controller.Place({{0, 4}});
+  EXPECT_TRUE(result.unplaced.empty());
+  // Round-robin: the 4-GPU gang lands on 4 different nodes.
+  EXPECT_EQ(controller.plan().TrialSpan(0), 4);
+  EXPECT_FALSE(controller.IsColocated(0));
+  ExpectNoOversubscription(controller);
+}
+
+TEST(Placement, ScatterStillRespectsCapacity) {
+  PlacementController controller = MakeCluster(2, 4, PlacementStrategy::kScatter);
+  const PlacementResult result = controller.Place({{0, 6}, {1, 6}});
+  // 12 GPUs requested, 8 exist: one trial placed, one unplaced.
+  EXPECT_EQ(result.unplaced.size(), 1u);
+  ExpectNoOversubscription(controller);
+}
+
+// Property sweep: random allocation sequences never oversubscribe and every
+// placed trial has exactly its allocation.
+class PlacementProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlacementProperty, InvariantsUnderRandomChurn) {
+  Rng rng(GetParam());
+  PlacementController controller = MakeCluster(4, 4);
+  std::map<TrialId, int> allocations;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    // Random churn: add, remove, resize.
+    const int op = static_cast<int>(rng.UniformInt(0, 2));
+    const TrialId trial = static_cast<TrialId>(rng.UniformInt(0, 9));
+    if (op == 0) {
+      allocations[trial] = static_cast<int>(rng.UniformInt(1, 8));
+    } else if (op == 1) {
+      allocations.erase(trial);
+    } else if (!allocations.empty()) {
+      allocations.begin()->second = static_cast<int>(rng.UniformInt(1, 8));
+    }
+    const PlacementResult result = controller.Place(allocations);
+    ExpectNoOversubscription(controller);
+    for (const auto& [id, gpus] : allocations) {
+      const bool unplaced =
+          std::find(result.unplaced.begin(), result.unplaced.end(), id) != result.unplaced.end();
+      if (!unplaced) {
+        EXPECT_EQ(controller.plan().TrialGpus(id), gpus) << "trial " << id;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementProperty, ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace rubberband

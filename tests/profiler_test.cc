@@ -1,0 +1,66 @@
+#include "src/model/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trainer/model_zoo.h"
+
+namespace rubberband {
+namespace {
+
+TEST(Profiler, FitsScalingCloseToGroundTruth) {
+  const WorkloadSpec workload = ResNet101Cifar10();
+  ProfilerOptions options;
+  options.iters_per_allocation = 64;  // tight fit for the test
+  const ProfileResult result = ProfileWorkload(workload, options);
+
+  for (int gpus : {1, 2, 4, 8, 16, 32}) {
+    const double truth = workload.true_scaling.Speedup(gpus);
+    const double fitted = result.profile.scaling.Speedup(gpus);
+    EXPECT_NEAR(fitted, truth, 0.15 * truth) << "gpus=" << gpus;
+  }
+}
+
+TEST(Profiler, LatencyDistributionMatchesWorkload) {
+  const WorkloadSpec workload = ResNet101Cifar10();
+  ProfilerOptions options;
+  options.iters_per_allocation = 128;
+  const ProfileResult result = ProfileWorkload(workload, options);
+  EXPECT_NEAR(result.profile.iter_latency_1gpu.Mean(), workload.base_iter_seconds,
+              0.1 * workload.base_iter_seconds);
+  EXPECT_GT(result.profile.iter_latency_1gpu.StdDev(), 0.0);
+}
+
+TEST(Profiler, CarriesWorkloadMetadata) {
+  const ProfileResult result = ProfileWorkload(BertRte());
+  EXPECT_EQ(result.profile.name, "bert-rte");
+  EXPECT_NEAR(result.profile.dataset_gb, RteGlue().size_gb, 1e-12);
+  EXPECT_DOUBLE_EQ(result.profile.trial_startup_seconds, BertRte().trial_startup_seconds);
+  EXPECT_DOUBLE_EQ(result.profile.sync_seconds, BertRte().sync_seconds);
+}
+
+TEST(Profiler, MeasuresCrossNodePenalty) {
+  const WorkloadSpec workload = ResNet101Cifar10();
+  const ProfileResult result = ProfileWorkload(workload);
+  EXPECT_NEAR(result.profile.cross_node_latency_factor, workload.cross_node_latency_factor, 0.1);
+}
+
+TEST(Profiler, ProfilingTimeIsMinutesNotHours) {
+  // The paper's point: profiling is cheap relative to the job. Default
+  // options should cost well under an hour of simulated GPU time.
+  const ProfileResult result = ProfileWorkload(ResNet101Cifar10());
+  EXPECT_GT(result.profiling_seconds, 0.0);
+  EXPECT_LT(result.profiling_seconds, 3600.0);
+}
+
+TEST(Profiler, DeterministicForFixedSeed) {
+  const WorkloadSpec workload = ResNet50(Cifar10(), 512);
+  ProfilerOptions options;
+  options.seed = 99;
+  const ProfileResult a = ProfileWorkload(workload, options);
+  const ProfileResult b = ProfileWorkload(workload, options);
+  EXPECT_DOUBLE_EQ(a.profile.scaling.Speedup(8), b.profile.scaling.Speedup(8));
+  EXPECT_DOUBLE_EQ(a.profiling_seconds, b.profiling_seconds);
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,125 @@
+// Cross-module property tests over randomly generated (fair) allocation
+// plans: the offline model and the online executor must agree, and cost
+// structure invariants must hold regardless of the plan.
+
+#include <gtest/gtest.h>
+
+#include "src/rubberband.h"
+
+namespace rubberband {
+namespace {
+
+CloudProfile TestCloud() {
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(5.0, 10.0);
+  return cloud;
+}
+
+// A random plan whose every stage allocation is fair (factor or multiple of
+// the stage's trial count), bounded to keep runtimes sane.
+AllocationPlan RandomFairPlan(const ExperimentSpec& spec, Rng& rng) {
+  std::vector<int> gpus;
+  for (const Stage& stage : spec.stages()) {
+    const int raw = static_cast<int>(rng.UniformInt(1, 4 * stage.num_trials));
+    gpus.push_back(RoundUpToFairAllocation(raw, stage.num_trials));
+  }
+  return AllocationPlan(std::move(gpus));
+}
+
+class PlanProperties : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static ExperimentSpec Spec() { return MakeSha(8, 2, 14, 2); }
+};
+
+TEST_P(PlanProperties, SimulationPredictsExecutionForArbitraryPlans) {
+  Rng rng(GetParam());
+  const ExperimentSpec spec = Spec();
+  const WorkloadSpec workload = ResNet101Cifar10();
+  const ModelProfile profile = ProfileWorkload(workload).profile;
+  const AllocationPlan plan = RandomFairPlan(spec, rng);
+
+  PlannerOptions planner_options;
+  planner_options.sim_samples = 50;
+  const PlanEstimate estimate =
+      EstimatePlan({spec, profile, TestCloud(), Hours(10)}, plan, planner_options);
+
+  ExecutorOptions executor_options;
+  executor_options.seed = GetParam();
+  const ExecutionReport report = ExecutePlan(spec, plan, workload, TestCloud(), executor_options);
+
+  EXPECT_NEAR(report.jct, estimate.jct_mean, 0.25 * estimate.jct_mean)
+      << "plan " << plan.ToString();
+  EXPECT_NEAR(report.cost.Total().dollars(), estimate.cost_mean.dollars(),
+              0.25 * estimate.cost_mean.dollars())
+      << "plan " << plan.ToString();
+}
+
+TEST_P(PlanProperties, PerInstanceNeverCheaperThanPerFunction) {
+  // Per-instance billing charges for everything per-function charges for
+  // (busy GPUs), plus idle capacity and minimum charges.
+  Rng rng(GetParam() ^ 0xBEEF);
+  const ExperimentSpec spec = Spec();
+  const ModelProfile profile = ProfileWorkload(ResNet101Cifar10()).profile;
+  const AllocationPlan plan = RandomFairPlan(spec, rng);
+
+  CloudProfile per_instance = TestCloud();
+  CloudProfile per_function = TestCloud();
+  per_function.pricing.billing = BillingModel::kPerFunction;
+
+  PlannerOptions options;
+  const PlanEstimate inst = EstimatePlan({spec, profile, per_instance, Hours(10)}, plan, options);
+  const PlanEstimate func = EstimatePlan({spec, profile, per_function, Hours(10)}, plan, options);
+  EXPECT_GE(inst.cost_mean.dollars(), func.cost_mean.dollars() - 1e-9)
+      << "plan " << plan.ToString();
+}
+
+TEST_P(PlanProperties, PerFunctionCostBoundedBelowByTotalWork) {
+  // Sub-linear scaling means g GPUs never deliver more than g times the
+  // single-GPU throughput, so the busy GPU-seconds of any plan are at least
+  // the spec's total work at single-GPU latency.
+  Rng rng(GetParam() ^ 0xF00D);
+  const ExperimentSpec spec = Spec();
+  const ModelProfile profile = ProfileWorkload(ResNet101Cifar10()).profile;
+  const AllocationPlan plan = RandomFairPlan(spec, rng);
+
+  CloudProfile per_function = TestCloud();
+  per_function.pricing.billing = BillingModel::kPerFunction;
+  PlannerOptions options;
+  const PlanEstimate estimate =
+      EstimatePlan({spec, profile, per_function, Hours(10)}, plan, options);
+
+  const double min_gpu_seconds =
+      static_cast<double>(spec.TotalWork()) * profile.iter_latency_1gpu.Mean();
+  const double min_cost =
+      per_function.instance.GpuSecondPrice().dollars() * min_gpu_seconds;
+  EXPECT_GE(estimate.cost_mean.dollars(), 0.95 * min_cost) << "plan " << plan.ToString();
+}
+
+TEST_P(PlanProperties, ExecutorConservesTrials) {
+  // Every trial either survives to the end or is terminated at exactly one
+  // barrier; counts must reconcile with the spec.
+  Rng rng(GetParam() ^ 0xCAFE);
+  const ExperimentSpec spec = Spec();
+  const AllocationPlan plan = RandomFairPlan(spec, rng);
+  ExecutorOptions options;
+  options.seed = GetParam();
+  const ExecutionReport report =
+      ExecutePlan(spec, plan, ResNet101Cifar10(), TestCloud(), options);
+
+  int expected_runs = 0;
+  for (const Stage& stage : spec.stages()) {
+    expected_runs += stage.num_trials;
+  }
+  EXPECT_EQ(report.trace.OfType(TraceEventType::kTrialComplete).size(),
+            static_cast<size_t>(expected_runs));
+  // Terminations happen at intermediate barriers only; the final stage's
+  // runners-up are not "terminated", the best is simply selected.
+  EXPECT_EQ(report.trace.OfType(TraceEventType::kTrialTerminated).size(),
+            static_cast<size_t>(spec.stage(0).num_trials - spec.stages().back().num_trials));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanProperties, ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,72 @@
+#include "src/planner/render.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/dag/builder.h"
+#include "src/dag/simulate.h"
+#include "src/spec/sha.h"
+
+namespace rubberband {
+namespace {
+
+ModelProfile TestModel() {
+  ModelProfile model;
+  model.iter_latency_1gpu = Distribution::Constant(10.0);
+  model.scaling = ScalingFunction::FromPoints({{1, 1.0}, {2, 2.0}, {4, 4.0}});
+  return model;
+}
+
+CloudProfile TestCloud() {
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  return cloud;
+}
+
+TEST(MeanFinishTimes, MatchesHandComputedCriticalPath) {
+  ExperimentSpec spec;
+  spec.AddStage(2, 3).AddStage(1, 4);
+  const AllocationPlan plan({2, 4});
+  const ExecutionDag dag = BuildDag(spec, plan, TestModel(), TestCloud());
+  const std::vector<Seconds> finish = MeanFinishTimes(dag);
+  // Stage 0: 3 iters x 10 s at 1 GPU = 30 s; stage 1: 4 iters x 2.5 s = 10 s.
+  EXPECT_NEAR(finish[static_cast<size_t>(dag.stages()[0].sync_node)], 30.0, 1e-9);
+  EXPECT_NEAR(finish[static_cast<size_t>(dag.stages()[1].sync_node)], 40.0, 1e-9);
+}
+
+TEST(RenderPlan, ContainsEveryGpuLevelAndStage) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const AllocationPlan plan({8, 4, 2});
+  const std::string chart = RenderPlan(spec, plan, TestModel(), TestCloud());
+  EXPECT_NE(chart.find("   8 |"), std::string::npos);
+  EXPECT_NE(chart.find("   4 |"), std::string::npos);
+  EXPECT_NE(chart.find("   2 |"), std::string::npos);
+  EXPECT_NE(chart.find('0'), std::string::npos);
+  EXPECT_NE(chart.find('2'), std::string::npos);
+  EXPECT_NE(chart.find("JCT"), std::string::npos);
+}
+
+TEST(RenderPlan, WidthIsRespected) {
+  const ExperimentSpec spec = MakeSha(4, 1, 2, 2);
+  const AllocationPlan plan({4, 4});
+  const std::string chart = RenderPlan(spec, plan, TestModel(), TestCloud(), 40);
+  // Every chart row fits the requested width plus its label/annotation.
+  std::istringstream stream(chart);
+  std::string line;
+  while (std::getline(stream, line)) {
+    EXPECT_LE(line.size(), 40u + 16u) << line;
+  }
+}
+
+TEST(RenderComparison, ShowsBothPanelsOnSharedAxis) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const std::string chart = RenderComparison(spec, AllocationPlan({8, 8, 8}),
+                                             AllocationPlan({16, 8, 4}), TestModel(), TestCloud());
+  EXPECT_NE(chart.find("-- static [8, 8, 8] --"), std::string::npos);
+  EXPECT_NE(chart.find("-- elastic [16, 8, 4] --"), std::string::npos);
+  EXPECT_NE(chart.find("  16 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rubberband

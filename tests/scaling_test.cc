@@ -1,0 +1,84 @@
+#include "src/model/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/profile.h"
+
+namespace rubberband {
+namespace {
+
+TEST(ScalingFunction, DefaultIsLinear) {
+  ScalingFunction fn;
+  EXPECT_DOUBLE_EQ(fn.Speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(fn.Speedup(8), 8.0);
+  EXPECT_DOUBLE_EQ(fn.Efficiency(16), 1.0);
+}
+
+TEST(ScalingFunction, AmdahlShape) {
+  const ScalingFunction fn = ScalingFunction::Amdahl(0.1);
+  EXPECT_DOUBLE_EQ(fn.Speedup(1), 1.0);
+  EXPECT_NEAR(fn.Speedup(2), 2.0 / 1.1, 1e-12);
+  // Saturates towards 1/overhead.
+  EXPECT_LT(fn.Speedup(1024), 10.0);
+  EXPECT_GT(fn.Speedup(1024), 9.0);
+  EXPECT_THROW(ScalingFunction::Amdahl(-0.1), std::invalid_argument);
+  EXPECT_THROW(ScalingFunction::Amdahl(1.5), std::invalid_argument);
+}
+
+TEST(ScalingFunction, PointInterpolationHitsKnots) {
+  const auto fn = ScalingFunction::FromPoints({{1, 1.0}, {4, 3.2}, {8, 5.4}});
+  EXPECT_DOUBLE_EQ(fn.Speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(fn.Speedup(4), 3.2);
+  EXPECT_DOUBLE_EQ(fn.Speedup(8), 5.4);
+}
+
+TEST(ScalingFunction, InterpolatesInLogSpace) {
+  const auto fn = ScalingFunction::FromPoints({{1, 1.0}, {4, 3.0}});
+  // log2(2) is halfway between log2(1) and log2(4).
+  EXPECT_NEAR(fn.Speedup(2), 2.0, 1e-12);
+}
+
+TEST(ScalingFunction, ExtrapolatesLastTrendIncludingDecline) {
+  // Rising trend extrapolates upward.
+  const auto rising = ScalingFunction::FromPoints({{1, 1.0}, {8, 5.0}, {16, 6.0}});
+  EXPECT_GT(rising.Speedup(32), 6.0);
+  // Declining trend extrapolates downward (communication-bound), with a
+  // floor at 0.25.
+  const auto declining = ScalingFunction::FromPoints({{1, 1.0}, {8, 6.0}, {16, 5.0}});
+  EXPECT_LT(declining.Speedup(32), 5.0);
+  EXPECT_GE(declining.Speedup(4096), 0.25);
+}
+
+TEST(ScalingFunction, AddsImplicitUnitPoint) {
+  const auto fn = ScalingFunction::FromPoints({{4, 2.0}});
+  EXPECT_DOUBLE_EQ(fn.Speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(fn.Speedup(4), 2.0);
+}
+
+TEST(ScalingFunction, RejectsBadInput) {
+  EXPECT_THROW(ScalingFunction::FromPoints({{0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(ScalingFunction::FromPoints({{2, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(ScalingFunction().Speedup(0), std::invalid_argument);
+}
+
+TEST(ScalingFunction, LatencyFactorIsInverseSpeedup) {
+  const auto fn = ScalingFunction::FromPoints({{1, 1.0}, {4, 3.2}});
+  EXPECT_DOUBLE_EQ(fn.LatencyFactor(4), 1.0 / 3.2);
+}
+
+TEST(ScalingFunction, EfficiencyDeclines) {
+  const auto fn = ScalingFunction::FromPoints({{1, 1.0}, {2, 1.8}, {4, 3.2}, {8, 5.4}});
+  EXPECT_GT(fn.Efficiency(2), fn.Efficiency(4));
+  EXPECT_GT(fn.Efficiency(4), fn.Efficiency(8));
+}
+
+TEST(ModelProfile, IterLatencyScalesWithSpeedup) {
+  ModelProfile profile;
+  profile.iter_latency_1gpu = Distribution::Constant(10.0);
+  profile.scaling = ScalingFunction::FromPoints({{1, 1.0}, {4, 2.5}});
+  EXPECT_DOUBLE_EQ(profile.MeanIterLatency(1), 10.0);
+  EXPECT_DOUBLE_EQ(profile.MeanIterLatency(4), 4.0);
+}
+
+}  // namespace
+}  // namespace rubberband

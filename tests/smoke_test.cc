@@ -1,0 +1,40 @@
+// End-to-end smoke test: the Figure 6 workflow — spec, profile, plan,
+// execute — runs green and the pieces agree with each other.
+
+#include <gtest/gtest.h>
+
+#include "src/rubberband.h"
+
+namespace rubberband {
+namespace {
+
+TEST(Smoke, SpecProfilePlanExecute) {
+  const ExperimentSpec spec = MakeSha(/*num_trials=*/16, /*min_iters=*/2, /*max_iters=*/30,
+                                      /*reduction_factor=*/2);
+  const WorkloadSpec workload = ResNet101Cifar10();
+  const ModelProfile profile = ProfileWorkload(workload).profile;
+
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(5.0, 10.0);
+
+  const Seconds deadline = Minutes(60);
+  const PlannedJob job = CompilePlan(spec, profile, cloud, deadline);
+  ASSERT_TRUE(job.feasible);
+  EXPECT_LE(job.estimate.jct_mean, deadline);
+
+  const ExecutionReport report = Execute(spec, job.plan, workload, cloud);
+  EXPECT_GT(report.jct, 0.0);
+  EXPECT_GT(report.cost.Total().dollars(), 0.0);
+  EXPECT_GT(report.best_accuracy, 0.5);
+  EXPECT_EQ(report.stage_log.size(), static_cast<size_t>(spec.num_stages()));
+
+  // Realized execution should land in the neighbourhood of the simulated
+  // prediction (the paper's fidelity claim; generous 40% tolerance here).
+  EXPECT_NEAR(report.jct, job.estimate.jct_mean, 0.4 * job.estimate.jct_mean);
+  EXPECT_NEAR(report.cost.Total().dollars(), job.estimate.cost_mean.dollars(),
+              0.4 * job.estimate.cost_mean.dollars());
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,117 @@
+// Spot-market extension: discounted pricing, provider-initiated
+// preemptions, and checkpoint-based trial recovery in the executor.
+
+#include <gtest/gtest.h>
+
+#include "src/rubberband.h"
+
+namespace rubberband {
+namespace {
+
+CloudProfile SpotCloud(double mean_time_to_preemption) {
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(5.0, 10.0);
+  cloud.spot.enabled = true;
+  cloud.spot.discount = 0.3;
+  cloud.spot.mean_time_to_preemption = mean_time_to_preemption;
+  return cloud;
+}
+
+TEST(Spot, BilledInstanceAppliesDiscount) {
+  const CloudProfile cloud = SpotCloud(3600.0);
+  EXPECT_EQ(cloud.BilledInstance().price_per_hour, Money::FromCents(1224) * 0.3);
+  CloudProfile on_demand = cloud;
+  on_demand.spot.enabled = false;
+  EXPECT_EQ(on_demand.BilledInstance().price_per_hour, Money::FromCents(1224));
+}
+
+TEST(Spot, ProviderReclaimsInstancesOverTime) {
+  Simulation sim(7);
+  SimulatedCloud cloud(sim, SpotCloud(/*mean_time_to_preemption=*/100.0));
+  int preempted = 0;
+  cloud.SetPreemptionHandler([&](InstanceId) { ++preempted; });
+  cloud.RequestInstances(10, 0.0, [](InstanceId) {});
+  sim.RunUntil(10'000.0);  // 100 mean lifetimes: everything reclaimed
+  EXPECT_EQ(preempted, 10);
+  EXPECT_EQ(cloud.num_ready(), 0);
+  EXPECT_EQ(cloud.num_preemptions(), 10);
+  // Reclaimed lifetimes are still billed.
+  EXPECT_GT(cloud.meter().TotalInstanceSeconds(), 0.0);
+}
+
+TEST(Spot, TerminatedInstancesAreNotPreempted) {
+  Simulation sim(7);
+  SimulatedCloud cloud(sim, SpotCloud(100.0));
+  std::vector<InstanceId> ids;
+  cloud.SetPreemptionHandler([&](InstanceId) { FAIL() << "preempted a terminated instance"; });
+  cloud.RequestInstances(5, 0.0, [&](InstanceId id) { ids.push_back(id); });
+  sim.RunUntil(16.0);  // all ready at t=15
+  for (InstanceId id : ids) {
+    cloud.TerminateInstance(id);
+  }
+  sim.Run();  // drain the now-stale preemption events
+  EXPECT_EQ(cloud.num_preemptions(), 0);
+}
+
+TEST(Spot, ExecutorSurvivesPreemptionsAndCompletes) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const WorkloadSpec workload = ResNet101Cifar10();
+  const AllocationPlan plan({8, 8, 8});
+  // Aggressive reclamation: mean lifetime ~4 minutes against a ~15-minute
+  // job guarantees several preemptions.
+  const CloudProfile cloud = SpotCloud(240.0);
+
+  ExecutorOptions options;
+  options.seed = 5;
+  const ExecutionReport report = ExecutePlan(spec, plan, workload, cloud, options);
+  EXPECT_GT(report.preemptions, 0);
+  EXPECT_GT(report.trial_restarts, 0);
+  EXPECT_GT(report.best_accuracy, 0.5);
+  EXPECT_EQ(report.stage_log.size(), 3u);
+}
+
+TEST(Spot, PreemptionsExtendJctButDiscountCanStillWin) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const WorkloadSpec workload = ResNet101Cifar10();
+  const AllocationPlan plan({8, 8, 8});
+
+  CloudProfile on_demand = SpotCloud(600.0);
+  on_demand.spot.enabled = false;
+
+  ExecutorOptions options;
+  options.seed = 2;
+  const ExecutionReport spot = ExecutePlan(spec, plan, workload, SpotCloud(600.0), options);
+  const ExecutionReport fixed = ExecutePlan(spec, plan, workload, on_demand, options);
+
+  EXPECT_GE(spot.jct, fixed.jct);  // restarts cost wall-clock time
+  // At a 70% discount, the rework would need to more than triple instance
+  // time to lose; with ~10-minute mean lifetimes it does not.
+  EXPECT_LT(spot.cost.Total().dollars(), fixed.cost.Total().dollars());
+}
+
+TEST(Spot, RareReclamationMatchesOnDemandBehaviour) {
+  const ExperimentSpec spec = MakeSha(4, 2, 6, 2);
+  const AllocationPlan plan({4, 4});
+  const CloudProfile cloud = SpotCloud(/*mean_time_to_preemption=*/1e9);
+  const ExecutionReport report = ExecutePlan(spec, plan, ResNet101Cifar10(), cloud);
+  EXPECT_EQ(report.preemptions, 0);
+  EXPECT_EQ(report.trial_restarts, 0);
+}
+
+TEST(Spot, DeterministicForFixedSeed) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const AllocationPlan plan({8, 8, 8});
+  ExecutorOptions options;
+  options.seed = 9;
+  const ExecutionReport a =
+      ExecutePlan(spec, plan, ResNet101Cifar10(), SpotCloud(240.0), options);
+  const ExecutionReport b =
+      ExecutePlan(spec, plan, ResNet101Cifar10(), SpotCloud(240.0), options);
+  EXPECT_DOUBLE_EQ(a.jct, b.jct);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.cost.Total(), b.cost.Total());
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,76 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/time.h"
+
+namespace rubberband {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanStdDevMinMax) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroStdDev) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) { EXPECT_EQ(Percentile({}, 50.0), 0.0); }
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, 50.0), 1.5);
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(VectorStats, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.13809, 1e-4);
+}
+
+TEST(FormatDuration, MinutesSeconds) {
+  EXPECT_EQ(FormatDuration(0.0), "00:00");
+  EXPECT_EQ(FormatDuration(59.4), "00:59");
+  EXPECT_EQ(FormatDuration(1164.0), "19:24");
+  EXPECT_EQ(FormatDuration(Minutes(20)), "20:00");
+}
+
+TEST(FormatDuration, HoursRollOver) {
+  EXPECT_EQ(FormatDuration(3600.0), "1:00:00");
+  EXPECT_EQ(FormatDuration(Hours(1) + Minutes(2) + 3), "1:02:03");
+}
+
+TEST(FormatDuration, Negative) { EXPECT_EQ(FormatDuration(-61.0), "-01:01"); }
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_DOUBLE_EQ(Minutes(1.5), 90.0);
+  EXPECT_DOUBLE_EQ(Hours(2.0), 7200.0);
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,90 @@
+// Execution trace and the realized-utilization metric.
+
+#include "src/executor/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/rubberband.h"
+
+namespace rubberband {
+namespace {
+
+CloudProfile TestCloud() {
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(5.0, 10.0);
+  return cloud;
+}
+
+TEST(Trace, CsvHasHeaderAndOneRowPerEvent) {
+  ExecutionTrace trace;
+  trace.Record(1.0, TraceEventType::kStageStart, 0);
+  trace.Record(2.5, TraceEventType::kTrialStart, 0, 3);
+  trace.Record(9.0, TraceEventType::kSync, 0);
+  const std::string csv = trace.ToCsv();
+  EXPECT_NE(csv.find("time_s,event,stage,trial,instance"), std::string::npos);
+  EXPECT_NE(csv.find("1.000,STAGE_START,0,-1,-1"), std::string::npos);
+  EXPECT_NE(csv.find("2.500,TRIAL_START,0,3,-1"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(Trace, OfTypeFilters) {
+  ExecutionTrace trace;
+  trace.Record(1.0, TraceEventType::kTrialStart, 0, 1);
+  trace.Record(2.0, TraceEventType::kTrialComplete, 0, 1);
+  trace.Record(3.0, TraceEventType::kTrialStart, 0, 2);
+  EXPECT_EQ(trace.OfType(TraceEventType::kTrialStart).size(), 2u);
+  EXPECT_EQ(trace.OfType(TraceEventType::kSync).size(), 0u);
+}
+
+TEST(Trace, ExecutorEmitsCoherentEventLog) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const ExecutionReport report =
+      ExecutePlan(spec, AllocationPlan({8, 8, 8}), ResNet101Cifar10(), TestCloud());
+  const ExecutionTrace& trace = report.trace;
+
+  EXPECT_EQ(trace.OfType(TraceEventType::kStageStart).size(), 3u);
+  EXPECT_EQ(trace.OfType(TraceEventType::kSync).size(), 3u);
+  // 8 + 4 + 2 trial-stage runs start and complete.
+  EXPECT_EQ(trace.OfType(TraceEventType::kTrialStart).size(), 14u);
+  EXPECT_EQ(trace.OfType(TraceEventType::kTrialComplete).size(), 14u);
+  // 4 + 2 trials are terminated at the two intermediate barriers.
+  EXPECT_EQ(trace.OfType(TraceEventType::kTrialTerminated).size(), 6u);
+  // Instances: 2 provisioned up front, every one released by the end.
+  EXPECT_EQ(trace.OfType(TraceEventType::kInstanceReady).size(), 2u);
+  EXPECT_EQ(trace.OfType(TraceEventType::kInstanceReleased).size(), 2u);
+
+  // Timestamps are non-decreasing.
+  Seconds previous = 0.0;
+  for (const TraceEvent& event : trace.events()) {
+    EXPECT_GE(event.time, previous);
+    previous = event.time;
+  }
+}
+
+TEST(Trace, UtilizationIsAFraction) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const ExecutionReport report =
+      ExecutePlan(spec, AllocationPlan({8, 8, 8}), ResNet101Cifar10(), TestCloud());
+  EXPECT_GT(report.realized_utilization, 0.3);
+  EXPECT_LE(report.realized_utilization, 1.0);
+}
+
+TEST(Trace, ElasticPlanBeatsStaticOnUtilization) {
+  // The paper's central claim, measured: the elastic plan wastes fewer
+  // provisioned GPU-seconds than a static cluster running the same spec.
+  const ExperimentSpec spec = MakeSha(32, 1, 50, 3);
+  const WorkloadSpec workload = ResNet101Cifar10();
+  ExecutorOptions options;
+  options.seed = 4;
+  const ExecutionReport fixed =
+      ExecutePlan(spec, AllocationPlan::Uniform(4, 24), workload, TestCloud(), options);
+  const ExecutionReport elastic =
+      ExecutePlan(spec, AllocationPlan({32, 20, 12, 8}), workload, TestCloud(), options);
+  EXPECT_GT(elastic.realized_utilization, fixed.realized_utilization);
+}
+
+}  // namespace
+}  // namespace rubberband

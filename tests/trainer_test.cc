@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/stats.h"
+#include "src/trainer/dataset.h"
+#include "src/trainer/learning_curve.h"
+#include "src/trainer/model_zoo.h"
+#include "src/trainer/search_space.h"
+#include "src/trainer/synthetic_trainer.h"
+
+namespace rubberband {
+namespace {
+
+TEST(Dataset, CatalogSizes) {
+  EXPECT_NEAR(Cifar10().size_gb, 0.15, 1e-9);
+  EXPECT_NEAR(ImageNet().size_gb, 150.0, 1e-9);
+  EXPECT_GT(ImageNet().num_train_samples, 1'000'000);
+  ASSERT_TRUE(FindDataset("cifar100").has_value());
+  EXPECT_FALSE(FindDataset("mnist").has_value());
+}
+
+TEST(SearchSpace, SamplesWithinBounds) {
+  SearchSpace space;
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const HyperparameterConfig config = space.Sample(rng);
+    EXPECT_EQ(config.id, i);  // sequential ids
+    EXPECT_GE(config.learning_rate, 1e-4);
+    EXPECT_LE(config.learning_rate, 1.0);
+    EXPECT_GE(config.weight_decay, 1e-6);
+    EXPECT_LE(config.weight_decay, 1e-2);
+    EXPECT_GE(config.momentum, 0.80);
+    EXPECT_LE(config.momentum, 0.99);
+    EXPECT_GE(config.quality, 0.0);
+    EXPECT_LE(config.quality, 1.0);
+  }
+}
+
+TEST(SearchSpace, QualityPeaksAtHiddenOptimum) {
+  SearchSpace space;
+  HyperparameterConfig optimal;
+  optimal.learning_rate = 0.1;    // 10^-1
+  optimal.weight_decay = 1e-4;    // 10^-4
+  optimal.momentum = 0.9;
+  EXPECT_NEAR(space.Quality(optimal), 1.0, 1e-9);
+
+  HyperparameterConfig off = optimal;
+  off.learning_rate = 1e-4;
+  EXPECT_LT(space.Quality(off), space.Quality(optimal));
+}
+
+TEST(SearchSpace, QualityIsDeterministicInHyperparameters) {
+  SearchSpace space;
+  Rng rng(3);
+  const HyperparameterConfig config = space.Sample(rng);
+  EXPECT_DOUBLE_EQ(space.Quality(config), config.quality);
+}
+
+TEST(LearningCurve, MonotoneWithDiminishingReturns) {
+  const LearningCurveModel curve{0.1, 0.7, 0.2, 10.0, 0.0};
+  double prev = curve.ExpectedAccuracy(0.5, 0.0);
+  double prev_gain = 1e9;
+  for (int t = 1; t <= 64; ++t) {
+    const double acc = curve.ExpectedAccuracy(0.5, t);
+    EXPECT_GT(acc, prev);
+    const double gain = acc - prev;  // per-iteration improvement
+    EXPECT_LE(gain, prev_gain + 1e-12);  // diminishing returns
+    prev = acc;
+    prev_gain = gain;
+  }
+}
+
+TEST(LearningCurve, QualityOrdersAsymptotes) {
+  const LearningCurveModel curve{0.1, 0.7, 0.2, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(curve.ExpectedAccuracy(0.0, 1e9), 0.7);
+  EXPECT_NEAR(curve.ExpectedAccuracy(1.0, 1e9), 0.9, 1e-9);
+  EXPECT_GT(curve.ExpectedAccuracy(0.9, 50.0), curve.ExpectedAccuracy(0.1, 50.0));
+}
+
+TEST(LearningCurve, NoiseShrinksWithProgress) {
+  const LearningCurveModel curve{0.1, 0.7, 0.2, 10.0, 0.05};
+  Rng rng(5);
+  RunningStats early;
+  RunningStats late;
+  for (int i = 0; i < 2000; ++i) {
+    early.Add(curve.NoisyAccuracy(0.5, 1.0, rng));
+    late.Add(curve.NoisyAccuracy(0.5, 100.0, rng));
+  }
+  EXPECT_GT(early.stddev(), 4.0 * late.stddev());
+}
+
+TEST(LearningCurve, NoisyAccuracyStaysInUnitInterval) {
+  const LearningCurveModel curve{0.0, 0.9, 0.1, 1.0, 0.5};
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double acc = curve.NoisyAccuracy(1.0, 0.5, rng);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+}
+
+TEST(ModelZoo, GradientAccumulationKeepsBatchConstant) {
+  const WorkloadSpec bert = BertRte(32);
+  // 8 per GPU: 1 GPU -> 4 micro-steps, 4 GPUs -> 1.
+  EXPECT_EQ(bert.MicroSteps(1), 4);
+  EXPECT_EQ(bert.MicroSteps(2), 2);
+  EXPECT_EQ(bert.MicroSteps(4), 1);
+  EXPECT_EQ(bert.MicroSteps(8), 1);
+
+  const WorkloadSpec resnet = ResNet50(Cifar10(), 512);
+  EXPECT_EQ(resnet.MicroSteps(1), 2);
+  EXPECT_EQ(resnet.MicroSteps(2), 1);
+}
+
+TEST(ModelZoo, ScalingIsSubLinearForAllModels) {
+  for (const WorkloadSpec& spec : {ResNet50(Cifar10(), 512), ResNet101Cifar10(),
+                                   ResNet152Cifar100(), BertRte()}) {
+    for (int gpus : {2, 4, 8, 16}) {
+      EXPECT_LT(spec.true_scaling.Speedup(gpus), static_cast<double>(gpus)) << spec.name;
+      EXPECT_GT(spec.true_scaling.Speedup(gpus), 1.0) << spec.name;
+    }
+  }
+}
+
+TEST(ModelZoo, BertScalesWorstAsInFigure4) {
+  const double bert16 = BertRte().true_scaling.Speedup(16);
+  for (const WorkloadSpec& spec :
+       {ResNet50(Cifar10(), 512), ResNet101Cifar10(), ResNet152Cifar100()}) {
+    EXPECT_LT(bert16, spec.true_scaling.Speedup(16)) << spec.name;
+  }
+}
+
+TEST(ModelZoo, FindWorkloadByName) {
+  ASSERT_TRUE(FindWorkload("resnet101-cifar10").has_value());
+  EXPECT_EQ(FindWorkload("resnet101-cifar10")->dataset.name, "cifar10");
+  EXPECT_FALSE(FindWorkload("vgg16").has_value());
+}
+
+SyntheticTrainer MakeTrainer(uint64_t seed = 1) {
+  SearchSpace space;
+  Rng rng(seed);
+  return SyntheticTrainer(ResNet101Cifar10(), space.Sample(rng), seed);
+}
+
+TEST(SyntheticTrainer, LatencyFollowsScalingFunction) {
+  SyntheticTrainer trainer = MakeTrainer();
+  trainer.Configure(1, true);
+  const double base = trainer.MeanIterLatency();
+  trainer.Configure(8, true);
+  EXPECT_NEAR(trainer.MeanIterLatency(), base / 5.4, 1e-9);
+}
+
+TEST(SyntheticTrainer, CrossNodePenaltyWhenScattered) {
+  SyntheticTrainer trainer = MakeTrainer();
+  trainer.Configure(4, true);
+  const double packed = trainer.MeanIterLatency();
+  trainer.Configure(4, false);
+  EXPECT_NEAR(trainer.MeanIterLatency(), packed * 2.3, 1e-9);
+}
+
+TEST(SyntheticTrainer, SampleLatencyIsNoisyButPositive) {
+  SyntheticTrainer trainer = MakeTrainer();
+  trainer.Configure(1, true);
+  RunningStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    const double latency = trainer.SampleIterLatency();
+    EXPECT_GT(latency, 0.0);
+    stats.Add(latency);
+  }
+  EXPECT_NEAR(stats.mean(), trainer.MeanIterLatency(), 1.0);
+  EXPECT_GT(stats.stddev(), 1.0);
+}
+
+TEST(SyntheticTrainer, AccuracyImprovesWithTraining) {
+  SyntheticTrainer trainer = MakeTrainer();
+  const double before = trainer.ExpectedAccuracy();
+  trainer.Advance(20);
+  EXPECT_GT(trainer.ExpectedAccuracy(), before);
+  EXPECT_EQ(trainer.cum_iters(), 20);
+}
+
+TEST(SyntheticTrainer, CheckpointRestoreRoundTrips) {
+  SyntheticTrainer trainer = MakeTrainer();
+  trainer.Advance(7);
+  const TrainerCheckpoint checkpoint = trainer.Checkpoint();
+  trainer.Advance(5);
+  EXPECT_EQ(trainer.cum_iters(), 12);
+  trainer.Restore(checkpoint);
+  EXPECT_EQ(trainer.cum_iters(), 7);
+}
+
+TEST(SyntheticTrainer, RestoreRejectsForeignCheckpoint) {
+  SearchSpace space;
+  Rng rng(1);
+  SyntheticTrainer a(ResNet101Cifar10(), space.Sample(rng), 1);  // config id 0
+  SyntheticTrainer b(ResNet101Cifar10(), space.Sample(rng), 2);  // config id 1
+  a.Advance(3);
+  EXPECT_THROW(b.Restore(a.Checkpoint()), std::logic_error);
+}
+
+TEST(SyntheticTrainer, SamplesPerSecondReflectsAllocation) {
+  SyntheticTrainer trainer = MakeTrainer();
+  trainer.Configure(1, true);
+  const double one = trainer.SamplesPerSecond();
+  trainer.Configure(8, true);
+  EXPECT_NEAR(trainer.SamplesPerSecond(), one * 5.4, 1e-6);
+}
+
+TEST(SyntheticTrainer, InvalidUseThrows) {
+  SyntheticTrainer trainer = MakeTrainer();
+  EXPECT_THROW(trainer.Configure(0, true), std::invalid_argument);
+  EXPECT_THROW(trainer.Advance(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,227 @@
+// rubberband — command-line front end.
+//
+//   rubberband plan    [flags]   compile + compare plans for one job
+//   rubberband execute [flags]   compile the elastic plan and run end-to-end
+//   rubberband sweep   [flags]   cost vs deadline exploration
+//   rubberband asha    [flags]   run the ASHA baseline on the same substrate
+//
+// Common flags:
+//   --workload=resnet101-cifar10   (see FindWorkload for the catalog)
+//   --trials=32 --min-iters=1 --max-iters=50 --eta=3      SHA parameters
+//   --deadline-min=20                                     time constraint
+//   --instance=p3.8xlarge --billing=per-instance|per-function
+//   --data-price-gb=0.0 --queue-s=5 --init-s=10
+//   --spot --spot-mttp-s=14400 --seed=1
+// plan:     --render (ASCII chart), --budget=<dollars> (adds the min-time dual)
+// execute:  --trace-csv (dump the event log)
+// sweep:    --from-min=15 --to-min=60 --step-min=5
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/rubberband.h"
+
+namespace rubberband {
+namespace {
+
+struct CliSetup {
+  WorkloadSpec workload;
+  ExperimentSpec spec;
+  ModelProfile profile;
+  CloudProfile cloud;
+  Seconds deadline = 0.0;
+  uint64_t seed = 0;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+bool BuildSetup(const Flags& flags, CliSetup& setup) {
+  const std::string workload_name = flags.GetString("workload", "resnet101-cifar10");
+  const auto workload = FindWorkload(workload_name);
+  if (!workload.has_value()) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload_name.c_str());
+    return false;
+  }
+  setup.workload = *workload;
+
+  setup.spec = MakeSha(flags.GetInt("trials", 32), flags.GetInt64("min-iters", 1),
+                       flags.GetInt64("max-iters", 50), flags.GetInt("eta", 3));
+
+  const std::string instance_name = flags.GetString("instance", "p3.8xlarge");
+  const auto instance = FindInstanceType(instance_name);
+  if (!instance.has_value() || instance->gpus < 1) {
+    std::fprintf(stderr, "unknown or CPU-only instance type '%s'\n", instance_name.c_str());
+    return false;
+  }
+  setup.cloud.instance = *instance;
+  setup.cloud.provisioning =
+      ProvisioningModel::Fixed(flags.GetDouble("queue-s", 5.0), flags.GetDouble("init-s", 10.0));
+  const std::string billing = flags.GetString("billing", "per-instance");
+  if (billing == "per-function") {
+    setup.cloud.pricing.billing = BillingModel::kPerFunction;
+  } else if (billing != "per-instance") {
+    std::fprintf(stderr, "unknown billing model '%s'\n", billing.c_str());
+    return false;
+  }
+  setup.cloud.pricing.data_price_per_gb =
+      Money::FromDollars(flags.GetDouble("data-price-gb", 0.0));
+  if (flags.GetBool("spot")) {
+    setup.cloud.spot.enabled = true;
+    setup.cloud.spot.mean_time_to_preemption = flags.GetDouble("spot-mttp-s", 14'400.0);
+  }
+
+  setup.deadline = Minutes(flags.GetDouble("deadline-min", 20.0));
+  setup.seed = static_cast<uint64_t>(flags.GetInt64("seed", 1));
+
+  ProfilerOptions profiler_options;
+  profiler_options.seed = setup.seed;
+  setup.profile = ProfileWorkload(setup.workload, profiler_options).profile;
+
+  std::printf("workload %s | %s | deadline %s | %s, %s\n", setup.workload.name.c_str(),
+              setup.spec.ToString().c_str(), FormatDuration(setup.deadline).c_str(),
+              setup.cloud.instance.name.c_str(), ToString(setup.cloud.pricing.billing).c_str());
+  return true;
+}
+
+void PrintJob(const char* name, const PlannedJob& job) {
+  std::printf("%-14s %-28s JCT %8s  cost %8s%s\n", name, job.plan.ToString().c_str(),
+              FormatDuration(job.estimate.jct_mean).c_str(),
+              job.estimate.cost_mean.ToString().c_str(), job.feasible ? "" : "  [infeasible]");
+}
+
+int RunPlan(const Flags& flags, CliSetup& setup) {
+  const PlannerInputs inputs{setup.spec, setup.profile, setup.cloud, setup.deadline};
+  const PlannedJob fixed = PlanStatic(inputs);
+  const PlannedJob naive = PlanNaiveElastic(inputs);
+  const PlannedJob elastic = PlanGreedy(inputs);
+  PrintJob("static", fixed);
+  PrintJob("naive-elastic", naive);
+  PrintJob("rubberband", elastic);
+  if (flags.Has("budget")) {
+    const Money budget = Money::FromDollars(flags.GetDouble("budget", 0.0));
+    PrintJob("min-time", PlanGreedyMinTime(inputs, budget));
+  }
+  if (flags.GetBool("render")) {
+    std::printf("\n%s", RenderComparison(setup.spec, fixed.plan, elastic.plan, setup.profile,
+                                         setup.cloud)
+                            .c_str());
+  }
+  return 0;
+}
+
+int RunExecute(const Flags& flags, CliSetup& setup) {
+  const PlannedJob job =
+      PlanGreedy({setup.spec, setup.profile, setup.cloud, setup.deadline});
+  PrintJob("rubberband", job);
+
+  ExecutorOptions options;
+  options.seed = setup.seed;
+  const ExecutionReport report = Execute(setup.spec, job.plan, setup.workload, setup.cloud,
+                                         options);
+  std::printf("\nexecuted: JCT %s, cost %s (compute %s + data %s)\n",
+              FormatDuration(report.jct).c_str(), report.cost.Total().ToString().c_str(),
+              report.cost.compute.ToString().c_str(), report.cost.data.ToString().c_str());
+  std::printf("utilization %.0f%%, preemptions %d, best config %s, accuracy %.1f%%\n",
+              100.0 * report.realized_utilization, report.preemptions,
+              report.best_config.ToString().c_str(), 100.0 * report.best_accuracy);
+  std::printf("\n%-14s %8s %12s %14s\n", "epoch range", "trials", "GPUs/trial", "cluster size");
+  for (const StageLogEntry& stage : report.stage_log) {
+    std::printf("%4lld-%-9lld %8d %12d %14d\n",
+                static_cast<long long>(stage.start_cum_iters),
+                static_cast<long long>(stage.end_cum_iters), stage.num_trials,
+                stage.gpus_per_trial, stage.instances);
+  }
+  if (flags.GetBool("trace-csv")) {
+    std::printf("\n%s", report.trace.ToCsv().c_str());
+  }
+  return 0;
+}
+
+int RunSweep(const Flags& flags, CliSetup& setup) {
+  const double from = flags.GetDouble("from-min", 15.0);
+  const double to = flags.GetDouble("to-min", 60.0);
+  const double step = flags.GetDouble("step-min", 5.0);
+  if (step <= 0.0 || to < from) {
+    return Fail("sweep needs from-min <= to-min and step-min > 0");
+  }
+  std::printf("%-12s %12s %12s %10s\n", "deadline", "static $", "rubberband $", "gain");
+  for (double minutes = from; minutes <= to + 1e-9; minutes += step) {
+    const PlannerInputs inputs{setup.spec, setup.profile, setup.cloud, Minutes(minutes)};
+    const PlannedJob fixed = PlanStatic(inputs);
+    const PlannedJob elastic = PlanGreedy(inputs);
+    if (!elastic.feasible) {
+      std::printf("%-12.0f %12s %12s %10s\n", minutes, "-", "-", "infeasible");
+      continue;
+    }
+    std::printf("%-12.0f %12s %12s %9.2fx\n", minutes,
+                fixed.estimate.cost_mean.ToString().c_str(),
+                elastic.estimate.cost_mean.ToString().c_str(),
+                fixed.estimate.cost_mean.dollars() / elastic.estimate.cost_mean.dollars());
+  }
+  return 0;
+}
+
+int RunAshaCommand(const Flags& flags, CliSetup& setup) {
+  AshaOptions options;
+  options.min_iters = flags.GetInt64("min-iters", 1);
+  options.max_iters = flags.GetInt64("max-iters", 50);
+  options.reduction_factor = flags.GetInt("eta", 3);
+  options.num_workers = flags.GetInt("workers", 8);
+  options.gpus_per_trial = flags.GetInt("gpus-per-trial", 1);
+  options.time_limit = setup.deadline;
+  options.seed = setup.seed;
+  const AshaReport report = RunAsha(setup.workload, setup.cloud, options);
+  std::printf("ASHA: %d configurations, JCT %s, cost %s\n", report.configurations_sampled,
+              FormatDuration(report.jct).c_str(), report.cost.Total().ToString().c_str());
+  std::printf("best: %s at %lld iters, accuracy %.1f%%\n",
+              report.best_config.ToString().c_str(),
+              static_cast<long long>(report.best_config_cum_iters),
+              100.0 * report.best_accuracy);
+  for (size_t r = 0; r < report.rungs.size(); ++r) {
+    std::printf("rung %zu: %d completed, %d promoted\n", r, report.rungs[r].completed,
+                report.rungs[r].promoted);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s plan|execute|sweep|asha [--flags]\n", argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = Flags::Parse(argc - 2, argv + 2);
+
+  CliSetup setup;
+  if (!BuildSetup(flags, setup)) {
+    return 1;
+  }
+
+  int status = 2;
+  if (command == "plan") {
+    status = RunPlan(flags, setup);
+  } else if (command == "execute") {
+    status = RunExecute(flags, setup);
+  } else if (command == "sweep") {
+    status = RunSweep(flags, setup);
+  } else if (command == "asha") {
+    status = RunAshaCommand(flags, setup);
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 2;
+  }
+
+  for (const std::string& key : flags.UnusedKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+  return status;
+}
+
+}  // namespace
+}  // namespace rubberband
+
+int main(int argc, char** argv) { return rubberband::Main(argc, argv); }
