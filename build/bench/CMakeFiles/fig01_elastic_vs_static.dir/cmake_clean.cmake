@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_elastic_vs_static.dir/fig01_elastic_vs_static.cc.o"
+  "CMakeFiles/fig01_elastic_vs_static.dir/fig01_elastic_vs_static.cc.o.d"
+  "fig01_elastic_vs_static"
+  "fig01_elastic_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_elastic_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_stragglers.dir/fig09_stragglers.cc.o"
+  "CMakeFiles/fig09_stragglers.dir/fig09_stragglers.cc.o.d"
+  "fig09_stragglers"
+  "fig09_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

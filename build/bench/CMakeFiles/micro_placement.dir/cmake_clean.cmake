@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_placement.dir/micro_placement.cc.o"
+  "CMakeFiles/micro_placement.dir/micro_placement.cc.o.d"
+  "micro_placement"
+  "micro_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

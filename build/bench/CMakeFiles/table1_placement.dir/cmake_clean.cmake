@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_placement.dir/table1_placement.cc.o"
+  "CMakeFiles/table1_placement.dir/table1_placement.cc.o.d"
+  "table1_placement"
+  "table1_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

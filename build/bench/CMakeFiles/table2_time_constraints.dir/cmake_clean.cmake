@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_time_constraints.dir/table2_time_constraints.cc.o"
+  "CMakeFiles/table2_time_constraints.dir/table2_time_constraints.cc.o.d"
+  "table2_time_constraints"
+  "table2_time_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_time_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

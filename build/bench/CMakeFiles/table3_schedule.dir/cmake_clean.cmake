@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_schedule.dir/table3_schedule.cc.o"
+  "CMakeFiles/table3_schedule.dir/table3_schedule.cc.o.d"
+  "table3_schedule"
+  "table3_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_finetune.dir/bert_finetune.cpp.o"
+  "CMakeFiles/bert_finetune.dir/bert_finetune.cpp.o.d"
+  "bert_finetune"
+  "bert_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperband_multijob.dir/hyperband_multijob.cpp.o"
+  "CMakeFiles/hyperband_multijob.dir/hyperband_multijob.cpp.o.d"
+  "hyperband_multijob"
+  "hyperband_multijob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperband_multijob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

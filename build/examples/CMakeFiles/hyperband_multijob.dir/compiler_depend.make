@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hyperband_multijob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hyperband_multijob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_whatif.dir/serverless_whatif.cpp.o"
+  "CMakeFiles/serverless_whatif.dir/serverless_whatif.cpp.o.d"
+  "serverless_whatif"
+  "serverless_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

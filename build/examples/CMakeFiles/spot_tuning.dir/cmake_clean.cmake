@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_tuning.dir/spot_tuning.cpp.o"
+  "CMakeFiles/spot_tuning.dir/spot_tuning.cpp.o.d"
+  "spot_tuning"
+  "spot_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cc" "src/CMakeFiles/rubberband.dir/cloud/billing.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/cloud/billing.cc.o.d"
+  "/root/repo/src/cloud/instance.cc" "src/CMakeFiles/rubberband.dir/cloud/instance.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/cloud/instance.cc.o.d"
+  "/root/repo/src/cloud/pricing.cc" "src/CMakeFiles/rubberband.dir/cloud/pricing.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/cloud/pricing.cc.o.d"
+  "/root/repo/src/cloud/provisioning.cc" "src/CMakeFiles/rubberband.dir/cloud/provisioning.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/cloud/provisioning.cc.o.d"
+  "/root/repo/src/cloud/simulated_cloud.cc" "src/CMakeFiles/rubberband.dir/cloud/simulated_cloud.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/cloud/simulated_cloud.cc.o.d"
+  "/root/repo/src/common/distribution.cc" "src/CMakeFiles/rubberband.dir/common/distribution.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/common/distribution.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/rubberband.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/money.cc" "src/CMakeFiles/rubberband.dir/common/money.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/common/money.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/rubberband.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/rubberband.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/time.cc" "src/CMakeFiles/rubberband.dir/common/time.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/common/time.cc.o.d"
+  "/root/repo/src/dag/builder.cc" "src/CMakeFiles/rubberband.dir/dag/builder.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/dag/builder.cc.o.d"
+  "/root/repo/src/dag/node.cc" "src/CMakeFiles/rubberband.dir/dag/node.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/dag/node.cc.o.d"
+  "/root/repo/src/dag/simulate.cc" "src/CMakeFiles/rubberband.dir/dag/simulate.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/dag/simulate.cc.o.d"
+  "/root/repo/src/executor/asha.cc" "src/CMakeFiles/rubberband.dir/executor/asha.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/executor/asha.cc.o.d"
+  "/root/repo/src/executor/checkpoint_store.cc" "src/CMakeFiles/rubberband.dir/executor/checkpoint_store.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/executor/checkpoint_store.cc.o.d"
+  "/root/repo/src/executor/cluster_manager.cc" "src/CMakeFiles/rubberband.dir/executor/cluster_manager.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/executor/cluster_manager.cc.o.d"
+  "/root/repo/src/executor/executor.cc" "src/CMakeFiles/rubberband.dir/executor/executor.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/executor/executor.cc.o.d"
+  "/root/repo/src/executor/scheduler.cc" "src/CMakeFiles/rubberband.dir/executor/scheduler.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/executor/scheduler.cc.o.d"
+  "/root/repo/src/executor/trace.cc" "src/CMakeFiles/rubberband.dir/executor/trace.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/executor/trace.cc.o.d"
+  "/root/repo/src/executor/trial.cc" "src/CMakeFiles/rubberband.dir/executor/trial.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/executor/trial.cc.o.d"
+  "/root/repo/src/model/profile.cc" "src/CMakeFiles/rubberband.dir/model/profile.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/model/profile.cc.o.d"
+  "/root/repo/src/model/profiler.cc" "src/CMakeFiles/rubberband.dir/model/profiler.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/model/profiler.cc.o.d"
+  "/root/repo/src/model/scaling.cc" "src/CMakeFiles/rubberband.dir/model/scaling.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/model/scaling.cc.o.d"
+  "/root/repo/src/placement/cluster_state.cc" "src/CMakeFiles/rubberband.dir/placement/cluster_state.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/placement/cluster_state.cc.o.d"
+  "/root/repo/src/placement/controller.cc" "src/CMakeFiles/rubberband.dir/placement/controller.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/placement/controller.cc.o.d"
+  "/root/repo/src/planner/budget_planner.cc" "src/CMakeFiles/rubberband.dir/planner/budget_planner.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/planner/budget_planner.cc.o.d"
+  "/root/repo/src/planner/estimate.cc" "src/CMakeFiles/rubberband.dir/planner/estimate.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/planner/estimate.cc.o.d"
+  "/root/repo/src/planner/greedy_planner.cc" "src/CMakeFiles/rubberband.dir/planner/greedy_planner.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/planner/greedy_planner.cc.o.d"
+  "/root/repo/src/planner/instance_selection.cc" "src/CMakeFiles/rubberband.dir/planner/instance_selection.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/planner/instance_selection.cc.o.d"
+  "/root/repo/src/planner/multi_job.cc" "src/CMakeFiles/rubberband.dir/planner/multi_job.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/planner/multi_job.cc.o.d"
+  "/root/repo/src/planner/naive_elastic_planner.cc" "src/CMakeFiles/rubberband.dir/planner/naive_elastic_planner.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/planner/naive_elastic_planner.cc.o.d"
+  "/root/repo/src/planner/plan.cc" "src/CMakeFiles/rubberband.dir/planner/plan.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/planner/plan.cc.o.d"
+  "/root/repo/src/planner/render.cc" "src/CMakeFiles/rubberband.dir/planner/render.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/planner/render.cc.o.d"
+  "/root/repo/src/planner/static_planner.cc" "src/CMakeFiles/rubberband.dir/planner/static_planner.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/planner/static_planner.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/rubberband.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/rubberband.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/spec/experiment_spec.cc" "src/CMakeFiles/rubberband.dir/spec/experiment_spec.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/spec/experiment_spec.cc.o.d"
+  "/root/repo/src/spec/hyperband.cc" "src/CMakeFiles/rubberband.dir/spec/hyperband.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/spec/hyperband.cc.o.d"
+  "/root/repo/src/spec/sha.cc" "src/CMakeFiles/rubberband.dir/spec/sha.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/spec/sha.cc.o.d"
+  "/root/repo/src/trainer/dataset.cc" "src/CMakeFiles/rubberband.dir/trainer/dataset.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/trainer/dataset.cc.o.d"
+  "/root/repo/src/trainer/learning_curve.cc" "src/CMakeFiles/rubberband.dir/trainer/learning_curve.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/trainer/learning_curve.cc.o.d"
+  "/root/repo/src/trainer/model_zoo.cc" "src/CMakeFiles/rubberband.dir/trainer/model_zoo.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/trainer/model_zoo.cc.o.d"
+  "/root/repo/src/trainer/search_space.cc" "src/CMakeFiles/rubberband.dir/trainer/search_space.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/trainer/search_space.cc.o.d"
+  "/root/repo/src/trainer/synthetic_trainer.cc" "src/CMakeFiles/rubberband.dir/trainer/synthetic_trainer.cc.o" "gcc" "src/CMakeFiles/rubberband.dir/trainer/synthetic_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

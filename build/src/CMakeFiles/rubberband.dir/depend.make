@@ -1,0 +1,2 @@
+# Empty dependencies file for rubberband.
+# This may be replaced when dependencies are built.

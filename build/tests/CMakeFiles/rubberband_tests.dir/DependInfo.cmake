@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asha_test.cc" "tests/CMakeFiles/rubberband_tests.dir/asha_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/asha_test.cc.o.d"
+  "/root/repo/tests/budget_planner_test.cc" "tests/CMakeFiles/rubberband_tests.dir/budget_planner_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/budget_planner_test.cc.o.d"
+  "/root/repo/tests/checkpoint_store_test.cc" "tests/CMakeFiles/rubberband_tests.dir/checkpoint_store_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/checkpoint_store_test.cc.o.d"
+  "/root/repo/tests/cloud_test.cc" "tests/CMakeFiles/rubberband_tests.dir/cloud_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/cloud_test.cc.o.d"
+  "/root/repo/tests/dag_test.cc" "tests/CMakeFiles/rubberband_tests.dir/dag_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/dag_test.cc.o.d"
+  "/root/repo/tests/distribution_test.cc" "tests/CMakeFiles/rubberband_tests.dir/distribution_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/distribution_test.cc.o.d"
+  "/root/repo/tests/event_queue_test.cc" "tests/CMakeFiles/rubberband_tests.dir/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/event_queue_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/rubberband_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/rubberband_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/instance_selection_test.cc" "tests/CMakeFiles/rubberband_tests.dir/instance_selection_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/instance_selection_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/rubberband_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/money_test.cc" "tests/CMakeFiles/rubberband_tests.dir/money_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/money_test.cc.o.d"
+  "/root/repo/tests/multi_job_test.cc" "tests/CMakeFiles/rubberband_tests.dir/multi_job_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/multi_job_test.cc.o.d"
+  "/root/repo/tests/placement_test.cc" "tests/CMakeFiles/rubberband_tests.dir/placement_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/placement_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/rubberband_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/profiler_test.cc" "tests/CMakeFiles/rubberband_tests.dir/profiler_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/profiler_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/rubberband_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/reallocate_test.cc" "tests/CMakeFiles/rubberband_tests.dir/reallocate_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/reallocate_test.cc.o.d"
+  "/root/repo/tests/render_test.cc" "tests/CMakeFiles/rubberband_tests.dir/render_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/render_test.cc.o.d"
+  "/root/repo/tests/scaling_test.cc" "tests/CMakeFiles/rubberband_tests.dir/scaling_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/scaling_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/rubberband_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/spec_test.cc" "tests/CMakeFiles/rubberband_tests.dir/spec_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/spec_test.cc.o.d"
+  "/root/repo/tests/spot_test.cc" "tests/CMakeFiles/rubberband_tests.dir/spot_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/spot_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/rubberband_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/rubberband_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/rubberband_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/rubberband_tests.dir/trainer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rubberband.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

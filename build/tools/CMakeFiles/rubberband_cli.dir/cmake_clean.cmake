@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubberband_cli.dir/rubberband_cli.cc.o"
+  "CMakeFiles/rubberband_cli.dir/rubberband_cli.cc.o.d"
+  "rubberband"
+  "rubberband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubberband_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_plan "/root/repo/build/tools/rubberband" "plan" "--trials=8" "--max-iters=14" "--eta=2" "--deadline-min=30")
+set_tests_properties(cli_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_execute "/root/repo/build/tools/rubberband" "execute" "--trials=8" "--max-iters=14" "--eta=2" "--deadline-min=30" "--trace-csv")
+set_tests_properties(cli_execute PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/rubberband" "sweep" "--trials=8" "--max-iters=14" "--eta=2" "--from-min=20" "--to-min=40" "--step-min=10")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_asha "/root/repo/build/tools/rubberband" "asha" "--deadline-min=10" "--workers=4")
+set_tests_properties(cli_asha PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_spot "/root/repo/build/tools/rubberband" "execute" "--trials=8" "--max-iters=14" "--eta=2" "--deadline-min=30" "--spot" "--spot-mttp-s=600")
+set_tests_properties(cli_spot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_command "/root/repo/build/tools/rubberband" "bogus")
+set_tests_properties(cli_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
