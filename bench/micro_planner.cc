@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 
 namespace rubberband {
@@ -79,4 +82,29 @@ BENCHMARK(BM_GreedySimSamples)->Arg(1)->Arg(5)->Arg(20)->Arg(100);
 }  // namespace
 }  // namespace rubberband
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a "--json <path>" shorthand that expands to google-
+// benchmark's --benchmark_out/--benchmark_out_format pair, so CI can
+// collect machine-readable results the same way as bench/service_throughput.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  static std::string format_flag = "--benchmark_out_format=json";
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (std::string(args[i]) == "--json" && i + 1 < args.size()) {
+      out_flag = std::string("--benchmark_out=") + args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      args.push_back(out_flag.data());
+      args.push_back(format_flag.data());
+      break;
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Service throughput: the multi-tenant control plane replaying the same
+// job-arrival trace cold (every release terminates) and warm (releases
+// park in the WarmPool) at 1, 4, and 16 jobs.
+//
+// The cold column is what N independent RubberBand runs would pay; the
+// warm column is the service's pitch — successor jobs inherit their
+// predecessors' still-billed instances, so real provisioning events (and
+// the init time billed with them) drop as the trace gets busier.
+//
+//   --json <path>   additionally write the table as JSON (BENCH_service.json)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/flags.h"
+
+namespace rubberband {
+namespace {
+
+struct Row {
+  int jobs = 0;
+  std::string mode;
+  int completed = 0;
+  int launches = 0;
+  double hit_rate = 0.0;
+  Seconds makespan = 0.0;
+  Seconds mean_queue_wait = 0.0;
+  double total_cost = 0.0;
+  double cost_per_job = 0.0;
+};
+
+ServiceReport Replay(int num_jobs, const WarmPoolConfig& pool) {
+  ServiceConfig config;
+  config.cloud = bench::P38Cloud(/*queuing_seconds=*/30.0, /*init_seconds=*/120.0);
+  // One 4-GPU job slot: arrivals burst in and the queue serializes them,
+  // so every job-to-job hand-off is a warm-reuse opportunity.
+  config.capacity_gpus = 4;
+  config.warm_pool = pool;
+  config.seed = 7;
+
+  TuningService service(config);
+  for (int i = 0; i < num_jobs; ++i) {
+    JobRequest job;
+    job.name = "job-" + std::to_string(i);
+    job.spec = MakeSha(/*num_trials=*/8, /*min_iters=*/2, /*max_iters=*/14,
+                       /*reduction_factor=*/2);
+    job.workload = ResNet101Cifar10();
+    job.submit_at = 60.0 * i;
+    job.deadline = 1800.0 * num_jobs;  // covers the serialized backlog
+    service.Submit(job);
+  }
+  return service.Run();
+}
+
+Row MakeRow(int jobs, const std::string& mode, const ServiceReport& report) {
+  Row row;
+  row.jobs = jobs;
+  row.mode = mode;
+  row.completed = report.completed;
+  row.launches = report.instance_launches;
+  row.hit_rate = report.warm.HitRate();
+  row.makespan = report.makespan;
+  row.mean_queue_wait = report.mean_queue_wait;
+  row.total_cost = report.total_cost.Total().dollars();
+  row.cost_per_job = report.cost_per_completed_job.dollars();
+  return row;
+}
+
+bool WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\n  \"benchmark\": \"service_throughput\",\n  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(file,
+                 "    {\"jobs\": %d, \"mode\": \"%s\", \"completed\": %d, "
+                 "\"instance_launches\": %d, \"warm_hit_rate\": %.4f, "
+                 "\"makespan_s\": %.1f, \"mean_queue_wait_s\": %.1f, "
+                 "\"total_cost_usd\": %.2f, \"cost_per_job_usd\": %.2f}%s\n",
+                 row.jobs, row.mode.c_str(), row.completed, row.launches, row.hit_rate,
+                 row.makespan, row.mean_queue_wait, row.total_cost, row.cost_per_job,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc - 1, argv + 1);
+
+  bench::Heading("tuning service throughput: cold vs warm pool");
+  std::printf("%5s %6s %10s %9s %9s %10s %11s %10s %8s\n", "jobs", "mode", "completed",
+              "launches", "hit rate", "makespan", "queue wait", "total $", "$/job");
+
+  std::vector<Row> rows;
+  for (int jobs : {1, 4, 16}) {
+    for (const bool warm : {false, true}) {
+      WarmPoolConfig pool;
+      if (warm) {
+        pool.max_parked = 16;
+        pool.max_idle_seconds = 300.0;
+      }
+      const ServiceReport report = Replay(jobs, pool);
+      const Row row = MakeRow(jobs, warm ? "warm" : "cold", report);
+      rows.push_back(row);
+      std::printf("%5d %6s %10d %9d %8.0f%% %10s %11s %10.2f %8.2f\n", row.jobs,
+                  row.mode.c_str(), row.completed, row.launches, 100.0 * row.hit_rate,
+                  FormatDuration(row.makespan).c_str(),
+                  FormatDuration(row.mean_queue_wait).c_str(), row.total_cost,
+                  row.cost_per_job);
+    }
+  }
+
+  if (flags.Has("json")) {
+    const std::string path = flags.GetString("json", "");
+    if (path.empty()) {
+      std::fprintf(stderr, "error: --json requires a path\n");
+      return 2;
+    }
+    if (!WriteJson(path, rows)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rubberband
+
+int main(int argc, char** argv) { return rubberband::Main(argc, argv); }

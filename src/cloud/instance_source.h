@@ -1,0 +1,36 @@
+// InstanceSource: where a job's cluster manager gets its machines.
+//
+// The per-job runtime (ClusterManager/Executor) asks for instances and
+// releases them when the plan shrinks; it does not care whether releases
+// actually terminate capacity. Two implementations: SimulatedCloud releases
+// by terminating (the single-job behaviour), and WarmPool parks released
+// instances for the next job (the multi-tenant service behaviour).
+
+#ifndef SRC_CLOUD_INSTANCE_SOURCE_H_
+#define SRC_CLOUD_INSTANCE_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rubberband {
+
+using InstanceId = int64_t;
+
+class InstanceSource {
+ public:
+  virtual ~InstanceSource() = default;
+
+  // Requests `count` instances; `on_ready` fires once per instance when it
+  // is usable. `dataset_gb` is ingressed by each freshly provisioned
+  // instance (recycled instances are assumed to still hold the service's
+  // shared dataset cache).
+  virtual void RequestInstances(int count, double dataset_gb,
+                                std::function<void(InstanceId)> on_ready) = 0;
+
+  // Gives a ready instance back to the source (terminate or recycle).
+  virtual void ReleaseInstance(InstanceId id) = 0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_CLOUD_INSTANCE_SOURCE_H_

@@ -15,13 +15,12 @@
 
 #include "src/cloud/billing.h"
 #include "src/cloud/cloud_profile.h"
+#include "src/cloud/instance_source.h"
 #include "src/sim/simulation.h"
 
 namespace rubberband {
 
-using InstanceId = int64_t;
-
-class SimulatedCloud {
+class SimulatedCloud : public InstanceSource {
  public:
   SimulatedCloud(Simulation& sim, CloudProfile profile);
 
@@ -33,10 +32,14 @@ class SimulatedCloud {
   // launch (after queuing delay, before init completes), as real providers
   // charge while init scripts run. If `dataset_gb` > 0, each instance
   // ingresses that much data during init (charged at the data price).
-  void RequestInstances(int count, double dataset_gb, std::function<void(InstanceId)> on_ready);
+  void RequestInstances(int count, double dataset_gb,
+                        std::function<void(InstanceId)> on_ready) override;
 
   // Terminates a ready instance and closes its billing interval.
   void TerminateInstance(InstanceId id);
+
+  // InstanceSource: releasing to the raw provider terminates.
+  void ReleaseInstance(InstanceId id) override { TerminateInstance(id); }
 
   // Registers the callback invoked when the provider reclaims a spot
   // instance (only fires when the profile's spot market is enabled). The
@@ -57,6 +60,8 @@ class SimulatedCloud {
 
   int num_ready() const { return static_cast<int>(ready_.size()); }
   int num_pending() const { return pending_; }
+  // True while the instance is launched and not terminated/reclaimed.
+  bool IsReady(InstanceId id) const { return ready_.count(id) > 0; }
 
   const CloudProfile& profile() const { return profile_; }
   const BillingMeter& meter() const { return meter_; }

@@ -1,0 +1,90 @@
+#include "src/cloud/warm_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rubberband {
+
+WarmPool::WarmPool(Simulation& sim, SimulatedCloud& cloud, WarmPoolConfig config)
+    : sim_(sim), cloud_(cloud), config_(config) {}
+
+InstanceId WarmPool::PopHottest() {
+  const InstanceId id = stack_.back();
+  stack_.pop_back();
+  auto it = parked_.find(id);
+  stats_.parked_idle_seconds += sim_.now() - it->second.parked_at;
+  parked_.erase(it);
+  return id;
+}
+
+void WarmPool::RequestInstances(int count, double dataset_gb,
+                                std::function<void(InstanceId)> on_ready) {
+  stats_.requests += count;
+  int remaining = count;
+  while (remaining > 0 && !stack_.empty()) {
+    const InstanceId id = PopHottest();
+    ++stats_.warm_hits;
+    stats_.init_seconds_saved += cloud_.profile().provisioning.MeanReadyLatency();
+    --remaining;
+    // Hand over on the next tick so the caller's async contract (callback
+    // after RequestInstances returns) holds for warm hits too.
+    sim_.ScheduleIn(0.0, [this, on_ready, id, dataset_gb] {
+      if (!cloud_.IsReady(id)) {
+        // Reclaimed inside the handover tick (spot): downgrade to a miss.
+        ++stats_.cold_misses;
+        --stats_.warm_hits;
+        stats_.init_seconds_saved -= cloud_.profile().provisioning.MeanReadyLatency();
+        cloud_.RequestInstances(1, dataset_gb, on_ready);
+        return;
+      }
+      on_ready(id);
+    });
+  }
+  if (remaining > 0) {
+    stats_.cold_misses += remaining;
+    cloud_.RequestInstances(remaining, dataset_gb, std::move(on_ready));
+  }
+}
+
+void WarmPool::ReleaseInstance(InstanceId id) {
+  if (config_.max_parked <= 0 || num_parked() >= config_.max_parked) {
+    ++stats_.released_cold;
+    cloud_.TerminateInstance(id);
+    return;
+  }
+  ++stats_.parked;
+  const int64_t generation = ++next_generation_;
+  parked_[id] = ParkedInstance{sim_.now(), generation};
+  stack_.push_back(id);
+  sim_.ScheduleIn(config_.max_idle_seconds, [this, id, generation] {
+    auto it = parked_.find(id);
+    if (it == parked_.end() || it->second.generation != generation) {
+      return;  // re-acquired (and possibly re-parked) since; not our entry
+    }
+    stats_.parked_idle_seconds += sim_.now() - it->second.parked_at;
+    parked_.erase(it);
+    stack_.erase(std::find(stack_.begin(), stack_.end(), id));
+    ++stats_.expired;
+    cloud_.TerminateInstance(id);
+  });
+}
+
+bool WarmPool::OnPreempted(InstanceId id) {
+  auto it = parked_.find(id);
+  if (it == parked_.end()) {
+    return false;
+  }
+  stats_.parked_idle_seconds += sim_.now() - it->second.parked_at;
+  parked_.erase(it);
+  stack_.erase(std::find(stack_.begin(), stack_.end(), id));
+  ++stats_.preempted_parked;
+  return true;  // the provider already closed the billing interval
+}
+
+void WarmPool::Drain() {
+  while (!stack_.empty()) {
+    cloud_.TerminateInstance(PopHottest());
+  }
+}
+
+}  // namespace rubberband

@@ -1,0 +1,100 @@
+// WarmPool: warm-instance reuse across tuning jobs (the multi-tenant
+// service's answer to Figure 12's init-latency tax).
+//
+// Sits between per-job cluster managers and the cloud provider. Releases
+// are intercepted: instead of terminating, the instance is parked — still
+// billing — in a bounded pool. The next job's request is served from the
+// pool with zero queuing/init delay (a "warm hit"); only misses fall
+// through to real provisioning. Parked instances that idle past the TTL
+// are terminated for real, bounding the idle-billing exposure. The pool is
+// LIFO: the most recently parked (hottest) instance is handed out first,
+// so the oldest entries age toward their TTL and expire.
+//
+// Warm hits skip dataset re-ingress: the service's jobs draw from a shared
+// workload catalog and a recycled instance is assumed to keep its dataset
+// cache (ExpoCloud-style worker reuse).
+
+#ifndef SRC_CLOUD_WARM_POOL_H_
+#define SRC_CLOUD_WARM_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/cloud/simulated_cloud.h"
+
+namespace rubberband {
+
+struct WarmPoolConfig {
+  // Maximum simultaneously parked instances; 0 disables pooling entirely
+  // (every release terminates — the cold baseline).
+  int max_parked = 0;
+  // How long a parked instance may idle before it is terminated for real.
+  Seconds max_idle_seconds = 300.0;
+};
+
+struct WarmPoolStats {
+  int64_t requests = 0;       // instances asked for through the pool
+  int64_t warm_hits = 0;      // served from parked capacity
+  int64_t cold_misses = 0;    // fell through to real provisioning
+  int64_t parked = 0;         // releases the pool absorbed
+  int64_t released_cold = 0;  // releases terminated (pool full or disabled)
+  int64_t expired = 0;        // parked instances that idled out
+  int64_t preempted_parked = 0;
+  // Provisioning latency (queuing + init) the warm hits did not pay.
+  double init_seconds_saved = 0.0;
+  // Instance-seconds spent parked (the price of keeping capacity warm).
+  double parked_idle_seconds = 0.0;
+
+  double HitRate() const {
+    return requests > 0 ? static_cast<double>(warm_hits) / static_cast<double>(requests) : 0.0;
+  }
+};
+
+class WarmPool : public InstanceSource {
+ public:
+  WarmPool(Simulation& sim, SimulatedCloud& cloud, WarmPoolConfig config);
+
+  WarmPool(const WarmPool&) = delete;
+  WarmPool& operator=(const WarmPool&) = delete;
+
+  // Serves warm instances first (ready on the next event-queue tick), then
+  // falls through to the cloud for the remainder.
+  void RequestInstances(int count, double dataset_gb,
+                        std::function<void(InstanceId)> on_ready) override;
+
+  // Parks the instance (or terminates it when the pool is full/disabled).
+  void ReleaseInstance(InstanceId id) override;
+
+  // The provider reclaimed a spot instance. Returns true if it was parked
+  // here (the pool drops it); false if some job holds it.
+  bool OnPreempted(InstanceId id);
+
+  // Terminates everything still parked (end-of-run cleanup).
+  void Drain();
+
+  int num_parked() const { return static_cast<int>(parked_.size()); }
+  const WarmPoolStats& stats() const { return stats_; }
+
+ private:
+  struct ParkedInstance {
+    Seconds parked_at = 0.0;
+    // Bumped every time the same id is re-parked; stale TTL events no-op.
+    int64_t generation = 0;
+  };
+
+  InstanceId PopHottest();
+
+  Simulation& sim_;
+  SimulatedCloud& cloud_;
+  WarmPoolConfig config_;
+  // Park order (LIFO stack of ids); parked_ holds the authoritative state.
+  std::vector<InstanceId> stack_;
+  std::map<InstanceId, ParkedInstance> parked_;
+  int64_t next_generation_ = 0;
+  WarmPoolStats stats_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_CLOUD_WARM_POOL_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace rubberband {
 
@@ -14,6 +15,15 @@ void ClusterManager::OnInstanceReady(InstanceId id) {
   }
 }
 
+void ClusterManager::Request(int count, std::function<void(InstanceId)> on_each_ready) {
+  inflight_ += count;
+  source_.RequestInstances(count, dataset_gb_,
+                           [this, on_each_ready = std::move(on_each_ready)](InstanceId id) {
+                             --inflight_;
+                             on_each_ready(id);
+                           });
+}
+
 void ClusterManager::EnsureInstances(int target, std::function<void()> on_ready) {
   if (waiter_) {
     throw std::logic_error("ClusterManager already has an outstanding scale request");
@@ -24,15 +34,14 @@ void ClusterManager::EnsureInstances(int target, std::function<void()> on_ready)
   }
   waiter_ = std::move(on_ready);
   waiting_for_ = target;
-  const int missing = target - num_ready() - cloud_.num_pending();
+  const int missing = target - num_ready() - inflight_;
   if (missing > 0) {
-    cloud_.RequestInstances(missing, dataset_gb_,
-                            [this](InstanceId id) { OnInstanceReady(id); });
+    Request(missing, [this](InstanceId id) { OnInstanceReady(id); });
   }
 }
 
 void ClusterManager::RequestExtra(int count, std::function<void(InstanceId)> on_ready) {
-  cloud_.RequestInstances(count, dataset_gb_, [this, on_ready](InstanceId id) {
+  Request(count, [this, on_ready = std::move(on_ready)](InstanceId id) {
     OnInstanceReady(id);
     on_ready(id);
   });
@@ -53,7 +62,7 @@ void ClusterManager::Deprovision(const std::vector<InstanceId>& ids) {
       throw std::logic_error("deprovisioning an instance the manager does not hold");
     }
     ready_.erase(it);
-    cloud_.TerminateInstance(id);
+    source_.ReleaseInstance(id);
   }
 }
 

@@ -1,11 +1,13 @@
 // Cluster manager (paper section 5, "Cluster management").
 //
-// Extends the cloud provider with ad-hoc scale requests: the scheduler asks
+// Extends the instance source with ad-hoc scale requests: the scheduler asks
 // for a target cluster size; the manager provisions the difference and
 // reports once the target is reached. Deprovisioning takes specific
 // instances (the executor only retires nodes the placement controller has
-// emptied). Total provisioned-compute cost is tracked by the underlying
-// provider's billing meter for the lifetime of the experiment.
+// emptied) and releases them back to the source — which terminates them in
+// the single-job case, or parks them for the next tenant when the source is
+// the service's warm pool. Total provisioned-compute cost is tracked by the
+// underlying provider's billing meter for the lifetime of the experiment.
 
 #ifndef SRC_EXECUTOR_CLUSTER_MANAGER_H_
 #define SRC_EXECUTOR_CLUSTER_MANAGER_H_
@@ -13,15 +15,15 @@
 #include <functional>
 #include <vector>
 
-#include "src/cloud/simulated_cloud.h"
+#include "src/cloud/instance_source.h"
 
 namespace rubberband {
 
 class ClusterManager {
  public:
   // `dataset_gb` is ingressed by every newly provisioned instance.
-  ClusterManager(SimulatedCloud& cloud, double dataset_gb)
-      : cloud_(cloud), dataset_gb_(dataset_gb) {}
+  ClusterManager(InstanceSource& source, double dataset_gb)
+      : source_(source), dataset_gb_(dataset_gb) {}
 
   ClusterManager(const ClusterManager&) = delete;
   ClusterManager& operator=(const ClusterManager&) = delete;
@@ -43,17 +45,21 @@ class ClusterManager {
 
   const std::vector<InstanceId>& ready_instances() const { return ready_; }
   int num_ready() const { return static_cast<int>(ready_.size()); }
-
-  SimulatedCloud& cloud() { return cloud_; }
+  // Instances requested from the source that have not become ready yet.
+  int num_inflight() const { return inflight_; }
 
  private:
   void OnInstanceReady(InstanceId id);
+  void Request(int count, std::function<void(InstanceId)> on_each_ready);
 
-  SimulatedCloud& cloud_;
+  InstanceSource& source_;
   double dataset_gb_;
   std::vector<InstanceId> ready_;
   std::function<void()> waiter_;
   int waiting_for_ = 0;
+  // Tracked here, not read off the provider: on a shared cloud the
+  // provider's pending count mixes every tenant's requests.
+  int inflight_ = 0;
 };
 
 }  // namespace rubberband

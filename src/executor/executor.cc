@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/dag/builder.h"
+#include "src/planner/planner.h"
 
 namespace rubberband {
 
@@ -14,24 +15,74 @@ Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
       plan_(plan),
       workload_(workload),
       options_(options),
-      sim_(options.seed),
-      cloud_(sim_, cloud_profile),
+      owned_sim_(std::make_unique<Simulation>(options.seed)),
+      owned_cloud_(std::make_unique<SimulatedCloud>(*owned_sim_, cloud_profile)),
+      sim_(*owned_sim_),
+      cloud_(*owned_cloud_),
+      shared_(false),
       manager_(cloud_, workload.dataset.size_gb),
       placement_(cloud_profile.gpus_per_instance(), options.placement) {
   spec_.Validate();
   plan_.Validate(spec_.num_stages());
 }
 
-int Executor::DesiredInstances(int stage) const {
-  const int gpg = cloud_.profile().gpus_per_instance();
-  return (plan_.gpus(stage) + gpg - 1) / gpg;
+Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
+                   const WorkloadSpec& workload, const SharedClusterContext& context,
+                   const ExecutorOptions& options)
+    : spec_(spec),
+      plan_(plan),
+      workload_(workload),
+      options_(options),
+      sim_(*context.sim),
+      cloud_(*context.cloud),
+      shared_(true),
+      gpu_cap_(context.gpu_cap),
+      manager_(*context.source, workload.dataset.size_gb),
+      placement_(cloud_.profile().gpus_per_instance(), options.placement) {
+  spec_.Validate();
+  plan_.Validate(spec_.num_stages());
 }
 
-ExecutionReport Executor::Run() {
-  if (current_stage_ >= 0) {
-    throw std::logic_error("Executor::Run may only be called once");
+int Executor::EffectiveStageGpus(int stage) const {
+  const int planned = plan_.gpus(stage);
+  if (!gpu_cap_) {
+    return planned;
   }
-  cloud_.SetPreemptionHandler([this](InstanceId id) { HandlePreemption(id); });
+  const int cap = std::max(1, gpu_cap_());
+  if (cap >= planned) {
+    return planned;
+  }
+  // Clamp while keeping the fair-division invariant (factor or multiple of
+  // the stage's trial count) so the stage still divides evenly.
+  return std::max(1, FairFloorAllocation(cap, spec_.stage(stage).num_trials));
+}
+
+int Executor::DesiredInstances() const {
+  const int gpg = cloud_.profile().gpus_per_instance();
+  return (stage_gpus_ + gpg - 1) / gpg;
+}
+
+void Executor::RecordUsage(int gpus, Seconds duration) {
+  cloud_.RecordFunctionUsage(gpus, duration);
+  job_meter_.RecordFunctionUsage(gpus, duration);
+}
+
+void Executor::NoteAcquired(InstanceId id) { acquired_at_[id] = sim_.now(); }
+
+void Executor::NoteReleased(InstanceId id) {
+  auto it = acquired_at_.find(id);
+  if (it == acquired_at_.end()) {
+    return;  // never registered (e.g. reclaimed before first use)
+  }
+  job_meter_.RecordInstanceUsage(it->second, sim_.now());
+  acquired_at_.erase(it);
+}
+
+void Executor::Start(std::function<void(const ExecutionReport&)> on_done) {
+  if (current_stage_ >= 0) {
+    throw std::logic_error("Executor may only be started once");
+  }
+  on_done_ = std::move(on_done);
   // Sample one configuration per initial trial (random search over the
   // user-provided space).
   SearchSpace space;
@@ -44,6 +95,14 @@ ExecutionReport Executor::Run() {
   }
 
   StartStage(0);
+}
+
+ExecutionReport Executor::Run() {
+  if (shared_) {
+    throw std::logic_error("Run() drives its own simulation; shared executors use Start()");
+  }
+  cloud_.SetPreemptionHandler([this](InstanceId id) { OnPreemption(id); });
+  Start(nullptr);
   sim_.Run();
   if (!finished_) {
     throw std::logic_error("simulation drained without completing the experiment");
@@ -51,8 +110,14 @@ ExecutionReport Executor::Run() {
   return report_;
 }
 
+bool Executor::OwnsInstance(InstanceId instance) const {
+  const std::vector<InstanceId>& held = manager_.ready_instances();
+  return std::find(held.begin(), held.end(), instance) != held.end();
+}
+
 void Executor::StartStage(int stage) {
   current_stage_ = stage;
+  stage_gpus_ = EffectiveStageGpus(stage);
   completed_in_stage_ = 0;
   const Stage& spec_stage = spec_.stage(stage);
   if (static_cast<int>(survivors_.size()) != spec_stage.num_trials) {
@@ -68,7 +133,7 @@ void Executor::StartStage(int stage) {
     checkpoint_store_.Save(id, workload_.checkpoint_gb);
   }
 
-  manager_.EnsureInstances(DesiredInstances(stage), [this, stage] { BeginTraining(stage); });
+  manager_.EnsureInstances(DesiredInstances(), [this, stage] { BeginTraining(stage); });
 }
 
 void Executor::BeginTraining(int stage) {
@@ -78,11 +143,12 @@ void Executor::BeginTraining(int stage) {
         nodes_in_controller_.end()) {
       placement_.AddNode(id);
       nodes_in_controller_.push_back(id);
+      NoteAcquired(id);
       report_.trace.Record(sim_.now(), TraceEventType::kInstanceReady, stage, -1, id);
     }
   }
 
-  const int gpus = plan_.gpus(stage);
+  const int gpus = stage_gpus_;
   const StageSchedule schedule = BuildStageSchedule(survivors_, gpus);
   gpus_per_trial_ = schedule.gpus_per_trial;
   queued_.assign(schedule.queued.begin(), schedule.queued.end());
@@ -107,7 +173,7 @@ void Executor::BeginTraining(int stage) {
 
   // Bin-packing done: retire surplus idle nodes so the cluster matches the
   // plan (deprovisioning is safe because no trial holds GPUs on them).
-  const int desired_instances = DesiredInstances(stage);
+  const int desired_instances = DesiredInstances();
   for (PlacementNodeId idle : placement_.IdleNodes()) {
     if (manager_.num_ready() <= desired_instances) {
       break;
@@ -116,6 +182,7 @@ void Executor::BeginTraining(int stage) {
     nodes_in_controller_.erase(
         std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(), idle));
     manager_.Deprovision({idle});
+    NoteReleased(idle);
     report_.trace.Record(sim_.now(), TraceEventType::kInstanceReleased, stage, -1, idle);
   }
 
@@ -187,7 +254,7 @@ void Executor::OnTrialStageDone(TrialId id) {
 
   const Seconds busy = sim_.now() - busy_start_[id];
   const int gpus = allocations_.count(id) > 0 ? allocations_[id] : gpus_per_trial_;
-  cloud_.RecordFunctionUsage(gpus, busy);
+  RecordUsage(gpus, busy);
 
   if (options_.record_throughput) {
     const Seconds training_time = busy - workload_.trial_startup_seconds;
@@ -234,8 +301,7 @@ void Executor::ReallocateFreedResources() {
   if (running.empty()) {
     return;
   }
-  const int new_share = GpusPerTrial(plan_.gpus(current_stage_),
-                                     static_cast<int>(running.size()));
+  const int new_share = GpusPerTrial(stage_gpus_, static_cast<int>(running.size()));
   // Hysteresis: resizing destroys and recreates every running gang (each
   // paying startup again), so only act when the fair share has at least
   // doubled — otherwise completion-by-completion churn thrashes the stage.
@@ -255,7 +321,7 @@ void Executor::ReallocateFreedResources() {
     Trial& trial = trials_[static_cast<size_t>(id)];
     trial.SaveCheckpoint();
     checkpoint_store_.Save(id, workload_.checkpoint_gb);
-    cloud_.RecordFunctionUsage(allocations_[id], sim_.now() - busy_start_[id]);
+    RecordUsage(allocations_[id], sim_.now() - busy_start_[id]);
     allocations_[id] = new_share;
   }
   const PlacementResult placed = placement_.Place(allocations_);
@@ -272,13 +338,14 @@ void Executor::ReallocateFreedResources() {
   }
 }
 
-void Executor::HandlePreemption(InstanceId instance) {
+void Executor::OnPreemption(InstanceId instance) {
   ++report_.preemptions;
   if (finished_) {
     return;
   }
   report_.trace.Record(sim_.now(), TraceEventType::kPreemption, current_stage_, -1, instance);
   manager_.OnInstancePreempted(instance);
+  NoteReleased(instance);
   const bool tracked = std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(),
                                  instance) != nodes_in_controller_.end();
   if (!tracked) {
@@ -296,7 +363,7 @@ void Executor::HandlePreemption(InstanceId instance) {
     }
     ++generation_[id];  // invalidate in-flight iteration events
     const int gpus = allocations_.count(id) > 0 ? allocations_[id] : gpus_per_trial_;
-    cloud_.RecordFunctionUsage(gpus, sim_.now() - busy_start_[id]);
+    RecordUsage(gpus, sim_.now() - busy_start_[id]);
     allocations_.erase(id);
     trial.set_state(TrialState::kPending);
     trial.RestoreFromCheckpoint();
@@ -311,10 +378,15 @@ void Executor::HandlePreemption(InstanceId instance) {
   // remains).
   manager_.RequestExtra(1, [this](InstanceId replacement) {
     if (finished_) {
+      // The job ended while the replacement was provisioning: release it
+      // immediately so it does not sit in the manager billing forever
+      // (on a shared cluster it goes back to the pool for the next job).
+      manager_.Deprovision({replacement});
       return;
     }
     placement_.AddNode(replacement);
     nodes_in_controller_.push_back(replacement);
+    NoteAcquired(replacement);
     TryRestartPending();
   });
   TryRestartPending();
@@ -393,19 +465,29 @@ void Executor::Finish(int final_stage) {
   const std::vector<InstanceId> remaining = manager_.ready_instances();
   manager_.Deprovision(remaining);
   for (InstanceId id : remaining) {
+    NoteReleased(id);
     report_.trace.Record(sim_.now(), TraceEventType::kInstanceReleased, final_stage, -1, id);
   }
-  report_.cost = cloud_.Cost();
+  // Standalone jobs settle against the account ledger (exact, including
+  // init-time billing and acquisition minimums). On a shared cluster the
+  // account bills every tenant plus the warm pool's idle time, so the
+  // per-job report prices this job's attributed slice instead; the service
+  // reports the exact aggregate from the account ledger.
+  const BillingMeter& meter = shared_ ? job_meter_ : cloud_.meter();
+  report_.cost = shared_
+                     ? job_meter_.Price(cloud_.profile().BilledInstance(), cloud_.profile().pricing)
+                     : cloud_.Cost();
   report_.checkpoint_saves = checkpoint_store_.saves();
   report_.checkpoint_fetches = checkpoint_store_.fetches();
   report_.checkpoint_gb_moved = checkpoint_store_.gb_moved();
   const double provisioned_gpu_seconds =
-      cloud_.meter().TotalInstanceSeconds() * cloud_.profile().gpus_per_instance();
+      meter.TotalInstanceSeconds() * cloud_.profile().gpus_per_instance();
   report_.realized_utilization =
-      provisioned_gpu_seconds > 0.0
-          ? cloud_.meter().TotalGpuSecondsUsed() / provisioned_gpu_seconds
-          : 0.0;
+      provisioned_gpu_seconds > 0.0 ? meter.TotalGpuSecondsUsed() / provisioned_gpu_seconds : 0.0;
   finished_ = true;
+  if (on_done_) {
+    on_done_(report_);
+  }
 }
 
 ExecutionReport ExecutePlan(const ExperimentSpec& spec, const AllocationPlan& plan,

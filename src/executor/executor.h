@@ -16,7 +16,9 @@
 #define SRC_EXECUTOR_EXECUTOR_H_
 
 #include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/cloud/simulated_cloud.h"
@@ -81,16 +83,56 @@ struct ExecutionReport {
   ExecutionTrace trace;
 };
 
+// Shared-cluster execution context: lets many executors (one per tuning
+// job) run concurrently on one discrete-event timeline, drawing instances
+// from one provider — the multi-tenant service substrate. The caller (the
+// tuning service) owns the simulation, the billing account, and the
+// instance source (typically a WarmPool recycling instances across jobs),
+// and is responsible for driving the event loop and routing spot
+// preemptions to the executor that owns the instance.
+struct SharedClusterContext {
+  Simulation* sim = nullptr;
+  SimulatedCloud* cloud = nullptr;
+  InstanceSource* source = nullptr;
+  // Fair-share arbiter hook: the job's current GPU cap, re-read at every
+  // stage boundary. Null means uncapped.
+  std::function<int()> gpu_cap;
+};
+
 class Executor {
  public:
+  // Standalone: the executor owns a fresh simulation and cloud, runs the
+  // plan to completion via Run().
   Executor(const ExperimentSpec& spec, const AllocationPlan& plan, const WorkloadSpec& workload,
            const CloudProfile& cloud_profile, const ExecutorOptions& options = {});
+
+  // Shared: the executor joins an existing timeline and instance source.
+  // Use Start(); the context owner drives the simulation.
+  Executor(const ExperimentSpec& spec, const AllocationPlan& plan, const WorkloadSpec& workload,
+           const SharedClusterContext& context, const ExecutorOptions& options = {});
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  // Runs the experiment to completion and reports. Call once.
+  // Runs the experiment to completion and reports. Call once (standalone
+  // executors only).
   ExecutionReport Run();
+
+  // Kicks the experiment off asynchronously; `on_done` fires (on the
+  // simulation timeline) when the final stage's barrier completes. In
+  // shared mode the per-job report prices only this job's attributed usage.
+  void Start(std::function<void(const ExecutionReport&)> on_done);
+
+  // Spot preemption entry point. Standalone executors wire this to the
+  // provider themselves; a shared-cluster owner routes each preemption to
+  // the executor holding the instance.
+  void OnPreemption(InstanceId instance);
+
+  // True while this job's cluster holds the instance (shared-mode
+  // preemption routing).
+  bool OwnsInstance(InstanceId instance) const;
+
+  bool finished() const { return finished_; }
 
  private:
   void StartStage(int stage);
@@ -100,20 +142,37 @@ class Executor {
   void OnTrialStageDone(TrialId id);
   void Sync(int stage);
   void Finish(int final_stage);
-  // Spot-market fault handling: restart interrupted trials from their
-  // stage-start checkpoints on replacement capacity.
-  void HandlePreemption(InstanceId instance);
   void TryRestartPending();
   void ReallocateFreedResources();
-  int DesiredInstances(int stage) const;
+  // The stage's planned allocation clamped to the fair-share cap (snapshot
+  // taken at the stage boundary, the paper's natural reallocation point).
+  int EffectiveStageGpus(int stage) const;
+  int DesiredInstances() const;
+  // Billing attribution: busy GPU-seconds to both the account-level meter
+  // and this job's own meter.
+  void RecordUsage(int gpus, Seconds duration);
+  void NoteAcquired(InstanceId id);
+  void NoteReleased(InstanceId id);
 
   ExperimentSpec spec_;
   AllocationPlan plan_;
   WorkloadSpec workload_;
   ExecutorOptions options_;
 
-  Simulation sim_;
-  SimulatedCloud cloud_;
+  // Standalone mode owns its runtime; shared mode borrows the context's.
+  std::unique_ptr<Simulation> owned_sim_;
+  std::unique_ptr<SimulatedCloud> owned_cloud_;
+  Simulation& sim_;
+  SimulatedCloud& cloud_;
+  const bool shared_;
+  std::function<int()> gpu_cap_;
+  std::function<void(const ExecutionReport&)> on_done_;
+  // This job's slice of the (possibly shared) billing account: instance
+  // time from acquisition to release and busy GPU-seconds. Per-instance
+  // init time and acquisition minimums stay on the account-level ledger.
+  BillingMeter job_meter_;
+  std::map<InstanceId, Seconds> acquired_at_;
+
   ClusterManager manager_;
   PlacementController placement_;
   CheckpointStore checkpoint_store_;
@@ -130,6 +189,7 @@ class Executor {
   std::vector<InstanceId> nodes_in_controller_;
 
   int current_stage_ = -1;
+  int stage_gpus_ = 0;  // effective (cap-clamped) allocation of the stage
   int gpus_per_trial_ = 1;
   int completed_in_stage_ = 0;
   bool finished_ = false;

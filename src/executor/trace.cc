@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace rubberband {
 
@@ -29,6 +30,22 @@ std::string ToString(TraceEventType type) {
   return "UNKNOWN";
 }
 
+TraceEventType TraceEventTypeFromString(const std::string& name) {
+  static const TraceEventType kAll[] = {
+      TraceEventType::kStageStart,    TraceEventType::kInstanceReady,
+      TraceEventType::kInstanceReleased, TraceEventType::kTrialStart,
+      TraceEventType::kTrialComplete, TraceEventType::kTrialTerminated,
+      TraceEventType::kSync,          TraceEventType::kPreemption,
+      TraceEventType::kTrialRestart,
+  };
+  for (TraceEventType type : kAll) {
+    if (ToString(type) == name) {
+      return type;
+    }
+  }
+  throw std::invalid_argument("unknown trace event type '" + name + "'");
+}
+
 std::vector<TraceEvent> ExecutionTrace::OfType(TraceEventType type) const {
   std::vector<TraceEvent> matching;
   for (const TraceEvent& event : events_) {
@@ -50,6 +67,30 @@ std::string ExecutionTrace::ToCsv() const {
     os << line;
   }
   return os.str();
+}
+
+ExecutionTrace ExecutionTrace::FromCsv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line) || line != "time_s,event,stage,trial,instance") {
+    throw std::invalid_argument("trace CSV is missing its header line");
+  }
+  ExecutionTrace trace;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream row(line);
+    std::string time_s, event, stage, trial, instance;
+    if (!std::getline(row, time_s, ',') || !std::getline(row, event, ',') ||
+        !std::getline(row, stage, ',') || !std::getline(row, trial, ',') ||
+        !std::getline(row, instance, ',')) {
+      throw std::invalid_argument("malformed trace CSV row: " + line);
+    }
+    trace.Record(std::stod(time_s), TraceEventTypeFromString(event), std::stoi(stage),
+                 std::stoi(trial), std::stoll(instance));
+  }
+  return trace;
 }
 
 }  // namespace rubberband

@@ -29,6 +29,9 @@ enum class TraceEventType {
 
 std::string ToString(TraceEventType type);
 
+// Inverse of ToString; throws std::invalid_argument on an unknown name.
+TraceEventType TraceEventTypeFromString(const std::string& name);
+
 struct TraceEvent {
   Seconds time = 0.0;
   TraceEventType type = TraceEventType::kStageStart;
@@ -52,6 +55,10 @@ class ExecutionTrace {
 
   // "time,event,stage,trial,instance" rows with a header line.
   std::string ToCsv() const;
+
+  // Parses ToCsv output back into a trace (offline-analysis round trip).
+  // Throws std::invalid_argument on a malformed header or row.
+  static ExecutionTrace FromCsv(const std::string& csv);
 
  private:
   std::vector<TraceEvent> events_;

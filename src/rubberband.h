@@ -19,6 +19,7 @@
 #include "src/cloud/pricing.h"
 #include "src/cloud/provisioning.h"
 #include "src/cloud/simulated_cloud.h"
+#include "src/cloud/warm_pool.h"
 #include "src/common/distribution.h"
 #include "src/common/money.h"
 #include "src/common/rng.h"
@@ -37,6 +38,8 @@
 #include "src/planner/planner.h"
 #include "src/planner/multi_job.h"
 #include "src/planner/render.h"
+#include "src/service/fair_share.h"
+#include "src/service/tuning_service.h"
 #include "src/spec/experiment_spec.h"
 #include "src/spec/hyperband.h"
 #include "src/spec/sha.h"

@@ -1,0 +1,257 @@
+#include "src/service/tuning_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/service/fair_share.h"
+
+namespace rubberband {
+
+std::string ToString(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "PENDING";
+    case JobState::kQueued:
+      return "QUEUED";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kCompleted:
+      return "COMPLETED";
+    case JobState::kRejectedInfeasible:
+      return "REJECTED_INFEASIBLE";
+    case JobState::kRejectedOverBudget:
+      return "REJECTED_OVER_BUDGET";
+    case JobState::kRejectedStale:
+      return "REJECTED_STALE";
+  }
+  return "UNKNOWN";
+}
+
+TuningService::TuningService(const ServiceConfig& config)
+    : config_(config), sim_(config.seed), cloud_(sim_, config.cloud),
+      pool_(sim_, cloud_, config.warm_pool) {
+  if (config_.capacity_gpus < config_.cloud.gpus_per_instance()) {
+    throw std::invalid_argument("service capacity is smaller than one instance");
+  }
+}
+
+void TuningService::Submit(JobRequest request) {
+  if (ran_) {
+    throw std::logic_error("TuningService::Submit after Run");
+  }
+  if (request.deadline <= 0.0) {
+    throw std::invalid_argument("job '" + request.name + "' needs a positive deadline");
+  }
+  if (request.submit_at < 0.0) {
+    throw std::invalid_argument("job '" + request.name + "' has a negative arrival time");
+  }
+  request.spec.Validate();
+  Job job;
+  job.outcome.name = request.name;
+  job.outcome.submitted_at = request.submit_at;
+  job.outcome.deadline_at = request.submit_at + request.deadline;
+  job.request = std::move(request);
+  jobs_.push_back(std::move(job));
+}
+
+int TuningService::ReservationLimit() const {
+  return static_cast<int>(config_.capacity_gpus * std::max(1.0, config_.overcommit));
+}
+
+const ModelProfile& TuningService::ProfileFor(const WorkloadSpec& workload) {
+  auto it = profiles_.find(workload.name);
+  if (it == profiles_.end()) {
+    ProfilerOptions options = config_.profiler;
+    options.seed = config_.seed;
+    it = profiles_.emplace(workload.name, ProfileWorkload(workload, options).profile).first;
+  }
+  return it->second;
+}
+
+PlannedJob TuningService::PlanFor(const Job& job, Seconds time_left) {
+  PlannerOptions options = config_.planner;
+  options.max_total_gpus = std::min(options.max_total_gpus, config_.capacity_gpus);
+  const PlannerInputs inputs{job.request.spec, ProfileFor(job.request.workload), config_.cloud,
+                             time_left};
+  return PlanGreedy(inputs, options);
+}
+
+void TuningService::OnArrival(size_t index) {
+  --arrivals_outstanding_;
+  Job& job = jobs_[index];
+  job.planned = PlanFor(job, job.request.deadline);
+  job.outcome.plan = job.planned.plan;
+  if (!job.planned.feasible) {
+    job.outcome.state = JobState::kRejectedInfeasible;
+    return;
+  }
+  if (job.request.budget.dollars() > 0.0 &&
+      job.planned.estimate.cost_mean.dollars() > job.request.budget.dollars()) {
+    job.outcome.state = JobState::kRejectedOverBudget;
+    return;
+  }
+  if (reserved_gpus_ + job.planned.plan.MaxGpus() <= ReservationLimit()) {
+    StartJob(index);
+  } else {
+    job.outcome.state = JobState::kQueued;
+    queue_.push_back(index);
+  }
+}
+
+void TuningService::StartJob(size_t index) {
+  Job& job = jobs_[index];
+  job.outcome.state = JobState::kRunning;
+  job.outcome.started_at = sim_.now();
+  job.outcome.queue_wait = sim_.now() - job.outcome.submitted_at;
+  reserved_gpus_ += job.planned.plan.MaxGpus();
+  ++running_;
+
+  SharedClusterContext context;
+  context.sim = &sim_;
+  context.cloud = &cloud_;
+  context.source = &pool_;
+  context.gpu_cap = [this, index] { return jobs_[index].share_cap; };
+
+  ExecutorOptions options;
+  options.seed = config_.seed + 1000003 * (static_cast<uint64_t>(index) + 1);
+
+  // Give the newcomer its cap before the executor reads it in StartStage.
+  job.executor = std::make_unique<Executor>(job.request.spec, job.planned.plan,
+                                            job.request.workload, context, options);
+  RecomputeShares();
+  job.executor->Start([this, index](const ExecutionReport& report) { OnJobDone(index, report); });
+}
+
+void TuningService::OnJobDone(size_t index, const ExecutionReport& report) {
+  Job& job = jobs_[index];
+  job.outcome.state = JobState::kCompleted;
+  job.outcome.finished_at = sim_.now();
+  job.outcome.jct = sim_.now() - job.outcome.submitted_at;
+  job.outcome.met_deadline = sim_.now() <= job.outcome.deadline_at + 1e-9;
+  job.outcome.cost = report.cost.Total();
+  job.outcome.best_accuracy = report.best_accuracy;
+  job.outcome.preemptions = report.preemptions;
+  for (const StageLogEntry& stage : report.stage_log) {
+    job.outcome.peak_instances = std::max(job.outcome.peak_instances, stage.instances);
+  }
+  makespan_ = std::max(makespan_, sim_.now());
+
+  reserved_gpus_ -= job.planned.plan.MaxGpus();
+  --running_;
+  RecomputeShares();
+  PumpQueue();
+  if (running_ == 0 && queue_.empty() && arrivals_outstanding_ == 0) {
+    // The trace is fully served: stop paying for warm capacity.
+    pool_.Drain();
+  }
+}
+
+void TuningService::PumpQueue() {
+  while (!queue_.empty()) {
+    const size_t index = queue_.front();
+    Job& job = jobs_[index];
+    const Seconds time_left = job.outcome.deadline_at - sim_.now();
+    PlannedJob replanned = PlanFor(job, time_left);
+    if (!replanned.feasible) {
+      // Queueing consumed the job's slack; rejecting now is the service's
+      // "never silently late" contract — the job is reported, not run.
+      job.outcome.state = JobState::kRejectedStale;
+      queue_.pop_front();
+      continue;
+    }
+    if (reserved_gpus_ + replanned.plan.MaxGpus() > ReservationLimit()) {
+      break;  // FIFO head-of-line blocking; capacity frees as jobs finish
+    }
+    job.planned = std::move(replanned);
+    job.outcome.plan = job.planned.plan;
+    queue_.pop_front();
+    StartJob(index);
+  }
+}
+
+void TuningService::RecomputeShares() {
+  std::vector<size_t> running_jobs;
+  std::vector<ShareRequest> requests;
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].outcome.state == JobState::kRunning) {
+      running_jobs.push_back(i);
+      requests.push_back(ShareRequest{jobs_[i].planned.plan.MaxGpus(), jobs_[i].request.weight});
+    }
+  }
+  const std::vector<int> shares = FairShares(config_.capacity_gpus, requests);
+  for (size_t k = 0; k < running_jobs.size(); ++k) {
+    jobs_[running_jobs[k]].share_cap = shares[k];
+  }
+}
+
+void TuningService::RoutePreemption(InstanceId id) {
+  if (pool_.OnPreempted(id)) {
+    return;  // was parked; the pool dropped it
+  }
+  for (Job& job : jobs_) {
+    if (job.executor && !job.executor->finished() && job.executor->OwnsInstance(id)) {
+      job.executor->OnPreemption(id);
+      return;
+    }
+  }
+  // Reclaimed in a handover window (no tenant held it yet); the provider
+  // already closed its billing interval, so there is nothing to clean up.
+}
+
+ServiceReport TuningService::Run() {
+  if (ran_) {
+    throw std::logic_error("TuningService::Run may only be called once");
+  }
+  ran_ = true;
+
+  cloud_.SetPreemptionHandler([this](InstanceId id) { RoutePreemption(id); });
+  arrivals_outstanding_ = static_cast<int>(jobs_.size());
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    sim_.ScheduleAt(jobs_[i].request.submit_at, [this, i] { OnArrival(i); });
+  }
+  sim_.Run();
+
+  ServiceReport report;
+  report.makespan = makespan_;
+  Seconds total_wait = 0.0;
+  int started = 0;
+  for (Job& job : jobs_) {
+    switch (job.outcome.state) {
+      case JobState::kCompleted:
+        ++report.completed;
+        ++started;
+        total_wait += job.outcome.queue_wait;
+        if (!job.outcome.met_deadline) {
+          ++report.deadline_misses;
+        }
+        break;
+      case JobState::kRejectedInfeasible:
+      case JobState::kRejectedOverBudget:
+      case JobState::kRejectedStale:
+        ++report.rejected;
+        break;
+      case JobState::kPending:
+      case JobState::kQueued:
+      case JobState::kRunning:
+        throw std::logic_error("job '" + job.outcome.name +
+                               "' did not settle; the simulation drained early");
+    }
+    report.jobs.push_back(job.outcome);
+  }
+  report.mean_queue_wait = started > 0 ? total_wait / started : 0.0;
+  report.total_cost = cloud_.Cost();
+  report.cost_per_completed_job =
+      report.completed > 0
+          ? Money::FromDollars(report.total_cost.Total().dollars() / report.completed)
+          : Money();
+  report.instance_launches = cloud_.meter().num_acquisitions();
+  report.warm = pool_.stats();
+  const double provisioned =
+      cloud_.meter().TotalInstanceSeconds() * config_.cloud.gpus_per_instance();
+  report.aggregate_utilization =
+      provisioned > 0.0 ? cloud_.meter().TotalGpuSecondsUsed() / provisioned : 0.0;
+  return report;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,161 @@
+// Multi-tenant tuning service: a long-running control plane that accepts a
+// stream of tuning-job requests and executes them concurrently on one
+// shared elastic cluster.
+//
+// Three mechanisms on top of the single-job pipeline:
+//   * admission control — the planner (Algorithm 2) runs at submit time;
+//     jobs whose deadline no plan can meet, or whose cheapest feasible plan
+//     exceeds their budget, are rejected up front (never silently late).
+//     Feasible jobs start immediately when their plan's peak allocation
+//     fits in the unreserved capacity, and queue FIFO otherwise; a queued
+//     job is re-planned against its remaining time when capacity frees up,
+//     and rejected as stale if waiting made the deadline infeasible.
+//   * warm-instance reuse — every executor draws machines from one
+//     WarmPool, so a finishing job's still-billed instances serve the next
+//     job's scale-up with zero queuing/init delay (the Figure 12 tax).
+//   * fair sharing — a weighted max-min arbiter caps each running job's
+//     cluster slice; executors clamp their per-stage allocations to the cap
+//     at stage boundaries. At overcommit 1.0 admission reserves each job's
+//     peak, so caps only bind when the operator overcommits capacity.
+//
+// Everything runs on one discrete-event Simulation, so an entire
+// multi-tenant day replays deterministically from a seed.
+
+#ifndef SRC_SERVICE_TUNING_SERVICE_H_
+#define SRC_SERVICE_TUNING_SERVICE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/warm_pool.h"
+#include "src/executor/executor.h"
+#include "src/model/profiler.h"
+#include "src/planner/planner.h"
+
+namespace rubberband {
+
+// One tenant's request: what to tune, when it arrives, and its SLOs.
+struct JobRequest {
+  std::string name;
+  ExperimentSpec spec;
+  WorkloadSpec workload;
+  Seconds submit_at = 0.0;  // arrival time on the service timeline
+  Seconds deadline = 0.0;   // completion SLO, relative to submission
+  Money budget;             // max acceptable predicted cost; <= 0 = unbounded
+  double weight = 1.0;      // fair-share weight
+};
+
+enum class JobState {
+  kPending,             // submitted, arrival not reached yet
+  kQueued,              // admitted but waiting for capacity
+  kRunning,
+  kCompleted,
+  kRejectedInfeasible,  // no plan meets the deadline (reported at admission)
+  kRejectedOverBudget,  // cheapest feasible plan costs more than the budget
+  kRejectedStale,       // queue wait made the deadline infeasible
+};
+
+std::string ToString(JobState state);
+
+struct JobOutcome {
+  std::string name;
+  JobState state = JobState::kPending;
+  AllocationPlan plan;
+  Seconds submitted_at = 0.0;
+  Seconds started_at = 0.0;
+  Seconds finished_at = 0.0;
+  Seconds queue_wait = 0.0;
+  Seconds deadline_at = 0.0;  // absolute
+  bool met_deadline = false;
+  Seconds jct = 0.0;  // submission -> completion, queue wait included
+  Money cost;         // this job's attributed compute cost
+  double best_accuracy = 0.0;
+  int preemptions = 0;
+  // Largest cluster the job actually held — under an overcommitted arbiter
+  // this lands below the plan's peak (the cap binding is observable).
+  int peak_instances = 0;
+};
+
+struct ServiceConfig {
+  CloudProfile cloud;
+  // Total GPUs the service provisions across tenants. Admission reserves
+  // each running job's plan peak against capacity * overcommit.
+  int capacity_gpus = 64;
+  // 1.0 = strict reservation (admitted deadlines hold); > 1.0 admits more
+  // aggressively and relies on the fair-share arbiter to clamp jobs.
+  double overcommit = 1.0;
+  WarmPoolConfig warm_pool;  // max_parked = 0 gives the cold baseline
+  PlannerOptions planner;
+  ProfilerOptions profiler;
+  uint64_t seed = 0;
+};
+
+struct ServiceReport {
+  std::vector<JobOutcome> jobs;
+  int completed = 0;
+  int rejected = 0;
+  int deadline_misses = 0;  // admitted jobs that finished late (never silent)
+  Seconds makespan = 0.0;   // time of the last job completion
+  Seconds mean_queue_wait = 0.0;
+  // Exact aggregate from the shared account ledger: every tenant's compute,
+  // init time, acquisition minimums, and the pool's parked idle time.
+  CostBreakdown total_cost;
+  Money cost_per_completed_job;
+  int instance_launches = 0;  // real provisioning events (init paid)
+  WarmPoolStats warm;
+  double aggregate_utilization = 0.0;  // busy GPU-s / provisioned GPU-s
+};
+
+class TuningService {
+ public:
+  explicit TuningService(const ServiceConfig& config);
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  // Registers a job arrival. All submissions happen before Run().
+  void Submit(JobRequest request);
+
+  // Replays the submitted arrival trace to completion and reports. Call
+  // once.
+  ServiceReport Run();
+
+ private:
+  struct Job {
+    JobRequest request;
+    JobOutcome outcome;
+    PlannedJob planned;
+    std::unique_ptr<Executor> executor;
+    int share_cap = 0;  // current fair-share GPU cap
+  };
+
+  void OnArrival(size_t index);
+  void StartJob(size_t index);
+  void OnJobDone(size_t index, const ExecutionReport& report);
+  void PumpQueue();
+  void RecomputeShares();
+  void RoutePreemption(InstanceId id);
+  const ModelProfile& ProfileFor(const WorkloadSpec& workload);
+  PlannedJob PlanFor(const Job& job, Seconds time_left);
+  int ReservationLimit() const;
+
+  ServiceConfig config_;
+  Simulation sim_;
+  SimulatedCloud cloud_;
+  WarmPool pool_;
+  std::vector<Job> jobs_;
+  std::deque<size_t> queue_;
+  std::map<std::string, ModelProfile> profiles_;  // keyed by workload name
+  int reserved_gpus_ = 0;
+  int running_ = 0;
+  int arrivals_outstanding_ = 0;
+  Seconds makespan_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_SERVICE_TUNING_SERVICE_H_

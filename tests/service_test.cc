@@ -1,0 +1,280 @@
+// Multi-tenant tuning service: fair-share arithmetic, admission control,
+// deterministic multi-job execution on one shared simulation, and the
+// warm-pool cost/latency win over cold provisioning.
+
+#include "src/service/tuning_service.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/rubberband.h"
+
+namespace rubberband {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FairShares: weighted max-min division of the service's GPU capacity.
+
+TEST(FairShare, AmpleCapacityGivesEveryoneTheirDemand) {
+  const std::vector<int> shares = FairShares(100, {{30, 1.0}, {20, 1.0}, {10, 1.0}});
+  EXPECT_EQ(shares, (std::vector<int>{30, 20, 10}));
+}
+
+TEST(FairShare, EqualWeightsSplitContendedCapacityEvenly) {
+  const std::vector<int> shares = FairShares(8, {{8, 1.0}, {8, 1.0}});
+  EXPECT_EQ(shares, (std::vector<int>{4, 4}));
+}
+
+TEST(FairShare, SmallDemandsRollTheirSlackForward) {
+  // Job 0 needs only 2 of its 4-GPU slice; the slack flows to the others.
+  const std::vector<int> shares = FairShares(12, {{2, 1.0}, {20, 1.0}, {20, 1.0}});
+  EXPECT_EQ(shares, (std::vector<int>{2, 5, 5}));
+}
+
+TEST(FairShare, WeightsBiasTheSplit) {
+  const std::vector<int> shares = FairShares(9, {{9, 2.0}, {9, 1.0}});
+  EXPECT_EQ(shares, (std::vector<int>{6, 3}));
+}
+
+TEST(FairShare, IntegerRemainderIsHandedOutDeterministically) {
+  // 7 GPUs over two equal contenders: the tie breaks toward the earlier
+  // submission, every time.
+  const std::vector<int> shares = FairShares(7, {{7, 1.0}, {7, 1.0}});
+  EXPECT_EQ(shares[0] + shares[1], 7);
+  EXPECT_EQ(shares, FairShares(7, {{7, 1.0}, {7, 1.0}}));
+}
+
+TEST(FairShare, EdgeCases) {
+  EXPECT_TRUE(FairShares(10, {}).empty());
+  EXPECT_EQ(FairShares(0, {{5, 1.0}}), (std::vector<int>{0}));
+  EXPECT_EQ(FairShares(10, {{0, 1.0}, {4, 1.0}}), (std::vector<int>{0, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// TuningService.
+
+CloudProfile ServiceCloud() {
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(30.0, 60.0);
+  return cloud;
+}
+
+JobRequest MakeJob(const std::string& name, Seconds submit_at, Seconds deadline) {
+  JobRequest job;
+  job.name = name;
+  job.spec = MakeSha(8, 2, 14, 2);
+  job.workload = ResNet101Cifar10();
+  job.submit_at = submit_at;
+  job.deadline = deadline;
+  return job;
+}
+
+ServiceConfig BaseConfig() {
+  ServiceConfig config;
+  config.cloud = ServiceCloud();
+  config.capacity_gpus = 128;
+  config.seed = 11;
+  return config;
+}
+
+ServiceReport RunTrace(const ServiceConfig& config, const std::vector<JobRequest>& trace) {
+  TuningService service(config);
+  for (const JobRequest& job : trace) {
+    service.Submit(job);
+  }
+  return service.Run();
+}
+
+TEST(Service, EightConcurrentJobsRunDeterministically) {
+  ServiceConfig config = BaseConfig();
+  config.warm_pool.max_parked = 16;
+  config.warm_pool.max_idle_seconds = 600.0;
+
+  std::vector<JobRequest> trace;
+  for (int i = 0; i < 8; ++i) {
+    trace.push_back(MakeJob("job-" + std::to_string(i), 30.0 * i, 3600.0));
+  }
+
+  const ServiceReport a = RunTrace(config, trace);
+  const ServiceReport b = RunTrace(config, trace);
+
+  EXPECT_EQ(a.completed, 8);
+  EXPECT_EQ(a.rejected, 0);
+  EXPECT_EQ(a.deadline_misses, 0);
+  ASSERT_EQ(a.jobs.size(), 8u);
+  ASSERT_EQ(b.jobs.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.jobs[i].state, JobState::kCompleted) << a.jobs[i].name;
+    EXPECT_TRUE(a.jobs[i].met_deadline) << a.jobs[i].name;
+    EXPECT_GT(a.jobs[i].best_accuracy, 0.5);
+    // Same seed, same trace: the entire multi-tenant day replays bit-for-bit.
+    EXPECT_DOUBLE_EQ(a.jobs[i].jct, b.jobs[i].jct) << a.jobs[i].name;
+    EXPECT_DOUBLE_EQ(a.jobs[i].finished_at, b.jobs[i].finished_at);
+    EXPECT_EQ(a.jobs[i].cost, b.jobs[i].cost);
+  }
+  EXPECT_EQ(a.total_cost.Total(), b.total_cost.Total());
+  EXPECT_EQ(a.instance_launches, b.instance_launches);
+  EXPECT_EQ(a.warm.warm_hits, b.warm.warm_hits);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Service, AdmittedJobsMeetTheirDeadlineOrAreRejectedUpFront) {
+  ServiceConfig config = BaseConfig();
+
+  std::vector<JobRequest> trace;
+  trace.push_back(MakeJob("feasible-a", 0.0, 3600.0));
+  // No plan finishes an 8-trial SHA sweep in 45 seconds: rejected at
+  // admission, never run late.
+  trace.push_back(MakeJob("impossible", 10.0, 45.0));
+  trace.push_back(MakeJob("feasible-b", 20.0, 3600.0));
+
+  const ServiceReport report = RunTrace(config, trace);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.rejected, 1);
+  EXPECT_EQ(report.deadline_misses, 0);
+  EXPECT_EQ(report.jobs[1].state, JobState::kRejectedInfeasible);
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    EXPECT_EQ(report.jobs[i].state, JobState::kCompleted);
+    EXPECT_TRUE(report.jobs[i].met_deadline);
+    EXPECT_LE(report.jobs[i].finished_at, report.jobs[i].deadline_at);
+  }
+}
+
+TEST(Service, WarmPoolCutsProvisioningEventsAndCost) {
+  // Four identical jobs, two at a time through an 8-GPU cluster. The two
+  // queued jobs dequeue the instant a predecessor finishes — exactly when
+  // its fleet lands in the pool — so their scale-up is served warm. Init
+  // latency is steep (300s, billed from launch), so each avoided
+  // provisioning event saves far more than the pool's parked idling costs.
+  ServiceConfig config = BaseConfig();
+  config.cloud.provisioning = ProvisioningModel::Fixed(30.0, 300.0);
+  config.capacity_gpus = 8;
+  config.seed = 3;
+
+  std::vector<JobRequest> trace;
+  for (int i = 0; i < 4; ++i) {
+    trace.push_back(MakeJob("job-" + std::to_string(i), 1.0 * i, 4800.0));
+  }
+
+  ServiceConfig cold = config;
+  cold.warm_pool.max_parked = 0;
+  ServiceConfig warm = config;
+  warm.warm_pool.max_parked = 8;
+  warm.warm_pool.max_idle_seconds = 300.0;
+
+  const ServiceReport cold_report = RunTrace(cold, trace);
+  const ServiceReport warm_report = RunTrace(warm, trace);
+
+  ASSERT_EQ(cold_report.completed, 4);
+  ASSERT_EQ(warm_report.completed, 4);
+  EXPECT_EQ(cold_report.deadline_misses, 0);
+  EXPECT_EQ(warm_report.deadline_misses, 0);
+
+  // The pool absorbed real provisioning events (each a paid init period).
+  EXPECT_GT(warm_report.warm.warm_hits, 0);
+  EXPECT_GT(warm_report.warm.HitRate(), 0.0);
+  EXPECT_GT(warm_report.warm.init_seconds_saved, 0.0);
+  EXPECT_LT(warm_report.instance_launches, cold_report.instance_launches);
+
+  // And the account bill — including the pool's parked idle time — is
+  // strictly lower than cold provisioning for the same trace.
+  EXPECT_LT(warm_report.total_cost.Total().dollars(), cold_report.total_cost.Total().dollars());
+
+  // Warm starts also shave queue+init off successors' time-to-first-trial.
+  EXPECT_LE(warm_report.makespan, cold_report.makespan);
+}
+
+TEST(Service, CapacityContentionQueuesJobsFifo) {
+  ServiceConfig config = BaseConfig();
+  config.capacity_gpus = 8;
+
+  std::vector<JobRequest> trace;
+  // A 900s deadline forces the first job onto all 8 GPUs; the second must
+  // wait for the whole cluster, then replans for its remaining time.
+  trace.push_back(MakeJob("first", 0.0, 900.0));
+  trace.push_back(MakeJob("second", 10.0, 1900.0));
+
+  const ServiceReport report = RunTrace(config, trace);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(report.jobs[0].queue_wait, 0.0);
+  EXPECT_GT(report.jobs[1].queue_wait, 0.0);
+  EXPECT_GE(report.jobs[1].started_at, report.jobs[0].finished_at);
+  EXPECT_GT(report.mean_queue_wait, 0.0);
+}
+
+TEST(Service, QueuedJobWhoseDeadlineExpiresIsRejectedStaleNotLate) {
+  ServiceConfig config = BaseConfig();
+  config.capacity_gpus = 8;
+
+  std::vector<JobRequest> trace;
+  // The hog's tight deadline reserves the whole 8-GPU cluster until ~766s.
+  trace.push_back(MakeJob("hog", 0.0, 900.0));
+  // Feasible at arrival (solo it would finish in ~790s), but by the time
+  // the hog releases the cluster only ~240s of its deadline remain.
+  trace.push_back(MakeJob("squeezed", 10.0, 1000.0));
+
+  const ServiceReport report = RunTrace(config, trace);
+  EXPECT_EQ(report.jobs[0].state, JobState::kCompleted);
+  EXPECT_EQ(report.jobs[1].state, JobState::kRejectedStale);
+  // The contract: a job the service could not serve on time is reported,
+  // never silently finished late.
+  EXPECT_EQ(report.deadline_misses, 0);
+}
+
+TEST(Service, OvercommitMakesTheFairShareArbiterBind) {
+  ServiceConfig config = BaseConfig();
+  config.capacity_gpus = 8;
+  config.overcommit = 2.0;  // admit two peak-8 jobs onto 8 GPUs
+
+  std::vector<JobRequest> trace;
+  // 900s deadlines make both plans peak at the full cluster.
+  trace.push_back(MakeJob("a", 0.0, 900.0));
+  trace.push_back(MakeJob("b", 0.0, 900.0));
+
+  const ServiceReport report = RunTrace(config, trace);
+  EXPECT_EQ(report.completed, 2);
+  // Halved clusters run past the 900s deadlines — late, but *reported*
+  // late: overcommit trades the admission-time guarantee for throughput.
+  EXPECT_EQ(report.deadline_misses, 2);
+  const int gpus_per_instance = config.cloud.gpus_per_instance();
+  int bound = 0;
+  for (const JobOutcome& job : report.jobs) {
+    EXPECT_EQ(job.state, JobState::kCompleted);
+    EXPECT_LE(job.peak_instances * gpus_per_instance, config.capacity_gpus);
+    if (job.peak_instances * gpus_per_instance < job.plan.MaxGpus()) {
+      ++bound;
+    }
+  }
+  // At least one job ran below its planned peak: the caps actually bit.
+  EXPECT_GT(bound, 0);
+}
+
+TEST(Service, BudgetRejectsJobsWhoseCheapestPlanIsTooExpensive) {
+  ServiceConfig config = BaseConfig();
+  JobRequest job = MakeJob("frugal", 0.0, 3600.0);
+  job.budget = Money::FromCents(1);  // no GPU-hour costs a cent
+  const ServiceReport report = RunTrace(config, {job});
+  EXPECT_EQ(report.jobs[0].state, JobState::kRejectedOverBudget);
+  EXPECT_EQ(report.rejected, 1);
+  EXPECT_EQ(report.completed, 0);
+}
+
+TEST(Service, SubmissionValidation) {
+  TuningService service(BaseConfig());
+  JobRequest no_deadline = MakeJob("bad", 0.0, 0.0);
+  EXPECT_THROW(service.Submit(no_deadline), std::invalid_argument);
+  JobRequest time_traveler = MakeJob("bad", -5.0, 100.0);
+  EXPECT_THROW(service.Submit(time_traveler), std::invalid_argument);
+
+  service.Submit(MakeJob("ok", 0.0, 3600.0));
+  service.Run();
+  EXPECT_THROW(service.Run(), std::logic_error);
+  EXPECT_THROW(service.Submit(MakeJob("late", 0.0, 3600.0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "src/rubberband.h"
 
@@ -62,6 +65,89 @@ TEST(Trace, ExecutorEmitsCoherentEventLog) {
     EXPECT_GE(event.time, previous);
     previous = event.time;
   }
+}
+
+TEST(Trace, CsvRoundTripPreservesEveryEvent) {
+  ExecutionTrace trace;
+  trace.Record(0.0, TraceEventType::kStageStart, 0);
+  trace.Record(12.125, TraceEventType::kInstanceReady, 0, -1, 7);
+  trace.Record(13.0, TraceEventType::kTrialStart, 0, 3);
+  trace.Record(90.5, TraceEventType::kPreemption, 1, -1, 7);
+  trace.Record(91.0, TraceEventType::kTrialRestart, 1, 3);
+  trace.Record(120.0, TraceEventType::kTrialComplete, 1, 3);
+  trace.Record(121.0, TraceEventType::kTrialTerminated, 1, 4);
+  trace.Record(122.0, TraceEventType::kSync, 1);
+  trace.Record(123.0, TraceEventType::kInstanceReleased, 1, -1, 7);
+
+  const std::string csv = trace.ToCsv();
+  const ExecutionTrace parsed = ExecutionTrace::FromCsv(csv);
+  ASSERT_EQ(parsed.events().size(), trace.events().size());
+  for (size_t i = 0; i < trace.events().size(); ++i) {
+    const TraceEvent& original = trace.events()[i];
+    const TraceEvent& round_tripped = parsed.events()[i];
+    EXPECT_DOUBLE_EQ(round_tripped.time, original.time);
+    EXPECT_EQ(round_tripped.type, original.type);
+    EXPECT_EQ(round_tripped.stage, original.stage);
+    EXPECT_EQ(round_tripped.trial, original.trial);
+    EXPECT_EQ(round_tripped.instance, original.instance);
+  }
+  // Re-exporting reproduces the file byte for byte.
+  EXPECT_EQ(parsed.ToCsv(), csv);
+}
+
+TEST(Trace, ExecutorTraceSurvivesTheCsvRoundTrip) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const ExecutionReport report =
+      ExecutePlan(spec, AllocationPlan({8, 8, 8}), ResNet101Cifar10(), TestCloud());
+  const ExecutionTrace parsed = ExecutionTrace::FromCsv(report.trace.ToCsv());
+  EXPECT_EQ(parsed.events().size(), report.trace.events().size());
+  EXPECT_EQ(parsed.ToCsv(), report.trace.ToCsv());
+}
+
+TEST(Trace, FromCsvRejectsMalformedInput) {
+  EXPECT_THROW(ExecutionTrace::FromCsv(""), std::invalid_argument);
+  EXPECT_THROW(ExecutionTrace::FromCsv("time,event\n"), std::invalid_argument);
+  const std::string header = "time_s,event,stage,trial,instance\n";
+  EXPECT_THROW(ExecutionTrace::FromCsv(header + "1.0,NOT_AN_EVENT,0,-1,-1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ExecutionTrace::FromCsv(header + "1.0,SYNC,0\n"), std::invalid_argument);
+  EXPECT_NO_THROW(ExecutionTrace::FromCsv(header));  // empty trace is fine
+}
+
+TEST(Trace, PreemptionsAreInstanceScopedAndRestartsTrialScoped) {
+  // A spot run exercises the recovery path: the provider reclaims machines
+  // (instance-scoped events) and the executor restarts the trials that were
+  // running on them (trial-scoped events).
+  CloudProfile cloud = TestCloud();
+  cloud.spot.enabled = true;
+  cloud.spot.discount = 0.3;
+  cloud.spot.mean_time_to_preemption = 240.0;
+  ExecutorOptions options;
+  options.seed = 5;
+  const ExecutionReport report = ExecutePlan(MakeSha(8, 2, 14, 2), AllocationPlan({8, 8, 8}),
+                                             ResNet101Cifar10(), cloud, options);
+  ASSERT_GT(report.preemptions, 0);
+  ASSERT_GT(report.trial_restarts, 0);
+
+  const std::vector<TraceEvent> preemptions = report.trace.OfType(TraceEventType::kPreemption);
+  EXPECT_EQ(preemptions.size(), static_cast<size_t>(report.preemptions));
+  for (const TraceEvent& event : preemptions) {
+    EXPECT_GE(event.instance, 0) << "preemption events name the reclaimed instance";
+    EXPECT_EQ(event.trial, -1);
+    EXPECT_GE(event.stage, 0);
+  }
+
+  const std::vector<TraceEvent> restarts = report.trace.OfType(TraceEventType::kTrialRestart);
+  EXPECT_EQ(restarts.size(), static_cast<size_t>(report.trial_restarts));
+  for (const TraceEvent& event : restarts) {
+    EXPECT_GE(event.trial, 0) << "restart events name the restarted trial";
+    EXPECT_EQ(event.instance, -1);
+  }
+
+  // The preemption path also survives the CSV round trip.
+  const ExecutionTrace parsed = ExecutionTrace::FromCsv(report.trace.ToCsv());
+  EXPECT_EQ(parsed.OfType(TraceEventType::kPreemption).size(), preemptions.size());
+  EXPECT_EQ(parsed.OfType(TraceEventType::kTrialRestart).size(), restarts.size());
 }
 
 TEST(Trace, UtilizationIsAFraction) {

@@ -1,0 +1,213 @@
+// WarmPool: warm-instance reuse between jobs — hit/miss accounting, LIFO
+// hand-out, bounded size, idle TTL, and spot-reclamation of parked
+// capacity.
+
+#include "src/cloud/warm_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/rubberband.h"
+
+namespace rubberband {
+namespace {
+
+// Deterministic provisioning: 5s queuing + 10s init, ready 15s after the
+// request. Init time is billed; queuing is not.
+CloudProfile TestCloud() {
+  CloudProfile cloud;
+  cloud.instance = P3_8xlarge();
+  cloud.provisioning = ProvisioningModel::Fixed(5.0, 10.0);
+  return cloud;
+}
+
+// Requests `count` instances through `source` and drains the simulation up
+// to (and including) events at the current timestamp.
+std::vector<InstanceId> Acquire(Simulation& sim, InstanceSource& source, int count) {
+  std::vector<InstanceId> ids;
+  source.RequestInstances(count, 0.0, [&](InstanceId id) { ids.push_back(id); });
+  sim.Run();
+  return ids;
+}
+
+TEST(WarmPool, DisabledPoolPassesEveryReleaseThrough) {
+  Simulation sim(1);
+  SimulatedCloud cloud(sim, TestCloud());
+  WarmPool pool(sim, cloud, WarmPoolConfig{/*max_parked=*/0});
+
+  const std::vector<InstanceId> ids = Acquire(sim, pool, 2);
+  ASSERT_EQ(ids.size(), 2u);
+  for (InstanceId id : ids) {
+    pool.ReleaseInstance(id);
+  }
+  EXPECT_EQ(pool.num_parked(), 0);
+  EXPECT_EQ(cloud.num_ready(), 0);  // terminated for real
+  EXPECT_EQ(pool.stats().released_cold, 2);
+  EXPECT_EQ(pool.stats().parked, 0);
+  EXPECT_EQ(pool.stats().cold_misses, 2);
+  EXPECT_EQ(pool.stats().warm_hits, 0);
+}
+
+TEST(WarmPool, WarmHitServesInstantlyAndRecordsSavedInit) {
+  Simulation sim(1);
+  SimulatedCloud cloud(sim, TestCloud());
+  WarmPool pool(sim, cloud, WarmPoolConfig{/*max_parked=*/4, /*max_idle_seconds=*/600.0});
+
+  const std::vector<InstanceId> cold = Acquire(sim, pool, 1);
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 15.0);  // paid queuing + init once
+
+  pool.ReleaseInstance(cold[0]);
+  EXPECT_EQ(pool.num_parked(), 1);
+  EXPECT_EQ(cloud.num_ready(), 1);  // still running (and billing)
+
+  InstanceId warm = -1;
+  const Seconds before = sim.now();
+  pool.RequestInstances(1, 0.0, [&](InstanceId id) { warm = id; });
+  sim.RunUntil(before);  // the hand-over is a zero-delay event
+  EXPECT_EQ(warm, cold[0]);
+  EXPECT_DOUBLE_EQ(sim.now(), before);  // no queuing, no init
+  EXPECT_EQ(pool.num_parked(), 0);
+
+  const WarmPoolStats& stats = pool.stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.cold_misses, 1);
+  EXPECT_EQ(stats.warm_hits, 1);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.init_seconds_saved, 15.0);
+}
+
+TEST(WarmPool, MixedRequestTakesWarmFirstThenFallsThrough) {
+  Simulation sim(1);
+  SimulatedCloud cloud(sim, TestCloud());
+  WarmPool pool(sim, cloud, WarmPoolConfig{/*max_parked=*/4, /*max_idle_seconds=*/600.0});
+
+  const std::vector<InstanceId> first = Acquire(sim, pool, 1);
+  pool.ReleaseInstance(first[0]);
+
+  const std::vector<InstanceId> second = Acquire(sim, pool, 3);
+  ASSERT_EQ(second.size(), 3u);
+  EXPECT_EQ(second[0], first[0]);  // the parked instance leads
+  EXPECT_EQ(pool.stats().warm_hits, 1);
+  EXPECT_EQ(pool.stats().cold_misses, 3);  // 1 + 2
+  EXPECT_EQ(cloud.num_ready(), 3);
+}
+
+TEST(WarmPool, HandsOutTheMostRecentlyParkedFirst) {
+  Simulation sim(1);
+  SimulatedCloud cloud(sim, TestCloud());
+  WarmPool pool(sim, cloud, WarmPoolConfig{/*max_parked=*/4, /*max_idle_seconds=*/600.0});
+
+  const std::vector<InstanceId> ids = Acquire(sim, pool, 2);
+  ASSERT_EQ(ids.size(), 2u);
+  pool.ReleaseInstance(ids[0]);
+  pool.ReleaseInstance(ids[1]);  // parked last: hottest
+
+  InstanceId warm = -1;
+  pool.RequestInstances(1, 0.0, [&](InstanceId id) { warm = id; });
+  sim.RunUntil(sim.now());
+  EXPECT_EQ(warm, ids[1]);
+}
+
+TEST(WarmPool, BoundedSizeTerminatesOverflowReleases) {
+  Simulation sim(1);
+  SimulatedCloud cloud(sim, TestCloud());
+  WarmPool pool(sim, cloud, WarmPoolConfig{/*max_parked=*/1, /*max_idle_seconds=*/600.0});
+
+  const std::vector<InstanceId> ids = Acquire(sim, pool, 3);
+  for (InstanceId id : ids) {
+    pool.ReleaseInstance(id);
+  }
+  EXPECT_EQ(pool.num_parked(), 1);
+  EXPECT_EQ(cloud.num_ready(), 1);
+  EXPECT_EQ(pool.stats().parked, 1);
+  EXPECT_EQ(pool.stats().released_cold, 2);
+}
+
+TEST(WarmPool, IdleInstancesExpireAfterTtl) {
+  Simulation sim(1);
+  SimulatedCloud cloud(sim, TestCloud());
+  WarmPool pool(sim, cloud, WarmPoolConfig{/*max_parked=*/4, /*max_idle_seconds=*/120.0});
+
+  const std::vector<InstanceId> ids = Acquire(sim, pool, 2);
+  const Seconds parked_at = sim.now();
+  for (InstanceId id : ids) {
+    pool.ReleaseInstance(id);
+  }
+  sim.Run();  // advance through the TTL timers
+  EXPECT_DOUBLE_EQ(sim.now(), parked_at + 120.0);
+  EXPECT_EQ(pool.num_parked(), 0);
+  EXPECT_EQ(cloud.num_ready(), 0);
+  EXPECT_EQ(pool.stats().expired, 2);
+  EXPECT_DOUBLE_EQ(pool.stats().parked_idle_seconds, 240.0);
+}
+
+TEST(WarmPool, ReparkingRefreshesTheTtl) {
+  Simulation sim(1);
+  SimulatedCloud cloud(sim, TestCloud());
+  WarmPool pool(sim, cloud, WarmPoolConfig{/*max_parked=*/4, /*max_idle_seconds=*/120.0});
+
+  const std::vector<InstanceId> ids = Acquire(sim, pool, 1);
+  pool.ReleaseInstance(ids[0]);  // parked at t=15; first TTL fires at t=135
+
+  // Reacquire at t=100 and re-park at t=110.
+  sim.ScheduleAt(100.0, [&] { pool.RequestInstances(1, 0.0, [](InstanceId) {}); });
+  sim.ScheduleAt(110.0, [&] { pool.ReleaseInstance(ids[0]); });
+
+  sim.RunUntil(140.0);  // past the stale first-generation TTL event
+  EXPECT_EQ(pool.num_parked(), 1) << "a stale TTL timer expired a re-parked instance";
+  EXPECT_EQ(pool.stats().expired, 0);
+
+  sim.Run();  // the second-generation TTL (t=230) is the one that counts
+  EXPECT_DOUBLE_EQ(sim.now(), 230.0);
+  EXPECT_EQ(pool.num_parked(), 0);
+  EXPECT_EQ(pool.stats().expired, 1);
+}
+
+TEST(WarmPool, ReclaimedParkedInstanceIsDropped) {
+  CloudProfile profile = TestCloud();
+  profile.spot.enabled = true;
+  profile.spot.discount = 0.3;
+  profile.spot.mean_time_to_preemption = 100.0;
+
+  Simulation sim(7);
+  SimulatedCloud cloud(sim, profile);
+  WarmPool pool(sim, cloud, WarmPoolConfig{/*max_parked=*/4, /*max_idle_seconds=*/1e9});
+  int orphaned = 0;
+  cloud.SetPreemptionHandler([&](InstanceId id) {
+    if (!pool.OnPreempted(id)) {
+      ++orphaned;
+    }
+  });
+
+  std::vector<InstanceId> ids;
+  pool.RequestInstances(3, 0.0, [&](InstanceId id) { ids.push_back(id); });
+  sim.RunUntil(16.0);  // ready at t=15, before any plausible reclamation
+  ASSERT_EQ(ids.size(), 3u);
+  for (InstanceId id : ids) {
+    pool.ReleaseInstance(id);
+  }
+  sim.RunUntil(10'000.0);  // 100 mean lifetimes: everything reclaimed
+  EXPECT_EQ(pool.num_parked(), 0);
+  EXPECT_EQ(pool.stats().preempted_parked, 3);
+  EXPECT_EQ(orphaned, 0) << "a preempted parked instance was routed past the pool";
+  EXPECT_EQ(cloud.num_ready(), 0);
+}
+
+TEST(WarmPool, DrainTerminatesEverythingParked) {
+  Simulation sim(1);
+  SimulatedCloud cloud(sim, TestCloud());
+  WarmPool pool(sim, cloud, WarmPoolConfig{/*max_parked=*/4, /*max_idle_seconds=*/600.0});
+
+  const std::vector<InstanceId> ids = Acquire(sim, pool, 2);
+  for (InstanceId id : ids) {
+    pool.ReleaseInstance(id);
+  }
+  pool.Drain();
+  EXPECT_EQ(pool.num_parked(), 0);
+  EXPECT_EQ(cloud.num_ready(), 0);
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build (the src/ library compiles with
+# -Wall -Wextra; any compiler warning fails the check), and run the full
+# test suite. The build/test sequence is the same one CI and ROADMAP.md
+# use:
+#
+#   cmake -B build -S . && cmake --build build -j && \
+#     cd build && ctest --output-on-failure -j
+#
+# Run from the repository root: tools/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+cmake -B build -S .
+cmake --build build -j 2>&1 | tee "$log"
+if grep -E "warning:" "$log" >/dev/null; then
+  echo "error: compiler warnings detected (see above)" >&2
+  exit 1
+fi
+
+cd build
+ctest --output-on-failure -j

@@ -4,6 +4,7 @@
 //   rubberband execute [flags]   compile the elastic plan and run end-to-end
 //   rubberband sweep   [flags]   cost vs deadline exploration
 //   rubberband asha    [flags]   run the ASHA baseline on the same substrate
+//   rubberband serve   [flags]   replay a job-arrival trace on the service
 //
 // Common flags:
 //   --workload=resnet101-cifar10   (see FindWorkload for the catalog)
@@ -15,6 +16,9 @@
 // plan:     --render (ASCII chart), --budget=<dollars> (adds the min-time dual)
 // execute:  --trace-csv (dump the event log)
 // sweep:    --from-min=15 --to-min=60 --step-min=5
+// serve:    --jobs=4 --gap-s=120 --capacity-gpus=64 --overcommit=1.0
+//           --warm --pool-max=16 --warm-ttl-s=300 --budget=<dollars per job>
+//           (each job runs the common SHA spec/deadline; arrivals --gap-s apart)
 
 #include <cstdio>
 #include <string>
@@ -188,9 +192,70 @@ int RunAshaCommand(const Flags& flags, CliSetup& setup) {
   return 0;
 }
 
+int RunServe(const Flags& flags, CliSetup& setup) {
+  const int num_jobs = flags.GetInt("jobs", 4);
+  const double gap = flags.GetDouble("gap-s", 120.0);
+  if (num_jobs < 1 || gap < 0.0) {
+    return Fail("serve needs --jobs >= 1 and --gap-s >= 0");
+  }
+
+  ServiceConfig config;
+  config.cloud = setup.cloud;
+  config.capacity_gpus = flags.GetInt("capacity-gpus", 64);
+  config.overcommit = flags.GetDouble("overcommit", 1.0);
+  if (flags.GetBool("warm")) {
+    config.warm_pool.max_parked = flags.GetInt("pool-max", 16);
+    config.warm_pool.max_idle_seconds = flags.GetDouble("warm-ttl-s", 300.0);
+  }
+  config.seed = setup.seed;
+
+  TuningService service(config);
+  for (int i = 0; i < num_jobs; ++i) {
+    JobRequest job;
+    job.name = "job-" + std::to_string(i);
+    job.spec = setup.spec;
+    job.workload = setup.workload;
+    job.submit_at = gap * i;
+    job.deadline = setup.deadline;
+    job.budget = Money::FromDollars(flags.GetDouble("budget", 0.0));
+    service.Submit(job);
+  }
+  const ServiceReport report = service.Run();
+
+  std::printf("\n%-10s %-20s %10s %10s %10s %10s  %s\n", "job", "state", "submit", "wait",
+              "jct", "cost", "deadline");
+  for (const JobOutcome& job : report.jobs) {
+    if (job.state == JobState::kCompleted) {
+      std::printf("%-10s %-20s %10s %10s %10s %10s  %s\n", job.name.c_str(),
+                  ToString(job.state).c_str(), FormatDuration(job.submitted_at).c_str(),
+                  FormatDuration(job.queue_wait).c_str(), FormatDuration(job.jct).c_str(),
+                  job.cost.ToString().c_str(), job.met_deadline ? "met" : "MISSED");
+    } else {
+      std::printf("%-10s %-20s %10s %10s %10s %10s  %s\n", job.name.c_str(),
+                  ToString(job.state).c_str(), FormatDuration(job.submitted_at).c_str(), "-",
+                  "-", "-", "-");
+    }
+  }
+
+  std::printf("\nserved %d/%d jobs (%d rejected), %d deadline miss%s\n", report.completed,
+              num_jobs, report.rejected, report.deadline_misses,
+              report.deadline_misses == 1 ? "" : "es");
+  std::printf("makespan %s, mean queue wait %s\n", FormatDuration(report.makespan).c_str(),
+              FormatDuration(report.mean_queue_wait).c_str());
+  std::printf("total cost %s (%s per completed job), %d instance launches\n",
+              report.total_cost.Total().ToString().c_str(),
+              report.cost_per_completed_job.ToString().c_str(), report.instance_launches);
+  std::printf("warm pool: %lld/%lld warm hits (%.0f%%), %.0fs init saved, %.0fs parked idle\n",
+              static_cast<long long>(report.warm.warm_hits),
+              static_cast<long long>(report.warm.requests), 100.0 * report.warm.HitRate(),
+              report.warm.init_seconds_saved, report.warm.parked_idle_seconds);
+  std::printf("aggregate utilization %.0f%%\n", 100.0 * report.aggregate_utilization);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s plan|execute|sweep|asha [--flags]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s plan|execute|sweep|asha|serve [--flags]\n", argv[0]);
     return 2;
   }
   const std::string command = argv[1];
@@ -210,6 +275,8 @@ int Main(int argc, char** argv) {
     status = RunSweep(flags, setup);
   } else if (command == "asha") {
     status = RunAshaCommand(flags, setup);
+  } else if (command == "serve") {
+    status = RunServe(flags, setup);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return 2;
