@@ -5,6 +5,7 @@
 #ifndef SRC_CLOUD_CLOUD_PROFILE_H_
 #define SRC_CLOUD_CLOUD_PROFILE_H_
 
+#include "src/cloud/fault.h"
 #include "src/cloud/instance.h"
 #include "src/cloud/pricing.h"
 #include "src/cloud/provisioning.h"
@@ -16,6 +17,7 @@ struct CloudProfile {
   PricingPolicy pricing;
   ProvisioningModel provisioning;
   SpotMarket spot;
+  FaultProfile fault;
 
   int gpus_per_instance() const { return instance.gpus; }
 

@@ -1,0 +1,28 @@
+#include "src/cloud/fault.h"
+
+namespace rubberband {
+
+bool FaultInjector::Sample(double rate, int& counter) {
+  if (rate <= 0.0) {
+    return false;  // no draw: disabled faults leave the stream untouched
+  }
+  const bool fails = rate >= 1.0 || rng_.Uniform(0.0, 1.0) < rate;
+  if (fails) {
+    ++counter;
+  }
+  return fails;
+}
+
+bool FaultInjector::ProvisionFails() {
+  return Sample(profile_.provision_failure_rate, num_provision_failures_);
+}
+
+bool FaultInjector::InitFails() { return Sample(profile_.init_failure_rate, num_init_failures_); }
+
+bool FaultInjector::CheckpointFetchFails() {
+  return Sample(profile_.checkpoint_failure_rate, num_checkpoint_failures_);
+}
+
+Seconds FaultInjector::SampleTimeToCrash() { return rng_.Exponential(profile_.mtbf); }
+
+}  // namespace rubberband

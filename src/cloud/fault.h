@@ -1,0 +1,77 @@
+// Fault model: the ways a real provider misbehaves that the paper's
+// provider assumption ("provisioning always succeeds") papers over.
+//
+// Four fault classes, all parameters of the cloud profile and all driven by
+// the deterministic Rng so faulty runs replay bit-identically from a seed:
+//   * provisioning request failures — the provider rejects the request
+//     after the queuing delay (EC2's InsufficientInstanceCapacity);
+//   * init-time failures — the instance launches (and bills) but dies
+//     before becoming ready;
+//   * hardware crashes — ready instances fail with an exponential
+//     mean-time-between-failures, independent of the spot market;
+//   * checkpoint-transfer failures — a worker gang's checkpoint fetch must
+//     be retried.
+
+#ifndef SRC_CLOUD_FAULT_H_
+#define SRC_CLOUD_FAULT_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace rubberband {
+
+struct FaultProfile {
+  // Probability a provisioning request is rejected (after the queuing
+  // delay) instead of launching an instance. Nothing is billed.
+  double provision_failure_rate = 0.0;
+  // Probability a launched instance dies during init. The launch-to-death
+  // interval is billed (the provider charges while init scripts run).
+  double init_failure_rate = 0.0;
+  // Mean time between hardware crashes on a ready instance (exponentially
+  // distributed, like spot reclamation but cause-independent); 0 disables.
+  Seconds mtbf = 0.0;
+  // Probability a checkpoint fetch fails and must be retried by the gang.
+  double checkpoint_failure_rate = 0.0;
+
+  bool Any() const {
+    return provision_failure_rate > 0.0 || init_failure_rate > 0.0 || mtbf > 0.0 ||
+           checkpoint_failure_rate > 0.0;
+  }
+};
+
+// Samples fault occurrences from a dedicated random stream and counts what
+// it injected. Methods never draw when their fault class is disabled, so a
+// profile with no faults leaves every random stream bit-identical to a
+// build without the injector.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultProfile& profile, Rng rng) : profile_(profile), rng_(rng) {}
+
+  bool ProvisionFails();
+  bool InitFails();
+  bool CheckpointFetchFails();
+
+  bool crashes_enabled() const { return profile_.mtbf > 0.0; }
+  Seconds SampleTimeToCrash();
+
+  int num_provision_failures() const { return num_provision_failures_; }
+  int num_init_failures() const { return num_init_failures_; }
+  int num_checkpoint_failures() const { return num_checkpoint_failures_; }
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  bool Sample(double rate, int& counter);
+
+  FaultProfile profile_;
+  Rng rng_;
+  int num_provision_failures_ = 0;
+  int num_init_failures_ = 0;
+  int num_checkpoint_failures_ = 0;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_CLOUD_FAULT_H_

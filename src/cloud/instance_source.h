@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 namespace rubberband {
 
@@ -23,9 +24,18 @@ class InstanceSource {
   // Requests `count` instances; `on_ready` fires once per instance when it
   // is usable. `dataset_gb` is ingressed by each freshly provisioned
   // instance (recycled instances are assumed to still hold the service's
-  // shared dataset cache).
+  // shared dataset cache). `on_failure` fires once per instance slot the
+  // source could not deliver (provisioning rejection or init-time death);
+  // a null handler drops the slot silently.
   virtual void RequestInstances(int count, double dataset_gb,
-                                std::function<void(InstanceId)> on_ready) = 0;
+                                std::function<void(InstanceId)> on_ready,
+                                std::function<void()> on_failure) = 0;
+
+  // Convenience overload for callers that do not handle failures (the
+  // fault-free provider never invokes on_failure anyway).
+  void RequestInstances(int count, double dataset_gb, std::function<void(InstanceId)> on_ready) {
+    RequestInstances(count, dataset_gb, std::move(on_ready), nullptr);
+  }
 
   // Gives a ready instance back to the source (terminate or recycle).
   virtual void ReleaseInstance(InstanceId id) = 0;

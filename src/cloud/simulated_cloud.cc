@@ -7,45 +7,98 @@
 namespace rubberband {
 
 SimulatedCloud::SimulatedCloud(Simulation& sim, CloudProfile profile)
-    : sim_(sim), profile_(std::move(profile)), rng_(sim.rng().Fork()) {}
+    : sim_(sim),
+      profile_(std::move(profile)),
+      rng_(sim.rng().Fork()),
+      // Only fork a fault stream when faults are configured, so fault-free
+      // profiles draw the exact same sequences as before the fault layer
+      // existed (bit-identical replays of old seeds).
+      faults_(profile_.fault, profile_.fault.Any() ? rng_.Fork() : Rng(0)) {}
 
 void SimulatedCloud::RequestInstances(int count, double dataset_gb,
-                                      std::function<void(InstanceId)> on_ready) {
+                                      std::function<void(InstanceId)> on_ready,
+                                      std::function<void()> on_failure) {
   for (int i = 0; i < count; ++i) {
     ++pending_;
     const InstanceId id = next_id_++;
     const Seconds queuing = profile_.provisioning.queuing_delay.Sample(rng_);
+    const int64_t epoch = cancel_epoch_;
+    if (faults_.ProvisionFails()) {
+      // Insufficient capacity: the provider rejects the request after the
+      // queuing delay. Nothing launched, nothing billed.
+      sim_.ScheduleAt(sim_.now() + queuing, [this, on_failure, epoch]() {
+        if (epoch != cancel_epoch_) {
+          return;  // cancelled by TerminateAll
+        }
+        --pending_;
+        if (on_failure) {
+          on_failure();
+        }
+      });
+      continue;
+    }
     const Seconds init = profile_.provisioning.init_latency.Sample(rng_);
     const Seconds launch_at = sim_.now() + queuing;
     const Seconds ready_at = launch_at + init;
     if (dataset_gb > 0.0) {
       meter_.RecordDataIngress(dataset_gb);
     }
-    sim_.ScheduleAt(ready_at, [this, id, launch_at, ready_at, on_ready]() {
+    pending_launch_.emplace(id, launch_at);
+    if (faults_.InitFails()) {
+      // The instance launched (and billed) but died before becoming ready.
+      sim_.ScheduleAt(ready_at, [this, id, launch_at, on_failure, epoch]() {
+        if (epoch != cancel_epoch_) {
+          return;
+        }
+        --pending_;
+        pending_launch_.erase(id);
+        meter_.RecordInstanceUsage(launch_at, sim_.now());
+        if (on_failure) {
+          on_failure();
+        }
+      });
+      continue;
+    }
+    sim_.ScheduleAt(ready_at, [this, id, launch_at, ready_at, on_ready, epoch]() {
+      if (epoch != cancel_epoch_) {
+        return;
+      }
       --pending_;
+      pending_launch_.erase(id);
       ready_.emplace(id, Instance{launch_at, ready_at});
       if (profile_.spot.enabled) {
         SchedulePreemption(id);
+      }
+      if (faults_.crashes_enabled()) {
+        ScheduleCrash(id);
       }
       on_ready(id);
     });
   }
 }
 
+void SimulatedCloud::ReclaimInstance(InstanceId id, int& counter,
+                                     const std::function<void(InstanceId)>& handler) {
+  auto it = ready_.find(id);
+  if (it == ready_.end()) {
+    return;  // already terminated by the job (or lost to the other cause)
+  }
+  meter_.RecordInstanceUsage(it->second.launch, sim_.now());
+  ready_.erase(it);
+  ++counter;
+  if (handler) {
+    handler(id);
+  }
+}
+
 void SimulatedCloud::SchedulePreemption(InstanceId id) {
   const Seconds delay = rng_.Exponential(profile_.spot.mean_time_to_preemption);
-  sim_.ScheduleIn(delay, [this, id]() {
-    auto it = ready_.find(id);
-    if (it == ready_.end()) {
-      return;  // already terminated by the job
-    }
-    meter_.RecordInstanceUsage(it->second.launch, sim_.now());
-    ready_.erase(it);
-    ++num_preemptions_;
-    if (on_preempted_) {
-      on_preempted_(id);
-    }
-  });
+  sim_.ScheduleIn(delay, [this, id]() { ReclaimInstance(id, num_preemptions_, on_preempted_); });
+}
+
+void SimulatedCloud::ScheduleCrash(InstanceId id) {
+  const Seconds delay = faults_.SampleTimeToCrash();
+  sim_.ScheduleIn(delay, [this, id]() { ReclaimInstance(id, num_crashes_, on_crashed_); });
 }
 
 void SimulatedCloud::TerminateInstance(InstanceId id) {
@@ -66,6 +119,16 @@ void SimulatedCloud::TerminateAll() {
   for (InstanceId id : ids) {
     TerminateInstance(id);
   }
+  // Cancel in-flight requests: instances already launched were billing and
+  // settle at now; still-queued requests never started billing.
+  for (const auto& [id, launch_at] : pending_launch_) {
+    if (launch_at < sim_.now()) {
+      meter_.RecordInstanceUsage(launch_at, sim_.now());
+    }
+  }
+  pending_launch_.clear();
+  pending_ = 0;
+  ++cancel_epoch_;
 }
 
 }  // namespace rubberband

@@ -3,8 +3,10 @@
 // Substitute for AWS EC2 + boto in the paper's implementation (section 5,
 // "Cluster management"): serves provisioning requests after the profile's
 // queuing + init delays, terminates instances immediately, and keeps the
-// billing ledger. Provisioning requests always succeed (the paper's provider
-// assumption); delays and prices are the modeled parameters.
+// billing ledger. The paper's provider assumption — provisioning always
+// succeeds — holds only for the default (fault-free) profile; the profile's
+// FaultProfile injects provisioning rejections, init-time deaths, and
+// hardware crashes on ready instances, all from the deterministic Rng.
 
 #ifndef SRC_CLOUD_SIMULATED_CLOUD_H_
 #define SRC_CLOUD_SIMULATED_CLOUD_H_
@@ -15,6 +17,7 @@
 
 #include "src/cloud/billing.h"
 #include "src/cloud/cloud_profile.h"
+#include "src/cloud/fault.h"
 #include "src/cloud/instance_source.h"
 #include "src/sim/simulation.h"
 
@@ -27,13 +30,18 @@ class SimulatedCloud : public InstanceSource {
   SimulatedCloud(const SimulatedCloud&) = delete;
   SimulatedCloud& operator=(const SimulatedCloud&) = delete;
 
+  using InstanceSource::RequestInstances;
+
   // Requests `count` instances. `on_ready` fires once per instance when it
   // becomes usable (after queuing delay + init latency). Billing starts at
   // launch (after queuing delay, before init completes), as real providers
   // charge while init scripts run. If `dataset_gb` > 0, each instance
   // ingresses that much data during init (charged at the data price).
-  void RequestInstances(int count, double dataset_gb,
-                        std::function<void(InstanceId)> on_ready) override;
+  // Under a fault profile a slot may instead fail — rejected after the
+  // queuing delay (nothing billed) or dead at the end of init (the init
+  // interval is billed) — in which case `on_failure` fires for it.
+  void RequestInstances(int count, double dataset_gb, std::function<void(InstanceId)> on_ready,
+                        std::function<void()> on_failure) override;
 
   // Terminates a ready instance and closes its billing interval.
   void TerminateInstance(InstanceId id);
@@ -48,9 +56,22 @@ class SimulatedCloud : public InstanceSource {
     on_preempted_ = std::move(handler);
   }
 
-  int num_preemptions() const { return num_preemptions_; }
+  // Registers the callback invoked when a ready instance's hardware
+  // crashes (only fires when the fault profile's MTBF is enabled). Like a
+  // preemption, the instance is already gone when the handler runs.
+  void SetCrashHandler(std::function<void(InstanceId)> handler) {
+    on_crashed_ = std::move(handler);
+  }
 
-  // Terminates everything still running (end-of-job cleanup).
+  int num_preemptions() const { return num_preemptions_; }
+  int num_crashes() const { return num_crashes_; }
+  int num_provision_failures() const { return faults_.num_provision_failures(); }
+  int num_init_failures() const { return faults_.num_init_failures(); }
+
+  // Terminates everything still running and cancels in-flight provisioning
+  // requests (end-of-job cleanup): launched-but-initializing instances are
+  // billed up to now, still-queued requests never bill, and neither
+  // `on_ready` nor `on_failure` fires for a cancelled slot.
   void TerminateAll();
 
   // Records a function-style task execution for per-function pricing.
@@ -79,13 +100,24 @@ class SimulatedCloud : public InstanceSource {
   Simulation& sim_;
   CloudProfile profile_;
   Rng rng_;
+  FaultInjector faults_;
   BillingMeter meter_;
   void SchedulePreemption(InstanceId id);
+  void ScheduleCrash(InstanceId id);
+  void ReclaimInstance(InstanceId id, int& counter, const std::function<void(InstanceId)>& handler);
 
   std::map<InstanceId, Instance> ready_;
+  // Launch time of every launched-but-not-ready instance (cancellation
+  // closes these billing intervals).
+  std::map<InstanceId, Seconds> pending_launch_;
   std::function<void(InstanceId)> on_preempted_;
+  std::function<void(InstanceId)> on_crashed_;
   int pending_ = 0;
   int num_preemptions_ = 0;
+  int num_crashes_ = 0;
+  // Bumped by TerminateAll: in-flight ready/failure events from an older
+  // epoch are cancelled and become no-ops.
+  int64_t cancel_epoch_ = 0;
   InstanceId next_id_ = 0;
 };
 

@@ -18,7 +18,8 @@ InstanceId WarmPool::PopHottest() {
 }
 
 void WarmPool::RequestInstances(int count, double dataset_gb,
-                                std::function<void(InstanceId)> on_ready) {
+                                std::function<void(InstanceId)> on_ready,
+                                std::function<void()> on_failure) {
   stats_.requests += count;
   int remaining = count;
   while (remaining > 0 && !stack_.empty()) {
@@ -28,13 +29,13 @@ void WarmPool::RequestInstances(int count, double dataset_gb,
     --remaining;
     // Hand over on the next tick so the caller's async contract (callback
     // after RequestInstances returns) holds for warm hits too.
-    sim_.ScheduleIn(0.0, [this, on_ready, id, dataset_gb] {
+    sim_.ScheduleIn(0.0, [this, on_ready, on_failure, id, dataset_gb] {
       if (!cloud_.IsReady(id)) {
         // Reclaimed inside the handover tick (spot): downgrade to a miss.
         ++stats_.cold_misses;
         --stats_.warm_hits;
         stats_.init_seconds_saved -= cloud_.profile().provisioning.MeanReadyLatency();
-        cloud_.RequestInstances(1, dataset_gb, on_ready);
+        cloud_.RequestInstances(1, dataset_gb, on_ready, on_failure);
         return;
       }
       on_ready(id);
@@ -42,7 +43,7 @@ void WarmPool::RequestInstances(int count, double dataset_gb,
   }
   if (remaining > 0) {
     stats_.cold_misses += remaining;
-    cloud_.RequestInstances(remaining, dataset_gb, std::move(on_ready));
+    cloud_.RequestInstances(remaining, dataset_gb, std::move(on_ready), std::move(on_failure));
   }
 }
 

@@ -58,10 +58,13 @@ class WarmPool : public InstanceSource {
   WarmPool(const WarmPool&) = delete;
   WarmPool& operator=(const WarmPool&) = delete;
 
+  using InstanceSource::RequestInstances;
+
   // Serves warm instances first (ready on the next event-queue tick), then
-  // falls through to the cloud for the remainder.
-  void RequestInstances(int count, double dataset_gb,
-                        std::function<void(InstanceId)> on_ready) override;
+  // falls through to the cloud for the remainder. Warm hits never fail;
+  // `on_failure` is forwarded with the slots that reach the provider.
+  void RequestInstances(int count, double dataset_gb, std::function<void(InstanceId)> on_ready,
+                        std::function<void()> on_failure) override;
 
   // Parks the instance (or terminates it when the pool is full/disabled).
   void ReleaseInstance(InstanceId id) override;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 
 #include "src/common/time.h"
 
@@ -36,9 +37,12 @@ class CheckpointStore {
   // the trial (only the newest matters).
   Seconds Save(int trial, double size_gb);
 
-  // Latency for a new worker gang to fetch trial `id`'s checkpoint.
-  // Throws std::logic_error if no checkpoint was ever saved.
-  Seconds Fetch(int trial);
+  // Latency for a new worker gang to fetch trial `id`'s checkpoint, or
+  // nullopt when the store holds no object for the trial (it was never
+  // saved, was evicted, or its transfer failed) — a recoverable condition:
+  // the executor re-serializes from the driver's in-memory replica and the
+  // trial restarts from the last rung boundary instead of aborting.
+  std::optional<Seconds> Fetch(int trial);
 
   // Drops a terminated trial's checkpoint (frees driver memory).
   void Evict(int trial) { sizes_gb_.erase(trial); }

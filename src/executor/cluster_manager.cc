@@ -15,13 +15,49 @@ void ClusterManager::OnInstanceReady(InstanceId id) {
   }
 }
 
-void ClusterManager::Request(int count, std::function<void(InstanceId)> on_each_ready) {
+Seconds ClusterManager::Backoff(int attempt) {
+  Seconds delay = retry_.base_backoff_s;
+  for (int k = 0; k < attempt && delay < retry_.max_backoff_s; ++k) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, retry_.max_backoff_s);
+  if (retry_.jitter > 0.0) {
+    delay *= 1.0 + backoff_rng_.Uniform(-retry_.jitter, retry_.jitter);
+  }
+  return delay;
+}
+
+void ClusterManager::RequestSlots(int count, int attempt,
+                                  std::function<void(InstanceId)> on_each_ready) {
   inflight_ += count;
-  source_.RequestInstances(count, dataset_gb_,
-                           [this, on_each_ready = std::move(on_each_ready)](InstanceId id) {
-                             --inflight_;
-                             on_each_ready(id);
-                           });
+  source_.RequestInstances(
+      count, dataset_gb_,
+      [this, on_each_ready](InstanceId id) {
+        --inflight_;
+        on_each_ready(id);
+      },
+      [this, attempt, on_each_ready]() {
+        --inflight_;
+        ++provision_failures_;
+        const bool will_retry = attempt + 1 < retry_.max_attempts;
+        if (fault_observer_) {
+          fault_observer_(will_retry);
+        }
+        if (!will_retry) {
+          ++abandoned_;
+          return;
+        }
+        ++retries_;
+        ++backoff_pending_;
+        sim_.ScheduleIn(Backoff(attempt), [this, attempt, on_each_ready]() {
+          --backoff_pending_;
+          RequestSlots(1, attempt + 1, on_each_ready);
+        });
+      });
+}
+
+void ClusterManager::Request(int count, std::function<void(InstanceId)> on_each_ready) {
+  RequestSlots(count, 0, std::move(on_each_ready));
 }
 
 void ClusterManager::EnsureInstances(int target, std::function<void()> on_ready) {
@@ -34,9 +70,21 @@ void ClusterManager::EnsureInstances(int target, std::function<void()> on_ready)
   }
   waiter_ = std::move(on_ready);
   waiting_for_ = target;
-  const int missing = target - num_ready() - inflight_;
+  const int missing = target - num_ready() - num_inflight();
   if (missing > 0) {
     Request(missing, [this](InstanceId id) { OnInstanceReady(id); });
+  }
+}
+
+void ClusterManager::ReduceWaitTarget(int target) {
+  if (!waiter_) {
+    return;
+  }
+  waiting_for_ = std::min(waiting_for_, target);
+  if (num_ready() >= waiting_for_) {
+    auto callback = std::move(waiter_);
+    waiter_ = nullptr;
+    callback();
   }
 }
 
@@ -47,12 +95,21 @@ void ClusterManager::RequestExtra(int count, std::function<void(InstanceId)> on_
   });
 }
 
-void ClusterManager::OnInstancePreempted(InstanceId id) {
+void ClusterManager::OnInstanceLost(InstanceId id) {
   auto it = std::find(ready_.begin(), ready_.end(), id);
   if (it == ready_.end()) {
-    throw std::logic_error("preemption reported for an instance the manager does not hold");
+    throw std::logic_error("instance loss reported for an instance the manager does not hold");
   }
   ready_.erase(it);
+  // Self-heal the outstanding scale request: capacity lost mid-scale-up is
+  // re-requested here, otherwise the one-shot `missing` computed by
+  // EnsureInstances undercounts and the waiter hangs forever.
+  if (waiter_) {
+    const int missing = waiting_for_ - num_ready() - num_inflight();
+    if (missing > 0) {
+      Request(missing, [this](InstanceId ready_id) { OnInstanceReady(ready_id); });
+    }
+  }
 }
 
 void ClusterManager::Deprovision(const std::vector<InstanceId>& ids) {

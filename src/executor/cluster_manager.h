@@ -8,22 +8,48 @@
 // the single-job case, or parks them for the next tenant when the source is
 // the service's warm pool. Total provisioned-compute cost is tracked by the
 // underlying provider's billing meter for the lifetime of the experiment.
+//
+// The manager is self-healing: provisioning failures are retried with
+// capped exponential backoff plus deterministic jitter (and reported to the
+// fault observer), capacity lost to preemptions or crashes while a scale
+// request is outstanding is re-requested so the waiter cannot hang, and a
+// slot whose retries are exhausted surfaces as a shortfall the executor can
+// degrade around.
 
 #ifndef SRC_EXECUTOR_CLUSTER_MANAGER_H_
 #define SRC_EXECUTOR_CLUSTER_MANAGER_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "src/cloud/instance_source.h"
+#include "src/common/rng.h"
+#include "src/sim/simulation.h"
 
 namespace rubberband {
+
+// Backoff schedule for failed provisioning requests. Attempt k (0-based)
+// that fails is retried after base * 2^k (capped at max), stretched by a
+// uniform +/- jitter fraction drawn from a deterministic stream.
+struct RetryPolicy {
+  int max_attempts = 6;  // total tries per instance slot before giving up
+  Seconds base_backoff_s = 2.0;
+  Seconds max_backoff_s = 60.0;
+  double jitter = 0.2;
+  uint64_t seed = 0;  // jitter stream; mixed with the job seed by the executor
+};
 
 class ClusterManager {
  public:
   // `dataset_gb` is ingressed by every newly provisioned instance.
-  ClusterManager(InstanceSource& source, double dataset_gb)
-      : source_(source), dataset_gb_(dataset_gb) {}
+  ClusterManager(Simulation& sim, InstanceSource& source, double dataset_gb,
+                 const RetryPolicy& retry = {})
+      : sim_(sim),
+        source_(source),
+        dataset_gb_(dataset_gb),
+        retry_(retry),
+        backoff_rng_(retry.seed ^ 0x8ACC0FFull) {}
 
   ClusterManager(const ClusterManager&) = delete;
   ClusterManager& operator=(const ClusterManager&) = delete;
@@ -33,33 +59,64 @@ class ClusterManager {
   // request at a time.
   void EnsureInstances(int target, std::function<void()> on_ready);
 
+  // Lowers an outstanding scale request's target (graceful degradation
+  // after a capacity shortfall); fires the waiter if the cluster already
+  // satisfies the new target. No-op without an outstanding request.
+  void ReduceWaitTarget(int target);
+
   void Deprovision(const std::vector<InstanceId>& ids);
 
-  // Drops a spot instance the provider reclaimed (billing was closed by the
-  // provider; nothing to terminate).
-  void OnInstancePreempted(InstanceId id);
+  // Drops an instance the provider took back — spot reclamation or
+  // hardware crash (billing was closed by the provider; nothing to
+  // terminate). If a scale request is outstanding, the lost capacity is
+  // re-requested so the waiter still completes.
+  void OnInstanceLost(InstanceId id);
 
   // Requests `count` replacement instances outside the EnsureInstances
   // waiter; `on_ready` fires per instance as it becomes usable.
   void RequestExtra(int count, std::function<void(InstanceId)> on_ready);
 
+  // Observer for provisioning failures: fired once per failed slot with
+  // whether the manager will retry it (false = retries exhausted, the slot
+  // is abandoned — a capacity shortfall the caller must degrade around).
+  void SetFaultObserver(std::function<void(bool will_retry)> observer) {
+    fault_observer_ = std::move(observer);
+  }
+
   const std::vector<InstanceId>& ready_instances() const { return ready_; }
   int num_ready() const { return static_cast<int>(ready_.size()); }
-  // Instances requested from the source that have not become ready yet.
-  int num_inflight() const { return inflight_; }
+  // Instances requested from the source that have not become ready yet
+  // (including slots waiting out a retry backoff). Tracked here, not read
+  // off the provider: on a shared cloud the provider's pending count mixes
+  // every tenant's requests.
+  int num_inflight() const { return inflight_ + backoff_pending_; }
+  // True while an EnsureInstances request has not completed yet.
+  bool awaiting_scale() const { return waiter_ != nullptr; }
+
+  int num_provision_failures() const { return provision_failures_; }
+  int num_retries() const { return retries_; }
+  int num_abandoned() const { return abandoned_; }
 
  private:
   void OnInstanceReady(InstanceId id);
   void Request(int count, std::function<void(InstanceId)> on_each_ready);
+  void RequestSlots(int count, int attempt, std::function<void(InstanceId)> on_each_ready);
+  Seconds Backoff(int attempt);
 
+  Simulation& sim_;
   InstanceSource& source_;
   double dataset_gb_;
+  RetryPolicy retry_;
+  Rng backoff_rng_;
   std::vector<InstanceId> ready_;
   std::function<void()> waiter_;
+  std::function<void(bool)> fault_observer_;
   int waiting_for_ = 0;
-  // Tracked here, not read off the provider: on a shared cloud the
-  // provider's pending count mixes every tenant's requests.
   int inflight_ = 0;
+  int backoff_pending_ = 0;  // failed slots waiting out their backoff delay
+  int provision_failures_ = 0;
+  int retries_ = 0;
+  int abandoned_ = 0;
 };
 
 }  // namespace rubberband

@@ -8,6 +8,18 @@
 
 namespace rubberband {
 
+namespace {
+
+// The backoff jitter stream must differ across jobs even when callers leave
+// the policy's seed at its default, so mix the job seed in.
+RetryPolicy MergedRetry(const ExecutorOptions& options) {
+  RetryPolicy retry = options.retry;
+  retry.seed ^= options.seed * 0x9E3779B97F4A7C15ull;
+  return retry;
+}
+
+}  // namespace
+
 Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
                    const WorkloadSpec& workload, const CloudProfile& cloud_profile,
                    const ExecutorOptions& options)
@@ -20,8 +32,9 @@ Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
       sim_(*owned_sim_),
       cloud_(*owned_cloud_),
       shared_(false),
-      manager_(cloud_, workload.dataset.size_gb),
-      placement_(cloud_profile.gpus_per_instance(), options.placement) {
+      manager_(sim_, cloud_, workload.dataset.size_gb, MergedRetry(options)),
+      placement_(cloud_profile.gpus_per_instance(), options.placement),
+      checkpoint_faults_(cloud_profile.fault, Rng(options.seed ^ 0xFA177EDull)) {
   spec_.Validate();
   plan_.Validate(spec_.num_stages());
 }
@@ -37,8 +50,9 @@ Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
       cloud_(*context.cloud),
       shared_(true),
       gpu_cap_(context.gpu_cap),
-      manager_(*context.source, workload.dataset.size_gb),
-      placement_(cloud_.profile().gpus_per_instance(), options.placement) {
+      manager_(sim_, *context.source, workload.dataset.size_gb, MergedRetry(options)),
+      placement_(cloud_.profile().gpus_per_instance(), options.placement),
+      checkpoint_faults_(cloud_.profile().fault, Rng(options.seed ^ 0xFA177EDull)) {
   spec_.Validate();
   plan_.Validate(spec_.num_stages());
 }
@@ -83,6 +97,22 @@ void Executor::Start(std::function<void(const ExecutionReport&)> on_done) {
     throw std::logic_error("Executor may only be started once");
   }
   on_done_ = std::move(on_done);
+  // Provisioning-failure accounting and shortfall degradation: the manager
+  // reports every failed slot; an abandoned one (retries exhausted) means
+  // capacity is not coming and the executor must degrade around the hole.
+  manager_.SetFaultObserver([this](bool will_retry) {
+    ++fault_events_;
+    ++report_.provision_failures;
+    report_.trace.Record(sim_.now(), TraceEventType::kProvisionFailure, current_stage_);
+    if (will_retry) {
+      ++report_.provision_retries;
+      report_.trace.Record(sim_.now(), TraceEventType::kProvisionRetry, current_stage_);
+    } else {
+      ++report_.capacity_shortfalls;
+      report_.trace.Record(sim_.now(), TraceEventType::kProvisionGiveUp, current_stage_);
+      HandleShortfall();
+    }
+  });
   // Sample one configuration per initial trial (random search over the
   // user-provided space).
   SearchSpace space;
@@ -102,6 +132,7 @@ ExecutionReport Executor::Run() {
     throw std::logic_error("Run() drives its own simulation; shared executors use Start()");
   }
   cloud_.SetPreemptionHandler([this](InstanceId id) { OnPreemption(id); });
+  cloud_.SetCrashHandler([this](InstanceId id) { OnCrash(id); });
   Start(nullptr);
   sim_.Run();
   if (!finished_) {
@@ -119,6 +150,7 @@ void Executor::StartStage(int stage) {
   current_stage_ = stage;
   stage_gpus_ = EffectiveStageGpus(stage);
   completed_in_stage_ = 0;
+  replacements_exhausted_ = false;
   const Stage& spec_stage = spec_.stage(stage);
   if (static_cast<int>(survivors_.size()) != spec_stage.num_trials) {
     throw std::logic_error("survivor count does not match the specification");
@@ -146,6 +178,19 @@ void Executor::BeginTraining(int stage) {
       NoteAcquired(id);
       report_.trace.Record(sim_.now(), TraceEventType::kInstanceReady, stage, -1, id);
     }
+  }
+
+  // The cluster may be smaller than planned (capacity shortfall after
+  // exhausted provisioning retries lowered the wait target); run the stage
+  // on what actually arrived rather than stalling on instances that are
+  // not coming.
+  const int gpg = cloud_.profile().gpus_per_instance();
+  const int available = manager_.num_ready() * gpg;
+  if (available < stage_gpus_) {
+    stage_gpus_ =
+        std::max(1, FairFloorAllocation(available, static_cast<int>(survivors_.size())));
+    ++report_.degraded_stages;
+    report_.trace.Record(sim_.now(), TraceEventType::kStageDegraded, stage);
   }
 
   const int gpus = stage_gpus_;
@@ -211,8 +256,9 @@ void Executor::StartTrialOnStage(TrialId id, int gpus) {
   Seconds startup = workload_.trial_startup_seconds;
   if (trial.has_checkpoint()) {
     trial.RestoreFromCheckpoint();
-    // The fresh gang fetches the checkpoint from the driver's object store.
-    startup += checkpoint_store_.Fetch(id);
+    // The fresh gang fetches the checkpoint from the driver's object store
+    // (recovering from transfer failures or a missing object).
+    startup += FetchCheckpoint(id);
   }
   trial.set_state(TrialState::kRunning);
   trial.trainer().Configure(gpus, placement_.IsColocated(id));
@@ -282,6 +328,12 @@ void Executor::OnTrialStageDone(TrialId id) {
     }
   }
 
+  // Once replacements are exhausted no instance arrival will drain the
+  // pending queue, so freed capacity from completions has to.
+  if (replacements_exhausted_ && !pending_restart_.empty()) {
+    DegradePendingRestarts();
+  }
+
   if (completed_in_stage_ == static_cast<int>(survivors_.size())) {
     const int stage = current_stage_;
     sim_.ScheduleIn(workload_.sync_seconds, [this, stage] { Sync(stage); });
@@ -338,23 +390,36 @@ void Executor::ReallocateFreedResources() {
   }
 }
 
-void Executor::OnPreemption(InstanceId instance) {
-  ++report_.preemptions;
+void Executor::OnPreemption(InstanceId instance) { OnInstanceLost(instance, false); }
+
+void Executor::OnCrash(InstanceId instance) { OnInstanceLost(instance, true); }
+
+void Executor::OnInstanceLost(InstanceId instance, bool crashed) {
+  if (crashed) {
+    ++report_.crashes;
+  } else {
+    ++report_.preemptions;
+  }
   if (finished_) {
     return;
   }
-  report_.trace.Record(sim_.now(), TraceEventType::kPreemption, current_stage_, -1, instance);
-  manager_.OnInstancePreempted(instance);
+  ++fault_events_;
+  report_.trace.Record(sim_.now(),
+                       crashed ? TraceEventType::kInstanceCrash : TraceEventType::kPreemption,
+                       current_stage_, -1, instance);
+  manager_.OnInstanceLost(instance);
   NoteReleased(instance);
   const bool tracked = std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(),
                                  instance) != nodes_in_controller_.end();
   if (!tracked) {
-    return;  // reclaimed before the executor ever used it
+    // Reclaimed before the executor ever used it (mid-scale-up): the
+    // manager already re-requested the lost capacity for its waiter.
+    return;
   }
   nodes_in_controller_.erase(
       std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(), instance));
 
-  // Every trial with workers on the reclaimed node loses its gang; roll it
+  // Every trial with workers on the lost node loses its gang; roll it
   // back to the stage-start checkpoint and queue it for restart.
   for (TrialId id : placement_.EvictNode(instance)) {
     Trial& trial = trials_[static_cast<size_t>(id)];
@@ -369,13 +434,22 @@ void Executor::OnPreemption(InstanceId instance) {
     trial.RestoreFromCheckpoint();
     trial.AssignStageWork(spec_.stage(current_stage_).iters_per_trial);
     pending_restart_.push_back(id);
+    pending_since_[id] = sim_.now();
     ++report_.trial_restarts;
     report_.trace.Record(sim_.now(), TraceEventType::kTrialRestart, current_stage_, id);
   }
 
   // Ask for a replacement to keep the cluster at the planned size; restart
   // what we can as soon as it arrives (or immediately, if spare capacity
-  // remains).
+  // remains). While a scale request is outstanding the manager already
+  // re-requested the lost capacity, so don't double-provision.
+  if (!manager_.awaiting_scale()) {
+    RequestReplacement();
+  }
+  TryRestartPending();
+}
+
+void Executor::RequestReplacement() {
   manager_.RequestExtra(1, [this](InstanceId replacement) {
     if (finished_) {
       // The job ended while the replacement was provisioning: release it
@@ -384,12 +458,41 @@ void Executor::OnPreemption(InstanceId instance) {
       manager_.Deprovision({replacement});
       return;
     }
+    revival_cycles_ = 0;  // capacity came back; future losses retry afresh
     placement_.AddNode(replacement);
     nodes_in_controller_.push_back(replacement);
     NoteAcquired(replacement);
     TryRestartPending();
   });
-  TryRestartPending();
+}
+
+void Executor::HandleShortfall() {
+  if (finished_) {
+    return;
+  }
+  if (manager_.awaiting_scale()) {
+    // Stage-boundary scale-up stalled: settle for the size the cluster can
+    // actually reach so the stage starts (degraded) instead of hanging.
+    manager_.ReduceWaitTarget(std::max(1, manager_.num_ready() + manager_.num_inflight()));
+    return;
+  }
+  // A mid-stage replacement was abandoned: no more capacity is coming, so
+  // restart pending trials at whatever gang sizes the survivors can host.
+  replacements_exhausted_ = true;
+  DegradePendingRestarts();
+
+  // Total capacity loss: nothing is running, nothing is in flight, and
+  // work remains. Degrading cannot help — there is no node to shrink onto
+  // and no completion event will ever retry — so open a fresh replacement
+  // cycle rather than strand the job. Bounded so a permanent provider
+  // blackout still drains (and surfaces) instead of retrying forever.
+  constexpr int kMaxRevivalCycles = 8;
+  if (manager_.num_ready() == 0 && manager_.num_inflight() == 0 &&
+      !pending_restart_.empty() && revival_cycles_ < kMaxRevivalCycles) {
+    ++revival_cycles_;
+    replacements_exhausted_ = false;
+    RequestReplacement();
+  }
 }
 
 void Executor::TryRestartPending() {
@@ -402,8 +505,108 @@ void Executor::TryRestartPending() {
       break;  // no capacity yet; wait for the replacement instance
     }
     pending_restart_.pop_front();
+    NoteRestarted(id);
     StartTrialOnStage(id, gpus_per_trial_);
   }
+}
+
+void Executor::DegradePendingRestarts() {
+  while (!pending_restart_.empty()) {
+    const TrialId id = pending_restart_.front();
+    // Try the planned gang size first, then progressively halve: a smaller
+    // gang trains slower but a pending trial makes no progress at all.
+    int gpus = gpus_per_trial_;
+    bool fits = false;
+    while (gpus >= 1) {
+      allocations_[id] = gpus;
+      const PlacementResult placed = placement_.Place(allocations_);
+      if (placed.unplaced.empty()) {
+        fits = true;
+        break;
+      }
+      allocations_.erase(id);
+      gpus /= 2;
+    }
+    if (!fits) {
+      return;  // not even one GPU free; the next completion retries
+    }
+    pending_restart_.pop_front();
+    NoteRestarted(id);
+    StartTrialOnStage(id, allocations_[id]);
+  }
+}
+
+Seconds Executor::FetchCheckpoint(TrialId id) {
+  constexpr int kMaxFetchAttempts = 3;
+  Seconds total = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    std::optional<Seconds> latency = checkpoint_store_.Fetch(id);
+    if (!latency.has_value()) {
+      // The store holds no object for this trial (evicted or lost): a
+      // recoverable condition — re-serialize from the driver's in-memory
+      // replica (the trial itself restored from its last rung boundary)
+      // and fetch the fresh object.
+      ++report_.checkpoint_retries;
+      ++fault_events_;
+      report_.trace.Record(sim_.now(), TraceEventType::kCheckpointRetry, current_stage_, id);
+      total += checkpoint_store_.Save(id, workload_.checkpoint_gb);
+      latency = checkpoint_store_.Fetch(id);
+    }
+    total += latency.value();
+    if (attempt + 1 >= kMaxFetchAttempts || !checkpoint_faults_.CheckpointFetchFails()) {
+      return total;
+    }
+    // Transfer failed mid-flight: the gang pays the latency again.
+    ++report_.checkpoint_retries;
+    ++fault_events_;
+    report_.trace.Record(sim_.now(), TraceEventType::kCheckpointRetry, current_stage_, id);
+  }
+}
+
+void Executor::NoteRestarted(TrialId id) {
+  auto it = pending_since_.find(id);
+  if (it == pending_since_.end()) {
+    return;
+  }
+  report_.recovery_seconds += sim_.now() - it->second;
+  pending_since_.erase(it);
+}
+
+void Executor::MaybeReplan(int next_stage) {
+  // Gated on an observed fault: a fault-free run never re-estimates, so
+  // enabling re-planning cannot perturb it.
+  if (!options_.replan.enabled || fault_events_ == 0 || next_stage >= spec_.num_stages()) {
+    return;
+  }
+  const Seconds remaining = options_.replan.deadline - sim_.now();
+  ExperimentSpec rest;
+  std::vector<int> tail_gpus;
+  for (int s = next_stage; s < spec_.num_stages(); ++s) {
+    rest.AddStage(spec_.stage(s).num_trials, spec_.stage(s).iters_per_trial);
+    tail_gpus.push_back(plan_.gpus(s));
+  }
+  PlannerInputs inputs;
+  inputs.spec = rest;
+  inputs.model = options_.replan.model;
+  inputs.cloud = cloud_.profile();
+  inputs.deadline = std::max<Seconds>(remaining, 1.0);
+  // If the tail of the original plan still fits the time left, the slack
+  // absorbed the fault delay — keep the plan.
+  const PlanEstimate estimate =
+      EstimatePlan(inputs, AllocationPlan(tail_gpus), options_.replan.planner);
+  if (estimate.jct_mean <= remaining) {
+    return;
+  }
+  // Slack is gone: re-plan the remaining stages against the time actually
+  // left (Algorithm 2 over the remaining sub-experiment). An infeasible
+  // remainder still yields the fastest plan found — deadline-aware
+  // degradation: run as fast as possible rather than stalling.
+  const PlannedJob replanned = PlanGreedy(inputs, options_.replan.planner);
+  for (int s = next_stage; s < spec_.num_stages(); ++s) {
+    plan_.gpus(s) = replanned.plan.gpus(s - next_stage);
+  }
+  ++report_.replans;
+  report_.trace.Record(sim_.now(), TraceEventType::kReplan, next_stage);
 }
 
 void Executor::Sync(int stage) {
@@ -441,6 +644,9 @@ void Executor::Sync(int stage) {
     trials_[static_cast<size_t>(id)].SaveCheckpoint();
     trials_[static_cast<size_t>(id)].set_state(TrialState::kPaused);
   }
+  // Deadline-aware self-healing: if accumulated fault delay burned the
+  // slack, re-plan the remaining stages before committing to the next one.
+  MaybeReplan(stage + 1);
   StartStage(stage + 1);
 }
 

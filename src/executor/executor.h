@@ -29,11 +29,26 @@
 #include "src/executor/trial.h"
 #include "src/placement/controller.h"
 #include "src/planner/plan.h"
+#include "src/planner/planner.h"
 #include "src/spec/experiment_spec.h"
 #include "src/trainer/model_zoo.h"
 #include "src/trainer/search_space.h"
 
 namespace rubberband {
+
+// Deadline-aware self-healing: when enabled, the executor checks at every
+// stage boundary — once any fault has cost it time — whether the remaining
+// stages still fit the deadline under the current plan, and if the
+// accumulated fault delay burned the slack, re-plans the remaining stages
+// against the time actually left (Algorithm 2 over the remaining
+// sub-experiment). An infeasible remainder degrades to the fastest plan
+// found (best effort, never silently idle).
+struct ReplanPolicy {
+  bool enabled = false;
+  Seconds deadline = 0.0;  // absolute deadline on the executor's timeline
+  ModelProfile model;      // scaling profile the re-planner plans against
+  PlannerOptions planner;
+};
 
 struct ExecutorOptions {
   uint64_t seed = 0;
@@ -48,6 +63,10 @@ struct ExecutorOptions {
   // argues this is worse than deprovisioning: sub-linear scaling means the
   // extra GPUs add little throughput while the instances keep billing.
   bool reallocate_freed_resources = false;
+  // Backoff schedule for failed provisioning requests.
+  RetryPolicy retry;
+  // Mid-experiment re-planning of the remaining stages under faults.
+  ReplanPolicy replan;
 };
 
 struct StageLogEntry {
@@ -72,6 +91,15 @@ struct ExecutionReport {
   // Spot-market statistics (zero on on-demand runs).
   int preemptions = 0;
   int trial_restarts = 0;
+  // Fault/recovery statistics (zero on fault-free runs).
+  int crashes = 0;                // hardware crashes on ready instances
+  int provision_failures = 0;     // failed provisioning slots observed
+  int provision_retries = 0;      // backoff retries issued for them
+  int capacity_shortfalls = 0;    // slots abandoned after exhausting retries
+  int degraded_stages = 0;        // stages run below their planned GPUs
+  int replans = 0;                // mid-experiment re-plans of the remainder
+  int checkpoint_retries = 0;     // checkpoint fetches that needed recovery
+  Seconds recovery_seconds = 0.0; // total trial time spent awaiting restart
   // Busy GPU-seconds over provisioned GPU-seconds: the utilization the
   // paper's whole argument is about (elastic plans waste less).
   double realized_utilization = 0.0;
@@ -123,10 +151,13 @@ class Executor {
   // shared mode the per-job report prices only this job's attributed usage.
   void Start(std::function<void(const ExecutionReport&)> on_done);
 
-  // Spot preemption entry point. Standalone executors wire this to the
-  // provider themselves; a shared-cluster owner routes each preemption to
-  // the executor holding the instance.
+  // Instance-loss entry points — spot preemption and hardware crash follow
+  // the same unified recovery path (checkpoint restore + replacement
+  // request), differing only in attribution. Standalone executors wire
+  // these to the provider themselves; a shared-cluster owner routes each
+  // loss to the executor holding the instance.
   void OnPreemption(InstanceId instance);
+  void OnCrash(InstanceId instance);
 
   // True while this job's cluster holds the instance (shared-mode
   // preemption routing).
@@ -144,6 +175,27 @@ class Executor {
   void Finish(int final_stage);
   void TryRestartPending();
   void ReallocateFreedResources();
+  // Unified instance-loss recovery (crash or preemption): roll affected
+  // trials back to their checkpoints and request a replacement.
+  void OnInstanceLost(InstanceId instance, bool crashed);
+  // A provisioning slot was abandoned (retries exhausted): lower the
+  // outstanding scale target, or degrade pending restarts to what fits.
+  void HandleShortfall();
+  // Start a replacement-instance request cycle for a lost node; the
+  // arriving instance joins the placement controller and restarts pending
+  // trials.
+  void RequestReplacement();
+  // Restart pending trials at progressively smaller gang sizes once no
+  // replacement is coming.
+  void DegradePendingRestarts();
+  // Fetches a trial's checkpoint, recovering from transfer failures and
+  // missing objects; returns the total startup latency paid.
+  Seconds FetchCheckpoint(TrialId id);
+  // Re-plan the stages from `next_stage` on if fault delay burned the
+  // deadline slack (no-op while fault-free or when re-planning is off).
+  void MaybeReplan(int next_stage);
+  // A trial left `pending_restart_`; attribute its wait to recovery time.
+  void NoteRestarted(TrialId id);
   // The stage's planned allocation clamped to the fair-share cap (snapshot
   // taken at the stage boundary, the paper's natural reallocation point).
   int EffectiveStageGpus(int stage) const;
@@ -186,7 +238,23 @@ class Executor {
   // iteration events from a destroyed gang check it and become no-ops.
   std::map<TrialId, int> generation_;
   std::deque<TrialId> pending_restart_;
+  std::map<TrialId, Seconds> pending_since_;
   std::vector<InstanceId> nodes_in_controller_;
+
+  // Checkpoint-transfer fault stream: seeded from the job seed, so it is
+  // independent of the cloud's streams and deterministic per run.
+  FaultInjector checkpoint_faults_;
+  // Faults observed so far (losses, provisioning failures, checkpoint
+  // retries); gates the re-plan check so fault-free runs never re-plan.
+  int fault_events_ = 0;
+  // Set when a replacement request was abandoned this stage: completions
+  // then restart pending trials at degraded sizes instead of waiting for
+  // capacity that is not coming.
+  bool replacements_exhausted_ = false;
+  // Fresh replacement cycles issued after total capacity loss (nothing
+  // ready, nothing in flight, work pending). Bounded so a permanent
+  // provider blackout still terminates instead of retrying forever.
+  int revival_cycles_ = 0;
 
   int current_stage_ = -1;
   int stage_gpus_ = 0;  // effective (cap-clamped) allocation of the stage

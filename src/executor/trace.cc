@@ -26,6 +26,20 @@ std::string ToString(TraceEventType type) {
       return "PREEMPTION";
     case TraceEventType::kTrialRestart:
       return "TRIAL_RESTART";
+    case TraceEventType::kInstanceCrash:
+      return "INSTANCE_CRASH";
+    case TraceEventType::kProvisionFailure:
+      return "PROVISION_FAILURE";
+    case TraceEventType::kProvisionRetry:
+      return "PROVISION_RETRY";
+    case TraceEventType::kProvisionGiveUp:
+      return "PROVISION_GIVE_UP";
+    case TraceEventType::kCheckpointRetry:
+      return "CHECKPOINT_RETRY";
+    case TraceEventType::kStageDegraded:
+      return "STAGE_DEGRADED";
+    case TraceEventType::kReplan:
+      return "REPLAN";
   }
   return "UNKNOWN";
 }
@@ -36,7 +50,10 @@ TraceEventType TraceEventTypeFromString(const std::string& name) {
       TraceEventType::kInstanceReleased, TraceEventType::kTrialStart,
       TraceEventType::kTrialComplete, TraceEventType::kTrialTerminated,
       TraceEventType::kSync,          TraceEventType::kPreemption,
-      TraceEventType::kTrialRestart,
+      TraceEventType::kTrialRestart,  TraceEventType::kInstanceCrash,
+      TraceEventType::kProvisionFailure, TraceEventType::kProvisionRetry,
+      TraceEventType::kProvisionGiveUp,  TraceEventType::kCheckpointRetry,
+      TraceEventType::kStageDegraded, TraceEventType::kReplan,
   };
   for (TraceEventType type : kAll) {
     if (ToString(type) == name) {

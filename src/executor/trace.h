@@ -25,6 +25,14 @@ enum class TraceEventType {
   kSync,
   kPreemption,
   kTrialRestart,
+  // Fault/recovery events (the self-healing control plane).
+  kInstanceCrash,      // hardware crash on a ready instance
+  kProvisionFailure,   // a provisioning slot failed (rejection or init death)
+  kProvisionRetry,     // the failed slot was re-requested after backoff
+  kProvisionGiveUp,    // retries exhausted; the slot was abandoned
+  kCheckpointRetry,    // a checkpoint fetch failed and was recovered
+  kStageDegraded,      // a stage proceeded with fewer GPUs than planned
+  kReplan,             // remaining stages re-planned after slack burned
 };
 
 std::string ToString(TraceEventType type);

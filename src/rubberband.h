@@ -15,6 +15,7 @@
 
 #include "src/cloud/billing.h"
 #include "src/cloud/cloud_profile.h"
+#include "src/cloud/fault.h"
 #include "src/cloud/instance.h"
 #include "src/cloud/pricing.h"
 #include "src/cloud/provisioning.h"

@@ -115,6 +115,15 @@ void TuningService::StartJob(size_t index) {
 
   ExecutorOptions options;
   options.seed = config_.seed + 1000003 * (static_cast<uint64_t>(index) + 1);
+  options.retry = job.request.retry;
+  if (config_.replan_on_faults) {
+    options.replan.enabled = true;
+    options.replan.deadline = job.outcome.deadline_at;
+    options.replan.model = ProfileFor(job.request.workload);
+    options.replan.planner = config_.planner;
+    options.replan.planner.max_total_gpus =
+        std::min(config_.planner.max_total_gpus, config_.capacity_gpus);
+  }
 
   // Give the newcomer its cap before the executor reads it in StartStage.
   job.executor = std::make_unique<Executor>(job.request.spec, job.planned.plan,
@@ -132,6 +141,11 @@ void TuningService::OnJobDone(size_t index, const ExecutionReport& report) {
   job.outcome.cost = report.cost.Total();
   job.outcome.best_accuracy = report.best_accuracy;
   job.outcome.preemptions = report.preemptions;
+  job.outcome.crashes = report.crashes;
+  job.outcome.trial_restarts = report.trial_restarts;
+  job.outcome.provision_failures = report.provision_failures;
+  job.outcome.replans = report.replans;
+  job.outcome.recovery_seconds = report.recovery_seconds;
   for (const StageLogEntry& stage : report.stage_log) {
     job.outcome.peak_instances = std::max(job.outcome.peak_instances, stage.instances);
   }
@@ -185,17 +199,21 @@ void TuningService::RecomputeShares() {
   }
 }
 
-void TuningService::RoutePreemption(InstanceId id) {
+void TuningService::RouteInstanceLoss(InstanceId id, bool crashed) {
   if (pool_.OnPreempted(id)) {
-    return;  // was parked; the pool dropped it
+    return;  // was parked; the pool dropped it (crash and reclaim alike)
   }
   for (Job& job : jobs_) {
     if (job.executor && !job.executor->finished() && job.executor->OwnsInstance(id)) {
-      job.executor->OnPreemption(id);
+      if (crashed) {
+        job.executor->OnCrash(id);
+      } else {
+        job.executor->OnPreemption(id);
+      }
       return;
     }
   }
-  // Reclaimed in a handover window (no tenant held it yet); the provider
+  // Lost in a handover window (no tenant held it yet); the provider
   // already closed its billing interval, so there is nothing to clean up.
 }
 
@@ -205,7 +223,8 @@ ServiceReport TuningService::Run() {
   }
   ran_ = true;
 
-  cloud_.SetPreemptionHandler([this](InstanceId id) { RoutePreemption(id); });
+  cloud_.SetPreemptionHandler([this](InstanceId id) { RouteInstanceLoss(id, false); });
+  cloud_.SetCrashHandler([this](InstanceId id) { RouteInstanceLoss(id, true); });
   arrivals_outstanding_ = static_cast<int>(jobs_.size());
   for (size_t i = 0; i < jobs_.size(); ++i) {
     sim_.ScheduleAt(jobs_[i].request.submit_at, [this, i] { OnArrival(i); });
@@ -237,6 +256,10 @@ ServiceReport TuningService::Run() {
         throw std::logic_error("job '" + job.outcome.name +
                                "' did not settle; the simulation drained early");
     }
+    report.total_crashes += job.outcome.crashes;
+    report.total_provision_failures += job.outcome.provision_failures;
+    report.total_replans += job.outcome.replans;
+    report.total_recovery_seconds += job.outcome.recovery_seconds;
     report.jobs.push_back(job.outcome);
   }
   report.mean_queue_wait = started > 0 ? total_wait / started : 0.0;

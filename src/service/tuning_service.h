@@ -46,6 +46,9 @@ struct JobRequest {
   Seconds deadline = 0.0;   // completion SLO, relative to submission
   Money budget;             // max acceptable predicted cost; <= 0 = unbounded
   double weight = 1.0;      // fair-share weight
+  // Per-job retry policy for failed provisioning (backoff schedule and
+  // give-up point); the default suits most tenants.
+  RetryPolicy retry;
 };
 
 enum class JobState {
@@ -74,6 +77,13 @@ struct JobOutcome {
   Money cost;         // this job's attributed compute cost
   double best_accuracy = 0.0;
   int preemptions = 0;
+  // Fault attribution: what the provider did to this job and what the
+  // recovery cost it (per-tenant blast-radius accounting).
+  int crashes = 0;
+  int trial_restarts = 0;
+  int provision_failures = 0;
+  int replans = 0;
+  Seconds recovery_seconds = 0.0;
   // Largest cluster the job actually held — under an overcommitted arbiter
   // this lands below the plan's peak (the cap binding is observable).
   int peak_instances = 0;
@@ -91,6 +101,10 @@ struct ServiceConfig {
   PlannerOptions planner;
   ProfilerOptions profiler;
   uint64_t seed = 0;
+  // Enable each executor's deadline-aware re-planning: once a fault has
+  // cost a job time, its remaining stages are re-planned against the time
+  // left to its SLO.
+  bool replan_on_faults = false;
 };
 
 struct ServiceReport {
@@ -107,6 +121,11 @@ struct ServiceReport {
   int instance_launches = 0;  // real provisioning events (init paid)
   WarmPoolStats warm;
   double aggregate_utilization = 0.0;  // busy GPU-s / provisioned GPU-s
+  // Fleet-wide fault totals (sums of the per-job attributions).
+  int total_crashes = 0;
+  int total_provision_failures = 0;
+  int total_replans = 0;
+  Seconds total_recovery_seconds = 0.0;
 };
 
 class TuningService {
@@ -137,7 +156,9 @@ class TuningService {
   void OnJobDone(size_t index, const ExecutionReport& report);
   void PumpQueue();
   void RecomputeShares();
-  void RoutePreemption(InstanceId id);
+  // Routes a provider-initiated instance loss (spot reclamation or hardware
+  // crash) to the pool or the owning tenant's executor.
+  void RouteInstanceLoss(InstanceId id, bool crashed);
   const ModelProfile& ProfileFor(const WorkloadSpec& workload);
   PlannedJob PlanFor(const Job& job, Seconds time_left);
   int ReservationLimit() const;

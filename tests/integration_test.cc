@@ -79,7 +79,7 @@ INSTANTIATE_TEST_SUITE_P(
                       EndToEndCase{"table2_40min", 32, 1, 50, 3, 40.0, 3},
                       EndToEndCase{"eta2_small", 16, 2, 30, 2, 45.0, 4},
                       EndToEndCase{"deep_eta2", 64, 1, 62, 2, 90.0, 5}),
-    [](const ::testing::TestParamInfo<EndToEndCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<EndToEndCase>& param_info) { return param_info.param.name; });
 
 TEST(Integration, AccuracyComparableAcrossPolicies) {
   // Resource allocation must not change *what* is learned, only where it

@@ -104,6 +104,28 @@ TEST(Trace, ExecutorTraceSurvivesTheCsvRoundTrip) {
   EXPECT_EQ(parsed.ToCsv(), report.trace.ToCsv());
 }
 
+TEST(Trace, FaultEventKindsRoundTripThroughCsv) {
+  ExecutionTrace trace;
+  trace.Record(1.0, TraceEventType::kInstanceCrash, 0, -1, 7);
+  trace.Record(2.0, TraceEventType::kProvisionFailure, 0);
+  trace.Record(3.0, TraceEventType::kProvisionRetry, 0);
+  trace.Record(4.0, TraceEventType::kProvisionGiveUp, 1);
+  trace.Record(5.0, TraceEventType::kCheckpointRetry, 1, 3);
+  trace.Record(6.0, TraceEventType::kStageDegraded, 1);
+  trace.Record(7.0, TraceEventType::kReplan, 2);
+  const ExecutionTrace parsed = ExecutionTrace::FromCsv(trace.ToCsv());
+  ASSERT_EQ(parsed.events().size(), trace.events().size());
+  for (size_t i = 0; i < trace.events().size(); ++i) {
+    EXPECT_EQ(parsed.events()[i].type, trace.events()[i].type);
+    EXPECT_EQ(parsed.events()[i].time, trace.events()[i].time);
+    EXPECT_EQ(parsed.events()[i].stage, trace.events()[i].stage);
+    EXPECT_EQ(parsed.events()[i].trial, trace.events()[i].trial);
+    EXPECT_EQ(parsed.events()[i].instance, trace.events()[i].instance);
+  }
+  EXPECT_EQ(parsed.OfType(TraceEventType::kInstanceCrash)[0].instance, 7);
+  EXPECT_EQ(parsed.OfType(TraceEventType::kCheckpointRetry)[0].trial, 3);
+}
+
 TEST(Trace, FromCsvRejectsMalformedInput) {
   EXPECT_THROW(ExecutionTrace::FromCsv(""), std::invalid_argument);
   EXPECT_THROW(ExecutionTrace::FromCsv("time,event\n"), std::invalid_argument);

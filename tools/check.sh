@@ -8,19 +8,37 @@
 #     cd build && ctest --output-on-failure -j
 #
 # Run from the repository root: tools/check.sh
+#
+# tools/check.sh --sanitize rebuilds into build-asan/ with
+# -fsanitize=address,undefined and runs the suite under both sanitizers
+# (slower; catches the memory and UB bugs the plain build cannot).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+build_dir=build
+cmake_args=()
+if [[ "${1:-}" == "--sanitize" ]]; then
+  build_dir=build-asan
+  cmake_args+=(
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+    "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=address,undefined"
+  )
+elif [[ $# -gt 0 ]]; then
+  echo "usage: tools/check.sh [--sanitize]" >&2
+  exit 2
+fi
+
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
-cmake -B build -S .
-cmake --build build -j 2>&1 | tee "$log"
+cmake -B "$build_dir" -S . "${cmake_args[@]}"
+cmake --build "$build_dir" -j 2>&1 | tee "$log"
 if grep -E "warning:" "$log" >/dev/null; then
   echo "error: compiler warnings detected (see above)" >&2
   exit 1
 fi
 
-cd build
+cd "$build_dir"
 ctest --output-on-failure -j

@@ -13,8 +13,14 @@
 //   --instance=p3.8xlarge --billing=per-instance|per-function
 //   --data-price-gb=0.0 --queue-s=5 --init-s=10
 //   --spot --spot-mttp-s=14400 --seed=1
+//   Fault injection (all default off; runs stay deterministic per seed):
+//   --provision-failure-rate=0.1   provider rejects requests at this rate
+//   --init-failure-rate=0.05       launched instances die during init (billed)
+//   --mtbf=3600                    mean seconds between hardware crashes
+//   --ckpt-failure-rate=0.02       checkpoint fetches fail and retry
 // plan:     --render (ASCII chart), --budget=<dollars> (adds the min-time dual)
 // execute:  --trace-csv (dump the event log)
+//           --replan (re-plan remaining stages when faults burn deadline slack)
 // sweep:    --from-min=15 --to-min=60 --step-min=5
 // serve:    --jobs=4 --gap-s=120 --capacity-gpus=64 --overcommit=1.0
 //           --warm --pool-max=16 --warm-ttl-s=300 --budget=<dollars per job>
@@ -77,6 +83,10 @@ bool BuildSetup(const Flags& flags, CliSetup& setup) {
     setup.cloud.spot.enabled = true;
     setup.cloud.spot.mean_time_to_preemption = flags.GetDouble("spot-mttp-s", 14'400.0);
   }
+  setup.cloud.fault.provision_failure_rate = flags.GetDouble("provision-failure-rate", 0.0);
+  setup.cloud.fault.init_failure_rate = flags.GetDouble("init-failure-rate", 0.0);
+  setup.cloud.fault.mtbf = flags.GetDouble("mtbf", 0.0);
+  setup.cloud.fault.checkpoint_failure_rate = flags.GetDouble("ckpt-failure-rate", 0.0);
 
   setup.deadline = Minutes(flags.GetDouble("deadline-min", 20.0));
   setup.seed = static_cast<uint64_t>(flags.GetInt64("seed", 1));
@@ -124,6 +134,11 @@ int RunExecute(const Flags& flags, CliSetup& setup) {
 
   ExecutorOptions options;
   options.seed = setup.seed;
+  if (flags.GetBool("replan")) {
+    options.replan.enabled = true;
+    options.replan.deadline = setup.deadline;
+    options.replan.model = setup.profile;
+  }
   const ExecutionReport report = Execute(setup.spec, job.plan, setup.workload, setup.cloud,
                                          options);
   std::printf("\nexecuted: JCT %s, cost %s (compute %s + data %s)\n",
@@ -132,6 +147,18 @@ int RunExecute(const Flags& flags, CliSetup& setup) {
   std::printf("utilization %.0f%%, preemptions %d, best config %s, accuracy %.1f%%\n",
               100.0 * report.realized_utilization, report.preemptions,
               report.best_config.ToString().c_str(), 100.0 * report.best_accuracy);
+  if (setup.cloud.fault.Any()) {
+    std::printf("faults: %d crashes, %d provision failures (%d retried, %d abandoned), "
+                "%d checkpoint retries\n",
+                report.crashes, report.provision_failures, report.provision_retries,
+                report.capacity_shortfalls, report.checkpoint_retries);
+    std::printf("recovery: %d trial restarts, %.0fs spent recovering, %d degraded stage%s, "
+                "%d replan%s%s\n",
+                report.trial_restarts, report.recovery_seconds, report.degraded_stages,
+                report.degraded_stages == 1 ? "" : "s", report.replans,
+                report.replans == 1 ? "" : "s",
+                report.jct <= setup.deadline ? ", deadline met" : ", deadline MISSED");
+  }
   std::printf("\n%-14s %8s %12s %14s\n", "epoch range", "trials", "GPUs/trial", "cluster size");
   for (const StageLogEntry& stage : report.stage_log) {
     std::printf("%4lld-%-9lld %8d %12d %14d\n",
@@ -208,6 +235,7 @@ int RunServe(const Flags& flags, CliSetup& setup) {
     config.warm_pool.max_idle_seconds = flags.GetDouble("warm-ttl-s", 300.0);
   }
   config.seed = setup.seed;
+  config.replan_on_faults = flags.GetBool("replan");
 
   TuningService service(config);
   for (int i = 0; i < num_jobs; ++i) {
@@ -250,6 +278,11 @@ int RunServe(const Flags& flags, CliSetup& setup) {
               static_cast<long long>(report.warm.requests), 100.0 * report.warm.HitRate(),
               report.warm.init_seconds_saved, report.warm.parked_idle_seconds);
   std::printf("aggregate utilization %.0f%%\n", 100.0 * report.aggregate_utilization);
+  if (setup.cloud.fault.Any()) {
+    std::printf("faults: %d crashes, %d provision failures, %d replans, %.0fs recovery\n",
+                report.total_crashes, report.total_provision_failures, report.total_replans,
+                report.total_recovery_seconds);
+  }
   return 0;
 }
 
