@@ -30,7 +30,10 @@ int main() {
     per_function.pricing.billing = BillingModel::kPerFunction;
 
     std::printf("%-8d |", sigma);
-    for (auto planner : {&PlanStatic, &PlanGreedy}) {
+    using PlannerFn = PlannedJob (*)(const PlannerInputs&, const PlannerOptions&);
+    constexpr PlannerFn kStatic = &PlanStatic;
+    constexpr PlannerFn kGreedy = &PlanGreedy;
+    for (PlannerFn planner : {kStatic, kGreedy}) {
       // Plan under the per-instance model (the provider the job targets),
       // then price the same plan under both billing regimes.
       const PlannedJob job = planner({spec, profile, per_instance, deadline}, {});
@@ -40,7 +43,7 @@ int main() {
       const PlanEstimate func = EstimatePlan({spec, profile, per_function, deadline},
                                              job.plan, options);
       std::printf(" %12s %12s %s", inst.cost_mean.ToString().c_str(),
-                  func.cost_mean.ToString().c_str(), planner == &PlanStatic ? "|" : "");
+                  func.cost_mean.ToString().c_str(), planner == kStatic ? "|" : "");
     }
     std::printf("\n");
   }

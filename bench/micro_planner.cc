@@ -1,7 +1,8 @@
 // Microbenchmarks and ablations for the allocation planners: end-to-end
-// planning latency for each policy, and the cost of Algorithm 2's
-// multi-warm-start design choice (DESIGN.md ablation: single vs multi warm
-// start, and simulator sample count vs plan quality).
+// planning latency for each policy, the fresh-DAG vs stage-incremental
+// evaluation paths (cold, warm, and parallel), and the cost of Algorithm
+// 2's multi-warm-start design choice (DESIGN.md ablation: single vs multi
+// warm start, and simulator sample count vs plan quality).
 
 #include <benchmark/benchmark.h>
 
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/planner/evaluator.h"
 
 namespace rubberband {
 namespace {
@@ -37,13 +39,74 @@ void BM_PlanNaiveElastic(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanNaiveElastic)->Arg(16)->Arg(64)->Arg(256);
 
+// Plan estimates served per second: actual evaluations plus memo hits —
+// the work Algorithm 2 asked for, whether or not the cache absorbed it.
+void ReportEvalRate(benchmark::State& state, int64_t evals) {
+  state.counters["evals_per_s"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kIsRate);
+}
+
+// The performance baseline: every candidate rebuilds the DAG and resweeps
+// every node (the pre-evaluator planning path).
+void BM_PlanGreedyBaseline(benchmark::State& state) {
+  const PlannerInputs inputs = Inputs(static_cast<int>(state.range(0)), 30.0);
+  PlannerOptions options;
+  options.evaluation = PlanEvaluation::kFresh;
+  int64_t evals = 0;
+  for (auto _ : state) {
+    PlanEvaluator evaluator(inputs, options);
+    benchmark::DoNotOptimize(PlanGreedy(evaluator));
+    const PlannerCacheStats stats = evaluator.stats();
+    evals += stats.plan_evaluations + stats.plan_memo_hits;
+  }
+  ReportEvalRate(state, evals);
+}
+BENCHMARK(BM_PlanGreedyBaseline)->Arg(16)->Arg(64)->Arg(256);
+
+// Stage-incremental evaluation from a cold cache (one fresh evaluator per
+// plan, as a single-shot CLI invocation would pay).
 void BM_PlanGreedy(benchmark::State& state) {
   const PlannerInputs inputs = Inputs(static_cast<int>(state.range(0)), 30.0);
+  int64_t evals = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(PlanGreedy(inputs));
+    PlanEvaluator evaluator(inputs, PlannerOptions{});
+    benchmark::DoNotOptimize(PlanGreedy(evaluator));
+    const PlannerCacheStats stats = evaluator.stats();
+    evals += stats.plan_evaluations + stats.plan_memo_hits;
   }
+  ReportEvalRate(state, evals);
 }
 BENCHMARK(BM_PlanGreedy)->Arg(16)->Arg(64)->Arg(256);
+
+// Re-planning against a persistent evaluator (the tuning service's steady
+// state: admission, dequeue and fault replans share one cache per job).
+void BM_PlanGreedyWarm(benchmark::State& state) {
+  const PlannerInputs inputs = Inputs(static_cast<int>(state.range(0)), 30.0);
+  PlanEvaluator evaluator(inputs, PlannerOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanGreedy(evaluator));
+  }
+  const PlannerCacheStats stats = evaluator.stats();
+  ReportEvalRate(state, stats.plan_evaluations + stats.plan_memo_hits);
+  state.counters["plan_hit_rate"] = stats.PlanHitRate();
+}
+BENCHMARK(BM_PlanGreedyWarm)->Arg(16)->Arg(64)->Arg(256);
+
+// Cold incremental evaluation with a 4-thread candidate batch pool.
+void BM_PlanGreedyParallel(benchmark::State& state) {
+  const PlannerInputs inputs = Inputs(static_cast<int>(state.range(0)), 30.0);
+  PlannerOptions options;
+  options.eval_threads = 4;
+  int64_t evals = 0;
+  for (auto _ : state) {
+    PlanEvaluator evaluator(inputs, options);
+    benchmark::DoNotOptimize(PlanGreedy(evaluator));
+    const PlannerCacheStats stats = evaluator.stats();
+    evals += stats.plan_evaluations + stats.plan_memo_hits;
+  }
+  ReportEvalRate(state, evals);
+}
+BENCHMARK(BM_PlanGreedyParallel)->Arg(16)->Arg(64)->Arg(256);
 
 // Ablation: warm-start multiplicity. Reports the found plan's predicted
 // cost (lower is better) alongside the planning time.

@@ -33,9 +33,9 @@ void BM_SimulatePlanSample(benchmark::State& state) {
   const ModelProfile profile = ResNet50Profile(4.0, 0.4);
   const CloudProfile cloud = P38Cloud();
   const ExecutionDag dag = BuildDag(spec, plan, profile, cloud);
-  Rng rng(1);
+  int sample_index = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SamplePlan(dag, profile, cloud, rng));
+    benchmark::DoNotOptimize(SamplePlan(dag, profile, cloud, 1, sample_index++));
   }
   state.SetComplexityN(state.range(0));
 }

@@ -33,4 +33,24 @@ Rng Rng::Fork() {
   return Rng(child_seed);
 }
 
+namespace {
+
+// SplitMix64 finalizer: a full-avalanche mix so that nearby (seed, stream,
+// index) triples map to uncorrelated child seeds.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::ForStream(uint64_t seed, uint64_t stream, uint64_t index) {
+  uint64_t mixed = SplitMix64(seed);
+  mixed = SplitMix64(mixed ^ stream);
+  mixed = SplitMix64(mixed ^ index);
+  return Rng(mixed);
+}
+
 }  // namespace rubberband

@@ -32,6 +32,13 @@ class Rng {
   // the others.
   Rng Fork();
 
+  // Keyed stream derivation: a stateless counterpart of Fork() that maps
+  // (seed, stream, index) to an independent generator without consuming any
+  // draws. Stage `s` of sample `i` always sees the same stream no matter
+  // which other stages exist or in which order samples are drawn — the
+  // order-independence the stage-incremental plan evaluator relies on.
+  static Rng ForStream(uint64_t seed, uint64_t stream, uint64_t index);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

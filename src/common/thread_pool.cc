@@ -1,0 +1,104 @@
+#include "src/common/thread_pool.h"
+
+namespace rubberband {
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = threads - 1;
+  workers_.reserve(workers > 0 ? static_cast<size_t>(workers) : 0);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::DrainIndices(int n, const std::function<void(int)>& fn) {
+  for (;;) {
+    const int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      return;
+    }
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) {
+        error_ = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++done_ == n_) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) {
+      return;
+    }
+    seen = generation_;
+    if (fn_ == nullptr) {
+      continue;  // woke after the caller already finished this batch
+    }
+    const std::function<void(int)>* fn = fn_;
+    const int n = n_;
+    ++running_;
+    lock.unlock();
+    DrainIndices(n, *fn);
+    lock.lock();
+    if (--running_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  n_ = n;
+  next_.store(0, std::memory_order_relaxed);
+  done_ = 0;
+  error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  lock.unlock();
+
+  DrainIndices(n, fn);
+
+  lock.lock();
+  // Wait for stragglers: fn_ must stay valid until no worker can still be
+  // inside DrainIndices for this generation.
+  done_cv_.wait(lock, [&] { return done_ == n_ && running_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace rubberband

@@ -1,0 +1,67 @@
+// A small deterministic thread pool for data-parallel loops.
+//
+// Built for the planner's candidate search: each greedy iteration evaluates
+// an independent batch of candidate plans, so the work is a pure
+// ParallelFor(n, fn) with no ordering constraints. Workers are persistent
+// (spawned once, parked between batches) and the calling thread
+// participates, so a pool of k threads runs k+1 lanes. Work items must be
+// pure with respect to their index for results to be independent of
+// scheduling; every caller in this codebase writes fn's result into a
+// per-index slot, which makes parallel runs bit-identical to serial ones.
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rubberband {
+
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism; the pool spawns threads - 1 workers
+  // because the caller participates in every batch. threads <= 1 spawns
+  // nothing and ParallelFor degenerates to a serial loop.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(0), ..., fn(n-1) across the pool and returns when all calls
+  // have completed. Indices are claimed atomically, so assignment to lanes
+  // is nondeterministic but coverage is exactly once. If any call throws,
+  // the first exception is rethrown on the calling thread after the batch
+  // drains. Not reentrant: fn must not call ParallelFor on the same pool.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims and runs indices until the batch is exhausted.
+  void DrainIndices(int n, const std::function<void(int)>& fn);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new batch is posted
+  std::condition_variable done_cv_;  // caller: the batch fully drained
+  const std::function<void(int)>* fn_ = nullptr;  // valid while caller waits
+  int n_ = 0;
+  std::atomic<int> next_{0};
+  int done_ = 0;     // indices completed in the current batch
+  int running_ = 0;  // workers currently inside DrainIndices
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -33,95 +33,124 @@ int ColocatedCapacity(int trials, int gpus_per_trial, int instances, int gpus_pe
   return instances * (gpus_per_instance / gpus_per_trial);
 }
 
+StageBlock MakeStageBlock(const Stage& stage, int stage_index, int gpus, int prev_instances,
+                          const ModelProfile& model, const CloudProfile& cloud) {
+  const int gpus_per_instance = cloud.gpus_per_instance();
+  if (gpus_per_instance < 1) {
+    throw std::invalid_argument("worker instance type has no GPUs");
+  }
+  StageBlock block;
+  block.index = stage_index;
+  block.trials = stage.num_trials;
+  block.gpus = gpus;
+  block.instances = (gpus + gpus_per_instance - 1) / gpus_per_instance;
+  block.new_instances = std::max(0, block.instances - prev_instances);
+  block.gpus_per_trial = GpusPerTrial(gpus, stage.num_trials);
+  block.scale_latency = cloud.provisioning.queuing_delay;
+  block.init_latency = cloud.provisioning.init_latency;
+  block.train_latency = TrainNodeLatency(model, stage.iters_per_trial, block.gpus_per_trial);
+  block.sync_seconds = model.sync_seconds;
+  if (gpus >= stage.num_trials) {
+    // Gangs that do not pack cleanly onto instances (e.g. 3-GPU gangs on
+    // 4-GPU nodes) leave some trials spanning extra nodes; those pay the
+    // cross-node penalty.
+    block.colocated = ColocatedCapacity(stage.num_trials, block.gpus_per_trial, block.instances,
+                                        gpus_per_instance);
+    block.fragmented_latency =
+        block.colocated < stage.num_trials
+            ? TrainNodeLatency(model, stage.iters_per_trial, block.gpus_per_trial,
+                               model.cross_node_latency_factor)
+            : block.train_latency;
+  } else {
+    // Queued stages run every trial on 1 GPU; no fragmentation.
+    block.colocated = stage.num_trials;
+    block.fragmented_latency = block.train_latency;
+  }
+  return block;
+}
+
 ExecutionDag BuildDag(const ExperimentSpec& spec, const AllocationPlan& plan,
                       const ModelProfile& model, const CloudProfile& cloud) {
   spec.Validate();
   plan.Validate(spec.num_stages());
-  const int gpus_per_instance = cloud.gpus_per_instance();
-  if (gpus_per_instance < 1) {
+  if (cloud.gpus_per_instance() < 1) {
     throw std::invalid_argument("worker instance type has no GPUs");
   }
 
   ExecutionDag dag;
   int cluster_instances = 0;
   std::vector<int> frontier;  // nodes the next stage's entry depends on
+  std::vector<int> entry;
+  std::vector<int> tails;
+  std::vector<int> slot_tail;
 
   for (int i = 0; i < spec.num_stages(); ++i) {
     const Stage& stage = spec.stage(i);
-    const int gpus = plan.gpus(i);
-    const int instances_needed = (gpus + gpus_per_instance - 1) / gpus_per_instance;
+    const StageBlock block =
+        MakeStageBlock(stage, i, plan.gpus(i), cluster_instances, model, cloud);
 
     StageMeta meta;
-    meta.instances = instances_needed;
+    meta.instances = block.instances;
 
     // Scale up if the provisioned cluster is too small for this stage.
-    std::vector<int> entry = frontier;
-    if (instances_needed > cluster_instances) {
-      DagNode scale;
+    entry = frontier;
+    if (block.new_instances > 0) {
+      NodeSpec scale;
       scale.type = NodeType::kScale;
       scale.stage = i;
-      scale.latency = cloud.provisioning.queuing_delay;
+      scale.latency = block.scale_latency;
       scale.deps = frontier;
-      scale.new_instances = instances_needed - cluster_instances;
-      const int scale_id = dag.AddNode(std::move(scale));
+      scale.new_instances = block.new_instances;
+      const int scale_id = dag.AddNode(scale);
       meta.scale_node = scale_id;
 
       entry.clear();
-      for (int k = 0; k < instances_needed - cluster_instances; ++k) {
-        DagNode init;
+      const int scale_dep[] = {scale_id};
+      for (int k = 0; k < block.new_instances; ++k) {
+        NodeSpec init;
         init.type = NodeType::kInitInstance;
         init.stage = i;
-        init.latency = cloud.provisioning.init_latency;
-        init.deps = {scale_id};
-        const int init_id = dag.AddNode(std::move(init));
+        init.latency = block.init_latency;
+        init.deps = scale_dep;
+        const int init_id = dag.AddNode(init);
         meta.init_nodes.push_back(init_id);
         entry.push_back(init_id);
       }
     }
-    cluster_instances = instances_needed;
+    cluster_instances = block.instances;
 
     // Training: parallel when the allocation covers all trials, serial
     // chains over the available GPU slots otherwise.
-    const int gpus_per_trial = GpusPerTrial(gpus, stage.num_trials);
-    meta.gpus_per_trial = gpus_per_trial;
-    const Distribution train_latency = TrainNodeLatency(model, stage.iters_per_trial, gpus_per_trial);
-
-    std::vector<int> tails;
-    if (gpus >= stage.num_trials) {
-      // Gangs that do not pack cleanly onto instances (e.g. 3-GPU gangs on
-      // 4-GPU nodes) leave some trials spanning extra nodes; those pay the
-      // cross-node penalty.
-      const int colocated = ColocatedCapacity(stage.num_trials, gpus_per_trial, instances_needed,
-                                              gpus_per_instance);
-      meta.fragmented_trials = std::max(0, stage.num_trials - colocated);
-      const Distribution fragmented_latency =
-          TrainNodeLatency(model, stage.iters_per_trial, gpus_per_trial,
-                           model.cross_node_latency_factor);
-      for (int t = 0; t < stage.num_trials; ++t) {
-        DagNode train;
+    meta.gpus_per_trial = block.gpus_per_trial;
+    tails.clear();
+    if (block.gpus >= block.trials) {
+      meta.fragmented_trials = std::max(0, block.trials - block.colocated);
+      for (int t = 0; t < block.trials; ++t) {
+        NodeSpec train;
         train.type = NodeType::kTrain;
         train.stage = i;
-        train.latency = t < colocated ? train_latency : fragmented_latency;
+        train.latency = t < block.colocated ? block.train_latency : block.fragmented_latency;
         train.deps = entry;
-        train.gpus = gpus_per_trial;
+        train.gpus = block.gpus_per_trial;
         train.trial = t;
-        const int train_id = dag.AddNode(std::move(train));
+        const int train_id = dag.AddNode(train);
         meta.train_nodes.push_back(train_id);
         tails.push_back(train_id);
       }
     } else {
       // `gpus` slots of one GPU each; slot s runs trials s, s+gpus, ...
-      std::vector<int> slot_tail(static_cast<size_t>(gpus), -1);
-      for (int t = 0; t < stage.num_trials; ++t) {
-        const size_t slot = static_cast<size_t>(t % gpus);
-        DagNode train;
+      slot_tail.assign(static_cast<size_t>(block.gpus), -1);
+      for (int t = 0; t < block.trials; ++t) {
+        const size_t slot = static_cast<size_t>(t % block.gpus);
+        NodeSpec train;
         train.type = NodeType::kTrain;
         train.stage = i;
-        train.latency = train_latency;
-        train.deps = slot_tail[slot] >= 0 ? std::vector<int>{slot_tail[slot]} : entry;
+        train.latency = block.train_latency;
+        train.deps = slot_tail[slot] >= 0 ? std::span<const int>(&slot_tail[slot], 1)
+                                          : std::span<const int>(entry);
         train.gpus = 1;
         train.trial = t;
-        const int train_id = dag.AddNode(std::move(train));
+        const int train_id = dag.AddNode(train);
         meta.train_nodes.push_back(train_id);
         slot_tail[slot] = train_id;
       }
@@ -131,13 +160,14 @@ ExecutionDag BuildDag(const ExperimentSpec& spec, const AllocationPlan& plan,
     }
 
     // Stage-terminating synchronization barrier.
-    DagNode sync;
+    NodeSpec sync;
     sync.type = NodeType::kSync;
     sync.stage = i;
-    sync.latency = Distribution::Constant(model.sync_seconds);
+    sync.latency = Distribution::Constant(block.sync_seconds);
     sync.deps = tails;
-    meta.sync_node = dag.AddNode(std::move(sync));
+    meta.sync_node = dag.AddNode(sync);
 
+    meta.block = block;
     frontier = {meta.sync_node};
     dag.stages().push_back(std::move(meta));
   }

@@ -12,6 +12,11 @@
 //   * a SYNC node closes the stage, depending on the whole frontier.
 // Scale-downs are free and instantaneous and add no nodes; the cost model
 // releases instances at the stage boundary.
+//
+// Every stage's nodes are generated from a StageBlock — the closed-form
+// description of that stage under (spec, allocation, instance delta) — so
+// the block, not the node list, is the unit the stage-incremental plan
+// evaluator caches.
 
 #ifndef SRC_DAG_BUILDER_H_
 #define SRC_DAG_BUILDER_H_
@@ -41,6 +46,15 @@ Distribution TrainNodeLatency(const ModelProfile& model, int64_t iters, int gpus
 // spanning extra nodes on `instances` nodes of `gpus_per_instance`; the
 // remainder train at the cross-node penalty.
 int ColocatedCapacity(int trials, int gpus_per_trial, int instances, int gpus_per_instance);
+
+// Resolves one stage of a plan into its simulation block: cluster size and
+// provisioning delta (against `prev_instances` already-held instances),
+// fair-share split, colocation split, and the latency distributions of
+// every node kind the stage will contain. A stage's block depends only on
+// (stage spec, gpus, prev_instances) given fixed model and cloud — the
+// cache key of the stage-incremental evaluator.
+StageBlock MakeStageBlock(const Stage& stage, int stage_index, int gpus, int prev_instances,
+                          const ModelProfile& model, const CloudProfile& cloud);
 
 ExecutionDag BuildDag(const ExperimentSpec& spec, const AllocationPlan& plan,
                       const ModelProfile& model, const CloudProfile& cloud);

@@ -19,22 +19,38 @@ std::string ToString(NodeType type) {
   return "UNKNOWN";
 }
 
-int ExecutionDag::AddNode(DagNode node) {
-  node.id = static_cast<int>(nodes_.size());
-  for (int dep : node.deps) {
-    if (dep < 0 || dep >= node.id) {
+size_t ExecutionDag::Check(int id) const {
+  if (id < 0 || id >= size()) {
+    throw std::out_of_range("DAG node id out of range");
+  }
+  return static_cast<size_t>(id);
+}
+
+int ExecutionDag::AddNode(const NodeSpec& spec) {
+  const int id = size();
+  for (int dep : spec.deps) {
+    if (dep < 0 || dep >= id) {
       throw std::logic_error("DAG dependency must reference an earlier node");
     }
+  }
+  for (int dep : spec.deps) {
     ++successor_count_[static_cast<size_t>(dep)];
   }
-  nodes_.push_back(std::move(node));
+  type_.push_back(spec.type);
+  stage_.push_back(spec.stage);
+  latency_.push_back(spec.latency);
+  gpus_.push_back(spec.gpus);
+  trial_.push_back(spec.trial);
+  new_instances_.push_back(spec.new_instances);
+  deps_.insert(deps_.end(), spec.deps.begin(), spec.deps.end());
+  dep_begin_.push_back(deps_.size());
   successor_count_.push_back(0);
-  return nodes_.back().id;
+  return id;
 }
 
 std::vector<int> ExecutionDag::Frontier() const {
   std::vector<int> frontier;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
+  for (size_t i = 0; i < successor_count_.size(); ++i) {
     if (successor_count_[i] == 0) {
       frontier.push_back(static_cast<int>(i));
     }
@@ -44,9 +60,9 @@ std::vector<int> ExecutionDag::Frontier() const {
 
 int ExecutionDag::TotalInstancesProvisioned() const {
   int total = 0;
-  for (const DagNode& node : nodes_) {
-    if (node.type == NodeType::kScale) {
-      total += node.new_instances;
+  for (int i = 0; i < size(); ++i) {
+    if (type_[static_cast<size_t>(i)] == NodeType::kScale) {
+      total += new_instances_[static_cast<size_t>(i)];
     }
   }
   return total;
@@ -54,15 +70,16 @@ int ExecutionDag::TotalInstancesProvisioned() const {
 
 std::string ExecutionDag::ToString() const {
   std::ostringstream os;
-  for (const DagNode& node : nodes_) {
-    os << node.id << " " << rubberband::ToString(node.type) << " stage=" << node.stage;
-    if (node.type == NodeType::kTrain) {
-      os << " trial=" << node.trial << " gpus=" << node.gpus;
+  for (int id = 0; id < size(); ++id) {
+    os << id << " " << rubberband::ToString(type(id)) << " stage=" << stage(id);
+    if (type(id) == NodeType::kTrain) {
+      os << " trial=" << trial(id) << " gpus=" << gpus(id);
     }
-    if (!node.deps.empty()) {
+    const std::span<const int> node_deps = deps(id);
+    if (!node_deps.empty()) {
       os << " deps=[";
-      for (size_t i = 0; i < node.deps.size(); ++i) {
-        os << (i > 0 ? "," : "") << node.deps[i];
+      for (size_t i = 0; i < node_deps.size(); ++i) {
+        os << (i > 0 ? "," : "") << node_deps[i];
       }
       os << "]";
     }

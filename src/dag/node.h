@@ -12,10 +12,17 @@
 // Nodes are appended with dependencies on already-present nodes only, so the
 // node id order is a topological order — Algorithm 1's sampling pass is a
 // single forward sweep.
+//
+// Storage is struct-of-arrays: one flat column per attribute plus a single
+// shared dependency arena addressed by prefix offsets. Building a candidate
+// plan's DAG allocates a handful of large vectors instead of one small
+// `deps` vector per node, which is what made BuildDag dominate the
+// planner's profile.
 
 #ifndef SRC_DAG_NODE_H_
 #define SRC_DAG_NODE_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,18 +34,39 @@ enum class NodeType { kScale, kInitInstance, kTrain, kSync };
 
 std::string ToString(NodeType type);
 
-struct DagNode {
-  int id = -1;
+// Construction-time description of one node; `deps` is copied into the
+// DAG's arena (all ids must be < the new node's id).
+struct NodeSpec {
   NodeType type = NodeType::kTrain;
   int stage = -1;
   Distribution latency = Distribution::Constant(0.0);
-  std::vector<int> deps;  // predecessor node ids (all < id)
+  std::span<const int> deps;
 
   // TRAIN: GPUs the trial holds and which trial slot it trains.
   int gpus = 0;
   int trial = -1;
   // SCALE: instances being added by this provisioning request.
   int new_instances = 0;
+};
+
+// Everything the simulator needs to know about one stage of a plan, closed
+// over (stage spec, allocation, instance delta, model, cloud). The DAG's
+// stage-i nodes are generated from this block, and a stage's Monte-Carlo
+// draw is a pure function of (block, seed, sample index) — which is what
+// makes per-stage simulation results reusable across candidate plans.
+struct StageBlock {
+  int index = 0;           // stage position in the spec
+  int trials = 0;
+  int gpus = 0;            // the plan's allocation for this stage
+  int gpus_per_trial = 1;  // fair share when gpus >= trials (else queued)
+  int instances = 0;       // cluster size (instances) during this stage
+  int new_instances = 0;   // instances provisioned at stage entry
+  int colocated = 0;       // trials placed without spanning extra nodes
+  Distribution scale_latency = Distribution::Constant(0.0);
+  Distribution init_latency = Distribution::Constant(0.0);
+  Distribution train_latency = Distribution::Constant(0.0);
+  Distribution fragmented_latency = Distribution::Constant(0.0);
+  double sync_seconds = 0.0;
 };
 
 // Per-stage bookkeeping the cost model needs (which instances are held for
@@ -51,16 +79,28 @@ struct StageMeta {
   std::vector<int> init_nodes;
   std::vector<int> train_nodes;
   int sync_node = -1;
+  StageBlock block;        // the generator this stage's nodes came from
 };
 
 class ExecutionDag {
  public:
   // Appends a node; all deps must reference existing nodes. Returns its id.
-  int AddNode(DagNode node);
+  int AddNode(const NodeSpec& spec);
 
-  const std::vector<DagNode>& nodes() const { return nodes_; }
-  const DagNode& node(int id) const { return nodes_.at(static_cast<size_t>(id)); }
-  int size() const { return static_cast<int>(nodes_.size()); }
+  int size() const { return static_cast<int>(type_.size()); }
+
+  NodeType type(int id) const { return type_[Check(id)]; }
+  int stage(int id) const { return stage_[Check(id)]; }
+  const Distribution& latency(int id) const { return latency_[Check(id)]; }
+  int gpus(int id) const { return gpus_[Check(id)]; }
+  int trial(int id) const { return trial_[Check(id)]; }
+  int new_instances(int id) const { return new_instances_[Check(id)]; }
+
+  // Predecessor ids of `id` (a view into the shared dependency arena).
+  std::span<const int> deps(int id) const {
+    const size_t i = Check(id);
+    return {deps_.data() + dep_begin_[i], dep_begin_[i + 1] - dep_begin_[i]};
+  }
 
   // Node ids with no successors (the construction frontier).
   std::vector<int> Frontier() const;
@@ -75,7 +115,19 @@ class ExecutionDag {
   std::string ToString() const;
 
  private:
-  std::vector<DagNode> nodes_;
+  size_t Check(int id) const;
+
+  // Struct-of-arrays node columns, indexed by node id.
+  std::vector<NodeType> type_;
+  std::vector<int> stage_;
+  std::vector<Distribution> latency_;
+  std::vector<int> gpus_;
+  std::vector<int> trial_;
+  std::vector<int> new_instances_;
+  // Flattened dependency arena: node i's deps are
+  // deps_[dep_begin_[i] .. dep_begin_[i+1]).
+  std::vector<size_t> dep_begin_{0};
+  std::vector<int> deps_;
   std::vector<int> successor_count_;
   std::vector<StageMeta> stages_;
 };

@@ -1,137 +1,150 @@
 #include "src/dag/simulate.h"
 
 #include <algorithm>
-#include <vector>
 
 #include "src/common/stats.h"
 
 namespace rubberband {
-namespace {
 
-// Per-instance compute cost for one sampled execution. Reconstructs each
-// instance slot's launch -> release interval from the stage spans.
-Money PerInstanceComputeCost(const ExecutionDag& dag, const CloudProfile& cloud,
-                             const std::vector<double>& finish) {
-  const Money per_second = cloud.instance.PricePerSecond();
-  const Seconds min_billed = cloud.pricing.minimum_billed_seconds;
-  Money total;
+StageDraw SampleStageDraw(const StageBlock& block, uint64_t seed, int sample_index) {
+  Rng rng = Rng::ForStream(seed, static_cast<uint64_t>(block.index),
+                           static_cast<uint64_t>(sample_index));
+  StageDraw draw;
 
-  std::vector<double> slot_launch;  // launch time of each alive instance
-  double prev_stage_end = 0.0;
-  const auto bill = [&](double launch, double release) {
-    total += per_second * std::max(release - launch, min_billed);
-  };
+  // Fixed draw order within the stage: SCALE, each INIT, each TRAIN in
+  // trial order. The SYNC barrier is a constant and consumes no draws.
+  Seconds entry = 0.0;
+  if (block.new_instances > 0) {
+    draw.scale_done = block.scale_latency.Sample(rng);
+    Seconds slowest_init = 0.0;
+    for (int k = 0; k < block.new_instances; ++k) {
+      slowest_init = std::max(slowest_init, block.init_latency.Sample(rng));
+    }
+    entry = draw.scale_done + slowest_init;
+  }
 
-  for (const StageMeta& meta : dag.stages()) {
-    const int needed = meta.instances;
-    const int alive = static_cast<int>(slot_launch.size());
+  Seconds tail = 0.0;
+  if (block.gpus >= block.trials) {
+    for (int t = 0; t < block.trials; ++t) {
+      const Distribution& latency =
+          t < block.colocated ? block.train_latency : block.fragmented_latency;
+      const double duration = latency.Sample(rng);
+      draw.train_gpu_seconds += static_cast<double>(block.gpus_per_trial) * duration;
+      tail = std::max(tail, entry + duration);
+    }
+  } else {
+    // Queued: `gpus` one-GPU slots; slot s runs trials s, s+gpus, ...
+    // serially, so each slot's finish time accumulates.
+    std::vector<Seconds> slot_done(static_cast<size_t>(block.gpus), entry);
+    for (int t = 0; t < block.trials; ++t) {
+      const double duration = block.train_latency.Sample(rng);
+      draw.train_gpu_seconds += duration;
+      Seconds& done = slot_done[static_cast<size_t>(t % block.gpus)];
+      done += duration;
+      tail = std::max(tail, done);
+    }
+  }
+  draw.span = tail + block.sync_seconds;
+  return draw;
+}
+
+SampleComposer::SampleComposer(const ModelProfile& model, const CloudProfile& cloud)
+    : model_(model),
+      cloud_(cloud),
+      per_instance_(cloud.pricing.billing == BillingModel::kPerInstance),
+      per_second_(cloud.instance.PricePerSecond()),
+      gpu_second_(cloud.instance.GpuSecondPrice()),
+      min_billed_(cloud.pricing.minimum_billed_seconds) {}
+
+void SampleComposer::Bill(Seconds launch, Seconds release) {
+  compute_ += per_second_ * std::max(release - launch, min_billed_);
+}
+
+void SampleComposer::AddStage(const StageBlock& block, const StageDraw& draw) {
+  total_provisioned_ += block.new_instances;
+  if (per_instance_) {
+    const int needed = block.instances;
+    const int alive = static_cast<int>(slot_launch_.size());
     if (needed > alive) {
       // New instances launch when the provider serves the SCALE request.
-      const double launch =
-          meta.scale_node >= 0 ? finish[static_cast<size_t>(meta.scale_node)] : prev_stage_end;
-      slot_launch.resize(static_cast<size_t>(needed), launch);
+      const Seconds launch =
+          block.new_instances > 0 ? clock_ + draw.scale_done : clock_;
+      slot_launch_.resize(static_cast<size_t>(needed), launch);
     } else if (needed < alive) {
       // Shrink at the stage boundary; release the most recently launched
       // instances first (they have accrued the least minimum-charge value).
       for (int k = 0; k < alive - needed; ++k) {
-        bill(slot_launch.back(), prev_stage_end);
-        slot_launch.pop_back();
+        Bill(slot_launch_.back(), clock_);
+        slot_launch_.pop_back();
       }
     }
-    prev_stage_end = finish[static_cast<size_t>(meta.sync_node)];
+  } else {
+    compute_ += gpu_second_ * draw.train_gpu_seconds;
   }
-  for (double launch : slot_launch) {
-    bill(launch, prev_stage_end);
-  }
-  return total;
+  clock_ += draw.span;
 }
 
-Money PerFunctionComputeCost(const ExecutionDag& dag, const CloudProfile& cloud,
-                             const std::vector<double>& latency) {
-  const Money gpu_second = cloud.instance.GpuSecondPrice();
-  Money total;
-  for (const DagNode& node : dag.nodes()) {
-    if (node.type == NodeType::kTrain) {
-      total += gpu_second * (static_cast<double>(node.gpus) * latency[static_cast<size_t>(node.id)]);
-    }
+PlanSample SampleComposer::Finish() {
+  for (Seconds launch : slot_launch_) {
+    Bill(launch, clock_);
   }
-  return total;
-}
-
-}  // namespace
-
-PlanSample SamplePlan(const ExecutionDag& dag, const ModelProfile& model,
-                      const CloudProfile& cloud, Rng& rng) {
-  const size_t n = static_cast<size_t>(dag.size());
-  std::vector<double> latency(n, 0.0);
-  std::vector<double> finish(n, 0.0);
-
-  // Algorithm 1: ids are topologically ordered, so one forward sweep
-  // computes every node's finish time.
-  for (const DagNode& node : dag.nodes()) {
-    const size_t id = static_cast<size_t>(node.id);
-    latency[id] = node.latency.Sample(rng);
-    double start = 0.0;
-    for (int dep : node.deps) {
-      start = std::max(start, finish[static_cast<size_t>(dep)]);
-    }
-    finish[id] = start + latency[id];
-  }
-
+  slot_launch_.clear();
   PlanSample sample;
-  for (double f : finish) {
-    sample.duration = std::max(sample.duration, f);
-  }
-
-  switch (cloud.pricing.billing) {
-    case BillingModel::kPerInstance:
-      sample.compute_cost = PerInstanceComputeCost(dag, cloud, finish);
-      break;
-    case BillingModel::kPerFunction:
-      sample.compute_cost = PerFunctionComputeCost(dag, cloud, latency);
-      break;
-  }
-  sample.data_cost = cloud.pricing.data_price_per_gb *
-                     (model.dataset_gb * static_cast<double>(dag.TotalInstancesProvisioned()));
+  sample.duration = clock_;
+  sample.compute_cost = compute_;
+  sample.data_cost = cloud_.pricing.data_price_per_gb *
+                     (model_.dataset_gb * static_cast<double>(total_provisioned_));
   sample.cost = sample.compute_cost + sample.data_cost;
   return sample;
 }
 
+PlanSample SamplePlan(const ExecutionDag& dag, const ModelProfile& model,
+                      const CloudProfile& cloud, uint64_t seed, int sample_index) {
+  SampleComposer composer(model, cloud);
+  for (const StageMeta& meta : dag.stages()) {
+    composer.AddStage(meta.block, SampleStageDraw(meta.block, seed, sample_index));
+  }
+  return composer.Finish();
+}
+
 std::vector<Seconds> MeanFinishTimes(const ExecutionDag& dag) {
   std::vector<Seconds> finish(static_cast<size_t>(dag.size()), 0.0);
-  for (const DagNode& node : dag.nodes()) {
+  for (int id = 0; id < dag.size(); ++id) {
     double start = 0.0;
-    for (int dep : node.deps) {
+    for (int dep : dag.deps(id)) {
       start = std::max(start, finish[static_cast<size_t>(dep)]);
     }
-    finish[static_cast<size_t>(node.id)] = start + node.latency.Mean();
+    finish[static_cast<size_t>(id)] = start + dag.latency(id).Mean();
   }
   return finish;
 }
 
 PlanEstimate SimulatePlan(const ExecutionDag& dag, const ModelProfile& model,
                           const CloudProfile& cloud, const SimulateOptions& options) {
-  Rng rng(options.seed);
   RunningStats jct_stats;
   RunningStats cost_stats;
   RunningStats compute_stats;
   RunningStats data_stats;
   std::vector<double> durations;
-  durations.reserve(static_cast<size_t>(options.num_samples));
+  if (options.collect_percentiles) {
+    durations.reserve(static_cast<size_t>(options.num_samples));
+  }
 
   for (int i = 0; i < options.num_samples; ++i) {
-    const PlanSample sample = SamplePlan(dag, model, cloud, rng);
+    const PlanSample sample = SamplePlan(dag, model, cloud, options.seed, i);
     jct_stats.Add(sample.duration);
     cost_stats.Add(sample.cost.dollars());
     compute_stats.Add(sample.compute_cost.dollars());
     data_stats.Add(sample.data_cost.dollars());
-    durations.push_back(sample.duration);
+    if (options.collect_percentiles) {
+      durations.push_back(sample.duration);
+    }
   }
 
   PlanEstimate estimate;
   estimate.jct_mean = jct_stats.mean();
   estimate.jct_stddev = jct_stats.stddev();
-  estimate.jct_p95 = Percentile(durations, 95.0);
+  estimate.jct_p95 = options.collect_percentiles ? Percentile(durations, 95.0) : 0.0;
   estimate.cost_mean = Money::FromDollars(cost_stats.mean());
   estimate.compute_cost_mean = Money::FromDollars(compute_stats.mean());
   estimate.data_cost_mean = Money::FromDollars(data_stats.mean());

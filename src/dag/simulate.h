@@ -1,8 +1,19 @@
 // Plan simulation (paper section 4.2, "Simulation", and Algorithm 1).
 //
-// JCT: sample a latency for every node and take the critical path (one
-// forward sweep — node ids are topologically ordered). Averaged over a
-// configurable number of samples.
+// The execution DAG is a chain of stage blocks separated by SYNC barriers,
+// so a stage's sampled behavior is fully described relative to its entry
+// (the previous barrier's completion): a StageDraw carries the stage's
+// span, the relative completion time of its SCALE request, and its billable
+// TRAIN GPU-seconds. Sampling a whole plan composes stage draws in order
+// (SampleComposer), which is equivalent to Algorithm 1's forward sweep over
+// topologically ordered nodes but touches O(stages) state per sample.
+//
+// Randomness is keyed, not sequential: stage s of sample i draws from
+// Rng::ForStream(seed, s, i), so a stage's draw depends only on its own
+// block — not on which other stages exist. This makes per-stage results
+// exactly reusable across candidate plans (the stage-incremental
+// PlanEvaluator caches them) while keeping every path bit-identical: the
+// fresh sweep here and the evaluator's cache both call SampleStageDraw.
 //
 // Cost, per sample:
 //   * per-function billing sums each billable TRAIN node's GPU-seconds at
@@ -21,6 +32,7 @@
 #define SRC_DAG_SIMULATE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/cloud/cloud_profile.h"
 #include "src/common/money.h"
@@ -33,7 +45,7 @@ namespace rubberband {
 struct PlanEstimate {
   Seconds jct_mean = 0.0;
   Seconds jct_stddev = 0.0;
-  Seconds jct_p95 = 0.0;
+  Seconds jct_p95 = 0.0;  // 0 unless SimulateOptions::collect_percentiles
   Money cost_mean;
   Money compute_cost_mean;
   Money data_cost_mean;
@@ -45,6 +57,9 @@ struct PlanEstimate {
 struct SimulateOptions {
   int num_samples = 20;
   uint64_t seed = 42;
+  // Percentile reporting needs the full per-sample duration vector; the
+  // planner's hot loop only ranks candidates by mean, so it opts out.
+  bool collect_percentiles = true;
 };
 
 // One Monte-Carlo draw of (duration, cost) for the DAG.
@@ -55,8 +70,46 @@ struct PlanSample {
   Money data_cost;
 };
 
+// One stage's Monte-Carlo draw, everything relative to the stage's entry.
+struct StageDraw {
+  Seconds span = 0.0;        // entry -> this stage's SYNC completion
+  Seconds scale_done = 0.0;  // entry -> SCALE served (0 without scale-up)
+  double train_gpu_seconds = 0.0;  // billable under per-function pricing
+};
+
+// Draws stage `block` for sample `sample_index` from the keyed stream
+// (seed, block.index, sample_index). Pure: same arguments, same draw.
+StageDraw SampleStageDraw(const StageBlock& block, uint64_t seed, int sample_index);
+
+// Folds stage draws into one plan sample: advances the stage clock and
+// reconstructs per-instance billing intervals (or accumulates per-function
+// GPU-seconds). Feed stages in plan order, then call Finish() once.
+class SampleComposer {
+ public:
+  SampleComposer(const ModelProfile& model, const CloudProfile& cloud);
+
+  void AddStage(const StageBlock& block, const StageDraw& draw);
+  PlanSample Finish();
+
+ private:
+  void Bill(Seconds launch, Seconds release);
+
+  const ModelProfile& model_;
+  const CloudProfile& cloud_;
+  const bool per_instance_;
+  const Money per_second_;
+  const Money gpu_second_;
+  const Seconds min_billed_;
+  Seconds clock_ = 0.0;  // completion time of the last composed barrier
+  std::vector<Seconds> slot_launch_;  // launch time of each alive instance
+  Money compute_;
+  int total_provisioned_ = 0;
+};
+
+// One full-plan draw for `sample_index` under keyed streams. Requires a
+// BuildDag-produced DAG (the stage blocks drive the sampling).
 PlanSample SamplePlan(const ExecutionDag& dag, const ModelProfile& model,
-                      const CloudProfile& cloud, Rng& rng);
+                      const CloudProfile& cloud, uint64_t seed, int sample_index);
 
 PlanEstimate SimulatePlan(const ExecutionDag& dag, const ModelProfile& model,
                           const CloudProfile& cloud, const SimulateOptions& options = {});

@@ -590,18 +590,23 @@ void Executor::MaybeReplan(int next_stage) {
   inputs.model = options_.replan.model;
   inputs.cloud = cloud_.profile();
   inputs.deadline = std::max<Seconds>(remaining, 1.0);
+  // One evaluator serves both the keep-the-plan check and (if needed) the
+  // full re-plan: the tail estimate seeds the plan memo the greedy search
+  // then draws from.
+  PlanEvaluator evaluator(inputs, options_.replan.planner);
   // If the tail of the original plan still fits the time left, the slack
   // absorbed the fault delay — keep the plan.
-  const PlanEstimate estimate =
-      EstimatePlan(inputs, AllocationPlan(tail_gpus), options_.replan.planner);
+  const PlanEstimate estimate = evaluator.Evaluate(AllocationPlan(tail_gpus));
   if (estimate.jct_mean <= remaining) {
+    report_.planner_cache += evaluator.stats();
     return;
   }
   // Slack is gone: re-plan the remaining stages against the time actually
   // left (Algorithm 2 over the remaining sub-experiment). An infeasible
   // remainder still yields the fastest plan found — deadline-aware
   // degradation: run as fast as possible rather than stalling.
-  const PlannedJob replanned = PlanGreedy(inputs, options_.replan.planner);
+  const PlannedJob replanned = PlanGreedy(evaluator);
+  report_.planner_cache += evaluator.stats();
   for (int s = next_stage; s < spec_.num_stages(); ++s) {
     plan_.gpus(s) = replanned.plan.gpus(s - next_stage);
   }

@@ -28,6 +28,7 @@
 #include "src/executor/trace.h"
 #include "src/executor/trial.h"
 #include "src/placement/controller.h"
+#include "src/planner/evaluator.h"
 #include "src/planner/plan.h"
 #include "src/planner/planner.h"
 #include "src/spec/experiment_spec.h"
@@ -98,6 +99,9 @@ struct ExecutionReport {
   int capacity_shortfalls = 0;    // slots abandoned after exhausting retries
   int degraded_stages = 0;        // stages run below their planned GPUs
   int replans = 0;                // mid-experiment re-plans of the remainder
+  // Cache effectiveness of the fault-replan evaluators (one per replan
+  // check); the tuning service folds this into its service-wide metric.
+  PlannerCacheStats planner_cache;
   int checkpoint_retries = 0;     // checkpoint fetches that needed recovery
   Seconds recovery_seconds = 0.0; // total trial time spent awaiting restart
   // Busy GPU-seconds over provisioned GPU-seconds: the utilization the

@@ -1,0 +1,168 @@
+#include "src/planner/evaluator.h"
+
+#include <utility>
+
+#include "src/common/stats.h"
+#include "src/dag/builder.h"
+
+namespace rubberband {
+namespace {
+
+// Packed stage-cache key. Stage indices fit 16 bits and allocations fit 24
+// bits with room to spare: specs are validated to far fewer than 65k
+// stages, and instance counts are bounded by the GPU allocation, which the
+// planners cap at max_total_gpus (default 4096).
+uint64_t StageKey(int stage_index, int gpus, int prev_instances) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(stage_index)) << 48) |
+         ((static_cast<uint64_t>(static_cast<uint32_t>(gpus)) & 0xFFFFFFULL) << 24) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(prev_instances)) & 0xFFFFFFULL);
+}
+
+}  // namespace
+
+size_t PlanEvaluator::VectorHash::operator()(const std::vector<int>& v) const {
+  // FNV-1a over the allocation vector.
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (int value : v) {
+    hash ^= static_cast<uint64_t>(static_cast<uint32_t>(value));
+    hash *= 0x100000001B3ULL;
+  }
+  return static_cast<size_t>(hash);
+}
+
+PlanEvaluator::PlanEvaluator(const PlannerInputs& inputs, const PlannerOptions& options)
+    : inputs_(inputs), options_(options) {
+  if (options_.eval_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.eval_threads);
+  }
+}
+
+PlanEvaluator::~PlanEvaluator() = default;
+
+PlannerCacheStats PlanEvaluator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+const PlanEvaluator::StageEntry* PlanEvaluator::GetStage(int stage_index, int gpus,
+                                                         int prev_instances) {
+  const uint64_t key = StageKey(stage_index, gpus, prev_instances);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stage_cache_.find(key);
+    if (it != stage_cache_.end()) {
+      ++stats_.stage_cache_hits;
+      return it->second.get();
+    }
+  }
+
+  // Miss: sample the stage outside the lock (the expensive part), then
+  // publish. A racing thread may have published first; its entry wins and
+  // is identical anyway (sampling is pure).
+  auto entry = std::make_unique<StageEntry>();
+  entry->block = MakeStageBlock(inputs_.spec.stage(stage_index), stage_index, gpus,
+                                prev_instances, inputs_.model, inputs_.cloud);
+  entry->draws.reserve(static_cast<size_t>(options_.sim_samples));
+  for (int i = 0; i < options_.sim_samples; ++i) {
+    entry->draws.push_back(SampleStageDraw(entry->block, options_.seed, i));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = stage_cache_.try_emplace(key, std::move(entry));
+  ++stats_.stage_evaluations;
+  return it->second.get();
+}
+
+PlanEstimate PlanEvaluator::EvaluateFresh(const AllocationPlan& plan) {
+  const ExecutionDag dag = BuildDag(inputs_.spec, plan, inputs_.model, inputs_.cloud);
+  SimulateOptions sim;
+  sim.num_samples = options_.sim_samples;
+  sim.seed = options_.seed;
+  sim.collect_percentiles = false;
+  return SimulatePlan(dag, inputs_.model, inputs_.cloud, sim);
+}
+
+PlanEstimate PlanEvaluator::EvaluateIncremental(const AllocationPlan& plan) {
+  plan.Validate(inputs_.spec.num_stages());
+
+  const int num_stages = inputs_.spec.num_stages();
+  std::vector<const StageEntry*> entries(static_cast<size_t>(num_stages));
+  int prev_instances = 0;
+  for (int i = 0; i < num_stages; ++i) {
+    const StageEntry* entry = GetStage(i, plan.gpus(i), prev_instances);
+    entries[static_cast<size_t>(i)] = entry;
+    prev_instances = entry->block.instances;
+  }
+
+  // Identical composition to SimulatePlan's fresh sweep: same draws, same
+  // arithmetic, same order — so fresh and incremental results match bit
+  // for bit.
+  RunningStats jct_stats;
+  RunningStats cost_stats;
+  RunningStats compute_stats;
+  RunningStats data_stats;
+  for (int s = 0; s < options_.sim_samples; ++s) {
+    SampleComposer composer(inputs_.model, inputs_.cloud);
+    for (const StageEntry* entry : entries) {
+      composer.AddStage(entry->block, entry->draws[static_cast<size_t>(s)]);
+    }
+    const PlanSample sample = composer.Finish();
+    jct_stats.Add(sample.duration);
+    cost_stats.Add(sample.cost.dollars());
+    compute_stats.Add(sample.compute_cost.dollars());
+    data_stats.Add(sample.data_cost.dollars());
+  }
+
+  PlanEstimate estimate;
+  estimate.jct_mean = jct_stats.mean();
+  estimate.jct_stddev = jct_stats.stddev();
+  estimate.jct_p95 = 0.0;
+  estimate.cost_mean = Money::FromDollars(cost_stats.mean());
+  estimate.compute_cost_mean = Money::FromDollars(compute_stats.mean());
+  estimate.data_cost_mean = Money::FromDollars(data_stats.mean());
+  estimate.cost_stddev_dollars = cost_stats.stddev();
+  return estimate;
+}
+
+PlanEstimate PlanEvaluator::Evaluate(const AllocationPlan& plan) {
+  if (options_.evaluation == PlanEvaluation::kFresh) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.plan_evaluations;
+    }
+    return EvaluateFresh(plan);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memo_.find(plan.stage_gpus());
+    if (it != memo_.end()) {
+      ++stats_.plan_memo_hits;
+      return it->second;
+    }
+    ++stats_.plan_evaluations;
+  }
+
+  const PlanEstimate estimate = EvaluateIncremental(plan);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  memo_.try_emplace(plan.stage_gpus(), estimate);
+  return estimate;
+}
+
+std::vector<PlanEstimate> PlanEvaluator::EvaluateBatch(const std::vector<AllocationPlan>& plans) {
+  std::vector<PlanEstimate> estimates(plans.size());
+  const auto evaluate_one = [&](int i) {
+    estimates[static_cast<size_t>(i)] = Evaluate(plans[static_cast<size_t>(i)]);
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(static_cast<int>(plans.size()), evaluate_one);
+  } else {
+    for (int i = 0; i < static_cast<int>(plans.size()); ++i) {
+      evaluate_one(i);
+    }
+  }
+  return estimates;
+}
+
+}  // namespace rubberband

@@ -16,11 +16,21 @@
 // candidate no longer improves cost or would violate the time constraint.
 // The solution is therefore never predicted to be worse than the best warm
 // start, i.e. never worse than the optimal static allocation.
+//
+// All estimates flow through the caller's PlanEvaluator: each descent
+// iteration batch-evaluates its candidates (possibly on a thread pool) and
+// then selects in generation order, so the chosen step — and hence the
+// whole descent — is identical at any thread count. Consecutive descent
+// iterations and overlapping warm starts mostly differ in one stage, which
+// the evaluator's stage cache and plan memo turn into near-free lookups.
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <utility>
 
+#include "src/planner/evaluator.h"
 #include "src/planner/planner.h"
 
 namespace rubberband {
@@ -32,16 +42,14 @@ struct Evaluated {
 };
 
 // One run of the greedy descent from a feasible warm start.
-Evaluated Optimize(const PlannerInputs& inputs, const PlannerOptions& options,
-                   Evaluated current) {
+Evaluated Optimize(PlanEvaluator& evaluator, Evaluated current) {
+  const PlannerInputs& inputs = evaluator.inputs();
+  const PlannerOptions& options = evaluator.options();
   constexpr int kMaxIterations = 10'000;
   for (int iteration = 0; iteration < kMaxIterations; ++iteration) {
     // Candidate generation: decrement each stage independently to the next
     // fair allocation.
-    Evaluated best_candidate;
-    double best_marginal = -std::numeric_limits<double>::infinity();
-    bool found = false;
-
+    std::vector<AllocationPlan> candidates;
     const int gpg = inputs.cloud.gpus_per_instance();
     for (int i = 0; i < inputs.spec.num_stages(); ++i) {
       const int trials = inputs.spec.stage(i).num_trials;
@@ -66,24 +74,34 @@ Evaluated Optimize(const PlannerInputs& inputs, const PlannerOptions& options,
       for (int lower : steps) {
         AllocationPlan candidate = current.plan;
         candidate.gpus(i) = lower;
-        const PlanEstimate estimate = EstimatePlan(inputs, candidate, options);
-        if (!estimate.MeetsDeadline(inputs.deadline)) {
-          continue;
-        }
-        const double cost_delta =
-            current.estimate.cost_mean.dollars() - estimate.cost_mean.dollars();
-        if (cost_delta <= 0.0) {
-          continue;
-        }
-        const double jct_delta = estimate.jct_mean - current.estimate.jct_mean;
-        // A candidate that is cheaper *and* no slower strictly dominates.
-        const double marginal = jct_delta <= 0.0 ? std::numeric_limits<double>::infinity()
-                                                 : cost_delta / jct_delta;
-        if (!found || marginal > best_marginal) {
-          best_candidate = Evaluated{std::move(candidate), estimate};
-          best_marginal = marginal;
-          found = true;
-        }
+        candidates.push_back(std::move(candidate));
+      }
+    }
+    const std::vector<PlanEstimate> estimates = evaluator.EvaluateBatch(candidates);
+
+    // Selection in generation (stage, step) order with strict improvement,
+    // matching a serial first-max sweep exactly.
+    size_t best_index = 0;
+    double best_marginal = -std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const PlanEstimate& estimate = estimates[c];
+      if (!estimate.MeetsDeadline(inputs.deadline)) {
+        continue;
+      }
+      const double cost_delta =
+          current.estimate.cost_mean.dollars() - estimate.cost_mean.dollars();
+      if (cost_delta <= 0.0) {
+        continue;
+      }
+      const double jct_delta = estimate.jct_mean - current.estimate.jct_mean;
+      // A candidate that is cheaper *and* no slower strictly dominates.
+      const double marginal = jct_delta <= 0.0 ? std::numeric_limits<double>::infinity()
+                                               : cost_delta / jct_delta;
+      if (!found || marginal > best_marginal) {
+        best_index = c;
+        best_marginal = marginal;
+        found = true;
       }
     }
 
@@ -91,9 +109,9 @@ Evaluated Optimize(const PlannerInputs& inputs, const PlannerOptions& options,
       break;
     }
     const double relative_improvement =
-        (current.estimate.cost_mean.dollars() - best_candidate.estimate.cost_mean.dollars()) /
+        (current.estimate.cost_mean.dollars() - estimates[best_index].cost_mean.dollars()) /
         std::max(current.estimate.cost_mean.dollars(), 1e-9);
-    current = std::move(best_candidate);
+    current = Evaluated{std::move(candidates[best_index]), estimates[best_index]};
     if (relative_improvement < options.min_relative_improvement) {
       break;
     }
@@ -103,12 +121,14 @@ Evaluated Optimize(const PlannerInputs& inputs, const PlannerOptions& options,
 
 }  // namespace
 
-PlannedJob PlanGreedy(const PlannerInputs& inputs, const PlannerOptions& options) {
+PlannedJob PlanGreedy(PlanEvaluator& evaluator) {
+  const PlannerInputs& inputs = evaluator.inputs();
+  const PlannerOptions& options = evaluator.options();
   inputs.spec.Validate();
 
   // Warm start: the cost-optimal static allocation (section 3.2). If even
   // that is infeasible, return it as the best-effort answer.
-  const PlannedJob static_job = PlanStatic(inputs, options);
+  const PlannedJob static_job = PlanStatic(evaluator);
   PlannedJob result;
   result.planner = "rubberband";
   if (!static_job.feasible) {
@@ -121,6 +141,11 @@ PlannedJob PlanGreedy(const PlannerInputs& inputs, const PlannerOptions& options
   const int static_gpus = static_job.plan.gpus(0);
   bool have_best = false;
   Evaluated best;
+
+  // Distinct multipliers can round to the same warm plan (e.g. 2x and 3x
+  // both hitting the per-trial cap); optimizing the same start twice cannot
+  // change the answer, so duplicates are skipped outright.
+  std::set<std::vector<int>> seen_warm_starts;
 
   for (double multiplier : options.warm_start_multipliers) {
     // Scale the static size and round each stage up to a fair allocation,
@@ -144,13 +169,16 @@ PlannedJob PlanGreedy(const PlannerInputs& inputs, const PlannerOptions& options
       }
       stage_gpus.push_back(fair);
     }
+    if (!seen_warm_starts.insert(stage_gpus).second) {
+      continue;
+    }
     Evaluated warm;
     warm.plan = AllocationPlan{std::move(stage_gpus)};
-    warm.estimate = EstimatePlan(inputs, warm.plan, options);
+    warm.estimate = evaluator.Evaluate(warm.plan);
     if (!warm.estimate.MeetsDeadline(inputs.deadline)) {
       continue;
     }
-    Evaluated optimized = Optimize(inputs, options, std::move(warm));
+    Evaluated optimized = Optimize(evaluator, std::move(warm));
     if (!have_best || optimized.estimate.cost_mean < best.estimate.cost_mean ||
         (optimized.estimate.cost_mean == best.estimate.cost_mean &&
          optimized.estimate.jct_mean < best.estimate.jct_mean)) {
@@ -174,6 +202,11 @@ PlannedJob PlanGreedy(const PlannerInputs& inputs, const PlannerOptions& options
   result.estimate = best.estimate;
   result.feasible = true;
   return result;
+}
+
+PlannedJob PlanGreedy(const PlannerInputs& inputs, const PlannerOptions& options) {
+  PlanEvaluator evaluator(inputs, options);
+  return PlanGreedy(evaluator);
 }
 
 }  // namespace rubberband

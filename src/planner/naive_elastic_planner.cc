@@ -8,20 +8,17 @@
 // the paper's 20-minute experiment) because the only way to speed up the
 // long final stages is to raise t for *every* stage.
 
+#include "src/planner/evaluator.h"
 #include "src/planner/planner.h"
 
 namespace rubberband {
 
-PlannedJob PlanNaiveElastic(const PlannerInputs& inputs, const PlannerOptions& options) {
+PlannedJob PlanNaiveElastic(PlanEvaluator& evaluator) {
+  const PlannerInputs& inputs = evaluator.inputs();
+  const PlannerOptions& options = evaluator.options();
   inputs.spec.Validate();
 
-  PlannedJob best;
-  best.planner = "naive-elastic";
-  PlannedJob fastest;
-  fastest.planner = "naive-elastic";
-  bool have_best = false;
-  bool have_fastest = false;
-
+  std::vector<AllocationPlan> plans;
   for (int t = 1; t <= options.max_gpus_per_trial; ++t) {
     std::vector<int> stage_gpus;
     bool within_cap = true;
@@ -36,11 +33,22 @@ PlannedJob PlanNaiveElastic(const PlannerInputs& inputs, const PlannerOptions& o
     if (!within_cap) {
       break;
     }
-    const AllocationPlan plan{std::move(stage_gpus)};
-    const PlanEstimate estimate = EstimatePlan(inputs, plan, options);
+    plans.emplace_back(std::move(stage_gpus));
+  }
+  const std::vector<PlanEstimate> estimates = evaluator.EvaluateBatch(plans);
 
+  PlannedJob best;
+  best.planner = "naive-elastic";
+  PlannedJob fastest;
+  fastest.planner = "naive-elastic";
+  bool have_best = false;
+  bool have_fastest = false;
+
+  // Selection sweeps in t order regardless of evaluation thread count.
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const PlanEstimate& estimate = estimates[i];
     if (!have_fastest || estimate.jct_mean < fastest.estimate.jct_mean) {
-      fastest.plan = plan;
+      fastest.plan = plans[i];
       fastest.estimate = estimate;
       have_fastest = true;
     }
@@ -48,7 +56,7 @@ PlannedJob PlanNaiveElastic(const PlannerInputs& inputs, const PlannerOptions& o
       continue;
     }
     if (!have_best || estimate.cost_mean < best.estimate.cost_mean) {
-      best.plan = plan;
+      best.plan = plans[i];
       best.estimate = estimate;
       have_best = true;
     }
@@ -60,6 +68,11 @@ PlannedJob PlanNaiveElastic(const PlannerInputs& inputs, const PlannerOptions& o
   }
   fastest.feasible = false;
   return fastest;
+}
+
+PlannedJob PlanNaiveElastic(const PlannerInputs& inputs, const PlannerOptions& options) {
+  PlanEvaluator evaluator(inputs, options);
+  return PlanNaiveElastic(evaluator);
 }
 
 }  // namespace rubberband

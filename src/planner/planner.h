@@ -39,6 +39,12 @@ struct PlannerInputs {
   Seconds deadline = 0.0;
 };
 
+// How PlanEvaluator computes estimates. Both modes produce bit-identical
+// results (they share SampleStageDraw/SampleComposer); kFresh rebuilds the
+// DAG per candidate and exists as the performance baseline and as the
+// reference the equivalence tests compare against.
+enum class PlanEvaluation { kIncremental, kFresh };
+
 struct PlannerOptions {
   // Monte-Carlo samples per plan evaluation. All candidates are evaluated
   // with the same seed (common random numbers), so comparisons between
@@ -58,6 +64,13 @@ struct PlannerOptions {
   // Warm-start multipliers applied to the optimal static allocation
   // (section 4.3, "Warm start": e.g. 1x, 2x, 3x).
   std::vector<double> warm_start_multipliers = {1.0, 2.0, 3.0};
+
+  // Candidate evaluation strategy (see PlanEvaluation).
+  PlanEvaluation evaluation = PlanEvaluation::kIncremental;
+  // Threads evaluating a candidate batch (1 = serial). Results are
+  // bit-identical at any thread count: evaluations are pure and selection
+  // breaks ties by generation order, not completion order.
+  int eval_threads = 1;
 };
 
 struct PlannedJob {
@@ -91,6 +104,18 @@ int NextHigherFairAllocation(int current, int trials);
 PlannedJob PlanStatic(const PlannerInputs& inputs, const PlannerOptions& options = {});
 PlannedJob PlanNaiveElastic(const PlannerInputs& inputs, const PlannerOptions& options = {});
 PlannedJob PlanGreedy(const PlannerInputs& inputs, const PlannerOptions& options = {});
+
+// Evaluator-sharing overloads: all estimates flow through (and populate)
+// the caller's PlanEvaluator, so repeated planning over the same job —
+// warm starts within one PlanGreedy call, admission followed by dequeue
+// re-planning in the tuning service, replans at stage boundaries — reuses
+// prior stage simulations and whole-plan memo entries. The convenience
+// overloads above construct a private evaluator per call.
+class PlanEvaluator;
+PlannedJob PlanStatic(PlanEvaluator& evaluator);
+PlannedJob PlanNaiveElastic(PlanEvaluator& evaluator);
+PlannedJob PlanGreedy(PlanEvaluator& evaluator);
+PlannedJob PlanGreedyMinTime(PlanEvaluator& evaluator, Money budget);
 
 // Instance-type selection (the paper takes the type as user input and
 // defers selection to Ernest/CherryPick-style systems; this wrapper does

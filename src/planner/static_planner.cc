@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/planner/evaluator.h"
 #include "src/planner/planner.h"
 
 namespace rubberband {
@@ -40,8 +41,15 @@ std::set<int> StaticCandidates(const ExperimentSpec& spec, const PlannerOptions&
 
 }  // namespace
 
-PlannedJob PlanStatic(const PlannerInputs& inputs, const PlannerOptions& options) {
+PlannedJob PlanStatic(PlanEvaluator& evaluator) {
+  const PlannerInputs& inputs = evaluator.inputs();
   inputs.spec.Validate();
+
+  std::vector<AllocationPlan> plans;
+  for (int gpus : StaticCandidates(inputs.spec, evaluator.options())) {
+    plans.push_back(AllocationPlan::Uniform(inputs.spec.num_stages(), gpus));
+  }
+  const std::vector<PlanEstimate> estimates = evaluator.EvaluateBatch(plans);
 
   PlannedJob best;
   best.planner = "static";
@@ -50,12 +58,12 @@ PlannedJob PlanStatic(const PlannerInputs& inputs, const PlannerOptions& options
   bool have_best = false;
   bool have_fastest = false;
 
-  for (int gpus : StaticCandidates(inputs.spec, options)) {
-    const AllocationPlan plan = AllocationPlan::Uniform(inputs.spec.num_stages(), gpus);
-    const PlanEstimate estimate = EstimatePlan(inputs, plan, options);
-
+  // Selection sweeps in candidate (ascending size) order, independent of
+  // which thread evaluated what — parallel batches select identically.
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const PlanEstimate& estimate = estimates[i];
     if (!have_fastest || estimate.jct_mean < fastest.estimate.jct_mean) {
-      fastest.plan = plan;
+      fastest.plan = plans[i];
       fastest.estimate = estimate;
       have_fastest = true;
     }
@@ -65,7 +73,7 @@ PlannedJob PlanStatic(const PlannerInputs& inputs, const PlannerOptions& options
     if (!have_best || estimate.cost_mean < best.estimate.cost_mean ||
         (estimate.cost_mean == best.estimate.cost_mean &&
          estimate.jct_mean < best.estimate.jct_mean)) {
-      best.plan = plan;
+      best.plan = plans[i];
       best.estimate = estimate;
       have_best = true;
     }
@@ -77,6 +85,11 @@ PlannedJob PlanStatic(const PlannerInputs& inputs, const PlannerOptions& options
   }
   fastest.feasible = false;
   return fastest;
+}
+
+PlannedJob PlanStatic(const PlannerInputs& inputs, const PlannerOptions& options) {
+  PlanEvaluator evaluator(inputs, options);
+  return PlanStatic(evaluator);
 }
 
 }  // namespace rubberband

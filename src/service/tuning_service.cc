@@ -69,12 +69,19 @@ const ModelProfile& TuningService::ProfileFor(const WorkloadSpec& workload) {
   return it->second;
 }
 
-PlannedJob TuningService::PlanFor(const Job& job, Seconds time_left) {
-  PlannerOptions options = config_.planner;
-  options.max_total_gpus = std::min(options.max_total_gpus, config_.capacity_gpus);
-  const PlannerInputs inputs{job.request.spec, ProfileFor(job.request.workload), config_.cloud,
-                             time_left};
-  return PlanGreedy(inputs, options);
+PlannedJob TuningService::PlanFor(Job& job, Seconds time_left) {
+  if (job.evaluator == nullptr) {
+    PlannerOptions options = config_.planner;
+    options.max_total_gpus = std::min(options.max_total_gpus, config_.capacity_gpus);
+    const PlannerInputs inputs{job.request.spec, ProfileFor(job.request.workload), config_.cloud,
+                               time_left};
+    job.evaluator = std::make_unique<PlanEvaluator>(inputs, options);
+  } else {
+    // Re-plan (dequeue after queueing): only the deadline moved, so the
+    // evaluator's caches stay valid and the search is mostly memo hits.
+    job.evaluator->set_deadline(time_left);
+  }
+  return PlanGreedy(*job.evaluator);
 }
 
 void TuningService::OnArrival(size_t index) {
@@ -146,6 +153,7 @@ void TuningService::OnJobDone(size_t index, const ExecutionReport& report) {
   job.outcome.provision_failures = report.provision_failures;
   job.outcome.replans = report.replans;
   job.outcome.recovery_seconds = report.recovery_seconds;
+  replan_cache_ += report.planner_cache;
   for (const StageLogEntry& stage : report.stage_log) {
     job.outcome.peak_instances = std::max(job.outcome.peak_instances, stage.instances);
   }
@@ -261,7 +269,11 @@ ServiceReport TuningService::Run() {
     report.total_replans += job.outcome.replans;
     report.total_recovery_seconds += job.outcome.recovery_seconds;
     report.jobs.push_back(job.outcome);
+    if (job.evaluator != nullptr) {
+      report.planner_cache += job.evaluator->stats();
+    }
   }
+  report.planner_cache += replan_cache_;
   report.mean_queue_wait = started > 0 ? total_wait / started : 0.0;
   report.total_cost = cloud_.Cost();
   report.cost_per_completed_job =

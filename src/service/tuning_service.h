@@ -33,6 +33,7 @@
 #include "src/cloud/warm_pool.h"
 #include "src/executor/executor.h"
 #include "src/model/profiler.h"
+#include "src/planner/evaluator.h"
 #include "src/planner/planner.h"
 
 namespace rubberband {
@@ -126,6 +127,11 @@ struct ServiceReport {
   int total_provision_failures = 0;
   int total_replans = 0;
   Seconds total_recovery_seconds = 0.0;
+  // Aggregate planner-cache effectiveness: per-job admission/dequeue
+  // evaluators plus every executor's fault-replan evaluators. The plan hit
+  // rate is the fraction of plan estimates the service never had to
+  // recompute.
+  PlannerCacheStats planner_cache;
 };
 
 class TuningService {
@@ -148,6 +154,10 @@ class TuningService {
     JobOutcome outcome;
     PlannedJob planned;
     std::unique_ptr<Executor> executor;
+    // One evaluator per job, created at admission and kept for the job's
+    // lifetime: dequeue re-planning only moves the deadline, so every stage
+    // simulation and plan memo entry from admission is reused verbatim.
+    std::unique_ptr<PlanEvaluator> evaluator;
     int share_cap = 0;  // current fair-share GPU cap
   };
 
@@ -160,7 +170,7 @@ class TuningService {
   // crash) to the pool or the owning tenant's executor.
   void RouteInstanceLoss(InstanceId id, bool crashed);
   const ModelProfile& ProfileFor(const WorkloadSpec& workload);
-  PlannedJob PlanFor(const Job& job, Seconds time_left);
+  PlannedJob PlanFor(Job& job, Seconds time_left);
   int ReservationLimit() const;
 
   ServiceConfig config_;
@@ -170,6 +180,7 @@ class TuningService {
   std::vector<Job> jobs_;
   std::deque<size_t> queue_;
   std::map<std::string, ModelProfile> profiles_;  // keyed by workload name
+  PlannerCacheStats replan_cache_;  // summed from finished executors
   int reserved_gpus_ = 0;
   int running_ = 0;
   int arrivals_outstanding_ = 0;

@@ -28,8 +28,8 @@ CloudProfile InstantCloud() {
 
 int CountType(const ExecutionDag& dag, NodeType type) {
   int count = 0;
-  for (const DagNode& node : dag.nodes()) {
-    count += node.type == type ? 1 : 0;
+  for (int id = 0; id < dag.size(); ++id) {
+    count += dag.type(id) == type ? 1 : 0;
   }
   return count;
 }
@@ -84,7 +84,8 @@ TEST(DagBuilder, ScaleUpMidJobAddsNodes) {
   const int sync0 = dag.stages()[0].sync_node;
   const int scale1 = dag.stages()[1].scale_node;
   ASSERT_GE(scale1, 0);
-  EXPECT_EQ(dag.node(scale1).deps, std::vector<int>{sync0});
+  ASSERT_EQ(dag.deps(scale1).size(), 1u);
+  EXPECT_EQ(dag.deps(scale1)[0], sync0);
 }
 
 TEST(DagBuilder, QueuedStageBuildsSerialChains) {
@@ -96,11 +97,11 @@ TEST(DagBuilder, QueuedStageBuildsSerialChains) {
   // 6 TRAIN nodes in 2 chains of 3.
   EXPECT_EQ(CountType(dag, NodeType::kTrain), 6);
   int chained = 0;
-  for (const DagNode& node : dag.nodes()) {
-    if (node.type == NodeType::kTrain) {
-      EXPECT_EQ(node.gpus, 1);
-      for (int dep : node.deps) {
-        chained += dag.node(dep).type == NodeType::kTrain ? 1 : 0;
+  for (int id = 0; id < dag.size(); ++id) {
+    if (dag.type(id) == NodeType::kTrain) {
+      EXPECT_EQ(dag.gpus(id), 1);
+      for (int dep : dag.deps(id)) {
+        chained += dag.type(dep) == NodeType::kTrain ? 1 : 0;
       }
     }
   }
@@ -124,7 +125,7 @@ TEST(DagBuilder, SyncDependsOnWholeFrontier) {
   const AllocationPlan plan({3});
   const ExecutionDag dag = BuildDag(spec, plan, DeterministicProfile(), InstantCloud());
   const StageMeta& meta = dag.stages()[0];
-  EXPECT_EQ(dag.node(meta.sync_node).deps.size(), 3u);
+  EXPECT_EQ(dag.deps(meta.sync_node).size(), 3u);
 }
 
 TEST(DagBuilder, FragmentedTrialsGetPenalizedLatency) {
@@ -268,17 +269,21 @@ TEST(DagSimulate, SampleCountControlsEstimateStability) {
 
 TEST(ExecutionDag, RejectsForwardDependencies) {
   ExecutionDag dag;
-  DagNode node;
-  node.deps = {5};
-  EXPECT_THROW(dag.AddNode(std::move(node)), std::logic_error);
+  const int forward[] = {5};
+  NodeSpec node;
+  node.deps = forward;
+  EXPECT_THROW(dag.AddNode(node), std::logic_error);
+  // The failed append must not leave a partial node behind.
+  EXPECT_EQ(dag.size(), 0);
 }
 
 TEST(ExecutionDag, FrontierTracksSuccessorlessNodes) {
   ExecutionDag dag;
-  const int a = dag.AddNode(DagNode{});
-  DagNode b;
-  b.deps = {a};
-  const int b_id = dag.AddNode(std::move(b));
+  const int a = dag.AddNode(NodeSpec{});
+  const int first[] = {a};
+  NodeSpec b;
+  b.deps = first;
+  const int b_id = dag.AddNode(b);
   EXPECT_EQ(dag.Frontier(), std::vector<int>{b_id});
 }
 

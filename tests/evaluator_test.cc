@@ -1,0 +1,253 @@
+// Equivalence and instrumentation tests for the fast planning path: the
+// stage-incremental PlanEvaluator must be bit-identical to the fresh-DAG
+// simulation, serial or parallel, and its caches must be observable.
+
+#include "src/planner/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "src/common/thread_pool.h"
+#include "src/spec/sha.h"
+#include "src/trainer/model_zoo.h"
+
+namespace rubberband {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int sum = 0;
+  pool.ParallelFor(10, [&](int i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.ParallelFor(batch, [&](int) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 49 * 50 / 2);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [](int i) {
+                                  if (i == 7) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must survive a throwing batch.
+  std::atomic<int> count{0};
+  pool.ParallelFor(16, [&](int) { ++count; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+PlannerInputs TestInputs(Seconds deadline, BillingModel billing = BillingModel::kPerInstance) {
+  PlannerInputs inputs;
+  inputs.spec = MakeSha(8, 2, 14, 2);
+  inputs.model.iter_latency_1gpu = Distribution::TruncatedNormal(30.0, 3.0, 0.0);
+  inputs.model.scaling = ScalingFunction::FromPoints({{1, 1.0}, {2, 1.8}, {4, 3.0}, {8, 4.0}});
+  inputs.model.trial_startup_seconds = 2.0;
+  inputs.model.sync_seconds = 1.0;
+  inputs.cloud.instance = P3_8xlarge();
+  inputs.cloud.provisioning = ProvisioningModel::Fixed(2.0, 5.0);
+  inputs.cloud.pricing.billing = billing;
+  inputs.deadline = deadline;
+  return inputs;
+}
+
+void ExpectSameEstimate(const PlanEstimate& a, const PlanEstimate& b) {
+  EXPECT_EQ(a.jct_mean, b.jct_mean);
+  EXPECT_EQ(a.jct_stddev, b.jct_stddev);
+  EXPECT_EQ(a.cost_mean, b.cost_mean);
+  EXPECT_EQ(a.compute_cost_mean, b.compute_cost_mean);
+  EXPECT_EQ(a.data_cost_mean, b.data_cost_mean);
+  EXPECT_EQ(a.cost_stddev_dollars, b.cost_stddev_dollars);
+}
+
+TEST(PlanEvaluator, IncrementalMatchesFreshBitForBit) {
+  for (BillingModel billing : {BillingModel::kPerInstance, BillingModel::kPerFunction}) {
+    const PlannerInputs inputs = TestInputs(Minutes(30), billing);
+    PlannerOptions incremental_options;
+    PlannerOptions fresh_options;
+    fresh_options.evaluation = PlanEvaluation::kFresh;
+    PlanEvaluator incremental(inputs, incremental_options);
+    PlanEvaluator fresh(inputs, fresh_options);
+
+    const int n = inputs.spec.num_stages();
+    std::vector<AllocationPlan> plans = {
+        AllocationPlan::Uniform(n, 1),  AllocationPlan::Uniform(n, 8),
+        AllocationPlan::Uniform(n, 16), AllocationPlan({16, 8, 4}),
+        AllocationPlan({8, 8, 2}),      AllocationPlan({2, 4, 8}),
+    };
+    for (const AllocationPlan& plan : plans) {
+      ASSERT_EQ(plan.num_stages(), n);
+      SCOPED_TRACE(plan.ToString());
+      ExpectSameEstimate(incremental.Evaluate(plan), fresh.Evaluate(plan));
+    }
+  }
+}
+
+TEST(PlanEvaluator, MatchesEstimatePlanExceptOptInPercentile) {
+  const PlannerInputs inputs = TestInputs(Minutes(30));
+  const PlannerOptions options;
+  const AllocationPlan plan = AllocationPlan::Uniform(inputs.spec.num_stages(), 8);
+
+  const PlanEstimate reference = EstimatePlan(inputs, plan, options);
+  PlanEvaluator evaluator(inputs, options);
+  const PlanEstimate estimate = evaluator.Evaluate(plan);
+
+  ExpectSameEstimate(estimate, reference);
+  // EstimatePlan keeps percentile collection on (one-off public API); the
+  // evaluator's hot loop opts out.
+  EXPECT_GT(reference.jct_p95, 0.0);
+  EXPECT_EQ(estimate.jct_p95, 0.0);
+}
+
+using PlannerFn = PlannedJob (*)(PlanEvaluator&);
+
+void ExpectSamePlannedJob(const PlannedJob& a, const PlannedJob& b) {
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.planner, b.planner);
+  ExpectSameEstimate(a.estimate, b.estimate);
+}
+
+TEST(PlanEvaluator, PlannersIdenticalAcrossFreshIncrementalAndParallel) {
+  const PlannerFn planners[] = {&PlanStatic, &PlanNaiveElastic, &PlanGreedy};
+  for (BillingModel billing : {BillingModel::kPerInstance, BillingModel::kPerFunction}) {
+    for (double minutes : {12.0, 30.0}) {
+      const PlannerInputs inputs = TestInputs(Minutes(minutes), billing);
+      for (PlannerFn planner : planners) {
+        PlannerOptions fresh_options;
+        fresh_options.evaluation = PlanEvaluation::kFresh;
+        PlannerOptions serial_options;
+        PlannerOptions parallel_options;
+        parallel_options.eval_threads = 4;
+
+        PlanEvaluator fresh(inputs, fresh_options);
+        PlanEvaluator serial(inputs, serial_options);
+        PlanEvaluator parallel(inputs, parallel_options);
+
+        const PlannedJob from_fresh = planner(fresh);
+        const PlannedJob from_serial = planner(serial);
+        const PlannedJob from_parallel = planner(parallel);
+        SCOPED_TRACE(from_serial.planner + " @ " + std::to_string(minutes) + " min");
+        ExpectSamePlannedJob(from_serial, from_fresh);
+        ExpectSamePlannedJob(from_serial, from_parallel);
+      }
+    }
+  }
+}
+
+TEST(PlanEvaluator, MinTimePlannerIdenticalAcrossModes) {
+  const PlannerInputs inputs = TestInputs(0.0);
+  const Money budget = Money::FromDollars(100.0);
+  PlannerOptions fresh_options;
+  fresh_options.evaluation = PlanEvaluation::kFresh;
+  PlannerOptions parallel_options;
+  parallel_options.eval_threads = 4;
+
+  PlanEvaluator fresh(inputs, fresh_options);
+  PlanEvaluator serial(inputs, PlannerOptions{});
+  PlanEvaluator parallel(inputs, parallel_options);
+  const PlannedJob from_serial = PlanGreedyMinTime(serial, budget);
+  ExpectSamePlannedJob(from_serial, PlanGreedyMinTime(fresh, budget));
+  ExpectSamePlannedJob(from_serial, PlanGreedyMinTime(parallel, budget));
+}
+
+TEST(PlanEvaluator, PlanMemoAndStageCacheAreObservable) {
+  const PlannerInputs inputs = TestInputs(Minutes(30));
+  PlanEvaluator evaluator(inputs, PlannerOptions{});
+  const int n = inputs.spec.num_stages();
+
+  const AllocationPlan plan = AllocationPlan::Uniform(n, 8);
+  evaluator.Evaluate(plan);
+  EXPECT_EQ(evaluator.stats().plan_evaluations, 1);
+  EXPECT_EQ(evaluator.stats().stage_evaluations, n);
+
+  // Identical plan: pure memo hit, no stage work.
+  evaluator.Evaluate(plan);
+  EXPECT_EQ(evaluator.stats().plan_memo_hits, 1);
+  EXPECT_EQ(evaluator.stats().stage_evaluations, n);
+
+  // Changing only the last stage re-simulates exactly one stage; the
+  // prefix (same gpus, same instance chain) is served from the cache.
+  AllocationPlan tweaked = plan;
+  tweaked.gpus(n - 1) = 4;
+  evaluator.Evaluate(tweaked);
+  const PlannerCacheStats stats = evaluator.stats();
+  EXPECT_EQ(stats.plan_evaluations, 2);
+  EXPECT_EQ(stats.stage_evaluations, n + 1);
+  EXPECT_EQ(stats.stage_cache_hits, n - 1);
+  EXPECT_DOUBLE_EQ(stats.PlanHitRate(), 1.0 / 3.0);
+}
+
+TEST(PlanEvaluator, SetDeadlinePreservesCaches) {
+  const PlannerInputs inputs = TestInputs(Minutes(30));
+  PlanEvaluator evaluator(inputs, PlannerOptions{});
+  const AllocationPlan plan = AllocationPlan::Uniform(inputs.spec.num_stages(), 8);
+
+  const PlanEstimate before = evaluator.Evaluate(plan);
+  evaluator.set_deadline(Minutes(10));
+  EXPECT_EQ(evaluator.inputs().deadline, Minutes(10));
+  const PlanEstimate after = evaluator.Evaluate(plan);
+
+  ExpectSameEstimate(before, after);
+  EXPECT_EQ(evaluator.stats().plan_evaluations, 1);
+  EXPECT_EQ(evaluator.stats().plan_memo_hits, 1);
+}
+
+TEST(PlanEvaluator, DuplicateWarmStartsAreSkipped) {
+  // Multipliers {2, 2, 2} round to one distinct warm start; the dedup makes
+  // the search do exactly the work of {2} — observable through the cache
+  // counters — while returning the same plan.
+  const PlannerInputs inputs = TestInputs(Minutes(20));
+  PlannerOptions duplicated;
+  duplicated.warm_start_multipliers = {2.0, 2.0, 2.0};
+  PlannerOptions single;
+  single.warm_start_multipliers = {2.0};
+
+  PlanEvaluator dup_eval(inputs, duplicated);
+  PlanEvaluator single_eval(inputs, single);
+  const PlannedJob dup_job = PlanGreedy(dup_eval);
+  const PlannedJob single_job = PlanGreedy(single_eval);
+
+  ExpectSamePlannedJob(dup_job, single_job);
+  EXPECT_EQ(dup_eval.stats().plan_evaluations, single_eval.stats().plan_evaluations);
+  EXPECT_EQ(dup_eval.stats().plan_memo_hits, single_eval.stats().plan_memo_hits);
+}
+
+TEST(PlanEvaluator, StatsAggregate) {
+  PlannerCacheStats a;
+  a.plan_evaluations = 3;
+  a.plan_memo_hits = 1;
+  PlannerCacheStats b;
+  b.plan_evaluations = 1;
+  b.plan_memo_hits = 3;
+  b.stage_evaluations = 2;
+  a += b;
+  EXPECT_EQ(a.plan_evaluations, 4);
+  EXPECT_EQ(a.plan_memo_hits, 4);
+  EXPECT_EQ(a.stage_evaluations, 2);
+  EXPECT_DOUBLE_EQ(a.PlanHitRate(), 0.5);
+  EXPECT_DOUBLE_EQ(PlannerCacheStats{}.PlanHitRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -48,6 +48,32 @@ TEST(FairAllocation, RoundUpAndFloor) {
   EXPECT_EQ(FairFloorAllocation(0, 10), 0);
 }
 
+TEST(FairAllocation, SingleTrialStage) {
+  // With one trial every positive GPU count is a multiple of the trial
+  // count, so the fair lattice is just the integers.
+  EXPECT_EQ(NextLowerFairAllocation(5, 1), 4);
+  EXPECT_EQ(NextLowerFairAllocation(2, 1), 1);
+  EXPECT_EQ(NextLowerFairAllocation(1, 1), 0);
+  EXPECT_EQ(RoundUpToFairAllocation(3, 1), 3);
+  EXPECT_EQ(RoundUpToFairAllocation(0, 1), 1);
+  EXPECT_EQ(FairFloorAllocation(3, 1), 3);
+  EXPECT_EQ(FairFloorAllocation(0, 1), 0);
+  EXPECT_EQ(NextHigherFairAllocation(3, 1), 4);
+}
+
+TEST(FairAllocation, PrimeTrialCountHasOnlyTrivialDivisors) {
+  // 13 trials: below the trial count only 1 is fair; above it, multiples.
+  EXPECT_EQ(NextLowerFairAllocation(13, 13), 1);
+  EXPECT_EQ(NextLowerFairAllocation(26, 13), 13);
+  EXPECT_EQ(RoundUpToFairAllocation(2, 13), 13);
+  EXPECT_EQ(RoundUpToFairAllocation(5, 13), 13);
+  EXPECT_EQ(RoundUpToFairAllocation(14, 13), 26);
+  EXPECT_EQ(FairFloorAllocation(12, 13), 1);
+  EXPECT_EQ(FairFloorAllocation(13, 13), 13);
+  EXPECT_EQ(NextHigherFairAllocation(1, 13), 13);
+  EXPECT_EQ(NextHigherFairAllocation(13, 13), 26);
+}
+
 // Every fair value divides or is divided by the trial count.
 class FairStepProperty : public ::testing::TestWithParam<int> {};
 

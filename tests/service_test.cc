@@ -204,6 +204,13 @@ TEST(Service, CapacityContentionQueuesJobsFifo) {
   EXPECT_GT(report.jobs[1].queue_wait, 0.0);
   EXPECT_GE(report.jobs[1].started_at, report.jobs[0].finished_at);
   EXPECT_GT(report.mean_queue_wait, 0.0);
+
+  // The dequeue re-plan runs on the same per-job evaluator as admission
+  // (only the deadline moved), so the service-level cache metric must show
+  // plan estimates served from the memo.
+  EXPECT_GT(report.planner_cache.plan_evaluations, 0);
+  EXPECT_GT(report.planner_cache.plan_memo_hits, 0);
+  EXPECT_GT(report.planner_cache.PlanHitRate(), 0.0);
 }
 
 TEST(Service, QueuedJobWhoseDeadlineExpiresIsRejectedStaleNotLate) {

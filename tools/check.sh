@@ -12,12 +12,17 @@
 # tools/check.sh --sanitize rebuilds into build-asan/ with
 # -fsanitize=address,undefined and runs the suite under both sanitizers
 # (slower; catches the memory and UB bugs the plain build cannot).
+#
+# tools/check.sh --tsan rebuilds into build-tsan/ with -fsanitize=thread
+# and runs the concurrency-relevant subset (thread pool, parallel plan
+# evaluation, planners, service) under ThreadSanitizer.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 build_dir=build
 cmake_args=()
+ctest_args=()
 if [[ "${1:-}" == "--sanitize" ]]; then
   build_dir=build-asan
   cmake_args+=(
@@ -25,8 +30,16 @@ if [[ "${1:-}" == "--sanitize" ]]; then
     "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
     "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=address,undefined"
   )
+elif [[ "${1:-}" == "--tsan" ]]; then
+  build_dir=build-tsan
+  cmake_args+=(
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    "-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-omit-frame-pointer"
+    "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread"
+  )
+  ctest_args+=(-R '(ThreadPool|PlanEvaluator|Planner|FairAllocation|Service)')
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize]" >&2
+  echo "usage: tools/check.sh [--sanitize|--tsan]" >&2
   exit 2
 fi
 
@@ -41,4 +54,4 @@ if grep -E "warning:" "$log" >/dev/null; then
 fi
 
 cd "$build_dir"
-ctest --output-on-failure -j
+ctest --output-on-failure "${ctest_args[@]}" -j

@@ -13,6 +13,8 @@
 //   --instance=p3.8xlarge --billing=per-instance|per-function
 //   --data-price-gb=0.0 --queue-s=5 --init-s=10
 //   --spot --spot-mttp-s=14400 --seed=1
+//   --plan-threads=4               parallel candidate evaluation inside the
+//                                  planner (identical plans at any count)
 //   Fault injection (all default off; runs stay deterministic per seed):
 //   --provision-failure-rate=0.1   provider rejects requests at this rate
 //   --init-failure-rate=0.05       launched instances die during init (billed)
@@ -42,6 +44,7 @@ struct CliSetup {
   CloudProfile cloud;
   Seconds deadline = 0.0;
   uint64_t seed = 0;
+  PlannerOptions planner;
 };
 
 int Fail(const std::string& message) {
@@ -90,6 +93,11 @@ bool BuildSetup(const Flags& flags, CliSetup& setup) {
 
   setup.deadline = Minutes(flags.GetDouble("deadline-min", 20.0));
   setup.seed = static_cast<uint64_t>(flags.GetInt64("seed", 1));
+  setup.planner.eval_threads = flags.GetInt("plan-threads", 1);
+  if (setup.planner.eval_threads < 1) {
+    std::fprintf(stderr, "--plan-threads must be >= 1\n");
+    return false;
+  }
 
   ProfilerOptions profiler_options;
   profiler_options.seed = setup.seed;
@@ -109,15 +117,15 @@ void PrintJob(const char* name, const PlannedJob& job) {
 
 int RunPlan(const Flags& flags, CliSetup& setup) {
   const PlannerInputs inputs{setup.spec, setup.profile, setup.cloud, setup.deadline};
-  const PlannedJob fixed = PlanStatic(inputs);
-  const PlannedJob naive = PlanNaiveElastic(inputs);
-  const PlannedJob elastic = PlanGreedy(inputs);
+  const PlannedJob fixed = PlanStatic(inputs, setup.planner);
+  const PlannedJob naive = PlanNaiveElastic(inputs, setup.planner);
+  const PlannedJob elastic = PlanGreedy(inputs, setup.planner);
   PrintJob("static", fixed);
   PrintJob("naive-elastic", naive);
   PrintJob("rubberband", elastic);
   if (flags.Has("budget")) {
     const Money budget = Money::FromDollars(flags.GetDouble("budget", 0.0));
-    PrintJob("min-time", PlanGreedyMinTime(inputs, budget));
+    PrintJob("min-time", PlanGreedyMinTime(inputs, budget, setup.planner));
   }
   if (flags.GetBool("render")) {
     std::printf("\n%s", RenderComparison(setup.spec, fixed.plan, elastic.plan, setup.profile,
@@ -129,7 +137,7 @@ int RunPlan(const Flags& flags, CliSetup& setup) {
 
 int RunExecute(const Flags& flags, CliSetup& setup) {
   const PlannedJob job =
-      PlanGreedy({setup.spec, setup.profile, setup.cloud, setup.deadline});
+      PlanGreedy({setup.spec, setup.profile, setup.cloud, setup.deadline}, setup.planner);
   PrintJob("rubberband", job);
 
   ExecutorOptions options;
@@ -138,6 +146,7 @@ int RunExecute(const Flags& flags, CliSetup& setup) {
     options.replan.enabled = true;
     options.replan.deadline = setup.deadline;
     options.replan.model = setup.profile;
+    options.replan.planner = setup.planner;
   }
   const ExecutionReport report = Execute(setup.spec, job.plan, setup.workload, setup.cloud,
                                          options);
@@ -234,6 +243,7 @@ int RunServe(const Flags& flags, CliSetup& setup) {
     config.warm_pool.max_parked = flags.GetInt("pool-max", 16);
     config.warm_pool.max_idle_seconds = flags.GetDouble("warm-ttl-s", 300.0);
   }
+  config.planner = setup.planner;
   config.seed = setup.seed;
   config.replan_on_faults = flags.GetBool("replan");
 
@@ -278,6 +288,13 @@ int RunServe(const Flags& flags, CliSetup& setup) {
               static_cast<long long>(report.warm.requests), 100.0 * report.warm.HitRate(),
               report.warm.init_seconds_saved, report.warm.parked_idle_seconds);
   std::printf("aggregate utilization %.0f%%\n", 100.0 * report.aggregate_utilization);
+  std::printf("planner cache: %lld/%lld plan estimates from memo (%.0f%% hit rate), "
+              "%lld stage sims reused\n",
+              static_cast<long long>(report.planner_cache.plan_memo_hits),
+              static_cast<long long>(report.planner_cache.plan_memo_hits +
+                                     report.planner_cache.plan_evaluations),
+              100.0 * report.planner_cache.PlanHitRate(),
+              static_cast<long long>(report.planner_cache.stage_cache_hits));
   if (setup.cloud.fault.Any()) {
     std::printf("faults: %d crashes, %d provision failures, %d replans, %.0fs recovery\n",
                 report.total_crashes, report.total_provision_failures, report.total_replans,
