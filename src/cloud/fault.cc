@@ -25,4 +25,17 @@ bool FaultInjector::CheckpointFetchFails() {
 
 Seconds FaultInjector::SampleTimeToCrash() { return rng_.Exponential(profile_.mtbf); }
 
+double FaultInjector::SampleStragglerFactor() {
+  if (!stragglers_enabled()) {
+    return 1.0;  // no draw: disabled faults leave the stream untouched
+  }
+  const bool straggles =
+      profile_.straggler_rate >= 1.0 || rng_.Uniform(0.0, 1.0) < profile_.straggler_rate;
+  if (!straggles) {
+    return 1.0;
+  }
+  ++num_stragglers_;
+  return rng_.Uniform(profile_.straggler_factor_min, profile_.straggler_factor_max);
+}
+
 }  // namespace rubberband

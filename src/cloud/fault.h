@@ -1,7 +1,7 @@
 // Fault model: the ways a real provider misbehaves that the paper's
 // provider assumption ("provisioning always succeeds") papers over.
 //
-// Four fault classes, all parameters of the cloud profile and all driven by
+// Five fault classes, all parameters of the cloud profile and all driven by
 // the deterministic Rng so faulty runs replay bit-identically from a seed:
 //   * provisioning request failures — the provider rejects the request
 //     after the queuing delay (EC2's InsufficientInstanceCapacity);
@@ -10,7 +10,11 @@
 //   * hardware crashes — ready instances fail with an exponential
 //     mean-time-between-failures, independent of the spot market;
 //   * checkpoint-transfer failures — a worker gang's checkpoint fetch must
-//     be retried.
+//     be retried;
+//   * persistent stragglers (gray failures) — an instance launches, stays
+//     alive, and silently runs every training iteration slower by a factor
+//     drawn once at launch. Gang-synchronous training pays that factor on
+//     every sync, which is why gray failures dominate deadline misses.
 
 #ifndef SRC_CLOUD_FAULT_H_
 #define SRC_CLOUD_FAULT_H_
@@ -34,10 +38,16 @@ struct FaultProfile {
   Seconds mtbf = 0.0;
   // Probability a checkpoint fetch fails and must be retried by the gang.
   double checkpoint_failure_rate = 0.0;
+  // Probability a launched instance is a persistent straggler: alive and
+  // billing, but every iteration it hosts runs slower by a factor drawn
+  // uniformly from [straggler_factor_min, straggler_factor_max] at launch.
+  double straggler_rate = 0.0;
+  double straggler_factor_min = 2.0;
+  double straggler_factor_max = 4.0;
 
   bool Any() const {
     return provision_failure_rate > 0.0 || init_failure_rate > 0.0 || mtbf > 0.0 ||
-           checkpoint_failure_rate > 0.0;
+           checkpoint_failure_rate > 0.0 || straggler_rate > 0.0;
   }
 };
 
@@ -56,9 +66,16 @@ class FaultInjector {
   bool crashes_enabled() const { return profile_.mtbf > 0.0; }
   Seconds SampleTimeToCrash();
 
+  bool stragglers_enabled() const { return profile_.straggler_rate > 0.0; }
+  // Slowdown factor of a freshly launched instance: 1.0 for a healthy one,
+  // otherwise a persistent factor from the profile's distribution. Never
+  // draws when the class is disabled.
+  double SampleStragglerFactor();
+
   int num_provision_failures() const { return num_provision_failures_; }
   int num_init_failures() const { return num_init_failures_; }
   int num_checkpoint_failures() const { return num_checkpoint_failures_; }
+  int num_stragglers() const { return num_stragglers_; }
 
   const FaultProfile& profile() const { return profile_; }
 
@@ -70,6 +87,7 @@ class FaultInjector {
   int num_provision_failures_ = 0;
   int num_init_failures_ = 0;
   int num_checkpoint_failures_ = 0;
+  int num_stragglers_ = 0;
 };
 
 }  // namespace rubberband

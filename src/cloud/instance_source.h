@@ -39,6 +39,11 @@ class InstanceSource {
 
   // Gives a ready instance back to the source (terminate or recycle).
   virtual void ReleaseInstance(InstanceId id) = 0;
+
+  // Gives back an instance that must never be handed out again (quarantined
+  // gray-failure hardware): sources that recycle must terminate it for real
+  // instead of parking it. The default release already terminates.
+  virtual void DiscardInstance(InstanceId id) { ReleaseInstance(id); }
 };
 
 }  // namespace rubberband

@@ -59,13 +59,21 @@ void SimulatedCloud::RequestInstances(int count, double dataset_gb,
       });
       continue;
     }
-    sim_.ScheduleAt(ready_at, [this, id, launch_at, ready_at, on_ready, epoch]() {
+    // Gray failure: the instance will come up alive but persistently slow.
+    // Drawn here (request order) so the fault stream stays deterministic no
+    // matter how ready events interleave.
+    const double straggler_factor = faults_.SampleStragglerFactor();
+    sim_.ScheduleAt(ready_at, [this, id, launch_at, ready_at, straggler_factor, on_ready,
+                               epoch]() {
       if (epoch != cancel_epoch_) {
         return;
       }
       --pending_;
       pending_launch_.erase(id);
       ready_.emplace(id, Instance{launch_at, ready_at});
+      if (straggler_factor != 1.0) {
+        straggler_factors_.emplace(id, straggler_factor);
+      }
       if (profile_.spot.enabled) {
         SchedulePreemption(id);
       }
@@ -85,6 +93,7 @@ void SimulatedCloud::ReclaimInstance(InstanceId id, int& counter,
   }
   meter_.RecordInstanceUsage(it->second.launch, sim_.now());
   ready_.erase(it);
+  straggler_factors_.erase(id);
   ++counter;
   if (handler) {
     handler(id);
@@ -108,6 +117,7 @@ void SimulatedCloud::TerminateInstance(InstanceId id) {
   }
   meter_.RecordInstanceUsage(it->second.launch, sim_.now());
   ready_.erase(it);
+  straggler_factors_.erase(id);
 }
 
 void SimulatedCloud::TerminateAll() {

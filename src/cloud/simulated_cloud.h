@@ -67,6 +67,16 @@ class SimulatedCloud : public InstanceSource {
   int num_crashes() const { return num_crashes_; }
   int num_provision_failures() const { return faults_.num_provision_failures(); }
   int num_init_failures() const { return faults_.num_init_failures(); }
+  int num_straggler_instances() const { return faults_.num_stragglers(); }
+
+  // Persistent slowdown factor of a launched instance (1.0 = healthy).
+  // Ground truth for the synthetic trainer — the hardware really is this
+  // slow — never an input to detection, which sees observed iteration
+  // times only.
+  double StragglerFactor(InstanceId id) const {
+    auto it = straggler_factors_.find(id);
+    return it == straggler_factors_.end() ? 1.0 : it->second;
+  }
 
   // Terminates everything still running and cancels in-flight provisioning
   // requests (end-of-job cleanup): launched-but-initializing instances are
@@ -107,6 +117,10 @@ class SimulatedCloud : public InstanceSource {
   void ReclaimInstance(InstanceId id, int& counter, const std::function<void(InstanceId)>& handler);
 
   std::map<InstanceId, Instance> ready_;
+  // Straggler tags drawn at launch (absent = healthy); entries outlive the
+  // instance's tenancy (a recycled warm instance stays slow) and are erased
+  // at termination.
+  std::map<InstanceId, double> straggler_factors_;
   // Launch time of every launched-but-not-ready instance (cancellation
   // closes these billing intervals).
   std::map<InstanceId, Seconds> pending_launch_;

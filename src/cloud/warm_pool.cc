@@ -70,6 +70,11 @@ void WarmPool::ReleaseInstance(InstanceId id) {
   });
 }
 
+void WarmPool::DiscardInstance(InstanceId id) {
+  ++stats_.released_cold;
+  cloud_.TerminateInstance(id);
+}
+
 bool WarmPool::OnPreempted(InstanceId id) {
   auto it = parked_.find(id);
   if (it == parked_.end()) {

@@ -69,6 +69,10 @@ class WarmPool : public InstanceSource {
   // Parks the instance (or terminates it when the pool is full/disabled).
   void ReleaseInstance(InstanceId id) override;
 
+  // Quarantined hardware is terminated for real — never parked, so no later
+  // tenant can draw a known straggler out of the pool.
+  void DiscardInstance(InstanceId id) override;
+
   // The provider reclaimed a spot instance. Returns true if it was parked
   // here (the pool drops it); false if some job holds it.
   bool OnPreempted(InstanceId id);

@@ -7,6 +7,13 @@
 namespace rubberband {
 
 void ClusterManager::OnInstanceReady(InstanceId id) {
+  if (quarantined_.count(id) > 0) {
+    // A recycling source handed back blacklisted hardware: throw it away
+    // and keep the slot open so the waiter's arithmetic still closes.
+    source_.DiscardInstance(id);
+    Request(1, [this](InstanceId replacement) { OnInstanceReady(replacement); });
+    return;
+  }
   ready_.push_back(id);
   if (waiter_ && num_ready() >= waiting_for_) {
     auto callback = std::move(waiter_);
@@ -110,6 +117,16 @@ void ClusterManager::OnInstanceLost(InstanceId id) {
       Request(missing, [this](InstanceId ready_id) { OnInstanceReady(ready_id); });
     }
   }
+}
+
+void ClusterManager::Quarantine(InstanceId id) {
+  auto it = std::find(ready_.begin(), ready_.end(), id);
+  if (it == ready_.end()) {
+    throw std::logic_error("quarantining an instance the manager does not hold");
+  }
+  ready_.erase(it);
+  quarantined_.insert(id);
+  source_.DiscardInstance(id);
 }
 
 void ClusterManager::Deprovision(const std::vector<InstanceId>& ids) {

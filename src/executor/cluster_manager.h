@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <vector>
 
 #include "src/cloud/instance_source.h"
@@ -66,6 +67,11 @@ class ClusterManager {
 
   void Deprovision(const std::vector<InstanceId>& ids);
 
+  // Removes a gray-failed instance from the fleet for good: discarded at
+  // the source (terminated, never parked for reuse) and blacklisted so a
+  // recycling source cannot hand the same hardware back.
+  void Quarantine(InstanceId id);
+
   // Drops an instance the provider took back — spot reclamation or
   // hardware crash (billing was closed by the provider; nothing to
   // terminate). If a scale request is outstanding, the lost capacity is
@@ -96,6 +102,8 @@ class ClusterManager {
   int num_provision_failures() const { return provision_failures_; }
   int num_retries() const { return retries_; }
   int num_abandoned() const { return abandoned_; }
+  int num_quarantined() const { return static_cast<int>(quarantined_.size()); }
+  bool IsQuarantined(InstanceId id) const { return quarantined_.count(id) > 0; }
 
  private:
   void OnInstanceReady(InstanceId id);
@@ -109,6 +117,7 @@ class ClusterManager {
   RetryPolicy retry_;
   Rng backoff_rng_;
   std::vector<InstanceId> ready_;
+  std::set<InstanceId> quarantined_;
   std::function<void()> waiter_;
   std::function<void(bool)> fault_observer_;
   int waiting_for_ = 0;

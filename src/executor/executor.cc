@@ -37,6 +37,9 @@ Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
       checkpoint_faults_(cloud_profile.fault, Rng(options.seed ^ 0xFA177EDull)) {
   spec_.Validate();
   plan_.Validate(spec_.num_stages());
+  if (options_.straggler.detect || options_.straggler.mitigate) {
+    detector_ = std::make_unique<StragglerDetector>(options_.straggler.detector);
+  }
 }
 
 Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
@@ -55,6 +58,9 @@ Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
       checkpoint_faults_(cloud_.profile().fault, Rng(options.seed ^ 0xFA177EDull)) {
   spec_.Validate();
   plan_.Validate(spec_.num_stages());
+  if (options_.straggler.detect || options_.straggler.mitigate) {
+    detector_ = std::make_unique<StragglerDetector>(options_.straggler.detector);
+  }
 }
 
 int Executor::EffectiveStageGpus(int stage) const {
@@ -84,6 +90,10 @@ void Executor::RecordUsage(int gpus, Seconds duration) {
 void Executor::NoteAcquired(InstanceId id) { acquired_at_[id] = sim_.now(); }
 
 void Executor::NoteReleased(InstanceId id) {
+  if (detector_) {
+    detector_->Forget(id);  // covers every release path (quarantine, loss,
+                            // deprovision, end-of-job)
+  }
   auto it = acquired_at_.find(id);
   if (it == acquired_at_.end()) {
     return;  // never registered (e.g. reclaimed before first use)
@@ -151,6 +161,7 @@ void Executor::StartStage(int stage) {
   stage_gpus_ = EffectiveStageGpus(stage);
   completed_in_stage_ = 0;
   replacements_exhausted_ = false;
+  stage_degradation_reported_ = false;
   const Stage& spec_stage = spec_.stage(stage);
   if (static_cast<int>(survivors_.size()) != spec_stage.num_trials) {
     throw std::logic_error("survivor count does not match the specification");
@@ -190,6 +201,7 @@ void Executor::BeginTraining(int stage) {
     stage_gpus_ =
         std::max(1, FairFloorAllocation(available, static_cast<int>(survivors_.size())));
     ++report_.degraded_stages;
+    stage_degradation_reported_ = true;
     report_.trace.Record(sim_.now(), TraceEventType::kStageDegraded, stage);
   }
 
@@ -262,6 +274,7 @@ void Executor::StartTrialOnStage(TrialId id, int gpus) {
   }
   trial.set_state(TrialState::kRunning);
   trial.trainer().Configure(gpus, placement_.IsColocated(id));
+  SetupGang(id);
   busy_start_[id] = sim_.now();
   report_.trace.Record(sim_.now(), TraceEventType::kTrialStart, current_stage_, id);
   const int generation = ++generation_[id];
@@ -271,6 +284,28 @@ void Executor::StartTrialOnStage(TrialId id, int gpus) {
       ScheduleNextIteration(id);
     }
   });
+}
+
+void Executor::SetupGang(TrialId id) {
+  Trial& trial = trials_[static_cast<size_t>(id)];
+  std::vector<InstanceId> instances;
+  for (const WorkerAssignment& assignment : placement_.plan().Assignments(id)) {
+    if (std::find(instances.begin(), instances.end(), assignment.node) == instances.end()) {
+      instances.push_back(assignment.node);
+    }
+  }
+  std::vector<double> slowdowns;
+  if (cloud_.profile().fault.straggler_rate > 0.0) {
+    // Per-worker latency draws only when stragglers can exist: with the
+    // vector left empty the trainer keeps its original single-draw path and
+    // rate-zero runs stay bit-identical.
+    slowdowns.reserve(instances.size());
+    for (InstanceId instance : instances) {
+      slowdowns.push_back(cloud_.StragglerFactor(instance));
+    }
+  }
+  trial.trainer().SetWorkerSlowdowns(std::move(slowdowns));
+  trial_instances_[id] = std::move(instances);
 }
 
 void Executor::ScheduleNextIteration(TrialId id) {
@@ -288,8 +323,131 @@ void Executor::ScheduleNextIteration(TrialId id) {
     Trial& t = trials_[static_cast<size_t>(id)];
     t.trainer().Advance(1);
     t.CompleteIteration();
+    if (detector_) {
+      RecordIterationObservations(id);
+      if (generation_[id] != generation) {
+        return;  // a quarantine just tore this gang down
+      }
+    }
     ScheduleNextIteration(id);
   });
+}
+
+void Executor::RecordIterationObservations(TrialId id) {
+  Trial& trial = trials_[static_cast<size_t>(id)];
+  // Copies: a quarantine triggered below mutates both source containers.
+  const std::vector<double> latencies = trial.trainer().last_worker_latencies();
+  auto it = trial_instances_.find(id);
+  if (it == trial_instances_.end() || latencies.empty()) {
+    return;
+  }
+  const std::vector<InstanceId> instances = it->second;
+  const Seconds expected = trial.trainer().MeanIterLatency();
+  if (expected <= 0.0) {
+    return;
+  }
+  std::vector<InstanceId> flagged;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    // Single-draw mode yields one gang latency; attribute it to every host
+    // (they all look alike, which is exactly right — nothing to tell apart).
+    const double observed =
+        latencies.size() == instances.size() ? latencies[i] : latencies.front();
+    if (detector_->Observe(instances[i], observed / expected)) {
+      flagged.push_back(instances[i]);
+    }
+  }
+  for (InstanceId instance : flagged) {
+    OnStragglerFlagged(instance);
+  }
+}
+
+void Executor::OnStragglerFlagged(InstanceId instance) {
+  ++report_.stragglers_detected;
+  report_.straggler_detection_syncs += detector_->ObservationsAtFlag(instance);
+  report_.trace.Record(sim_.now(), TraceEventType::kStragglerDetected, current_stage_, -1,
+                       instance);
+  // Ground truth consulted to *grade* the detector, never to drive it: the
+  // flag above was produced from observed latencies alone.
+  if (cloud_.StragglerFactor(instance) <= 1.0) {
+    ++report_.straggler_false_positives;
+    report_.trace.Record(sim_.now(), TraceEventType::kStragglerFalsePositive, current_stage_,
+                         -1, instance);
+  }
+  if (!options_.straggler.mitigate ||
+      report_.stragglers_quarantined >= options_.straggler.max_quarantines) {
+    return;
+  }
+  QuarantineInstance(instance);
+}
+
+void Executor::QuarantineInstance(InstanceId instance) {
+  const auto tracked = std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(),
+                                 instance);
+  if (tracked == nodes_in_controller_.end()) {
+    return;  // lost to a crash/preemption in the meantime
+  }
+  ++report_.stragglers_quarantined;
+  ++fault_events_;
+  report_.trace.Record(sim_.now(), TraceEventType::kStragglerQuarantined, current_stage_, -1,
+                       instance);
+  const double factor = cloud_.StragglerFactor(instance);
+  // Slowdown-avoided estimate, accumulated below: expected iteration
+  // seconds the instance would still have dragged, each taxed by
+  // (factor - 1) — its trials' remaining stage work, plus each later
+  // stage's per-trial work at that stage's planned gang size, weighted by
+  // the chance the node survives the stage-boundary scale-downs.
+  Seconds dragged_iter_seconds = 0.0;
+  // Exclude the node from new placements, then evict its gangs outright.
+  placement_.SetUnschedulable(instance, true);
+  for (TrialId id : placement_.EvictNode(instance)) {
+    Trial& trial = trials_[static_cast<size_t>(id)];
+    if (trial.state() != TrialState::kRunning) {
+      continue;
+    }
+    ++generation_[id];  // invalidate in-flight iteration events
+    const int gpus = allocations_.count(id) > 0 ? allocations_[id] : gpus_per_trial_;
+    RecordUsage(gpus, sim_.now() - busy_start_[id]);
+    allocations_.erase(id);
+    trial.set_state(TrialState::kPending);
+    // The node is slow, not dead: unlike the crash path, the trial's
+    // *current* progress is checkpointed before the gang is torn down, so
+    // mitigation loses no completed iterations (only the save + restart
+    // wait, billed to mitigation below and in NoteRestarted).
+    trial.SaveCheckpoint();
+    report_.straggler_mitigation_seconds += checkpoint_store_.Save(id, workload_.checkpoint_gb);
+    dragged_iter_seconds +=
+        trial.trainer().MeanIterLatency() * static_cast<double>(trial.remaining_iters());
+    pending_restart_.push_back(id);
+    pending_since_[id] = sim_.now();
+    quarantine_pending_.insert(id);
+    ++report_.trial_restarts;
+    report_.trace.Record(sim_.now(), TraceEventType::kTrialRestart, current_stage_, id);
+  }
+  if (factor > 1.0) {
+    const int gpg = cloud_.profile().gpus_per_instance();
+    const int instances_now = std::max(1, manager_.num_ready());  // still includes this one
+    Seconds tail_iter_seconds = 0.0;
+    for (int s = current_stage_ + 1; s < spec_.num_stages(); ++s) {
+      const int stage_gpus = plan_.gpus(s);
+      const int gpt = std::max(1, stage_gpus / std::max(1, spec_.stage(s).num_trials));
+      const int stage_instances = (stage_gpus + gpg - 1) / gpg;
+      const double retained =
+          std::min(1.0, static_cast<double>(stage_instances) / instances_now);
+      tail_iter_seconds += retained * static_cast<double>(spec_.stage(s).iters_per_trial) *
+                           workload_.base_iter_seconds * workload_.true_scaling.LatencyFactor(gpt);
+    }
+    report_.straggler_slowdown_avoided +=
+        (factor - 1.0) * (dragged_iter_seconds + tail_iter_seconds);
+  }
+  nodes_in_controller_.erase(std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(),
+                                       instance));
+  // Blacklist + discard: terminated at the source (never parked for reuse).
+  manager_.Quarantine(instance);
+  NoteReleased(instance);
+  if (!manager_.awaiting_scale()) {
+    RequestReplacement();
+  }
+  TryRestartPending();
 }
 
 void Executor::OnTrialStageDone(TrialId id) {
@@ -478,7 +636,15 @@ void Executor::HandleShortfall() {
   }
   // A mid-stage replacement was abandoned: no more capacity is coming, so
   // restart pending trials at whatever gang sizes the survivors can host.
+  // That IS a degradation of the running stage — it proceeds below its
+  // planned GPUs from here on — so report it like one (at most once per
+  // stage, even if several replacement slots are abandoned).
   replacements_exhausted_ = true;
+  if (!stage_degradation_reported_) {
+    ++report_.degraded_stages;
+    stage_degradation_reported_ = true;
+    report_.trace.Record(sim_.now(), TraceEventType::kStageDegraded, current_stage_);
+  }
   DegradePendingRestarts();
 
   // Total capacity loss: nothing is running, nothing is in flight, and
@@ -568,7 +734,12 @@ void Executor::NoteRestarted(TrialId id) {
   if (it == pending_since_.end()) {
     return;
   }
-  report_.recovery_seconds += sim_.now() - it->second;
+  const Seconds waited = sim_.now() - it->second;
+  if (quarantine_pending_.erase(id) > 0) {
+    report_.straggler_mitigation_seconds += waited;  // mitigation's own bill
+  } else {
+    report_.recovery_seconds += waited;
+  }
   pending_since_.erase(it);
 }
 
@@ -691,6 +862,9 @@ void Executor::Finish(int final_stage) {
   report_.checkpoint_saves = checkpoint_store_.saves();
   report_.checkpoint_fetches = checkpoint_store_.fetches();
   report_.checkpoint_gb_moved = checkpoint_store_.gb_moved();
+  // Ground truth for grading: how many stragglers the provider launched.
+  // Cloud-wide, so in shared mode this counts every tenant's stragglers.
+  report_.stragglers_injected = cloud_.num_straggler_instances();
   const double provisioned_gpu_seconds =
       meter.TotalInstanceSeconds() * cloud_.profile().gpus_per_instance();
   report_.realized_utilization =

@@ -19,12 +19,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/cloud/simulated_cloud.h"
 #include "src/executor/checkpoint_store.h"
 #include "src/executor/cluster_manager.h"
 #include "src/executor/scheduler.h"
+#include "src/executor/straggler_detector.h"
 #include "src/executor/trace.h"
 #include "src/executor/trial.h"
 #include "src/placement/controller.h"
@@ -51,6 +53,20 @@ struct ReplanPolicy {
   PlannerOptions planner;
 };
 
+// Gray-failure handling. Detection watches per-instance iteration latencies
+// at gang-sync boundaries (never the injector's ground truth); mitigation
+// checkpoints trials off a flagged instance at their *current* progress,
+// discards the instance (barred from warm-pool reuse), and restarts the
+// trials on a replacement — bounded by an explicit quarantine budget so a
+// misbehaving detector cannot thrash the cluster.
+struct StragglerPolicy {
+  bool detect = false;
+  bool mitigate = false;  // implies detection
+  StragglerDetectorConfig detector;
+  // Max instances quarantined per job (mitigation budget).
+  int max_quarantines = 4;
+};
+
 struct ExecutorOptions {
   uint64_t seed = 0;
   // Table 1 ablation: kScatter disables locality-aware placement.
@@ -68,6 +84,8 @@ struct ExecutorOptions {
   RetryPolicy retry;
   // Mid-experiment re-planning of the remaining stages under faults.
   ReplanPolicy replan;
+  // Persistent-straggler detection and checkpoint-based mitigation.
+  StragglerPolicy straggler;
 };
 
 struct StageLogEntry {
@@ -104,6 +122,20 @@ struct ExecutionReport {
   PlannerCacheStats planner_cache;
   int checkpoint_retries = 0;     // checkpoint fetches that needed recovery
   Seconds recovery_seconds = 0.0; // total trial time spent awaiting restart
+  // Gray-failure statistics (zero unless stragglers are injected/detected).
+  int stragglers_injected = 0;       // instances launched with a slowdown tag
+                                     // (cloud-wide: in shared mode this counts
+                                     // every tenant's stragglers)
+  int stragglers_detected = 0;       // instances the detector flagged
+  int stragglers_quarantined = 0;    // flagged instances checkpointed out
+  int straggler_false_positives = 0; // flags on instances that were healthy
+  int64_t straggler_detection_syncs = 0;  // summed syncs-to-flag (latency)
+  // Estimated gang time the quarantines saved: each evicted instance's
+  // (factor-1) tax over the iterations it would still have hosted — its
+  // trials' remaining stage work plus every later stage's per-trial work.
+  Seconds straggler_slowdown_avoided = 0.0;
+  // What mitigation cost: checkpoint saves plus restart waits it caused.
+  Seconds straggler_mitigation_seconds = 0.0;
   // Busy GPU-seconds over provisioned GPU-seconds: the utilization the
   // paper's whole argument is about (elastic plans waste less).
   double realized_utilization = 0.0;
@@ -198,8 +230,23 @@ class Executor {
   // Re-plan the stages from `next_stage` on if fault delay burned the
   // deadline slack (no-op while fault-free or when re-planning is off).
   void MaybeReplan(int next_stage);
-  // A trial left `pending_restart_`; attribute its wait to recovery time.
+  // A trial left `pending_restart_`; attribute its wait to recovery time
+  // (or to mitigation time, if quarantine put it there).
   void NoteRestarted(TrialId id);
+  // Records the gang's instance list and (when stragglers are injected)
+  // hands the trainer its per-worker slowdown factors. Called on every gang
+  // (re)creation.
+  void SetupGang(TrialId id);
+  // Feeds the completed iteration's per-worker latencies to the detector
+  // and handles any instance it flags.
+  void RecordIterationObservations(TrialId id);
+  // The detector condemned an instance: trace/attribute it, then quarantine
+  // if mitigation is on and the budget allows.
+  void OnStragglerFlagged(InstanceId instance);
+  // Checkpoint every trial on the instance at its current progress, discard
+  // the instance (blacklisted at the manager, terminated at the source) and
+  // restart the trials on replacement capacity.
+  void QuarantineInstance(InstanceId instance);
   // The stage's planned allocation clamped to the fair-share cap (snapshot
   // taken at the stage boundary, the paper's natural reallocation point).
   int EffectiveStageGpus(int stage) const;
@@ -245,6 +292,15 @@ class Executor {
   std::map<TrialId, Seconds> pending_since_;
   std::vector<InstanceId> nodes_in_controller_;
 
+  // Gray-failure detection state. The detector exists only when the policy
+  // asks for it; trial_instances_ snapshots each gang's hosting instances
+  // at creation (the list observations are attributed to). Trials parked in
+  // pending_restart_ by a quarantine are tracked so their wait is billed to
+  // mitigation rather than fault recovery.
+  std::unique_ptr<StragglerDetector> detector_;
+  std::map<TrialId, std::vector<InstanceId>> trial_instances_;
+  std::set<TrialId> quarantine_pending_;
+
   // Checkpoint-transfer fault stream: seeded from the job seed, so it is
   // independent of the cloud's streams and deterministic per run.
   FaultInjector checkpoint_faults_;
@@ -255,6 +311,9 @@ class Executor {
   // then restart pending trials at degraded sizes instead of waiting for
   // capacity that is not coming.
   bool replacements_exhausted_ = false;
+  // A stage is reported degraded at most once, whether it started short
+  // (BeginTraining) or lost capacity for good mid-stage (HandleShortfall).
+  bool stage_degradation_reported_ = false;
   // Fresh replacement cycles issued after total capacity loss (nothing
   // ready, nothing in flight, work pending). Bounded so a permanent
   // provider blackout still terminates instead of retrying forever.

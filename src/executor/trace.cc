@@ -40,22 +40,21 @@ std::string ToString(TraceEventType type) {
       return "STAGE_DEGRADED";
     case TraceEventType::kReplan:
       return "REPLAN";
+    case TraceEventType::kStragglerDetected:
+      return "STRAGGLER_DETECTED";
+    case TraceEventType::kStragglerQuarantined:
+      return "STRAGGLER_QUARANTINED";
+    case TraceEventType::kStragglerFalsePositive:
+      return "STRAGGLER_FALSE_POSITIVE";
   }
   return "UNKNOWN";
 }
 
 TraceEventType TraceEventTypeFromString(const std::string& name) {
-  static const TraceEventType kAll[] = {
-      TraceEventType::kStageStart,    TraceEventType::kInstanceReady,
-      TraceEventType::kInstanceReleased, TraceEventType::kTrialStart,
-      TraceEventType::kTrialComplete, TraceEventType::kTrialTerminated,
-      TraceEventType::kSync,          TraceEventType::kPreemption,
-      TraceEventType::kTrialRestart,  TraceEventType::kInstanceCrash,
-      TraceEventType::kProvisionFailure, TraceEventType::kProvisionRetry,
-      TraceEventType::kProvisionGiveUp,  TraceEventType::kCheckpointRetry,
-      TraceEventType::kStageDegraded, TraceEventType::kReplan,
-  };
-  for (TraceEventType type : kAll) {
+  // Spans every enum value by construction — no hand-maintained list to
+  // fall out of sync when an event kind is added.
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    const auto type = static_cast<TraceEventType>(i);
     if (ToString(type) == name) {
       return type;
     }

@@ -33,7 +33,18 @@ enum class TraceEventType {
   kCheckpointRetry,    // a checkpoint fetch failed and was recovered
   kStageDegraded,      // a stage proceeded with fewer GPUs than planned
   kReplan,             // remaining stages re-planned after slack burned
+  // Gray-failure events (persistent-straggler detection/mitigation).
+  kStragglerDetected,       // detector flagged an instance as persistently slow
+  kStragglerQuarantined,    // flagged instance checkpointed out and discarded
+  kStragglerFalsePositive,  // flagged instance was in fact healthy
 };
+
+// Number of TraceEventType values. Keep in sync with the enum above: the
+// trace test asserts ToString(kNumTraceEventTypes) == "UNKNOWN", so adding
+// an event kind without bumping this (and thereby enrolling the new kind in
+// the exhaustive round-trip test) fails the build's test tier.
+inline constexpr int kNumTraceEventTypes =
+    static_cast<int>(TraceEventType::kStragglerFalsePositive) + 1;
 
 std::string ToString(TraceEventType type);
 

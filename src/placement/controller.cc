@@ -27,6 +27,18 @@ void PlacementController::RemoveNode(PlacementNodeId id) {
     throw std::logic_error("removing a node that still hosts trial workers");
   }
   nodes_.erase(it);
+  unschedulable_.erase(id);
+}
+
+void PlacementController::SetUnschedulable(PlacementNodeId id, bool unschedulable) {
+  if (nodes_.find(id) == nodes_.end()) {
+    throw std::logic_error("marking unknown node unschedulable");
+  }
+  if (unschedulable) {
+    unschedulable_.insert(id);
+  } else {
+    unschedulable_.erase(id);
+  }
 }
 
 std::vector<TrialId> PlacementController::EvictNode(PlacementNodeId id) {
@@ -42,6 +54,7 @@ std::vector<TrialId> PlacementController::EvictNode(PlacementNodeId id) {
     Evict(trial);
   }
   nodes_.erase(id);
+  unschedulable_.erase(id);
   return evicted;
 }
 
@@ -59,6 +72,9 @@ void PlacementController::Evict(TrialId trial) {
 PlacementNode* PlacementController::FindBestFit(int gpus) {
   PlacementNode* best = nullptr;
   for (auto& [id, node] : nodes_) {
+    if (unschedulable_.count(id) > 0) {
+      continue;
+    }
     const int free = node.FreeGpus();
     if (free >= gpus && (best == nullptr || free < best->FreeGpus())) {
       best = &node;
@@ -126,7 +142,7 @@ PlacementResult PlacementController::PlaceScattered(const std::map<TrialId, int>
       if (cursor == nodes_.end()) {
         cursor = nodes_.begin();
       }
-      if (cursor->second.FreeGpus() > 0) {
+      if (unschedulable_.count(cursor->first) == 0 && cursor->second.FreeGpus() > 0) {
         cursor->second.assigned[trial] += 1;
         plan_.Assign(trial, cursor->first, 1);
         --remaining;
@@ -201,6 +217,9 @@ PlacementResult PlacementController::Place(const std::map<TrialId, int>& allocat
         // Displacement pass: consider roomy nodes first.
         std::vector<PlacementNode*> ordered;
         for (auto& [id, candidate] : nodes_) {
+          if (unschedulable_.count(id) > 0) {
+            continue;
+          }
           ordered.push_back(&candidate);
         }
         std::sort(ordered.begin(), ordered.end(), [](PlacementNode* a, PlacementNode* b) {
@@ -226,6 +245,9 @@ PlacementResult PlacementController::Place(const std::map<TrialId, int>& allocat
         // instances, implies).
         int free_total = 0;
         for (const auto& [id, candidate] : nodes_) {
+          if (unschedulable_.count(id) > 0) {
+            continue;
+          }
           free_total += candidate.FreeGpus();
         }
         if (free_total < remaining) {
@@ -233,6 +255,9 @@ PlacementResult PlacementController::Place(const std::map<TrialId, int>& allocat
           break;
         }
         for (auto& [id, candidate] : nodes_) {
+          if (unschedulable_.count(id) > 0) {
+            continue;
+          }
           const int take = std::min(candidate.FreeGpus(), remaining);
           if (take > 0) {
             candidate.assigned[trial] += take;

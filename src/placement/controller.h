@@ -53,6 +53,13 @@ class PlacementController {
   // and returned so the scheduler can restart it elsewhere.
   std::vector<TrialId> EvictNode(PlacementNodeId id);
 
+  // Marks a node as ineligible for new worker assignments (a detected
+  // straggler awaiting quarantine). Existing assignments are untouched —
+  // eviction is a separate, explicit step — but best-fit, displacement,
+  // split fallback and scatter all skip the node.
+  void SetUnschedulable(PlacementNodeId id, bool unschedulable);
+  bool IsUnschedulable(PlacementNodeId id) const { return unschedulable_.count(id) > 0; }
+
   // Algorithm 3. `allocations` maps every trial that should be running to
   // its GPU allocation; `reserved` lists trials whose placements are locked
   // this epoch. Returns the new placement plan (also retained internally).
@@ -84,6 +91,7 @@ class PlacementController {
   int gpus_per_node_;
   PlacementStrategy strategy_;
   std::map<PlacementNodeId, PlacementNode> nodes_;
+  std::set<PlacementNodeId> unschedulable_;
   PlacementPlan plan_;
 };
 

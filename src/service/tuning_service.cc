@@ -123,6 +123,7 @@ void TuningService::StartJob(size_t index) {
   ExecutorOptions options;
   options.seed = config_.seed + 1000003 * (static_cast<uint64_t>(index) + 1);
   options.retry = job.request.retry;
+  options.straggler = config_.straggler;
   if (config_.replan_on_faults) {
     options.replan.enabled = true;
     options.replan.deadline = job.outcome.deadline_at;
@@ -153,6 +154,10 @@ void TuningService::OnJobDone(size_t index, const ExecutionReport& report) {
   job.outcome.provision_failures = report.provision_failures;
   job.outcome.replans = report.replans;
   job.outcome.recovery_seconds = report.recovery_seconds;
+  job.outcome.stragglers_detected = report.stragglers_detected;
+  job.outcome.stragglers_quarantined = report.stragglers_quarantined;
+  job.outcome.straggler_false_positives = report.straggler_false_positives;
+  job.outcome.straggler_mitigation_seconds = report.straggler_mitigation_seconds;
   replan_cache_ += report.planner_cache;
   for (const StageLogEntry& stage : report.stage_log) {
     job.outcome.peak_instances = std::max(job.outcome.peak_instances, stage.instances);
@@ -268,6 +273,10 @@ ServiceReport TuningService::Run() {
     report.total_provision_failures += job.outcome.provision_failures;
     report.total_replans += job.outcome.replans;
     report.total_recovery_seconds += job.outcome.recovery_seconds;
+    report.total_stragglers_detected += job.outcome.stragglers_detected;
+    report.total_stragglers_quarantined += job.outcome.stragglers_quarantined;
+    report.total_straggler_false_positives += job.outcome.straggler_false_positives;
+    report.total_straggler_mitigation_seconds += job.outcome.straggler_mitigation_seconds;
     report.jobs.push_back(job.outcome);
     if (job.evaluator != nullptr) {
       report.planner_cache += job.evaluator->stats();
@@ -281,6 +290,7 @@ ServiceReport TuningService::Run() {
           ? Money::FromDollars(report.total_cost.Total().dollars() / report.completed)
           : Money();
   report.instance_launches = cloud_.meter().num_acquisitions();
+  report.stragglers_injected = cloud_.num_straggler_instances();
   report.warm = pool_.stats();
   const double provisioned =
       cloud_.meter().TotalInstanceSeconds() * config_.cloud.gpus_per_instance();

@@ -85,6 +85,12 @@ struct JobOutcome {
   int provision_failures = 0;
   int replans = 0;
   Seconds recovery_seconds = 0.0;
+  // Gray-failure attribution (zero unless the service's straggler policy
+  // and the cloud's injection are enabled).
+  int stragglers_detected = 0;
+  int stragglers_quarantined = 0;
+  int straggler_false_positives = 0;
+  Seconds straggler_mitigation_seconds = 0.0;
   // Largest cluster the job actually held — under an overcommitted arbiter
   // this lands below the plan's peak (the cap binding is observable).
   int peak_instances = 0;
@@ -106,6 +112,10 @@ struct ServiceConfig {
   // cost a job time, its remaining stages are re-planned against the time
   // left to its SLO.
   bool replan_on_faults = false;
+  // Per-executor persistent-straggler detection/mitigation policy, applied
+  // to every tenant (quarantined instances are terminated for real — the
+  // warm pool never re-parks known-slow hardware).
+  StragglerPolicy straggler;
 };
 
 struct ServiceReport {
@@ -127,6 +137,12 @@ struct ServiceReport {
   int total_provision_failures = 0;
   int total_replans = 0;
   Seconds total_recovery_seconds = 0.0;
+  // Fleet-wide gray-failure totals.
+  int stragglers_injected = 0;  // instances the provider launched slow
+  int total_stragglers_detected = 0;
+  int total_stragglers_quarantined = 0;
+  int total_straggler_false_positives = 0;
+  Seconds total_straggler_mitigation_seconds = 0.0;
   // Aggregate planner-cache effectiveness: per-job admission/dequeue
   // evaluators plus every executor's fault-replan evaluators. The plan hit
   // rate is the fraction of plan estimates the service never had to

@@ -25,15 +25,34 @@ Seconds SyntheticTrainer::MeanIterLatency() const {
   return latency;
 }
 
+void SyntheticTrainer::SetWorkerSlowdowns(std::vector<double> slowdowns) {
+  worker_slowdowns_ = std::move(slowdowns);
+}
+
 Seconds SyntheticTrainer::SampleIterLatency() {
   const double mean = MeanIterLatency();
   // Straggler noise scales with the same factor as the mean so that the
   // coefficient of variation is allocation-independent.
   const double sigma = workload_.iter_noise_sigma * (mean / workload_.base_iter_seconds);
-  const double latency = rng_.Normal(mean, sigma);
-  // Iterations cannot take less than a tenth of the mean (a physical floor;
-  // also keeps the truncated-normal draw positive).
-  return std::max(latency, 0.1 * mean);
+  if (worker_slowdowns_.empty()) {
+    const double latency = rng_.Normal(mean, sigma);
+    // Iterations cannot take less than a tenth of the mean (a physical
+    // floor; also keeps the truncated-normal draw positive).
+    const double floored = std::max(latency, 0.1 * mean);
+    last_worker_latencies_.assign(1, floored);
+    return floored;
+  }
+  // Gang-synchronous mode: every worker group draws independently and the
+  // iteration completes when the slowest group does, so one persistently
+  // slow instance taxes every sync (the gray-failure signature).
+  last_worker_latencies_.clear();
+  double gang = 0.0;
+  for (const double slowdown : worker_slowdowns_) {
+    const double draw = std::max(rng_.Normal(mean, sigma), 0.1 * mean) * slowdown;
+    last_worker_latencies_.push_back(draw);
+    gang = std::max(gang, draw);
+  }
+  return gang;
 }
 
 void SyntheticTrainer::Advance(int64_t iters) {

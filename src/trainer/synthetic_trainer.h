@@ -14,6 +14,7 @@
 #define SRC_TRAINER_SYNTHETIC_TRAINER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/time.h"
@@ -37,9 +38,20 @@ class SyntheticTrainer {
   // packed the workers onto a minimal node set.
   void Configure(int gpus, bool colocated);
 
+  // Per-instance persistent slowdown factors for the gang's worker groups
+  // (one entry per instance hosting workers; 1.0 = healthy). Non-empty
+  // switches SampleIterLatency to gang-synchronous mode: each group draws
+  // its own latency, the iteration takes the max. Empty (the default)
+  // preserves the original single-draw path bit-identically.
+  void SetWorkerSlowdowns(std::vector<double> slowdowns);
+
   // Latency of the next training iteration under the current configuration
   // (samples straggler noise). Does not advance progress.
   Seconds SampleIterLatency();
+
+  // Per-worker-group latencies of the last SampleIterLatency call (a single
+  // entry in single-draw mode). Indexed like the SetWorkerSlowdowns vector.
+  const std::vector<double>& last_worker_latencies() const { return last_worker_latencies_; }
 
   // Expected (noise-free) iteration latency under the current configuration.
   Seconds MeanIterLatency() const;
@@ -69,6 +81,8 @@ class SyntheticTrainer {
   WorkloadSpec workload_;
   HyperparameterConfig config_;
   Rng rng_;
+  std::vector<double> worker_slowdowns_;
+  std::vector<double> last_worker_latencies_;
   int64_t cum_iters_ = 0;
   int gpus_ = 1;
   bool colocated_ = true;

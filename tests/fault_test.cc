@@ -374,6 +374,102 @@ TEST(ExecutorFaults, CompletesFullScheduleUnderCombinedFaults) {
   EXPECT_EQ(report.trace.events().size(), replay.trace.events().size());
 }
 
+// A source that forwards to the real cloud until sabotaged, then fails
+// every slot — deterministic mid-stage capacity exhaustion.
+class SaboteurSource : public InstanceSource {
+ public:
+  SaboteurSource(Simulation& sim, SimulatedCloud& cloud) : sim_(sim), cloud_(cloud) {}
+
+  using InstanceSource::RequestInstances;
+  void RequestInstances(int count, double dataset_gb, std::function<void(InstanceId)> on_ready,
+                        std::function<void()> on_failure) override {
+    if (sabotaged_) {
+      for (int i = 0; i < count; ++i) {
+        sim_.ScheduleIn(1.0, [on_failure] {
+          if (on_failure) {
+            on_failure();
+          }
+        });
+      }
+      return;
+    }
+    cloud_.RequestInstances(
+        count, dataset_gb,
+        [this, on_ready](InstanceId id) {
+          delivered_.push_back(id);
+          on_ready(id);
+        },
+        on_failure);
+  }
+  void ReleaseInstance(InstanceId id) override { cloud_.TerminateInstance(id); }
+
+  void Sabotage() { sabotaged_ = true; }
+  const std::vector<InstanceId>& delivered() const { return delivered_; }
+
+ private:
+  Simulation& sim_;
+  SimulatedCloud& cloud_;
+  bool sabotaged_ = false;
+  std::vector<InstanceId> delivered_;
+};
+
+TEST(ExecutorFaults, MidStageAbandonDegradesTheRunningStageVisibly) {
+  // Regression: a mid-stage replacement whose retries are exhausted shrinks
+  // the running stage below its planned GPUs. That degradation must be
+  // reported (degraded_stages + a STAGE_DEGRADED trace event on the stage
+  // it hit), not silently absorbed — and at most once per stage.
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const WorkloadSpec workload = ResNet101Cifar10();
+  const AllocationPlan plan({8, 8, 8});
+
+  Simulation sim(0);
+  SimulatedCloud cloud(sim, TestCloud());
+  SaboteurSource source(sim, cloud);
+  SharedClusterContext context;
+  context.sim = &sim;
+  context.cloud = &cloud;
+  context.source = &source;
+  ExecutorOptions options;
+  options.seed = 11;
+  options.retry.max_attempts = 1;  // the first failed slot is abandoned
+  Executor executor(spec, plan, workload, context, options);
+
+  ExecutionReport report;
+  bool done = false;
+  executor.Start([&](const ExecutionReport& r) {
+    report = r;
+    done = true;
+  });
+  // Mid-stage-0: kill provisioning, then crash one held instance. The
+  // replacement request fails, is abandoned, and the stage must degrade.
+  sim.ScheduleAt(60.0, [&] {
+    source.Sabotage();
+    for (InstanceId id : source.delivered()) {
+      if (executor.OwnsInstance(id)) {
+        executor.OnCrash(id);
+        return;
+      }
+    }
+    FAIL() << "no owned instance to crash";
+  });
+  sim.Run();
+  ASSERT_TRUE(done);
+
+  EXPECT_EQ(report.crashes, 1);
+  EXPECT_GT(report.capacity_shortfalls, 0);
+  EXPECT_GT(report.degraded_stages, 0);
+  const std::vector<TraceEvent> degraded = report.trace.OfType(TraceEventType::kStageDegraded);
+  ASSERT_EQ(degraded.size(), static_cast<size_t>(report.degraded_stages));
+  // The first degradation is the mid-stage abandon on stage 0, stamped
+  // after the crash — not a stage-boundary shortfall.
+  EXPECT_EQ(degraded.front().stage, 0);
+  EXPECT_GT(degraded.front().time, 60.0);
+  // The job still completes its full schedule, just slower.
+  ASSERT_EQ(report.stage_log.size(), 3u);
+  EXPECT_EQ(report.stage_log[2].num_trials, 2);
+  EXPECT_GT(report.best_accuracy, 0.0);
+}
+
 TEST(ExecutorFaults, ZeroFaultProfileIsBitIdenticalToBaseline) {
   // The whole fault layer must be free when disabled: an all-zero fault
   // profile (even with re-planning armed) reproduces the fault-free run

@@ -185,6 +185,71 @@ TEST(Placement, ScatterStillRespectsCapacity) {
   ExpectNoOversubscription(controller);
 }
 
+// Quarantined (unschedulable) nodes: placement must route around gray-failed
+// hardware without evicting what already runs there.
+
+TEST(PlacementUnschedulable, BestFitSkipsQuarantinedNodes) {
+  PlacementController controller = MakeCluster(2);
+  controller.SetUnschedulable(0, true);
+  EXPECT_TRUE(controller.IsUnschedulable(0));
+  EXPECT_FALSE(controller.IsUnschedulable(1));
+  const PlacementResult result = controller.Place({{0, 4}});
+  EXPECT_TRUE(result.unplaced.empty());
+  ASSERT_EQ(controller.plan().TrialSpan(0), 1);
+  EXPECT_EQ(controller.plan().Assignments(0).front().node, 1);
+}
+
+TEST(PlacementUnschedulable, QuarantiningEveryNodeLeavesTrialsUnplaced) {
+  PlacementController controller = MakeCluster(2);
+  controller.SetUnschedulable(0, true);
+  controller.SetUnschedulable(1, true);
+  const PlacementResult result = controller.Place({{0, 2}});
+  EXPECT_EQ(result.unplaced.size(), 1u);
+}
+
+TEST(PlacementUnschedulable, SplitFallbackSkipsQuarantinedCapacity) {
+  // 6 GPUs fit nowhere whole; the split fallback must not count (or use)
+  // the quarantined node's free GPUs.
+  PlacementController controller = MakeCluster(3);
+  controller.SetUnschedulable(2, true);
+  const PlacementResult result = controller.Place({{0, 6}});
+  EXPECT_TRUE(result.unplaced.empty());
+  for (const WorkerAssignment& assignment : controller.plan().Assignments(0)) {
+    EXPECT_NE(assignment.node, 2);
+  }
+  ExpectNoOversubscription(controller);
+}
+
+TEST(PlacementUnschedulable, ScatterCursorSkipsQuarantinedNodes) {
+  PlacementController controller = MakeCluster(4, 4, PlacementStrategy::kScatter);
+  controller.SetUnschedulable(1, true);
+  const PlacementResult result = controller.Place({{0, 6}});
+  EXPECT_TRUE(result.unplaced.empty());
+  for (const WorkerAssignment& assignment : controller.plan().Assignments(0)) {
+    EXPECT_NE(assignment.node, 1);
+  }
+  ExpectNoOversubscription(controller);
+}
+
+TEST(PlacementUnschedulable, FlagClearsOnRemovalAndEviction) {
+  PlacementController controller = MakeCluster(2);
+  controller.SetUnschedulable(0, true);
+  controller.SetUnschedulable(1, true);
+  controller.RemoveNode(0);
+  controller.EvictNode(1);  // both drop the node AND its quarantine flag
+  controller.AddNode(0);
+  controller.AddNode(1);
+  EXPECT_FALSE(controller.IsUnschedulable(0));
+  EXPECT_FALSE(controller.IsUnschedulable(1));
+  const PlacementResult result = controller.Place({{0, 4}, {1, 4}});
+  EXPECT_TRUE(result.unplaced.empty());
+}
+
+TEST(PlacementUnschedulable, UnknownNodeThrows) {
+  PlacementController controller = MakeCluster(1);
+  EXPECT_THROW(controller.SetUnschedulable(42, true), std::logic_error);
+}
+
 // Property sweep: random allocation sequences never oversubscribe and every
 // placed trial has exactly its allocation.
 class PlacementProperty : public ::testing::TestWithParam<uint64_t> {};

@@ -121,5 +121,59 @@ TEST_P(PlanProperties, ExecutorConservesTrials) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanProperties, ::testing::Range<uint64_t>(0, 8));
 
+// Straggler-detector properties over seeded random workloads: soundness
+// (identically distributed instances are never flagged, whatever the noise)
+// and completeness (a persistent straggler well past the threshold is
+// always flagged, within a bounded number of syncs).
+
+class StragglerDetectorProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StragglerDetectorProperties, NeverFlagsIdenticallyDistributedInstances) {
+  Rng rng(GetParam() ^ 0x57A66);
+  StragglerDetector detector(StragglerDetectorConfig{});
+  const int instances = 4 + static_cast<int>(rng.UniformInt(0, 4));  // 4..8
+  for (int sync = 0; sync < 300; ++sync) {
+    for (InstanceId id = 0; id < instances; ++id) {
+      // Same noisy distribution for everyone: latency ~ max(N(1, 0.15), 0.5).
+      const double latency = std::max(0.5, rng.Normal(1.0, 0.15));
+      EXPECT_FALSE(detector.Observe(id, latency))
+          << "flagged instance " << id << " at sync " << sync << " (seed " << GetParam() << ")";
+    }
+  }
+  EXPECT_EQ(detector.num_flagged(), 0);
+}
+
+TEST_P(StragglerDetectorProperties, AlwaysFlagsAPersistentStragglerPromptly) {
+  Rng rng(GetParam() ^ 0xFA57);
+  StragglerDetectorConfig config;
+  config.consecutive_syncs = 3;
+  config.min_observations = 3;
+  StragglerDetector detector(config);
+  const int instances = 4 + static_cast<int>(rng.UniformInt(0, 4));
+  const InstanceId straggler = static_cast<InstanceId>(rng.UniformInt(0, instances - 1));
+  // 2x the threshold over the healthy mean: factor 3 vs threshold 1.5.
+  const double factor = 3.0;
+  int flagged_at = 0;
+  for (int sync = 1; sync <= 40 && flagged_at == 0; ++sync) {
+    for (InstanceId id = 0; id < instances; ++id) {
+      const double noise = std::max(0.5, rng.Normal(1.0, 0.1));
+      const bool crossed = detector.Observe(id, id == straggler ? noise * factor : noise);
+      if (crossed) {
+        EXPECT_EQ(id, straggler) << "flagged a healthy instance (seed " << GetParam() << ")";
+        flagged_at = sync;
+      }
+    }
+  }
+  ASSERT_GT(flagged_at, 0) << "straggler never flagged (seed " << GetParam() << ")";
+  // Detection latency is bounded: hysteresis needs k syncs over threshold,
+  // and the EWMA (seeded with the first observation, alpha 0.3) of a 3x
+  // signal sits over 1.5x baseline from sync one — so k + 2 covers it.
+  EXPECT_LE(flagged_at, config.consecutive_syncs + 2)
+      << "detection latency too high (seed " << GetParam() << ")";
+  EXPECT_EQ(detector.num_flagged(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StragglerDetectorProperties, ::testing::Range<uint64_t>(0, 20));
+
 }  // namespace
 }  // namespace rubberband

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -124,6 +125,63 @@ TEST(Trace, FaultEventKindsRoundTripThroughCsv) {
   }
   EXPECT_EQ(parsed.OfType(TraceEventType::kInstanceCrash)[0].instance, 7);
   EXPECT_EQ(parsed.OfType(TraceEventType::kCheckpointRetry)[0].trial, 3);
+}
+
+TEST(Trace, EveryEventKindRoundTripsThroughCsv) {
+  // Table-driven over the enum itself: every kind in [0, kNumTraceEventTypes)
+  // is serialized with distinctive field values and parsed back. A new event
+  // kind is enrolled automatically once kNumTraceEventTypes is bumped (and
+  // the guard test below makes sure it is bumped).
+  ExecutionTrace trace;
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    trace.Record(0.125 * i, static_cast<TraceEventType>(i), i % 3, i % 2 == 0 ? i : -1,
+                 i % 2 == 1 ? 100 + i : -1);
+  }
+  const ExecutionTrace parsed = ExecutionTrace::FromCsv(trace.ToCsv());
+  ASSERT_EQ(parsed.events().size(), static_cast<size_t>(kNumTraceEventTypes));
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    const TraceEvent& original = trace.events()[static_cast<size_t>(i)];
+    const TraceEvent& round_tripped = parsed.events()[static_cast<size_t>(i)];
+    EXPECT_EQ(round_tripped.type, original.type) << ToString(original.type);
+    EXPECT_DOUBLE_EQ(round_tripped.time, original.time) << ToString(original.type);
+    EXPECT_EQ(round_tripped.stage, original.stage) << ToString(original.type);
+    EXPECT_EQ(round_tripped.trial, original.trial) << ToString(original.type);
+    EXPECT_EQ(round_tripped.instance, original.instance) << ToString(original.type);
+  }
+  EXPECT_EQ(parsed.ToCsv(), trace.ToCsv());
+
+  // Names are real (never the UNKNOWN fallthrough) and pairwise distinct —
+  // a duplicated name would make FromCsv ambiguous.
+  std::set<std::string> names;
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    const std::string name = ToString(static_cast<TraceEventType>(i));
+    EXPECT_NE(name, "UNKNOWN") << "enum value " << i << " has no name";
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumTraceEventTypes));
+}
+
+TEST(Trace, EventKindCountGuardsExhaustiveness) {
+  // Static guard: if an event kind is appended to the enum without bumping
+  // kNumTraceEventTypes, the value at the boundary acquires a real name and
+  // this expectation fails — forcing the bump, which in turn enrolls the
+  // new kind in the exhaustive round-trip test above. Event kinds cannot
+  // silently skip CSV coverage.
+  EXPECT_EQ(ToString(static_cast<TraceEventType>(kNumTraceEventTypes)), "UNKNOWN");
+  EXPECT_NE(ToString(static_cast<TraceEventType>(kNumTraceEventTypes - 1)), "UNKNOWN");
+  EXPECT_THROW(TraceEventTypeFromString("UNKNOWN"), std::invalid_argument);
+}
+
+TEST(Trace, StragglerEventKindsRoundTripThroughCsv) {
+  ExecutionTrace trace;
+  trace.Record(10.0, TraceEventType::kStragglerDetected, 1, -1, 42);
+  trace.Record(10.0, TraceEventType::kStragglerFalsePositive, 1, -1, 42);
+  trace.Record(11.0, TraceEventType::kStragglerQuarantined, 1, -1, 42);
+  const ExecutionTrace parsed = ExecutionTrace::FromCsv(trace.ToCsv());
+  ASSERT_EQ(parsed.events().size(), 3u);
+  EXPECT_EQ(parsed.OfType(TraceEventType::kStragglerDetected)[0].instance, 42);
+  EXPECT_EQ(parsed.OfType(TraceEventType::kStragglerQuarantined)[0].instance, 42);
+  EXPECT_EQ(parsed.OfType(TraceEventType::kStragglerFalsePositive)[0].stage, 1);
 }
 
 TEST(Trace, FromCsvRejectsMalformedInput) {

@@ -15,10 +15,35 @@
 #
 # tools/check.sh --tsan rebuilds into build-tsan/ with -fsanitize=thread
 # and runs the concurrency-relevant subset (thread pool, parallel plan
-# evaluation, planners, service) under ThreadSanitizer.
+# evaluation, planners, service, straggler handling) under ThreadSanitizer.
+#
+# tools/check.sh --all runs the three tiers back to back (default,
+# --sanitize, --tsan) and prints a one-line pass/fail verdict per tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--all" ]]; then
+  declare -a tiers=(default sanitize tsan)
+  declare -a verdicts=()
+  status=0
+  for tier in "${tiers[@]}"; do
+    args=()
+    [[ "$tier" != default ]] && args=("--$tier")
+    if "$0" "${args[@]}"; then
+      verdicts+=("PASS  $tier")
+    else
+      verdicts+=("FAIL  $tier")
+      status=1
+    fi
+  done
+  echo
+  echo "=== tools/check.sh --all summary ==="
+  for verdict in "${verdicts[@]}"; do
+    echo "$verdict"
+  done
+  exit "$status"
+fi
 
 build_dir=build
 cmake_args=()
@@ -37,9 +62,9 @@ elif [[ "${1:-}" == "--tsan" ]]; then
     "-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-omit-frame-pointer"
     "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread"
   )
-  ctest_args+=(-R '(ThreadPool|PlanEvaluator|Planner|FairAllocation|Service)')
+  ctest_args+=(-R '(ThreadPool|PlanEvaluator|Planner|FairAllocation|Service|Straggler)')
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize|--tsan]" >&2
+  echo "usage: tools/check.sh [--sanitize|--tsan|--all]" >&2
   exit 2
 fi
 

@@ -20,6 +20,13 @@
 //   --init-failure-rate=0.05       launched instances die during init (billed)
 //   --mtbf=3600                    mean seconds between hardware crashes
 //   --ckpt-failure-rate=0.02       checkpoint fetches fail and retry
+//   --straggler-rate=0.2           instances launch persistently slow at this
+//                                  rate (gray failure; factor drawn per instance)
+//   --straggler-factor=3           slowdown factor of a straggling instance
+//                                  (sets the min=max of the draw; default 2-4x)
+//   --mitigate-stragglers          detect stragglers from observed iteration
+//                                  times and quarantine them (checkpoint out,
+//                                  discard instance, restart on a replacement)
 // plan:     --render (ASCII chart), --budget=<dollars> (adds the min-time dual)
 // execute:  --trace-csv (dump the event log)
 //           --replan (re-plan remaining stages when faults burn deadline slack)
@@ -45,6 +52,7 @@ struct CliSetup {
   Seconds deadline = 0.0;
   uint64_t seed = 0;
   PlannerOptions planner;
+  bool mitigate_stragglers = false;
 };
 
 int Fail(const std::string& message) {
@@ -90,6 +98,13 @@ bool BuildSetup(const Flags& flags, CliSetup& setup) {
   setup.cloud.fault.init_failure_rate = flags.GetDouble("init-failure-rate", 0.0);
   setup.cloud.fault.mtbf = flags.GetDouble("mtbf", 0.0);
   setup.cloud.fault.checkpoint_failure_rate = flags.GetDouble("ckpt-failure-rate", 0.0);
+  setup.cloud.fault.straggler_rate = flags.GetDouble("straggler-rate", 0.0);
+  if (flags.Has("straggler-factor")) {
+    const double factor = flags.GetDouble("straggler-factor", 3.0);
+    setup.cloud.fault.straggler_factor_min = factor;
+    setup.cloud.fault.straggler_factor_max = factor;
+  }
+  setup.mitigate_stragglers = flags.GetBool("mitigate-stragglers");
 
   setup.deadline = Minutes(flags.GetDouble("deadline-min", 20.0));
   setup.seed = static_cast<uint64_t>(flags.GetInt64("seed", 1));
@@ -142,6 +157,10 @@ int RunExecute(const Flags& flags, CliSetup& setup) {
 
   ExecutorOptions options;
   options.seed = setup.seed;
+  if (setup.mitigate_stragglers) {
+    options.straggler.detect = true;
+    options.straggler.mitigate = true;
+  }
   if (flags.GetBool("replan")) {
     options.replan.enabled = true;
     options.replan.deadline = setup.deadline;
@@ -167,6 +186,15 @@ int RunExecute(const Flags& flags, CliSetup& setup) {
                 report.degraded_stages == 1 ? "" : "s", report.replans,
                 report.replans == 1 ? "" : "s",
                 report.jct <= setup.deadline ? ", deadline met" : ", deadline MISSED");
+  }
+  if (setup.cloud.fault.straggler_rate > 0.0 || report.stragglers_detected > 0) {
+    std::printf("stragglers: %d injected, %d detected (%d false positive%s), "
+                "%d quarantined, %.0fs slowdown avoided for %.0fs mitigation cost\n",
+                report.stragglers_injected, report.stragglers_detected,
+                report.straggler_false_positives,
+                report.straggler_false_positives == 1 ? "" : "s",
+                report.stragglers_quarantined, report.straggler_slowdown_avoided,
+                report.straggler_mitigation_seconds);
   }
   std::printf("\n%-14s %8s %12s %14s\n", "epoch range", "trials", "GPUs/trial", "cluster size");
   for (const StageLogEntry& stage : report.stage_log) {
@@ -246,6 +274,10 @@ int RunServe(const Flags& flags, CliSetup& setup) {
   config.planner = setup.planner;
   config.seed = setup.seed;
   config.replan_on_faults = flags.GetBool("replan");
+  if (setup.mitigate_stragglers) {
+    config.straggler.detect = true;
+    config.straggler.mitigate = true;
+  }
 
   TuningService service(config);
   for (int i = 0; i < num_jobs; ++i) {
@@ -299,6 +331,15 @@ int RunServe(const Flags& flags, CliSetup& setup) {
     std::printf("faults: %d crashes, %d provision failures, %d replans, %.0fs recovery\n",
                 report.total_crashes, report.total_provision_failures, report.total_replans,
                 report.total_recovery_seconds);
+  }
+  if (setup.cloud.fault.straggler_rate > 0.0 || report.total_stragglers_detected > 0) {
+    std::printf("stragglers: %d injected fleet-wide, %d detected (%d false positive%s), "
+                "%d quarantined, %.0fs mitigation cost\n",
+                report.stragglers_injected, report.total_stragglers_detected,
+                report.total_straggler_false_positives,
+                report.total_straggler_false_positives == 1 ? "" : "s",
+                report.total_stragglers_quarantined,
+                report.total_straggler_mitigation_seconds);
   }
   return 0;
 }
