@@ -53,19 +53,31 @@ void BM_SimulatePlanEstimate20Samples(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatePlanEstimate20Samples);
 
-void BM_EndToEndExecution(benchmark::State& state) {
-  const ExperimentSpec spec = MakeSha(16, 2, 30, 2);
-  const AllocationPlan plan = AllocationPlan::Uniform(spec.num_stages(), 16);
+// The plain/Observed pair quantifies the observability instrumentation
+// overhead (timeline spans + latency histograms on top of the always-on
+// counters), which the design budgets at <2% on realistic experiment sizes
+// (fixed per-run costs — histogram setup, the final snapshot — amortize as
+// the experiment grows, so the 16-trial point runs a little hotter).
+void EndToEndExecution(benchmark::State& state, bool observe) {
+  const int trials = static_cast<int>(state.range(0));
+  const ExperimentSpec spec = MakeSha(trials, 2, 508, 2);
+  const AllocationPlan plan = AllocationPlan::Uniform(spec.num_stages(), trials);
   const WorkloadSpec workload = ResNet101Cifar10();
   const CloudProfile cloud = P38Cloud();
   uint64_t seed = 0;
   for (auto _ : state) {
     ExecutorOptions options;
     options.seed = seed++;
+    options.observe = observe;
     benchmark::DoNotOptimize(ExecutePlan(spec, plan, workload, cloud, options));
   }
 }
-BENCHMARK(BM_EndToEndExecution);
+
+void BM_EndToEndExecution(benchmark::State& state) { EndToEndExecution(state, false); }
+BENCHMARK(BM_EndToEndExecution)->Arg(16)->Arg(64);
+
+void BM_EndToEndExecutionObserved(benchmark::State& state) { EndToEndExecution(state, true); }
+BENCHMARK(BM_EndToEndExecutionObserved)->Arg(16)->Arg(64);
 
 }  // namespace
 }  // namespace rubberband

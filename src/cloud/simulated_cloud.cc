@@ -6,18 +6,42 @@
 
 namespace rubberband {
 
-SimulatedCloud::SimulatedCloud(Simulation& sim, CloudProfile profile)
+SimulatedCloud::SimulatedCloud(Simulation& sim, CloudProfile profile, MetricsRegistry* registry)
     : sim_(sim),
       profile_(std::move(profile)),
       rng_(sim.rng().Fork()),
       // Only fork a fault stream when faults are configured, so fault-free
       // profiles draw the exact same sequences as before the fault layer
       // existed (bit-identical replays of old seeds).
-      faults_(profile_.fault, profile_.fault.Any() ? rng_.Fork() : Rng(0)) {}
+      faults_(profile_.fault, profile_.fault.Any() ? rng_.Fork() : Rng(0)) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  MetricsScope scope = registry_->scope("cloud");
+  m_.requested = scope.GetCounter("instances_requested");
+  m_.launched = scope.GetCounter("instances_launched");
+  m_.terminated = scope.GetCounter("instances_terminated");
+  m_.preempted = scope.GetCounter("instances_preempted");
+  m_.crashed = scope.GetCounter("instances_crashed");
+  m_.init_failures = scope.GetCounter("init_failures");
+  m_.billed_seconds = scope.GetGauge("billed_instance_seconds");
+  m_.provision_latency = scope.GetHistogram("provision_latency_seconds");
+}
+
+void SimulatedCloud::CloseBillingInterval(Seconds launch) {
+  meter_.RecordInstanceUsage(launch, sim_.now());
+  // Same interval, same order as the meter's own sum, so the gauge
+  // reconciles exactly against TotalInstanceSeconds().
+  obs::Add(m_.billed_seconds, sim_.now() - launch);
+}
 
 void SimulatedCloud::RequestInstances(int count, double dataset_gb,
                                       std::function<void(InstanceId)> on_ready,
                                       std::function<void()> on_failure) {
+  obs::Inc(m_.requested, count);
+  const Seconds requested_at = sim_.now();
   for (int i = 0; i < count; ++i) {
     ++pending_;
     const InstanceId id = next_id_++;
@@ -52,7 +76,8 @@ void SimulatedCloud::RequestInstances(int count, double dataset_gb,
         }
         --pending_;
         pending_launch_.erase(id);
-        meter_.RecordInstanceUsage(launch_at, sim_.now());
+        CloseBillingInterval(launch_at);
+        obs::Inc(m_.init_failures);
         if (on_failure) {
           on_failure();
         }
@@ -64,13 +89,15 @@ void SimulatedCloud::RequestInstances(int count, double dataset_gb,
     // matter how ready events interleave.
     const double straggler_factor = faults_.SampleStragglerFactor();
     sim_.ScheduleAt(ready_at, [this, id, launch_at, ready_at, straggler_factor, on_ready,
-                               epoch]() {
+                               requested_at, epoch]() {
       if (epoch != cancel_epoch_) {
         return;
       }
       --pending_;
       pending_launch_.erase(id);
       ready_.emplace(id, Instance{launch_at, ready_at});
+      obs::Inc(m_.launched);
+      obs::ObserveSeconds(m_.provision_latency, sim_.now() - requested_at);
       if (straggler_factor != 1.0) {
         straggler_factors_.emplace(id, straggler_factor);
       }
@@ -85,16 +112,16 @@ void SimulatedCloud::RequestInstances(int count, double dataset_gb,
   }
 }
 
-void SimulatedCloud::ReclaimInstance(InstanceId id, int& counter,
+void SimulatedCloud::ReclaimInstance(InstanceId id, Counter* counter,
                                      const std::function<void(InstanceId)>& handler) {
   auto it = ready_.find(id);
   if (it == ready_.end()) {
     return;  // already terminated by the job (or lost to the other cause)
   }
-  meter_.RecordInstanceUsage(it->second.launch, sim_.now());
+  CloseBillingInterval(it->second.launch);
   ready_.erase(it);
   straggler_factors_.erase(id);
-  ++counter;
+  obs::Inc(counter);
   if (handler) {
     handler(id);
   }
@@ -102,12 +129,12 @@ void SimulatedCloud::ReclaimInstance(InstanceId id, int& counter,
 
 void SimulatedCloud::SchedulePreemption(InstanceId id) {
   const Seconds delay = rng_.Exponential(profile_.spot.mean_time_to_preemption);
-  sim_.ScheduleIn(delay, [this, id]() { ReclaimInstance(id, num_preemptions_, on_preempted_); });
+  sim_.ScheduleIn(delay, [this, id]() { ReclaimInstance(id, m_.preempted, on_preempted_); });
 }
 
 void SimulatedCloud::ScheduleCrash(InstanceId id) {
   const Seconds delay = faults_.SampleTimeToCrash();
-  sim_.ScheduleIn(delay, [this, id]() { ReclaimInstance(id, num_crashes_, on_crashed_); });
+  sim_.ScheduleIn(delay, [this, id]() { ReclaimInstance(id, m_.crashed, on_crashed_); });
 }
 
 void SimulatedCloud::TerminateInstance(InstanceId id) {
@@ -115,9 +142,10 @@ void SimulatedCloud::TerminateInstance(InstanceId id) {
   if (it == ready_.end()) {
     throw std::logic_error("terminating unknown or pending instance");
   }
-  meter_.RecordInstanceUsage(it->second.launch, sim_.now());
+  CloseBillingInterval(it->second.launch);
   ready_.erase(it);
   straggler_factors_.erase(id);
+  obs::Inc(m_.terminated);
 }
 
 void SimulatedCloud::TerminateAll() {
@@ -133,7 +161,7 @@ void SimulatedCloud::TerminateAll() {
   // settle at now; still-queued requests never started billing.
   for (const auto& [id, launch_at] : pending_launch_) {
     if (launch_at < sim_.now()) {
-      meter_.RecordInstanceUsage(launch_at, sim_.now());
+      CloseBillingInterval(launch_at);
     }
   }
   pending_launch_.clear();

@@ -14,18 +14,23 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "src/cloud/billing.h"
 #include "src/cloud/cloud_profile.h"
 #include "src/cloud/fault.h"
 #include "src/cloud/instance_source.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulation.h"
 
 namespace rubberband {
 
 class SimulatedCloud : public InstanceSource {
  public:
-  SimulatedCloud(Simulation& sim, CloudProfile profile);
+  // When `registry` is null the cloud owns a private registry (standalone
+  // executors fold its snapshot into their report); a shared-cluster owner
+  // passes its own so cloud.* metrics land in the service-wide registry.
+  SimulatedCloud(Simulation& sim, CloudProfile profile, MetricsRegistry* registry = nullptr);
 
   SimulatedCloud(const SimulatedCloud&) = delete;
   SimulatedCloud& operator=(const SimulatedCloud&) = delete;
@@ -63,8 +68,8 @@ class SimulatedCloud : public InstanceSource {
     on_crashed_ = std::move(handler);
   }
 
-  int num_preemptions() const { return num_preemptions_; }
-  int num_crashes() const { return num_crashes_; }
+  int num_preemptions() const { return static_cast<int>(m_.preempted->value()); }
+  int num_crashes() const { return static_cast<int>(m_.crashed->value()); }
   int num_provision_failures() const { return faults_.num_provision_failures(); }
   int num_init_failures() const { return faults_.num_init_failures(); }
   int num_straggler_instances() const { return faults_.num_stragglers(); }
@@ -96,6 +101,9 @@ class SimulatedCloud : public InstanceSource {
 
   const CloudProfile& profile() const { return profile_; }
   const BillingMeter& meter() const { return meter_; }
+  // The registry cloud.* metrics record into (owned or the caller's).
+  MetricsRegistry& metrics() { return *registry_; }
+  const MetricsRegistry& metrics() const { return *registry_; }
 
   // Prices the ledger under the profile's own pricing policy (spot
   // discount applied when the spot market is enabled).
@@ -112,9 +120,28 @@ class SimulatedCloud : public InstanceSource {
   Rng rng_;
   FaultInjector faults_;
   BillingMeter meter_;
+  // Registry-backed provider statistics. The billed-seconds gauge adds the
+  // exact intervals the meter records (same call, same order), so it equals
+  // meter().TotalInstanceSeconds() to the last bit.
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* registry_ = nullptr;
+  struct MetricHandles {
+    Counter* requested = nullptr;
+    Counter* launched = nullptr;
+    Counter* terminated = nullptr;
+    Counter* preempted = nullptr;
+    Counter* crashed = nullptr;
+    Counter* init_failures = nullptr;
+    Gauge* billed_seconds = nullptr;
+    Histogram* provision_latency = nullptr;
+  };
+  MetricHandles m_;
   void SchedulePreemption(InstanceId id);
   void ScheduleCrash(InstanceId id);
-  void ReclaimInstance(InstanceId id, int& counter, const std::function<void(InstanceId)>& handler);
+  void ReclaimInstance(InstanceId id, Counter* counter,
+                       const std::function<void(InstanceId)>& handler);
+  // Settles one instance's billing in both ledgers (meter + gauge).
+  void CloseBillingInterval(Seconds launch);
 
   std::map<InstanceId, Instance> ready_;
   // Straggler tags drawn at launch (absent = healthy); entries outlive the
@@ -127,8 +154,6 @@ class SimulatedCloud : public InstanceSource {
   std::function<void(InstanceId)> on_preempted_;
   std::function<void(InstanceId)> on_crashed_;
   int pending_ = 0;
-  int num_preemptions_ = 0;
-  int num_crashes_ = 0;
   // Bumped by TerminateAll: in-flight ready/failure events from an older
   // epoch are cancelled and become no-ops.
   int64_t cancel_epoch_ = 0;

@@ -5,14 +5,41 @@
 
 namespace rubberband {
 
-WarmPool::WarmPool(Simulation& sim, SimulatedCloud& cloud, WarmPoolConfig config)
-    : sim_(sim), cloud_(cloud), config_(config) {}
+WarmPool::WarmPool(Simulation& sim, SimulatedCloud& cloud, WarmPoolConfig config,
+                   MetricsRegistry* registry)
+    : sim_(sim), cloud_(cloud), config_(config) {
+  MetricsScope scope =
+      (registry != nullptr ? registry : &cloud.metrics())->scope("cloud").Sub("warm");
+  m_.requests = scope.GetCounter("requests");
+  m_.warm_hits = scope.GetCounter("warm_hits");
+  m_.cold_misses = scope.GetCounter("cold_misses");
+  m_.parked = scope.GetCounter("parked");
+  m_.released_cold = scope.GetCounter("released_cold");
+  m_.expired = scope.GetCounter("expired");
+  m_.preempted_parked = scope.GetCounter("preempted_parked");
+  m_.init_seconds_saved = scope.GetGauge("init_seconds_saved");
+  m_.parked_idle_seconds = scope.GetGauge("parked_idle_seconds");
+}
+
+WarmPoolStats WarmPool::stats() const {
+  WarmPoolStats stats;
+  stats.requests = m_.requests->value();
+  stats.warm_hits = m_.warm_hits->value();
+  stats.cold_misses = m_.cold_misses->value();
+  stats.parked = m_.parked->value();
+  stats.released_cold = m_.released_cold->value();
+  stats.expired = m_.expired->value();
+  stats.preempted_parked = m_.preempted_parked->value();
+  stats.init_seconds_saved = m_.init_seconds_saved->value();
+  stats.parked_idle_seconds = m_.parked_idle_seconds->value();
+  return stats;
+}
 
 InstanceId WarmPool::PopHottest() {
   const InstanceId id = stack_.back();
   stack_.pop_back();
   auto it = parked_.find(id);
-  stats_.parked_idle_seconds += sim_.now() - it->second.parked_at;
+  obs::Add(m_.parked_idle_seconds, sim_.now() - it->second.parked_at);
   parked_.erase(it);
   return id;
 }
@@ -20,21 +47,21 @@ InstanceId WarmPool::PopHottest() {
 void WarmPool::RequestInstances(int count, double dataset_gb,
                                 std::function<void(InstanceId)> on_ready,
                                 std::function<void()> on_failure) {
-  stats_.requests += count;
+  obs::Inc(m_.requests, count);
   int remaining = count;
   while (remaining > 0 && !stack_.empty()) {
     const InstanceId id = PopHottest();
-    ++stats_.warm_hits;
-    stats_.init_seconds_saved += cloud_.profile().provisioning.MeanReadyLatency();
+    obs::Inc(m_.warm_hits);
+    obs::Add(m_.init_seconds_saved, cloud_.profile().provisioning.MeanReadyLatency());
     --remaining;
     // Hand over on the next tick so the caller's async contract (callback
     // after RequestInstances returns) holds for warm hits too.
     sim_.ScheduleIn(0.0, [this, on_ready, on_failure, id, dataset_gb] {
       if (!cloud_.IsReady(id)) {
         // Reclaimed inside the handover tick (spot): downgrade to a miss.
-        ++stats_.cold_misses;
-        --stats_.warm_hits;
-        stats_.init_seconds_saved -= cloud_.profile().provisioning.MeanReadyLatency();
+        obs::Inc(m_.cold_misses);
+        obs::Inc(m_.warm_hits, -1);
+        obs::Add(m_.init_seconds_saved, -cloud_.profile().provisioning.MeanReadyLatency());
         cloud_.RequestInstances(1, dataset_gb, on_ready, on_failure);
         return;
       }
@@ -42,18 +69,18 @@ void WarmPool::RequestInstances(int count, double dataset_gb,
     });
   }
   if (remaining > 0) {
-    stats_.cold_misses += remaining;
+    obs::Inc(m_.cold_misses, remaining);
     cloud_.RequestInstances(remaining, dataset_gb, std::move(on_ready), std::move(on_failure));
   }
 }
 
 void WarmPool::ReleaseInstance(InstanceId id) {
   if (config_.max_parked <= 0 || num_parked() >= config_.max_parked) {
-    ++stats_.released_cold;
+    obs::Inc(m_.released_cold);
     cloud_.TerminateInstance(id);
     return;
   }
-  ++stats_.parked;
+  obs::Inc(m_.parked);
   const int64_t generation = ++next_generation_;
   parked_[id] = ParkedInstance{sim_.now(), generation};
   stack_.push_back(id);
@@ -62,16 +89,16 @@ void WarmPool::ReleaseInstance(InstanceId id) {
     if (it == parked_.end() || it->second.generation != generation) {
       return;  // re-acquired (and possibly re-parked) since; not our entry
     }
-    stats_.parked_idle_seconds += sim_.now() - it->second.parked_at;
+    obs::Add(m_.parked_idle_seconds, sim_.now() - it->second.parked_at);
     parked_.erase(it);
     stack_.erase(std::find(stack_.begin(), stack_.end(), id));
-    ++stats_.expired;
+    obs::Inc(m_.expired);
     cloud_.TerminateInstance(id);
   });
 }
 
 void WarmPool::DiscardInstance(InstanceId id) {
-  ++stats_.released_cold;
+  obs::Inc(m_.released_cold);
   cloud_.TerminateInstance(id);
 }
 
@@ -80,10 +107,10 @@ bool WarmPool::OnPreempted(InstanceId id) {
   if (it == parked_.end()) {
     return false;
   }
-  stats_.parked_idle_seconds += sim_.now() - it->second.parked_at;
+  obs::Add(m_.parked_idle_seconds, sim_.now() - it->second.parked_at);
   parked_.erase(it);
   stack_.erase(std::find(stack_.begin(), stack_.end(), id));
-  ++stats_.preempted_parked;
+  obs::Inc(m_.preempted_parked);
   return true;  // the provider already closed the billing interval
 }
 

@@ -53,7 +53,10 @@ struct WarmPoolStats {
 
 class WarmPool : public InstanceSource {
  public:
-  WarmPool(Simulation& sim, SimulatedCloud& cloud, WarmPoolConfig config);
+  // Records cloud.warm.* metrics into `registry` (defaults to the cloud's
+  // own registry so pool statistics travel with provider statistics).
+  WarmPool(Simulation& sim, SimulatedCloud& cloud, WarmPoolConfig config,
+           MetricsRegistry* registry = nullptr);
 
   WarmPool(const WarmPool&) = delete;
   WarmPool& operator=(const WarmPool&) = delete;
@@ -81,7 +84,9 @@ class WarmPool : public InstanceSource {
   void Drain();
 
   int num_parked() const { return static_cast<int>(parked_.size()); }
-  const WarmPoolStats& stats() const { return stats_; }
+  // A point-in-time view assembled from the registry handles (the registry
+  // is the single source of truth).
+  WarmPoolStats stats() const;
 
  private:
   struct ParkedInstance {
@@ -99,7 +104,21 @@ class WarmPool : public InstanceSource {
   std::vector<InstanceId> stack_;
   std::map<InstanceId, ParkedInstance> parked_;
   int64_t next_generation_ = 0;
-  WarmPoolStats stats_;
+  // cloud.warm.* registry handles. warm_hits / init_seconds_saved go *down*
+  // when a handed-over instance turns out to be reclaimed (the up-down
+  // counter / gauge-subtract case the metric types exist for).
+  struct MetricHandles {
+    Counter* requests = nullptr;
+    Counter* warm_hits = nullptr;
+    Counter* cold_misses = nullptr;
+    Counter* parked = nullptr;
+    Counter* released_cold = nullptr;
+    Counter* expired = nullptr;
+    Counter* preempted_parked = nullptr;
+    Gauge* init_seconds_saved = nullptr;
+    Gauge* parked_idle_seconds = nullptr;
+  };
+  MetricHandles m_;
 };
 
 }  // namespace rubberband

@@ -40,6 +40,7 @@ Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
   if (options_.straggler.detect || options_.straggler.mitigate) {
     detector_ = std::make_unique<StragglerDetector>(options_.straggler.detector);
   }
+  InitMetrics();
 }
 
 Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
@@ -61,6 +62,39 @@ Executor::Executor(const ExperimentSpec& spec, const AllocationPlan& plan,
   if (options_.straggler.detect || options_.straggler.mitigate) {
     detector_ = std::make_unique<StragglerDetector>(options_.straggler.detector);
   }
+  InitMetrics();
+}
+
+void Executor::InitMetrics() {
+  MetricsScope scope = metrics_.scope("executor");
+  m_.preemptions = scope.GetCounter("preemptions");
+  m_.crashes = scope.GetCounter("crashes");
+  m_.trial_restarts = scope.GetCounter("trial_restarts");
+  m_.provision_failures = scope.GetCounter("provision_failures");
+  m_.provision_retries = scope.GetCounter("provision_retries");
+  m_.capacity_shortfalls = scope.GetCounter("capacity_shortfalls");
+  m_.degraded_stages = scope.GetCounter("degraded_stages");
+  m_.replans = scope.GetCounter("replans");
+  m_.checkpoint_retries = scope.GetCounter("checkpoint_retries");
+  m_.stragglers_detected = scope.GetCounter("stragglers_detected");
+  m_.stragglers_quarantined = scope.GetCounter("stragglers_quarantined");
+  m_.straggler_false_positives = scope.GetCounter("straggler_false_positives");
+  m_.detection_syncs = scope.GetCounter("straggler_detection_syncs");
+  m_.recovery_seconds = scope.GetGauge("recovery_seconds");
+  m_.mitigation_seconds = scope.GetGauge("straggler_mitigation_seconds");
+  m_.slowdown_avoided = scope.GetGauge("straggler_slowdown_avoided_seconds");
+  if (options_.observe) {
+    m_.sync_wait = scope.GetHistogram("sync_wait_seconds");
+    m_.stage_seconds = scope.GetHistogram("stage_seconds");
+  }
+}
+
+void Executor::Span(const char* name, Seconds start, Seconds end, int stage, int trial,
+                    int64_t instance) {
+  if (!options_.observe) {
+    return;
+  }
+  timeline_.Record(TimelineSpan{name, "executor", start, end, 1, stage, trial, instance});
 }
 
 int Executor::EffectiveStageGpus(int stage) const {
@@ -112,13 +146,13 @@ void Executor::Start(std::function<void(const ExecutionReport&)> on_done) {
   // capacity is not coming and the executor must degrade around the hole.
   manager_.SetFaultObserver([this](bool will_retry) {
     ++fault_events_;
-    ++report_.provision_failures;
+    obs::Inc(m_.provision_failures);
     report_.trace.Record(sim_.now(), TraceEventType::kProvisionFailure, current_stage_);
     if (will_retry) {
-      ++report_.provision_retries;
+      obs::Inc(m_.provision_retries);
       report_.trace.Record(sim_.now(), TraceEventType::kProvisionRetry, current_stage_);
     } else {
-      ++report_.capacity_shortfalls;
+      obs::Inc(m_.capacity_shortfalls);
       report_.trace.Record(sim_.now(), TraceEventType::kProvisionGiveUp, current_stage_);
       HandleShortfall();
     }
@@ -132,6 +166,13 @@ void Executor::Start(std::function<void(const ExecutionReport&)> on_done) {
     trials_.emplace_back(i, workload_, space.Sample(config_rng),
                          options_.seed * 7919 + static_cast<uint64_t>(i));
     survivors_.push_back(i);
+  }
+
+  if (options_.observe) {
+    // Rough upper bound — a few spans per trial (checkpoint/restore) plus a
+    // few per stage (provision/plan/stage-run/sync/total) — so the timeline
+    // backing store is allocated once.
+    timeline_.Reserve(static_cast<size_t>(8 * initial_trials + 8 * spec_.num_stages()));
   }
 
   StartStage(0);
@@ -148,7 +189,9 @@ ExecutionReport Executor::Run() {
   if (!finished_) {
     throw std::logic_error("simulation drained without completing the experiment");
   }
-  return report_;
+  // Single-shot: the executor is done, so hand the report (trace, timeline,
+  // metrics snapshot) to the caller without a deep copy.
+  return std::move(report_);
 }
 
 bool Executor::OwnsInstance(InstanceId instance) const {
@@ -162,6 +205,8 @@ void Executor::StartStage(int stage) {
   completed_in_stage_ = 0;
   replacements_exhausted_ = false;
   stage_degradation_reported_ = false;
+  stage_open_at_ = sim_.now();
+  stage_completed_at_.clear();
   const Stage& spec_stage = spec_.stage(stage);
   if (static_cast<int>(survivors_.size()) != spec_stage.num_trials) {
     throw std::logic_error("survivor count does not match the specification");
@@ -173,7 +218,8 @@ void Executor::StartStage(int stage) {
     // driver's object store): migrations restore from here, and if a spot
     // instance is reclaimed mid-stage the interrupted trial restarts here.
     trial.SaveCheckpoint();
-    checkpoint_store_.Save(id, workload_.checkpoint_gb);
+    const Seconds save = checkpoint_store_.Save(id, workload_.checkpoint_gb);
+    Span("checkpoint", sim_.now(), sim_.now() + save, stage, id);
   }
 
   manager_.EnsureInstances(DesiredInstances(), [this, stage] { BeginTraining(stage); });
@@ -200,7 +246,7 @@ void Executor::BeginTraining(int stage) {
   if (available < stage_gpus_) {
     stage_gpus_ =
         std::max(1, FairFloorAllocation(available, static_cast<int>(survivors_.size())));
-    ++report_.degraded_stages;
+    obs::Inc(m_.degraded_stages);
     stage_degradation_reported_ = true;
     report_.trace.Record(sim_.now(), TraceEventType::kStageDegraded, stage);
   }
@@ -244,6 +290,10 @@ void Executor::BeginTraining(int stage) {
   }
 
   report_.trace.Record(sim_.now(), TraceEventType::kStageStart, stage);
+  // Everything between the stage opening (previous SYNC) and here was
+  // checkpointing + provisioning/bin-packing wait.
+  training_begin_at_ = sim_.now();
+  Span("provision", stage_open_at_, sim_.now(), stage);
 
   StageLogEntry log;
   log.stage = stage;
@@ -270,7 +320,9 @@ void Executor::StartTrialOnStage(TrialId id, int gpus) {
     trial.RestoreFromCheckpoint();
     // The fresh gang fetches the checkpoint from the driver's object store
     // (recovering from transfer failures or a missing object).
-    startup += FetchCheckpoint(id);
+    const Seconds fetch = FetchCheckpoint(id);
+    Span("restore", sim_.now(), sim_.now() + fetch, current_stage_, id);
+    startup += fetch;
   }
   trial.set_state(TrialState::kRunning);
   trial.trainer().Configure(gpus, placement_.IsColocated(id));
@@ -362,19 +414,19 @@ void Executor::RecordIterationObservations(TrialId id) {
 }
 
 void Executor::OnStragglerFlagged(InstanceId instance) {
-  ++report_.stragglers_detected;
-  report_.straggler_detection_syncs += detector_->ObservationsAtFlag(instance);
+  obs::Inc(m_.stragglers_detected);
+  obs::Inc(m_.detection_syncs, detector_->ObservationsAtFlag(instance));
   report_.trace.Record(sim_.now(), TraceEventType::kStragglerDetected, current_stage_, -1,
                        instance);
   // Ground truth consulted to *grade* the detector, never to drive it: the
   // flag above was produced from observed latencies alone.
   if (cloud_.StragglerFactor(instance) <= 1.0) {
-    ++report_.straggler_false_positives;
+    obs::Inc(m_.straggler_false_positives);
     report_.trace.Record(sim_.now(), TraceEventType::kStragglerFalsePositive, current_stage_,
                          -1, instance);
   }
   if (!options_.straggler.mitigate ||
-      report_.stragglers_quarantined >= options_.straggler.max_quarantines) {
+      m_.stragglers_quarantined->value() >= options_.straggler.max_quarantines) {
     return;
   }
   QuarantineInstance(instance);
@@ -386,11 +438,12 @@ void Executor::QuarantineInstance(InstanceId instance) {
   if (tracked == nodes_in_controller_.end()) {
     return;  // lost to a crash/preemption in the meantime
   }
-  ++report_.stragglers_quarantined;
+  obs::Inc(m_.stragglers_quarantined);
   ++fault_events_;
   report_.trace.Record(sim_.now(), TraceEventType::kStragglerQuarantined, current_stage_, -1,
                        instance);
   const double factor = cloud_.StragglerFactor(instance);
+  Seconds quarantine_cost = 0.0;
   // Slowdown-avoided estimate, accumulated below: expected iteration
   // seconds the instance would still have dragged, each taxed by
   // (factor - 1) — its trials' remaining stage work, plus each later
@@ -414,15 +467,18 @@ void Executor::QuarantineInstance(InstanceId instance) {
     // mitigation loses no completed iterations (only the save + restart
     // wait, billed to mitigation below and in NoteRestarted).
     trial.SaveCheckpoint();
-    report_.straggler_mitigation_seconds += checkpoint_store_.Save(id, workload_.checkpoint_gb);
+    const Seconds save = checkpoint_store_.Save(id, workload_.checkpoint_gb);
+    obs::Add(m_.mitigation_seconds, save);
+    quarantine_cost += save;
     dragged_iter_seconds +=
         trial.trainer().MeanIterLatency() * static_cast<double>(trial.remaining_iters());
     pending_restart_.push_back(id);
     pending_since_[id] = sim_.now();
     quarantine_pending_.insert(id);
-    ++report_.trial_restarts;
+    obs::Inc(m_.trial_restarts);
     report_.trace.Record(sim_.now(), TraceEventType::kTrialRestart, current_stage_, id);
   }
+  Span("quarantine", sim_.now(), sim_.now() + quarantine_cost, current_stage_, -1, instance);
   if (factor > 1.0) {
     const int gpg = cloud_.profile().gpus_per_instance();
     const int instances_now = std::max(1, manager_.num_ready());  // still includes this one
@@ -436,8 +492,7 @@ void Executor::QuarantineInstance(InstanceId instance) {
       tail_iter_seconds += retained * static_cast<double>(spec_.stage(s).iters_per_trial) *
                            workload_.base_iter_seconds * workload_.true_scaling.LatencyFactor(gpt);
     }
-    report_.straggler_slowdown_avoided +=
-        (factor - 1.0) * (dragged_iter_seconds + tail_iter_seconds);
+    obs::Add(m_.slowdown_avoided, (factor - 1.0) * (dragged_iter_seconds + tail_iter_seconds));
   }
   nodes_in_controller_.erase(std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(),
                                        instance));
@@ -454,6 +509,9 @@ void Executor::OnTrialStageDone(TrialId id) {
   Trial& trial = trials_[static_cast<size_t>(id)];
   trial.set_state(TrialState::kCompleted);
   ++completed_in_stage_;
+  if (options_.observe) {
+    stage_completed_at_.push_back(sim_.now());
+  }
   report_.trace.Record(sim_.now(), TraceEventType::kTrialComplete, current_stage_, id);
 
   const Seconds busy = sim_.now() - busy_start_[id];
@@ -494,6 +552,14 @@ void Executor::OnTrialStageDone(TrialId id) {
 
   if (completed_in_stage_ == static_cast<int>(survivors_.size())) {
     const int stage = current_stage_;
+    stage_run_end_ = sim_.now();
+    if (options_.observe) {
+      // How long each survivor idled at the barrier waiting for the last
+      // trial (zero for the trial that closed the stage).
+      for (const Seconds completed_at : stage_completed_at_) {
+        obs::ObserveSeconds(m_.sync_wait, stage_run_end_ - completed_at);
+      }
+    }
     sim_.ScheduleIn(workload_.sync_seconds, [this, stage] { Sync(stage); });
     return;
   }
@@ -553,11 +619,7 @@ void Executor::OnPreemption(InstanceId instance) { OnInstanceLost(instance, fals
 void Executor::OnCrash(InstanceId instance) { OnInstanceLost(instance, true); }
 
 void Executor::OnInstanceLost(InstanceId instance, bool crashed) {
-  if (crashed) {
-    ++report_.crashes;
-  } else {
-    ++report_.preemptions;
-  }
+  obs::Inc(crashed ? m_.crashes : m_.preemptions);
   if (finished_) {
     return;
   }
@@ -593,7 +655,7 @@ void Executor::OnInstanceLost(InstanceId instance, bool crashed) {
     trial.AssignStageWork(spec_.stage(current_stage_).iters_per_trial);
     pending_restart_.push_back(id);
     pending_since_[id] = sim_.now();
-    ++report_.trial_restarts;
+    obs::Inc(m_.trial_restarts);
     report_.trace.Record(sim_.now(), TraceEventType::kTrialRestart, current_stage_, id);
   }
 
@@ -641,7 +703,7 @@ void Executor::HandleShortfall() {
   // stage, even if several replacement slots are abandoned).
   replacements_exhausted_ = true;
   if (!stage_degradation_reported_) {
-    ++report_.degraded_stages;
+    obs::Inc(m_.degraded_stages);
     stage_degradation_reported_ = true;
     report_.trace.Record(sim_.now(), TraceEventType::kStageDegraded, current_stage_);
   }
@@ -712,7 +774,7 @@ Seconds Executor::FetchCheckpoint(TrialId id) {
       // recoverable condition — re-serialize from the driver's in-memory
       // replica (the trial itself restored from its last rung boundary)
       // and fetch the fresh object.
-      ++report_.checkpoint_retries;
+      obs::Inc(m_.checkpoint_retries);
       ++fault_events_;
       report_.trace.Record(sim_.now(), TraceEventType::kCheckpointRetry, current_stage_, id);
       total += checkpoint_store_.Save(id, workload_.checkpoint_gb);
@@ -723,7 +785,7 @@ Seconds Executor::FetchCheckpoint(TrialId id) {
       return total;
     }
     // Transfer failed mid-flight: the gang pays the latency again.
-    ++report_.checkpoint_retries;
+    obs::Inc(m_.checkpoint_retries);
     ++fault_events_;
     report_.trace.Record(sim_.now(), TraceEventType::kCheckpointRetry, current_stage_, id);
   }
@@ -736,9 +798,9 @@ void Executor::NoteRestarted(TrialId id) {
   }
   const Seconds waited = sim_.now() - it->second;
   if (quarantine_pending_.erase(id) > 0) {
-    report_.straggler_mitigation_seconds += waited;  // mitigation's own bill
+    obs::Add(m_.mitigation_seconds, waited);  // mitigation's own bill
   } else {
-    report_.recovery_seconds += waited;
+    obs::Add(m_.recovery_seconds, waited);
   }
   pending_since_.erase(it);
 }
@@ -781,13 +843,21 @@ void Executor::MaybeReplan(int next_stage) {
   for (int s = next_stage; s < spec_.num_stages(); ++s) {
     plan_.gpus(s) = replanned.plan.gpus(s - next_stage);
   }
-  ++report_.replans;
+  obs::Inc(m_.replans);
+  Span("plan", sim_.now(), sim_.now(), next_stage);
   report_.trace.Record(sim_.now(), TraceEventType::kReplan, next_stage);
 }
 
 void Executor::Sync(int stage) {
   report_.stage_log.back().end = sim_.now();
   report_.trace.Record(sim_.now(), TraceEventType::kSync, stage);
+  // The stage-total spans tile [0, JCT]: stage i opens at SYNC(i-1) (stage
+  // 0 at t=0) and closes here; StartStage(i+1) runs below at this same
+  // instant, and Finish() stamps jct = now after the last SYNC.
+  Span("stage-run", training_begin_at_, stage_run_end_, stage);
+  Span("sync-barrier", stage_run_end_, sim_.now(), stage);
+  Span("stage-total", stage_open_at_, sim_.now(), stage);
+  obs::ObserveSeconds(m_.stage_seconds, sim_.now() - stage_open_at_);
 
   // Evaluate every trial that ran this stage and rank them.
   for (TrialId id : survivors_) {
@@ -869,6 +939,45 @@ void Executor::Finish(int final_stage) {
       meter.TotalInstanceSeconds() * cloud_.profile().gpus_per_instance();
   report_.realized_utilization =
       provisioned_gpu_seconds > 0.0 ? meter.TotalGpuSecondsUsed() / provisioned_gpu_seconds : 0.0;
+
+  // The registry is the source of truth; the report's scalar fields are a
+  // view populated here, once, when the run settles.
+  report_.preemptions = static_cast<int>(m_.preemptions->value());
+  report_.crashes = static_cast<int>(m_.crashes->value());
+  report_.trial_restarts = static_cast<int>(m_.trial_restarts->value());
+  report_.provision_failures = static_cast<int>(m_.provision_failures->value());
+  report_.provision_retries = static_cast<int>(m_.provision_retries->value());
+  report_.capacity_shortfalls = static_cast<int>(m_.capacity_shortfalls->value());
+  report_.degraded_stages = static_cast<int>(m_.degraded_stages->value());
+  report_.replans = static_cast<int>(m_.replans->value());
+  report_.checkpoint_retries = static_cast<int>(m_.checkpoint_retries->value());
+  report_.stragglers_detected = static_cast<int>(m_.stragglers_detected->value());
+  report_.stragglers_quarantined = static_cast<int>(m_.stragglers_quarantined->value());
+  report_.straggler_false_positives = static_cast<int>(m_.straggler_false_positives->value());
+  report_.straggler_detection_syncs = m_.detection_syncs->value();
+  report_.recovery_seconds = m_.recovery_seconds->value();
+  report_.straggler_mitigation_seconds = m_.mitigation_seconds->value();
+  report_.straggler_slowdown_avoided = m_.slowdown_avoided->value();
+
+  // Outcome gauges + traffic counters for the exported snapshot.
+  MetricsScope scope = metrics_.scope("executor");
+  obs::Set(scope.GetGauge("jct_seconds"), report_.jct);
+  obs::Set(scope.GetGauge("cost_dollars"), report_.cost.Total().dollars());
+  obs::Set(scope.GetGauge("realized_utilization"), report_.realized_utilization);
+  obs::Inc(scope.GetCounter("checkpoint_saves"), report_.checkpoint_saves);
+  obs::Inc(scope.GetCounter("checkpoint_fetches"), report_.checkpoint_fetches);
+  obs::Set(scope.GetGauge("checkpoint_gb_moved"), report_.checkpoint_gb_moved);
+  obs::Set(scope.GetGauge("best_accuracy"), report_.best_accuracy);
+  PublishCacheStats(report_.planner_cache, metrics_.scope("planner"));
+
+  report_.metrics = metrics_.Snapshot();
+  if (!shared_) {
+    // Standalone executors own their cloud, whose registry holds the
+    // provisioning/billing metrics; fold them into the one snapshot. On a
+    // shared cluster the service owns that registry and reports it itself.
+    report_.metrics.Merge(cloud_.metrics().Snapshot());
+  }
+  report_.timeline = std::move(timeline_);
   finished_ = true;
   if (on_done_) {
     on_done_(report_);

@@ -29,6 +29,8 @@
 #include "src/executor/straggler_detector.h"
 #include "src/executor/trace.h"
 #include "src/executor/trial.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/placement/controller.h"
 #include "src/planner/evaluator.h"
 #include "src/planner/plan.h"
@@ -86,6 +88,10 @@ struct ExecutorOptions {
   ReplanPolicy replan;
   // Persistent-straggler detection and checkpoint-based mitigation.
   StragglerPolicy straggler;
+  // Timeline spans + latency histograms (the Chrome-trace profile). Report
+  // counters always flow through the registry; this knob only adds the
+  // optional depth. Off by default so existing runs stay bit-identical.
+  bool observe = false;
 };
 
 struct StageLogEntry {
@@ -145,6 +151,12 @@ struct ExecutionReport {
   int64_t checkpoint_fetches = 0;
   double checkpoint_gb_moved = 0.0;
   ExecutionTrace trace;
+  // Registry snapshot the scalar fields above are views of (executor.* plus,
+  // in standalone mode, the owned cloud's cloud.* metrics).
+  MetricsSnapshot metrics;
+  // Phase spans (plan/provision/stage-run/sync/checkpoint/restore/
+  // quarantine); empty unless ExecutorOptions::observe.
+  Timeline timeline;
 };
 
 // Shared-cluster execution context: lets many executors (one per tuning
@@ -256,6 +268,11 @@ class Executor {
   void RecordUsage(int gpus, Seconds duration);
   void NoteAcquired(InstanceId id);
   void NoteReleased(InstanceId id);
+  // Resolves the executor.* registry handles (both constructors).
+  void InitMetrics();
+  // Records a phase span on the timeline; no-op unless options_.observe.
+  void Span(const char* name, Seconds start, Seconds end, int stage, int trial = -1,
+            int64_t instance = -1);
 
   ExperimentSpec spec_;
   AllocationPlan plan_;
@@ -325,6 +342,47 @@ class Executor {
   int completed_in_stage_ = 0;
   bool finished_ = false;
   ExecutionReport report_;
+
+  // One source of truth for the fault/recovery statistics: components bump
+  // these handles, and Finish() snapshots them into the report's scalar
+  // view. Each executor owns its registry so per-job reports never mix; the
+  // service merges the per-job snapshots itself.
+  MetricsRegistry metrics_;
+  struct MetricHandles {
+    Counter* preemptions = nullptr;
+    Counter* crashes = nullptr;
+    Counter* trial_restarts = nullptr;
+    Counter* provision_failures = nullptr;
+    Counter* provision_retries = nullptr;
+    Counter* capacity_shortfalls = nullptr;
+    Counter* degraded_stages = nullptr;
+    Counter* replans = nullptr;
+    Counter* checkpoint_retries = nullptr;
+    Counter* stragglers_detected = nullptr;
+    Counter* stragglers_quarantined = nullptr;
+    Counter* straggler_false_positives = nullptr;
+    Counter* detection_syncs = nullptr;
+    Gauge* recovery_seconds = nullptr;
+    Gauge* mitigation_seconds = nullptr;
+    Gauge* slowdown_avoided = nullptr;
+    // Null unless options_.observe (histograms are profile depth, not
+    // report fields).
+    Histogram* sync_wait = nullptr;
+    Histogram* stage_seconds = nullptr;
+  };
+  MetricHandles m_;
+
+  // Phase-span bookkeeping (observe mode): when the stage opened, when its
+  // gangs actually started training, and when its last trial finished (the
+  // sync barrier's left edge). stage_completed_at_ remembers each
+  // survivor's completion time for the sync-wait histogram.
+  Timeline timeline_;
+  Seconds stage_open_at_ = 0.0;
+  Seconds training_begin_at_ = 0.0;
+  Seconds stage_run_end_ = 0.0;
+  // Just the completion times: entries only feed the (order-independent)
+  // sync-wait histogram, which doesn't care which trial finished when.
+  std::vector<Seconds> stage_completed_at_;
 };
 
 // Convenience wrapper: plan is executed on a fresh simulated cloud built

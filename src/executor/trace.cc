@@ -85,26 +85,61 @@ std::string ExecutionTrace::ToCsv() const {
   return os.str();
 }
 
-ExecutionTrace ExecutionTrace::FromCsv(const std::string& csv) {
+namespace {
+
+// Strict full-token parses: std::stoi("12abc") silently truncates, which
+// would let a garbled row round-trip as a different event.
+double ParseFullDouble(const std::string& token) {
+  size_t consumed = 0;
+  const double value = std::stod(token, &consumed);
+  if (consumed != token.size()) {
+    throw std::invalid_argument("trailing characters in number '" + token + "'");
+  }
+  return value;
+}
+
+int64_t ParseFullInt(const std::string& token) {
+  size_t consumed = 0;
+  const int64_t value = std::stoll(token, &consumed);
+  if (consumed != token.size()) {
+    throw std::invalid_argument("trailing characters in integer '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+ExecutionTrace ExecutionTrace::FromCsv(const std::string& csv, int* parse_errors) {
   std::istringstream is(csv);
   std::string line;
   if (!std::getline(is, line) || line != "time_s,event,stage,trial,instance") {
     throw std::invalid_argument("trace CSV is missing its header line");
+  }
+  if (parse_errors != nullptr) {
+    *parse_errors = 0;
   }
   ExecutionTrace trace;
   while (std::getline(is, line)) {
     if (line.empty()) {
       continue;
     }
-    std::istringstream row(line);
-    std::string time_s, event, stage, trial, instance;
-    if (!std::getline(row, time_s, ',') || !std::getline(row, event, ',') ||
-        !std::getline(row, stage, ',') || !std::getline(row, trial, ',') ||
-        !std::getline(row, instance, ',')) {
-      throw std::invalid_argument("malformed trace CSV row: " + line);
+    try {
+      std::istringstream row(line);
+      std::string time_s, event, stage, trial, instance, extra;
+      if (!std::getline(row, time_s, ',') || !std::getline(row, event, ',') ||
+          !std::getline(row, stage, ',') || !std::getline(row, trial, ',') ||
+          !std::getline(row, instance, ',') || std::getline(row, extra, ',')) {
+        throw std::invalid_argument("wrong field count");
+      }
+      trace.Record(ParseFullDouble(time_s), TraceEventTypeFromString(event),
+                   static_cast<int>(ParseFullInt(stage)), static_cast<int>(ParseFullInt(trial)),
+                   ParseFullInt(instance));
+    } catch (const std::exception&) {
+      if (parse_errors == nullptr) {
+        throw std::invalid_argument("malformed trace CSV row: " + line);
+      }
+      ++*parse_errors;  // tolerant mode: count and keep going
     }
-    trace.Record(std::stod(time_s), TraceEventTypeFromString(event), std::stoi(stage),
-                 std::stoi(trial), std::stoll(instance));
   }
   return trace;
 }

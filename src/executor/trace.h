@@ -76,8 +76,13 @@ class ExecutionTrace {
   std::string ToCsv() const;
 
   // Parses ToCsv output back into a trace (offline-analysis round trip).
-  // Throws std::invalid_argument on a malformed header or row.
-  static ExecutionTrace FromCsv(const std::string& csv);
+  // A missing or wrong header always throws std::invalid_argument. Row
+  // handling depends on `parse_errors`: when null (the default), any
+  // malformed row throws; when non-null, malformed rows are skipped and
+  // counted into *parse_errors (set to 0 first), so a partially corrupted
+  // log still yields every salvageable event — trace2chrome surfaces the
+  // count instead of dying on row one.
+  static ExecutionTrace FromCsv(const std::string& csv, int* parse_errors = nullptr);
 
  private:
   std::vector<TraceEvent> events_;

@@ -1,0 +1,297 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/executor/executor.h"
+#include "src/obs/json.h"
+#include "src/service/tuning_service.h"
+
+namespace rubberband {
+
+namespace {
+
+constexpr int64_t kControlLane = 0;
+constexpr int64_t kInstanceLaneBase = 10;
+constexpr int64_t kTrialLaneBase = 100000;
+
+int64_t LaneFor(int trial, int64_t instance) {
+  if (instance >= 0) {
+    return kInstanceLaneBase + instance;
+  }
+  if (trial >= 0) {
+    return kTrialLaneBase + trial;
+  }
+  return kControlLane;
+}
+
+std::string LaneName(int64_t tid) {
+  if (tid == kControlLane) {
+    return "stages";
+  }
+  if (tid >= kTrialLaneBase) {
+    return "trial " + std::to_string(tid - kTrialLaneBase);
+  }
+  return "instance " + std::to_string(tid - kInstanceLaneBase);
+}
+
+std::string ArgsJson(int stage, int trial, int64_t instance) {
+  std::ostringstream os;
+  bool any = false;
+  os << "{";
+  if (stage >= 0) {
+    os << "\"stage\": " << stage;
+    any = true;
+  }
+  if (trial >= 0) {
+    os << (any ? ", " : "") << "\"trial\": " << trial;
+    any = true;
+  }
+  if (instance >= 0) {
+    os << (any ? ", " : "") << "\"instance\": " << instance;
+    any = true;
+  }
+  os << "}";
+  return any ? os.str() : std::string();
+}
+
+std::string FormatMicros(double us) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", us);
+  return buffer;
+}
+
+}  // namespace
+
+ChromeEventRule ChromeRuleFor(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kStageStart:
+      return {"stage", ChromeEventRule::kOpen, ChromeSpanKey::kStage};
+    case TraceEventType::kInstanceReady:
+      return {"instance", ChromeEventRule::kOpen, ChromeSpanKey::kInstance};
+    case TraceEventType::kInstanceReleased:
+      return {"instance-released", ChromeEventRule::kClose, ChromeSpanKey::kInstance};
+    case TraceEventType::kTrialStart:
+      return {"trial", ChromeEventRule::kOpen, ChromeSpanKey::kTrial};
+    case TraceEventType::kTrialComplete:
+      return {"trial-complete", ChromeEventRule::kClose, ChromeSpanKey::kTrial};
+    case TraceEventType::kTrialTerminated:
+      return {"trial-terminated", ChromeEventRule::kClose, ChromeSpanKey::kTrial};
+    case TraceEventType::kSync:
+      return {"sync", ChromeEventRule::kClose, ChromeSpanKey::kStage};
+    case TraceEventType::kPreemption:
+      return {"preemption", ChromeEventRule::kClose, ChromeSpanKey::kInstance};
+    case TraceEventType::kTrialRestart:
+      return {"trial-restart", ChromeEventRule::kClose, ChromeSpanKey::kTrial};
+    case TraceEventType::kInstanceCrash:
+      return {"instance-crash", ChromeEventRule::kClose, ChromeSpanKey::kInstance};
+    case TraceEventType::kProvisionFailure:
+      return {"provision-failure", ChromeEventRule::kInstant, ChromeSpanKey::kNone};
+    case TraceEventType::kProvisionRetry:
+      return {"provision-retry", ChromeEventRule::kInstant, ChromeSpanKey::kNone};
+    case TraceEventType::kProvisionGiveUp:
+      return {"provision-give-up", ChromeEventRule::kInstant, ChromeSpanKey::kNone};
+    case TraceEventType::kCheckpointRetry:
+      return {"checkpoint-retry", ChromeEventRule::kInstant, ChromeSpanKey::kTrial};
+    case TraceEventType::kStageDegraded:
+      return {"stage-degraded", ChromeEventRule::kInstant, ChromeSpanKey::kNone};
+    case TraceEventType::kReplan:
+      return {"replan", ChromeEventRule::kInstant, ChromeSpanKey::kNone};
+    case TraceEventType::kStragglerDetected:
+      return {"straggler-detected", ChromeEventRule::kInstant, ChromeSpanKey::kInstance};
+    case TraceEventType::kStragglerQuarantined:
+      return {"straggler-quarantined", ChromeEventRule::kClose, ChromeSpanKey::kInstance};
+    case TraceEventType::kStragglerFalsePositive:
+      return {"straggler-false-positive", ChromeEventRule::kInstant, ChromeSpanKey::kInstance};
+  }
+  return {};  // past the enum's end: the guard test asserts this stays empty
+}
+
+Timeline SpansFromTrace(const ExecutionTrace& trace, int pid) {
+  struct OpenSpan {
+    Seconds start = 0.0;
+    int stage = -1;
+    int trial = -1;
+    int64_t instance = -1;
+  };
+  Timeline timeline;
+  std::map<int, OpenSpan> open_stages;
+  std::map<int, OpenSpan> open_trials;
+  std::map<int64_t, OpenSpan> open_instances;
+  Seconds last_time = 0.0;
+
+  const auto close = [&](const char* name, const OpenSpan& open, Seconds end) {
+    timeline.Record(
+        TimelineSpan{name, "trace", open.start, end, pid, open.stage, open.trial, open.instance});
+  };
+
+  for (const TraceEvent& event : trace.events()) {
+    last_time = std::max(last_time, event.time);
+    const ChromeEventRule rule = ChromeRuleFor(event.type);
+    if (rule.kind == ChromeEventRule::kInstant) {
+      continue;  // markers are the builder's concern, not spans
+    }
+    const char* span_name = rule.key == ChromeSpanKey::kStage      ? "stage"
+                            : rule.key == ChromeSpanKey::kTrial    ? "trial"
+                                                                   : "instance";
+    const OpenSpan opened{event.time, event.stage, event.trial, event.instance};
+    const auto handle = [&](auto& open_map, auto key) {
+      auto it = open_map.find(key);
+      if (rule.kind == ChromeEventRule::kOpen) {
+        if (it != open_map.end()) {
+          // Re-opened without a close (defensive): close the dangling span.
+          close(span_name, it->second, event.time);
+          open_map.erase(it);
+        }
+        open_map.emplace(key, opened);
+        return;
+      }
+      if (it != open_map.end()) {
+        close(span_name, it->second, event.time);
+        open_map.erase(it);
+      }
+      // A close with nothing open (e.g. a preemption of an instance this
+      // trace never saw ready) leaves only the builder's instant marker.
+    };
+    switch (rule.key) {
+      case ChromeSpanKey::kStage:
+        handle(open_stages, event.stage);
+        break;
+      case ChromeSpanKey::kTrial:
+        handle(open_trials, event.trial);
+        break;
+      case ChromeSpanKey::kInstance:
+        handle(open_instances, event.instance);
+        break;
+      case ChromeSpanKey::kNone:
+        break;
+    }
+  }
+  for (const auto& [stage, open] : open_stages) {
+    close("stage", open, last_time);
+  }
+  for (const auto& [trial, open] : open_trials) {
+    close("trial", open, last_time);
+  }
+  for (const auto& [instance, open] : open_instances) {
+    close("instance", open, last_time);
+  }
+  return timeline;
+}
+
+void ChromeTraceBuilder::NoteThread(int pid, int64_t tid) {
+  thread_names_.emplace(std::make_pair(pid, tid), LaneName(tid));
+}
+
+void ChromeTraceBuilder::AddTimeline(const Timeline& timeline) {
+  for (const TimelineSpan& span : timeline.spans()) {
+    Event event;
+    event.name = span.name;
+    event.category = span.category;
+    event.phase = 'X';
+    event.ts_us = span.start * 1e6;
+    event.dur_us = span.duration() * 1e6;
+    event.pid = span.pid;
+    // Executor/service phases live on the control lane unless the span is
+    // pinned to a trial or instance (checkpoint/restore/quarantine).
+    event.tid = LaneFor(span.trial, span.instance);
+    event.args_json = ArgsJson(span.stage, span.trial, span.instance);
+    NoteThread(event.pid, event.tid);
+    events_.push_back(std::move(event));
+  }
+}
+
+void ChromeTraceBuilder::AddTimeline(const Timeline& timeline, int pid) {
+  Timeline pinned;
+  pinned.Append(timeline, pid);
+  AddTimeline(pinned);
+}
+
+void ChromeTraceBuilder::AddExecutionTrace(const ExecutionTrace& trace, int pid) {
+  AddTimeline(SpansFromTrace(trace, pid));
+  for (const TraceEvent& raw : trace.events()) {
+    const ChromeEventRule rule = ChromeRuleFor(raw.type);
+    if (rule.kind == ChromeEventRule::kOpen) {
+      continue;  // the derived span's left edge marks it
+    }
+    Event event;
+    event.name = rule.name;
+    event.category = "trace";
+    event.phase = 'i';
+    event.ts_us = raw.time * 1e6;
+    event.pid = pid;
+    event.tid = rule.key == ChromeSpanKey::kStage ? kControlLane
+                                                  : LaneFor(raw.trial, raw.instance);
+    event.args_json = ArgsJson(raw.stage, raw.trial, raw.instance);
+    NoteThread(event.pid, event.tid);
+    events_.push_back(std::move(event));
+  }
+}
+
+void ChromeTraceBuilder::SetProcessName(int pid, const std::string& name) {
+  process_names_[pid] = name;
+}
+
+std::string ChromeTraceBuilder::ToJson() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto separator = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    separator();
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+       << ", \"tid\": 0, \"args\": {\"name\": \"" << JsonEscape(name) << "\"}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    separator();
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << key.first
+       << ", \"tid\": " << key.second << ", \"args\": {\"name\": \"" << JsonEscape(name)
+       << "\"}}";
+  }
+  for (const Event& event : events_) {
+    separator();
+    os << "  {\"name\": \"" << JsonEscape(event.name) << "\", \"cat\": \""
+       << JsonEscape(event.category) << "\", \"ph\": \"" << event.phase
+       << "\", \"ts\": " << FormatMicros(event.ts_us);
+    if (event.phase == 'X') {
+      os << ", \"dur\": " << FormatMicros(event.dur_us);
+    }
+    if (event.phase == 'i') {
+      os << ", \"s\": \"t\"";
+    }
+    os << ", \"pid\": " << event.pid << ", \"tid\": " << event.tid;
+    if (!event.args_json.empty()) {
+      os << ", \"args\": " << event.args_json;
+    }
+    os << "}";
+  }
+  os << (first ? "]" : "\n]") << ", \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+std::string ChromeTraceFromReport(const ExecutionReport& report) {
+  ChromeTraceBuilder builder;
+  builder.SetProcessName(1, "job");
+  builder.AddTimeline(report.timeline, 1);
+  builder.AddExecutionTrace(report.trace, 1);
+  return builder.ToJson();
+}
+
+std::string ChromeTraceFromService(const ServiceReport& report) {
+  ChromeTraceBuilder builder;
+  builder.SetProcessName(0, "service");
+  builder.AddTimeline(report.timeline);  // service spans carry per-job pids
+  for (size_t i = 0; i < report.jobs.size(); ++i) {
+    const JobOutcome& job = report.jobs[i];
+    const int pid = static_cast<int>(i) + 1;
+    builder.SetProcessName(pid, job.name.empty() ? "job-" + std::to_string(i) : job.name);
+    builder.AddTimeline(job.timeline, pid);
+    builder.AddExecutionTrace(job.trace, pid);
+  }
+  return builder.ToJson();
+}
+
+}  // namespace rubberband

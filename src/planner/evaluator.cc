@@ -165,4 +165,27 @@ std::vector<PlanEstimate> PlanEvaluator::EvaluateBatch(const std::vector<Allocat
   return estimates;
 }
 
+void PublishCacheStats(const PlannerCacheStats& stats, const MetricsScope& scope) {
+  if (!scope.live()) {
+    return;
+  }
+  Counter* plan_evaluations = scope.GetCounter("plan_evaluations");
+  Counter* plan_memo_hits = scope.GetCounter("plan_memo_hits");
+  Counter* stage_evaluations = scope.GetCounter("stage_evaluations");
+  Counter* stage_cache_hits = scope.GetCounter("stage_cache_hits");
+  plan_evaluations->Add(stats.plan_evaluations);
+  plan_memo_hits->Add(stats.plan_memo_hits);
+  stage_evaluations->Add(stats.stage_evaluations);
+  stage_cache_hits->Add(stats.stage_cache_hits);
+  // Rates derived from the cumulative counters, so repeated publishes keep
+  // the gauges consistent with the running totals.
+  PlannerCacheStats total;
+  total.plan_evaluations = plan_evaluations->value();
+  total.plan_memo_hits = plan_memo_hits->value();
+  total.stage_evaluations = stage_evaluations->value();
+  total.stage_cache_hits = stage_cache_hits->value();
+  scope.GetGauge("plan_hit_rate")->Set(total.PlanHitRate());
+  scope.GetGauge("stage_hit_rate")->Set(total.StageHitRate());
+}
+
 }  // namespace rubberband

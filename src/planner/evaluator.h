@@ -35,6 +35,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/dag/simulate.h"
+#include "src/obs/metrics.h"
 #include "src/planner/planner.h"
 
 namespace rubberband {
@@ -67,6 +68,11 @@ struct PlannerCacheStats {
     return *this;
   }
 };
+
+// Exports accumulated cache statistics into a metrics scope (typically
+// "planner"): absolute counters plus the two hit-rate gauges. Add-based, so
+// repeated publishes from different evaluators aggregate naturally.
+void PublishCacheStats(const PlannerCacheStats& stats, const MetricsScope& scope);
 
 class PlanEvaluator {
  public:

@@ -32,6 +32,9 @@
 #include "src/executor/asha.h"
 #include "src/executor/executor.h"
 #include "src/model/profile.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/model/profiler.h"
 #include "src/model/scaling.h"
 #include "src/placement/controller.h"

@@ -29,8 +29,8 @@ std::string ToString(JobState state) {
 }
 
 TuningService::TuningService(const ServiceConfig& config)
-    : config_(config), sim_(config.seed), cloud_(sim_, config.cloud),
-      pool_(sim_, cloud_, config.warm_pool) {
+    : config_(config), sim_(config.seed), svc_(&metrics_, "service"),
+      cloud_(sim_, config.cloud, &metrics_), pool_(sim_, cloud_, config.warm_pool, &metrics_) {
   if (config_.capacity_gpus < config_.cloud.gpus_per_instance()) {
     throw std::invalid_argument("service capacity is smaller than one instance");
   }
@@ -87,21 +87,25 @@ PlannedJob TuningService::PlanFor(Job& job, Seconds time_left) {
 void TuningService::OnArrival(size_t index) {
   --arrivals_outstanding_;
   Job& job = jobs_[index];
+  obs::Inc(svc_.GetCounter("jobs_arrived"));
   job.planned = PlanFor(job, job.request.deadline);
   job.outcome.plan = job.planned.plan;
   if (!job.planned.feasible) {
     job.outcome.state = JobState::kRejectedInfeasible;
+    obs::Inc(svc_.GetCounter("jobs_rejected_infeasible"));
     return;
   }
   if (job.request.budget.dollars() > 0.0 &&
       job.planned.estimate.cost_mean.dollars() > job.request.budget.dollars()) {
     job.outcome.state = JobState::kRejectedOverBudget;
+    obs::Inc(svc_.GetCounter("jobs_rejected_over_budget"));
     return;
   }
   if (reserved_gpus_ + job.planned.plan.MaxGpus() <= ReservationLimit()) {
     StartJob(index);
   } else {
     job.outcome.state = JobState::kQueued;
+    obs::Inc(svc_.GetCounter("jobs_queued"));
     queue_.push_back(index);
   }
 }
@@ -111,6 +115,8 @@ void TuningService::StartJob(size_t index) {
   job.outcome.state = JobState::kRunning;
   job.outcome.started_at = sim_.now();
   job.outcome.queue_wait = sim_.now() - job.outcome.submitted_at;
+  obs::Inc(svc_.GetCounter("jobs_admitted"));
+  obs::ObserveSeconds(svc_.GetHistogram("queue_wait_seconds"), job.outcome.queue_wait);
   reserved_gpus_ += job.planned.plan.MaxGpus();
   ++running_;
 
@@ -124,6 +130,7 @@ void TuningService::StartJob(size_t index) {
   options.seed = config_.seed + 1000003 * (static_cast<uint64_t>(index) + 1);
   options.retry = job.request.retry;
   options.straggler = config_.straggler;
+  options.observe = config_.observe;
   if (config_.replan_on_faults) {
     options.replan.enabled = true;
     options.replan.deadline = job.outcome.deadline_at;
@@ -163,6 +170,25 @@ void TuningService::OnJobDone(size_t index, const ExecutionReport& report) {
     job.outcome.peak_instances = std::max(job.outcome.peak_instances, stage.instances);
   }
   makespan_ = std::max(makespan_, sim_.now());
+
+  obs::Inc(svc_.GetCounter("jobs_completed"));
+  if (!job.outcome.met_deadline) {
+    obs::Inc(svc_.GetCounter("deadline_misses"));
+  }
+  obs::Set(svc_.GetGauge("tenant." + job.outcome.name + ".cost_dollars"),
+           job.outcome.cost.dollars());
+  // Fold this job's executor.* metrics into the fleet totals, and keep its
+  // trace/timeline for the per-process Chrome export.
+  executor_metrics_.Merge(report.metrics);
+  job.outcome.trace = report.trace;
+  job.outcome.timeline = report.timeline;
+  if (config_.observe) {
+    const int pid = static_cast<int>(index) + 1;
+    timeline_.Record(TimelineSpan{"queue-wait", "service", job.outcome.submitted_at,
+                                  job.outcome.started_at, pid});
+    timeline_.Record(
+        TimelineSpan{"job", "service", job.outcome.started_at, job.outcome.finished_at, pid});
+  }
 
   reserved_gpus_ -= job.planned.plan.MaxGpus();
   --running_;
@@ -296,6 +322,20 @@ ServiceReport TuningService::Run() {
       cloud_.meter().TotalInstanceSeconds() * config_.cloud.gpus_per_instance();
   report.aggregate_utilization =
       provisioned > 0.0 ? cloud_.meter().TotalGpuSecondsUsed() / provisioned : 0.0;
+
+  // Settle the service-wide registry: outcome gauges, the aggregate
+  // planner-cache counters, then one snapshot merged with every job's
+  // executor.* metrics.
+  obs::Set(svc_.GetGauge("makespan_seconds"), report.makespan);
+  obs::Set(svc_.GetGauge("mean_queue_wait_seconds"), report.mean_queue_wait);
+  obs::Set(svc_.GetGauge("total_cost_dollars"), report.total_cost.Total().dollars());
+  obs::Set(svc_.GetGauge("cost_per_completed_job_dollars"),
+           report.cost_per_completed_job.dollars());
+  obs::Set(svc_.GetGauge("aggregate_utilization"), report.aggregate_utilization);
+  PublishCacheStats(report.planner_cache, metrics_.scope("planner"));
+  report.metrics = metrics_.Snapshot();
+  report.metrics.Merge(executor_metrics_);
+  report.timeline = timeline_;
   return report;
 }
 

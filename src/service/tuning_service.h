@@ -94,6 +94,11 @@ struct JobOutcome {
   // Largest cluster the job actually held — under an overcommitted arbiter
   // this lands below the plan's peak (the cap binding is observable).
   int peak_instances = 0;
+  // The job's raw event trace and phase spans (timeline empty unless
+  // ServiceConfig::observe); the Chrome exporter draws each job as its own
+  // process (pid = job index + 1).
+  ExecutionTrace trace;
+  Timeline timeline;
 };
 
 struct ServiceConfig {
@@ -116,6 +121,9 @@ struct ServiceConfig {
   // to every tenant (quarantined instances are terminated for real — the
   // warm pool never re-parks known-slow hardware).
   StragglerPolicy straggler;
+  // Timeline spans + per-executor latency histograms for every tenant (the
+  // Chrome-trace profile). Counters always flow regardless.
+  bool observe = false;
 };
 
 struct ServiceReport {
@@ -148,6 +156,13 @@ struct ServiceReport {
   // rate is the fraction of plan estimates the service never had to
   // recompute.
   PlannerCacheStats planner_cache;
+  // Fleet-wide registry snapshot: service.* admission/queue metrics,
+  // cloud.* provider metrics (the shared registry), and the merged
+  // executor.* metrics of every job.
+  MetricsSnapshot metrics;
+  // Service-level spans ("job", "queue-wait", one pid per job); empty
+  // unless ServiceConfig::observe.
+  Timeline timeline;
 };
 
 class TuningService {
@@ -191,8 +206,16 @@ class TuningService {
 
   ServiceConfig config_;
   Simulation sim_;
+  // Declared before the cloud/pool so the shared registry outlives (and is
+  // constructible before) the components recording into it.
+  MetricsRegistry metrics_;
+  MetricsScope svc_;  // "service." scope over metrics_
   SimulatedCloud cloud_;
   WarmPool pool_;
+  // Per-job executor.* snapshots, merged as jobs finish (each executor owns
+  // its registry so per-job reports never mix).
+  MetricsSnapshot executor_metrics_;
+  Timeline timeline_;
   std::vector<Job> jobs_;
   std::deque<size_t> queue_;
   std::map<std::string, ModelProfile> profiles_;  // keyed by workload name

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Byte-exact CLI baseline check: runs the CLI with the given flags and
+# diffs stdout against a checked-in golden transcript. These baselines were
+# captured before the metrics registry was threaded through the stack, so
+# they are the acceptance gate for "observability off is bit-identical":
+# any drift in a default (no --observe/--metrics-json/--chrome-trace) run
+# fails the diff.
+#
+# Usage: cli_baseline.sh <cli-binary> <golden-file> [cli args...]
+set -euo pipefail
+
+cli="$1"
+golden="$2"
+shift 2
+
+actual="$(mktemp)"
+trap 'rm -f "$actual"' EXIT
+
+"$cli" "$@" > "$actual"
+diff -u "$golden" "$actual"

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# End-to-end trace2chrome check: run an execute with --trace-csv, feed the
+# CSV (plus injected garbage rows) back through `rubberband trace2chrome`,
+# and verify the converter reports the malformed-row count and emits a
+# well-formed trace-event document.
+#
+# Usage: cli_trace2chrome.sh <cli-binary>
+set -euo pipefail
+
+cli="$1"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$cli" execute --trials=8 --max-iters=14 --eta=2 --deadline-min=30 --seed=3 --trace-csv \
+  | sed -n '/^time_s,/,$p' > "$workdir/trace.csv"
+[[ -s "$workdir/trace.csv" ]] || { echo "no CSV captured from execute --trace-csv" >&2; exit 1; }
+
+# Clean conversion: no parse errors reported, JSON written.
+"$cli" trace2chrome --in="$workdir/trace.csv" --out="$workdir/trace.json" 2> "$workdir/log"
+grep -q "traceEvents" "$workdir/trace.json"
+grep -q "displayTimeUnit" "$workdir/trace.json"
+if grep -q "malformed" "$workdir/log"; then
+  echo "clean CSV reported parse errors:" >&2
+  cat "$workdir/log" >&2
+  exit 1
+fi
+
+# Corrupted conversion: garbage rows are counted, good rows still convert.
+{ cat "$workdir/trace.csv"; echo "not,a,valid,row"; echo "garbage"; } > "$workdir/bad.csv"
+"$cli" trace2chrome --in="$workdir/bad.csv" --out="$workdir/bad.json" 2> "$workdir/badlog"
+grep -q "2 malformed rows skipped" "$workdir/badlog"
+grep -q "traceEvents" "$workdir/bad.json"
+
+# A missing input is a hard error.
+if "$cli" trace2chrome --in="$workdir/absent.csv" 2>/dev/null; then
+  echo "trace2chrome accepted a missing input file" >&2
+  exit 1
+fi
+echo "trace2chrome checks passed"

@@ -194,6 +194,65 @@ TEST(Trace, FromCsvRejectsMalformedInput) {
   EXPECT_NO_THROW(ExecutionTrace::FromCsv(header));  // empty trace is fine
 }
 
+TEST(Trace, FromCsvCountsMalformedRowsInTolerantMode) {
+  // With a parse-error out-param, FromCsv salvages every good row and
+  // counts the bad ones instead of throwing — trace2chrome surfaces the
+  // count so a partially corrupted log still converts.
+  const std::string header = "time_s,event,stage,trial,instance\n";
+  const std::string csv = header +
+                          "1.000,STAGE_START,0,-1,-1\n"        // good
+                          "garbage row with no commas\n"       // unparseable
+                          "2.000,NOT_AN_EVENT,0,-1,-1\n"       // unknown event
+                          "3.000,SYNC,0\n"                     // truncated
+                          "3.500,SYNC,0,-1,-1,extra\n"         // too many fields
+                          "4.000,SYNC,0,-1,-1\n";              // good
+  int parse_errors = -1;
+  const ExecutionTrace trace = ExecutionTrace::FromCsv(csv, &parse_errors);
+  EXPECT_EQ(parse_errors, 4);
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].type, TraceEventType::kStageStart);
+  EXPECT_EQ(trace.events()[1].type, TraceEventType::kSync);
+  EXPECT_DOUBLE_EQ(trace.events()[1].time, 4.0);
+}
+
+TEST(Trace, FromCsvTolerantModeStillRejectsABadHeader) {
+  // Header damage means the file is not a trace at all; tolerant mode only
+  // forgives row damage.
+  int parse_errors = -1;
+  EXPECT_THROW(ExecutionTrace::FromCsv("", &parse_errors), std::invalid_argument);
+  EXPECT_THROW(ExecutionTrace::FromCsv("time,event\n1.0,SYNC\n", &parse_errors),
+               std::invalid_argument);
+}
+
+TEST(Trace, FromCsvReportsZeroErrorsOnACleanFile) {
+  ExecutionTrace trace;
+  trace.Record(1.0, TraceEventType::kStageStart, 0);
+  trace.Record(2.0, TraceEventType::kSync, 0);
+  int parse_errors = -1;
+  const ExecutionTrace parsed = ExecutionTrace::FromCsv(trace.ToCsv(), &parse_errors);
+  EXPECT_EQ(parse_errors, 0);
+  EXPECT_EQ(parsed.events().size(), 2u);
+}
+
+TEST(Trace, FromCsvRejectsNumbersWithTrailingGarbage) {
+  // std::stoi("12abc") silently truncates; the strict full-token parse must
+  // reject it in both modes, not round-trip a garbled row as a different
+  // event.
+  const std::string header = "time_s,event,stage,trial,instance\n";
+  const std::string bad_stage = header + "1.0,SYNC,0abc,-1,-1\n";
+  const std::string bad_time = header + "1.0x,SYNC,0,-1,-1\n";
+  const std::string bad_instance = header + "1.0,SYNC,0,-1,-1junk\n";
+  EXPECT_THROW(ExecutionTrace::FromCsv(bad_stage), std::invalid_argument);
+  EXPECT_THROW(ExecutionTrace::FromCsv(bad_time), std::invalid_argument);
+  EXPECT_THROW(ExecutionTrace::FromCsv(bad_instance), std::invalid_argument);
+  for (const std::string* csv : {&bad_stage, &bad_time, &bad_instance}) {
+    int parse_errors = -1;
+    const ExecutionTrace trace = ExecutionTrace::FromCsv(*csv, &parse_errors);
+    EXPECT_EQ(parse_errors, 1);
+    EXPECT_TRUE(trace.empty());
+  }
+}
+
 TEST(Trace, PreemptionsAreInstanceScopedAndRestartsTrialScoped) {
   // A spot run exercises the recovery path: the provider reclaims machines
   // (instance-scoped events) and the executor restarts the trials that were

@@ -9,22 +9,33 @@
 #
 # Run from the repository root: tools/check.sh
 #
+# The default tier also enforces a wall-clock budget (RB_SMOKE_BUDGET_S,
+# default 300s) on the test run: the smoke suite is the edit-compile-test
+# loop, and a runaway test that balloons it should fail loudly, not be
+# quietly absorbed.
+#
+# tools/check.sh --conformance runs only the sim-vs-execution conformance
+# and golden-artifact suite (ctest -L conformance) in the default build
+# tree.
+#
 # tools/check.sh --sanitize rebuilds into build-asan/ with
 # -fsanitize=address,undefined and runs the suite under both sanitizers
 # (slower; catches the memory and UB bugs the plain build cannot).
 #
 # tools/check.sh --tsan rebuilds into build-tsan/ with -fsanitize=thread
 # and runs the concurrency-relevant subset (thread pool, parallel plan
-# evaluation, planners, service, straggler handling) under ThreadSanitizer.
+# evaluation, planners, service, straggler handling, metrics registry)
+# under ThreadSanitizer via the tsan ctest label (-DRB_TSAN_SUITE=ON).
 #
-# tools/check.sh --all runs the three tiers back to back (default,
-# --sanitize, --tsan) and prints a one-line pass/fail verdict per tier.
+# tools/check.sh --all runs the four tiers back to back (default,
+# --conformance, --sanitize, --tsan) and prints a one-line pass/fail
+# verdict per tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--all" ]]; then
-  declare -a tiers=(default sanitize tsan)
+  declare -a tiers=(default conformance sanitize tsan)
   declare -a verdicts=()
   status=0
   for tier in "${tiers[@]}"; do
@@ -46,6 +57,7 @@ if [[ "${1:-}" == "--all" ]]; then
 fi
 
 build_dir=build
+budget_s=""
 cmake_args=()
 ctest_args=()
 if [[ "${1:-}" == "--sanitize" ]]; then
@@ -59,12 +71,17 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   build_dir=build-tsan
   cmake_args+=(
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    -DRB_TSAN_SUITE=ON
     "-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-omit-frame-pointer"
     "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread"
   )
-  ctest_args+=(-R '(ThreadPool|PlanEvaluator|Planner|FairAllocation|Service|Straggler)')
-elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize|--tsan|--all]" >&2
+  ctest_args+=(-L tsan)
+elif [[ "${1:-}" == "--conformance" ]]; then
+  ctest_args+=(-L conformance)
+elif [[ $# -eq 0 ]]; then
+  budget_s="${RB_SMOKE_BUDGET_S:-300}"
+else
+  echo "usage: tools/check.sh [--conformance|--sanitize|--tsan|--all]" >&2
   exit 2
 fi
 
@@ -79,4 +96,13 @@ if grep -E "warning:" "$log" >/dev/null; then
 fi
 
 cd "$build_dir"
+test_start=$SECONDS
 ctest --output-on-failure "${ctest_args[@]}" -j
+test_elapsed=$((SECONDS - test_start))
+if [[ -n "$budget_s" ]]; then
+  echo "test wall clock: ${test_elapsed}s (budget ${budget_s}s)"
+  if (( test_elapsed > budget_s )); then
+    echo "error: test suite exceeded its ${budget_s}s wall-clock budget" >&2
+    exit 1
+  fi
+fi

@@ -5,6 +5,9 @@
 //   rubberband sweep   [flags]   cost vs deadline exploration
 //   rubberband asha    [flags]   run the ASHA baseline on the same substrate
 //   rubberband serve   [flags]   replay a job-arrival trace on the service
+//   rubberband trace2chrome --in=<trace.csv> [--out=<trace.json>]
+//                                convert a --trace-csv event log to Chrome
+//                                trace-event JSON (chrome://tracing, Perfetto)
 //
 // Common flags:
 //   --workload=resnet101-cifar10   (see FindWorkload for the catalog)
@@ -27,6 +30,10 @@
 //   --mitigate-stragglers          detect stragglers from observed iteration
 //                                  times and quarantine them (checkpoint out,
 //                                  discard instance, restart on a replacement)
+//   Observability (execute and serve):
+//   --metrics-json=<path>          write the metrics registry snapshot as JSON
+//   --chrome-trace=<path>          write a Chrome trace-event JSON timeline
+//   --top-phases                   print phases ranked by total time
 // plan:     --render (ASCII chart), --budget=<dollars> (adds the min-time dual)
 // execute:  --trace-csv (dump the event log)
 //           --replan (re-plan remaining stages when faults burn deadline slack)
@@ -36,9 +43,14 @@
 //           (each job runs the common SHA spec/deadline; arrivals --gap-s apart)
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/common/flags.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/rubberband.h"
 
 namespace rubberband {
@@ -58,6 +70,65 @@ struct CliSetup {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+// Observability outputs shared by execute and serve. Any of the flags turns
+// on span/histogram recording (--observe alone records without exporting).
+struct ObsFlags {
+  std::string metrics_json;
+  std::string chrome_trace;
+  bool top_phases = false;
+  bool observe = false;
+
+  bool Enabled() const {
+    return observe || top_phases || !metrics_json.empty() || !chrome_trace.empty();
+  }
+};
+
+ObsFlags ParseObsFlags(const Flags& flags) {
+  ObsFlags obs;
+  obs.metrics_json = flags.GetString("metrics-json", "");
+  obs.chrome_trace = flags.GetString("chrome-trace", "");
+  obs.top_phases = flags.GetBool("top-phases");
+  obs.observe = flags.GetBool("observe");
+  return obs;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: failed to write '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Writes the metrics/chrome-trace artifacts and prints the phase summary.
+// Returns 0, or 1 if any file write failed.
+int EmitObservability(const ObsFlags& obs, const MetricsSnapshot& metrics,
+                      const Timeline& timeline, const std::string& chrome_json) {
+  int status = 0;
+  if (!obs.metrics_json.empty()) {
+    if (WriteFile(obs.metrics_json, metrics.ToJson())) {
+      std::printf("metrics: wrote %s\n", obs.metrics_json.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  if (!obs.chrome_trace.empty()) {
+    if (WriteFile(obs.chrome_trace, chrome_json)) {
+      std::printf("chrome trace: wrote %s (open in chrome://tracing or Perfetto)\n",
+                  obs.chrome_trace.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  if (obs.top_phases) {
+    std::printf("\n%s", TopPhasesSummary(timeline).c_str());
+  }
+  return status;
 }
 
 bool BuildSetup(const Flags& flags, CliSetup& setup) {
@@ -155,8 +226,10 @@ int RunExecute(const Flags& flags, CliSetup& setup) {
       PlanGreedy({setup.spec, setup.profile, setup.cloud, setup.deadline}, setup.planner);
   PrintJob("rubberband", job);
 
+  const ObsFlags obs = ParseObsFlags(flags);
   ExecutorOptions options;
   options.seed = setup.seed;
+  options.observe = obs.Enabled();
   if (setup.mitigate_stragglers) {
     options.straggler.detect = true;
     options.straggler.mitigate = true;
@@ -206,7 +279,9 @@ int RunExecute(const Flags& flags, CliSetup& setup) {
   if (flags.GetBool("trace-csv")) {
     std::printf("\n%s", report.trace.ToCsv().c_str());
   }
-  return 0;
+  return EmitObservability(obs, report.metrics, report.timeline,
+                           obs.chrome_trace.empty() ? std::string()
+                                                    : ChromeTraceFromReport(report));
 }
 
 int RunSweep(const Flags& flags, CliSetup& setup) {
@@ -263,8 +338,10 @@ int RunServe(const Flags& flags, CliSetup& setup) {
     return Fail("serve needs --jobs >= 1 and --gap-s >= 0");
   }
 
+  const ObsFlags obs = ParseObsFlags(flags);
   ServiceConfig config;
   config.cloud = setup.cloud;
+  config.observe = obs.Enabled();
   config.capacity_gpus = flags.GetInt("capacity-gpus", 64);
   config.overcommit = flags.GetDouble("overcommit", 1.0);
   if (flags.GetBool("warm")) {
@@ -341,16 +418,77 @@ int RunServe(const Flags& flags, CliSetup& setup) {
                 report.total_stragglers_quarantined,
                 report.total_straggler_mitigation_seconds);
   }
+  // The fleet view: service-level spans plus every job's executor phases
+  // (each job keeps its own pid, matching the Chrome export's process map).
+  Timeline fleet = report.timeline;
+  for (size_t i = 0; i < report.jobs.size(); ++i) {
+    fleet.Append(report.jobs[i].timeline, static_cast<int>(i) + 1);
+  }
+  return EmitObservability(obs, report.metrics, fleet,
+                           obs.chrome_trace.empty() ? std::string()
+                                                    : ChromeTraceFromService(report));
+}
+
+int RunTraceToChrome(const Flags& flags) {
+  const std::string in_path = flags.GetString("in", "");
+  if (in_path.empty()) {
+    return Fail("trace2chrome needs --in=<trace.csv> (output of execute --trace-csv)");
+  }
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    return Fail("cannot read '" + in_path + "'");
+  }
+  std::ostringstream csv;
+  csv << in.rdbuf();
+
+  int parse_errors = 0;
+  ExecutionTrace trace;
+  try {
+    trace = ExecutionTrace::FromCsv(csv.str(), &parse_errors);
+  } catch (const std::exception& e) {
+    return Fail(std::string("unparseable trace CSV: ") + e.what());
+  }
+  std::fprintf(stderr, "trace2chrome: %zu events from %s", trace.events().size(),
+               in_path.c_str());
+  if (parse_errors > 0) {
+    std::fprintf(stderr, " (%d malformed row%s skipped)", parse_errors,
+                 parse_errors == 1 ? "" : "s");
+  }
+  std::fprintf(stderr, "\n");
+
+  ChromeTraceBuilder builder;
+  builder.SetProcessName(1, "job");
+  builder.AddExecutionTrace(trace, 1);
+  const std::string json = builder.ToJson();
+
+  const std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    std::printf("%s", json.c_str());
+  } else if (!WriteFile(out_path, json)) {
+    return 1;
+  } else {
+    std::fprintf(stderr, "trace2chrome: wrote %s\n", out_path.c_str());
+  }
   return 0;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s plan|execute|sweep|asha|serve [--flags]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s plan|execute|sweep|asha|serve|trace2chrome [--flags]\n",
+                 argv[0]);
     return 2;
   }
   const std::string command = argv[1];
   const Flags flags = Flags::Parse(argc - 2, argv + 2);
+
+  // trace2chrome is a pure file converter — no workload setup (or banner).
+  if (command == "trace2chrome") {
+    const int status = RunTraceToChrome(flags);
+    for (const std::string& key : flags.UnusedKeys()) {
+      std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+    }
+    return status;
+  }
 
   CliSetup setup;
   if (!BuildSetup(flags, setup)) {
