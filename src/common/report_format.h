@@ -1,0 +1,52 @@
+// Shared pretty-printing of execution and service reports.
+//
+// One formatter serves every surface that renders a report — the `execute`
+// and `serve` CLI paths and the serving front door's `report` endpoint —
+// so the human-readable rendering cannot drift between them. The output is
+// byte-identical to the historical CLI printf output (the CLI golden
+// baselines pin it).
+
+#ifndef SRC_COMMON_REPORT_FORMAT_H_
+#define SRC_COMMON_REPORT_FORMAT_H_
+
+#include <string>
+
+#include "src/executor/executor.h"
+#include "src/service/tuning_service.h"
+
+namespace rubberband {
+
+struct ExecutionFormatOptions {
+  // Print the fault/recovery summary lines (the CLI enables this when any
+  // fault class was injected).
+  bool show_faults = false;
+  // Print the straggler summary line (injection configured or detections
+  // observed).
+  bool show_stragglers = false;
+  // Absolute deadline for the fault summary's met/MISSED tail.
+  Seconds deadline = 0.0;
+};
+
+// "executed: JCT ..., cost ..." plus utilization/fault/straggler lines.
+std::string FormatExecutionSummary(const ExecutionReport& report,
+                                   const ExecutionFormatOptions& options = {});
+
+// The per-stage allocation table ("epoch range  trials  GPUs/trial ...").
+std::string FormatStageTable(const ExecutionReport& report);
+
+struct ServiceFormatOptions {
+  bool show_faults = false;
+  bool show_stragglers = false;
+};
+
+// The per-job state table ("job  state  submit  wait  jct  cost  deadline").
+std::string FormatServiceJobTable(const ServiceReport& report);
+
+// The fleet summary: served/rejected counts, makespan, cost, warm pool,
+// utilization, planner cache, and (optionally) fault/straggler totals.
+std::string FormatServiceSummary(const ServiceReport& report,
+                                 const ServiceFormatOptions& options = {});
+
+}  // namespace rubberband
+
+#endif  // SRC_COMMON_REPORT_FORMAT_H_

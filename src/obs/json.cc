@@ -1,6 +1,7 @@
 #include "src/obs/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -244,6 +245,104 @@ JsonValue JsonValue::MakeString(std::string value) {
   v.type_ = Type::kString;
   v.string_ = std::move(value);
   return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  if (type_ != Type::kObject) {
+    *this = MakeObject();
+  }
+  object_[key] = std::move(value);
+  return *this;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  if (type_ != Type::kArray) {
+    *this = MakeArray();
+  }
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void AppendNumber(std::string& out, double value) {
+  // Integral values in the exact double range print as integers; the rest
+  // use %.17g, which round-trips any double through the parser.
+  if (value == static_cast<double>(static_cast<int64_t>(value)) && std::abs(value) < 9e15) {
+    out += std::to_string(static_cast<int64_t>(value));
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+void AppendValue(std::string& out, const JsonValue& value) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      out += value.bool_value() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber:
+      AppendNumber(out, value.number());
+      return;
+    case JsonValue::Type::kString:
+      out += '"';
+      out += JsonEscape(value.string());
+      out += '"';
+      return;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& element : value.array()) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        AppendValue(out, element);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object()) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        out += '"';
+        out += JsonEscape(key);
+        out += "\":";
+        AppendValue(out, member);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::ToJson() const {
+  std::string out;
+  AppendValue(out, *this);
+  return out;
 }
 
 bool JsonValue::operator==(const JsonValue& other) const {

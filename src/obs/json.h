@@ -55,6 +55,19 @@ class JsonValue {
   static JsonValue MakeBool(bool value);
   static JsonValue MakeNumber(double value);
   static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  // Mutators for document building (the wire protocol assembles responses
+  // as JsonValue trees). Set converts this value to an object if needed;
+  // Append converts it to an array.
+  JsonValue& Set(const std::string& key, JsonValue value);
+  JsonValue& Append(JsonValue value);
+
+  // Serializes the document. Objects emit key-sorted members (they are
+  // stored in a sorted map), so output is deterministic; integral numbers
+  // within the exact double range print without a decimal point.
+  std::string ToJson() const;
 
  private:
   Type type_ = Type::kNull;

@@ -74,6 +74,44 @@ const std::vector<int64_t>& DefaultLatencyBucketsNs() {
   return kBounds;
 }
 
+const std::vector<int64_t>& FineLatencyBucketsNs() {
+  static const std::vector<int64_t> kBounds = [] {
+    std::vector<int64_t> bounds;
+    for (int64_t bound = 1'000; bound <= 4'000'000'000; bound *= 2) {
+      bounds.push_back(bound);  // 1us, 2us, ..., ~4s
+    }
+    return bounds;
+  }();
+  return kBounds;
+}
+
+double HistogramSnapshot::QuantileNs(double q) const {
+  if (count <= 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const int64_t in_bucket = counts[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (i >= bounds_ns.size()) {
+        return static_cast<double>(bounds_ns.empty() ? 0 : bounds_ns.back());
+      }
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds_ns[i - 1]);
+      const double upper = static_cast<double>(bounds_ns[i]);
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(bounds_ns.empty() ? 0 : bounds_ns.back());
+}
+
 void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) {
     counters[name] += value;

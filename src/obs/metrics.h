@@ -71,6 +71,13 @@ struct HistogramSnapshot {
   // bounds. Integer adds make the merge exact and order-independent.
   void Merge(const HistogramSnapshot& other);
 
+  // Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  // bucket holding the q-th sample; 0 on an empty histogram. Values landing
+  // in the overflow bucket report the highest finite bound (a lower bound
+  // on the true quantile — size the buckets to cover the expected range).
+  double QuantileNs(double q) const;
+  double QuantileSeconds(double q) const { return QuantileNs(q) / 1e9; }
+
   bool operator==(const HistogramSnapshot& other) const = default;
 };
 
@@ -96,6 +103,11 @@ class Histogram {
 // Default latency buckets: 1ms .. ~1h in roughly 4x steps (simulated
 // latencies span checkpoint transfers to multi-minute provisioning waits).
 const std::vector<int64_t>& DefaultLatencyBucketsNs();
+
+// Fine-grained wall-clock buckets: 1us .. ~4s in 2x steps. The serving
+// front door records real (not simulated) submit→decision latencies, which
+// live three orders of magnitude below the simulated-latency buckets.
+const std::vector<int64_t>& FineLatencyBucketsNs();
 
 // A point-in-time copy of a registry (or a merge of several), keyed by
 // full metric name. Sorted maps make ToJson deterministic.

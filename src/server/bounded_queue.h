@@ -1,0 +1,89 @@
+// Bounded multi-producer single-consumer queue with explicit rejection.
+//
+// The serving front door's admission queue: connection threads TryPush
+// requests, the single service thread drains them in batches. A full queue
+// never blocks a producer — TryPush fails immediately so the I/O thread can
+// answer QUEUE_FULL with a retry-after hint instead of holding the socket
+// hostage. Backpressure is a protocol feature, not an accident of buffer
+// sizes.
+
+#ifndef SRC_SERVER_BOUNDED_QUEUE_H_
+#define SRC_SERVER_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rubberband {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Enqueues unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Moves every queued item into `*out` (appended), waiting up to
+  // `timeout` for the first one. Returns the number drained — 0 on timeout
+  // or on a closed-and-empty queue.
+  size_t DrainFor(std::vector<T>* out, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; });
+    const size_t drained = items_.size();
+    while (!items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return drained;
+  }
+
+  // Rejects future pushes and wakes the consumer. Items already queued
+  // remain drainable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_SERVER_BOUNDED_QUEUE_H_

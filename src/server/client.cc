@@ -1,0 +1,82 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/server/framing.h"
+
+namespace rubberband {
+
+bool Client::Connect(const std::string& host, int port, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad address '" + host + "'";
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Call(const std::string& method, const JsonValue& params, const std::string& tenant,
+                  JsonValue* response, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("id", JsonValue::MakeNumber(static_cast<double>(next_id_++)));
+  request.Set("tenant", JsonValue::MakeString(tenant));
+  request.Set("method", JsonValue::MakeString(method));
+  request.Set("params", params);
+
+  if (!WriteFrame(fd_, request.ToJson(), error)) {
+    Close();
+    return false;
+  }
+  std::string payload;
+  const int status = ReadFrame(fd_, &payload, error);
+  if (status <= 0) {
+    if (status == 0) {
+      *error = "connection closed by server";
+    }
+    Close();
+    return false;
+  }
+  try {
+    *response = JsonValue::Parse(payload);
+  } catch (const std::exception& e) {
+    *error = std::string("malformed response: ") + e.what();
+    Close();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rubberband

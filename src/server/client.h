@@ -1,0 +1,40 @@
+// Blocking client for the serving front door: one TCP connection, framed
+// JSON request/response pairs in lockstep. Used by the `rubberband client`
+// CLI subcommand, the server tests, and the closed-loop load generator.
+
+#ifndef SRC_SERVER_CLIENT_H_
+#define SRC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace rubberband {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool Connect(const std::string& host, int port, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends one request and blocks for its response. Returns false with
+  // `*error` set on transport failure (the connection is closed); protocol
+  // errors come back as a parsed `ok: false` envelope, not a failure.
+  bool Call(const std::string& method, const JsonValue& params, const std::string& tenant,
+            JsonValue* response, std::string* error);
+
+ private:
+  int fd_ = -1;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_SERVER_CLIENT_H_

@@ -1,0 +1,132 @@
+#include "src/server/framing.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace rubberband {
+
+namespace {
+
+void PutPrefix(uint32_t length, char out[4]) {
+  out[0] = static_cast<char>((length >> 24) & 0xff);
+  out[1] = static_cast<char>((length >> 16) & 0xff);
+  out[2] = static_cast<char>((length >> 8) & 0xff);
+  out[3] = static_cast<char>(length & 0xff);
+}
+
+uint32_t GetPrefix(const char in[4]) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(in[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[3]));
+}
+
+// Writes all of `data`, retrying on EINTR and short writes. MSG_NOSIGNAL
+// turns a write to a peer-closed socket into an EPIPE error return instead
+// of a process-killing SIGPIPE — connection teardown races are routine
+// (the server shuts connections down during Stop()), not fatal.
+bool WriteAll(int fd, const char* data, size_t size, std::string* error) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads exactly `size` bytes. Returns 1 on success, 0 on EOF before the
+// first byte, -1 on error or EOF mid-message.
+int ReadAll(int fd, char* data, size_t size, std::string* error) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = std::string("read: ") + std::strerror(errno);
+      return -1;
+    }
+    if (n == 0) {
+      if (got == 0) {
+        return 0;
+      }
+      *error = "connection closed mid-frame";
+      return -1;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const std::string& payload) {
+  char prefix[4];
+  PutPrefix(static_cast<uint32_t>(payload.size()), prefix);
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.append(prefix, 4);
+  frame.append(payload);
+  return frame;
+}
+
+int DecodeFrame(std::string& buffer, std::string* payload, std::string* error) {
+  if (buffer.size() < 4) {
+    return 0;
+  }
+  const uint32_t length = GetPrefix(buffer.data());
+  if (length > kMaxFrameBytes) {
+    *error = "frame of " + std::to_string(length) + " bytes exceeds limit";
+    return -1;
+  }
+  if (buffer.size() < 4 + static_cast<size_t>(length)) {
+    return 0;
+  }
+  payload->assign(buffer, 4, length);
+  buffer.erase(0, 4 + static_cast<size_t>(length));
+  return 1;
+}
+
+bool WriteFrame(int fd, const std::string& payload, std::string* error) {
+  if (payload.size() > kMaxFrameBytes) {
+    *error = "frame of " + std::to_string(payload.size()) + " bytes exceeds limit";
+    return false;
+  }
+  char prefix[4];
+  PutPrefix(static_cast<uint32_t>(payload.size()), prefix);
+  if (!WriteAll(fd, prefix, 4, error)) {
+    return false;
+  }
+  return WriteAll(fd, payload.data(), payload.size(), error);
+}
+
+int ReadFrame(int fd, std::string* payload, std::string* error) {
+  char prefix[4];
+  const int header = ReadAll(fd, prefix, 4, error);
+  if (header <= 0) {
+    return header;
+  }
+  const uint32_t length = GetPrefix(prefix);
+  if (length > kMaxFrameBytes) {
+    *error = "frame of " + std::to_string(length) + " bytes exceeds limit";
+    return -1;
+  }
+  payload->resize(length);
+  if (length == 0) {
+    return 1;
+  }
+  return ReadAll(fd, payload->data(), length, error) == 1 ? 1 : -1;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,39 @@
+// Length-prefixed message framing over a byte stream.
+//
+// Every message on the wire is a 4-byte big-endian payload length followed
+// by that many bytes of UTF-8 JSON. The prefix makes message boundaries
+// explicit (TCP is a byte stream), lets the reader allocate exactly once,
+// and gives the server a cheap place to enforce a maximum request size
+// before parsing anything.
+
+#ifndef SRC_SERVER_FRAMING_H_
+#define SRC_SERVER_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rubberband {
+
+// Hard cap on a single frame's payload. Requests are small JSON documents;
+// responses carrying a Chrome trace can run to a few MB.
+inline constexpr uint32_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+// Encodes `payload` as prefix + bytes (for tests and in-memory transports).
+std::string EncodeFrame(const std::string& payload);
+
+// Decodes one frame from the front of `buffer`. Returns 1 and fills
+// `*payload` (erasing the consumed bytes) when a complete frame is
+// buffered, 0 when more bytes are needed, and -1 (with `*error` set) when
+// the prefix announces an oversized frame.
+int DecodeFrame(std::string& buffer, std::string* payload, std::string* error);
+
+// Blocking frame I/O on a file descriptor. WriteFrame returns false with
+// `*error` set on any short write or oversized payload. ReadFrame returns
+// 1 on a frame, 0 on clean EOF at a message boundary, and -1 with `*error`
+// set on a truncated frame, read error, or oversized announcement.
+bool WriteFrame(int fd, const std::string& payload, std::string* error);
+int ReadFrame(int fd, std::string* payload, std::string* error);
+
+}  // namespace rubberband
+
+#endif  // SRC_SERVER_FRAMING_H_

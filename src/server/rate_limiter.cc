@@ -1,0 +1,38 @@
+#include "src/server/rate_limiter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rubberband {
+
+RateDecision RateLimiter::Admit(const std::string& tenant, int64_t now_ns) {
+  if (!enabled()) {
+    return RateDecision{};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = buckets_.try_emplace(tenant);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    // A new tenant starts with a full bucket: the first burst is free, the
+    // sustained rate binds from there.
+    bucket.tokens = std::max(config_.burst, 1.0);
+    bucket.refilled_ns = now_ns;
+  } else if (now_ns > bucket.refilled_ns) {
+    const double elapsed_s = static_cast<double>(now_ns - bucket.refilled_ns) / 1e9;
+    bucket.tokens = std::min(std::max(config_.burst, 1.0),
+                             bucket.tokens + elapsed_s * config_.rate_per_second);
+    bucket.refilled_ns = now_ns;
+  }
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return RateDecision{};
+  }
+  RateDecision decision;
+  decision.admitted = false;
+  const double deficit = 1.0 - bucket.tokens;
+  decision.retry_after_ns =
+      static_cast<int64_t>(std::ceil(deficit / config_.rate_per_second * 1e9));
+  return decision;
+}
+
+}  // namespace rubberband

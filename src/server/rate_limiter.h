@@ -1,0 +1,55 @@
+// Per-tenant token-bucket rate limiting.
+//
+// Each tenant owns one bucket: `rate_per_second` tokens refill continuously
+// up to a `burst` cap, and every request spends one token. An empty bucket
+// rejects the request and reports how long until a token is available, so
+// the server can answer RATE_LIMITED with an honest retry-after instead of
+// a blind backoff hint. Buckets are created on first sight of a tenant.
+//
+// Time is supplied by the caller in nanoseconds on any monotonic scale —
+// the server passes steady_clock, tests pass synthetic timestamps — which
+// keeps the arithmetic deterministic and clock-free under test.
+
+#ifndef SRC_SERVER_RATE_LIMITER_H_
+#define SRC_SERVER_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rubberband {
+
+struct RateLimitConfig {
+  double rate_per_second = 0.0;  // sustained request rate; <= 0 disables
+  double burst = 1.0;            // bucket capacity (instantaneous burst)
+};
+
+struct RateDecision {
+  bool admitted = true;
+  int64_t retry_after_ns = 0;  // time until one token exists (when rejected)
+};
+
+class RateLimiter {
+ public:
+  explicit RateLimiter(const RateLimitConfig& config) : config_(config) {}
+
+  // Spends one token from `tenant`'s bucket at monotonic time `now_ns`.
+  RateDecision Admit(const std::string& tenant, int64_t now_ns);
+
+  bool enabled() const { return config_.rate_per_second > 0.0; }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    int64_t refilled_ns = 0;
+  };
+
+  RateLimitConfig config_;
+  std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_SERVER_RATE_LIMITER_H_

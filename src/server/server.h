@@ -1,0 +1,119 @@
+// Framed-TCP front door for the tuning service.
+//
+// Threading model (DESIGN.md §13): one accept thread, one blocking reader
+// thread per connection, one service thread. I/O threads parse and
+// pre-screen requests — malformed envelopes, per-tenant token-bucket rate
+// limits, and a full admission queue are all answered directly from the
+// I/O thread with an honest retry-after, so an overloaded service never
+// has its rejections queued behind the very backlog that caused them. Only
+// admitted requests cross the bounded MPSC queue to the single service
+// thread that owns the TuningService.
+
+#ifndef SRC_SERVER_SERVER_H_
+#define SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/bounded_queue.h"
+#include "src/server/protocol.h"
+#include "src/server/rate_limiter.h"
+#include "src/server/service_runner.h"
+
+namespace rubberband {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = kernel-assigned; read back via port()
+  // Admission queue depth. Full queue => QUEUE_FULL with retry-after.
+  size_t queue_capacity = 256;
+  // Per-tenant submit rate (token bucket); rate_per_second <= 0 disables.
+  RateLimitConfig rate;
+  RunnerOptions runner;
+  // Where `drain` (mode "snapshot") persists the service snapshot; empty
+  // keeps the snapshot response-only.
+  std::string snapshot_path;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and starts the accept + service threads. On a restore,
+  // pass the snapshot JSON; throws std::runtime_error when the snapshot
+  // does not replay under this config. Returns false with `*error` set on
+  // socket errors.
+  bool Start(std::string* error);
+  bool StartRestored(const std::string& snapshot_json, std::string* error);
+
+  // Blocks until a drain request has been fully served (snapshot written /
+  // jobs finished) or Stop() is called from another thread.
+  void Wait();
+
+  // Shuts down the listener, all connections, and both thread pools.
+  // Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  bool draining() const;
+
+  // The server's own request-path metrics (server.* scope): per-method
+  // counters, rejection counters, submit→decision latency histogram.
+  MetricsSnapshot ServerMetrics() const { return metrics_.Snapshot(); }
+
+ private:
+  struct PendingOp {
+    Request request;
+    int64_t received_ns = 0;  // steady clock, for decision latency
+    std::promise<OpResult> reply;
+  };
+
+  bool StartWithRunner(std::unique_ptr<ServiceRunner> runner, std::string* error);
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  void ServiceLoop();
+  // I/O-thread screening: returns true when `request` was answered locally
+  // (rejection) and must not be enqueued.
+  bool Prescreen(const Request& request, std::string* response);
+  void FinishDrain(const std::string& snapshot_json);
+
+  ServerOptions options_;
+  MetricsRegistry metrics_;
+  RateLimiter limiter_;
+  BoundedQueue<std::unique_ptr<PendingOp>> queue_;
+  std::unique_ptr<ServiceRunner> runner_;  // touched only by the service thread
+
+  // Owned by StartWithRunner until the threads spawn; Stop() takes it back
+  // with an exchange so teardown races with the accept thread are benign.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  // EWMA of service-thread op handling time, the honest basis for the
+  // QUEUE_FULL retry-after hint.
+  std::atomic<int64_t> avg_op_ns_{1'000'000};
+
+  std::thread accept_thread_;
+  std::thread service_thread_;
+  std::mutex conn_mu_;
+  std::map<int, std::thread> connections_;  // fd -> reader thread
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_SERVER_SERVER_H_

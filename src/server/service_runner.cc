@@ -1,0 +1,398 @@
+#include "src/server/service_runner.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/report_format.h"
+#include "src/obs/chrome_trace.h"
+
+namespace rubberband {
+
+namespace {
+
+constexpr int kSnapshotVersion = 1;
+
+JsonValue Num(double value) { return JsonValue::MakeNumber(value); }
+JsonValue Str(std::string value) { return JsonValue::MakeString(std::move(value)); }
+
+// The config fields a snapshot pins. Replay only reproduces the original
+// run under the original seed/capacity/cloud shape, so restore refuses a
+// drifted config instead of silently diverging.
+JsonValue ConfigFingerprint(const ServiceConfig& config) {
+  JsonValue fp = JsonValue::MakeObject();
+  fp.Set("seed", Num(static_cast<double>(config.seed)));
+  fp.Set("capacity_gpus", Num(config.capacity_gpus));
+  fp.Set("overcommit", Num(config.overcommit));
+  fp.Set("warm_max_parked", Num(config.warm_pool.max_parked));
+  fp.Set("warm_ttl_s", Num(config.warm_pool.max_idle_seconds));
+  fp.Set("replan_on_faults", JsonValue::MakeBool(config.replan_on_faults));
+  fp.Set("instance", Str(config.cloud.instance.name));
+  fp.Set("instance_price_micros",
+         Num(static_cast<double>(config.cloud.instance.price_per_hour.micros())));
+  return fp;
+}
+
+}  // namespace
+
+OpResult OpResult::Ok(JsonValue body) {
+  OpResult result;
+  result.body = std::move(body);
+  return result;
+}
+
+OpResult OpResult::Error(std::string code, std::string message, int64_t retry_after_ms) {
+  OpResult result;
+  result.ok = false;
+  result.code = std::move(code);
+  result.message = std::move(message);
+  result.retry_after_ms = retry_after_ms;
+  return result;
+}
+
+ServiceRunner::ServiceRunner(const RunnerOptions& options)
+    : options_(options), service_(std::make_unique<TuningService>(options.service)) {
+  service_->StartLive();
+}
+
+OpResult ServiceRunner::Handle(const Request& request, const MetricsSnapshot* server_metrics) {
+  try {
+    if (request.method == "submit") {
+      return HandleSubmit(request);
+    }
+    if (request.method == "cancel") {
+      return HandleCancel(request);
+    }
+    if (request.method == "status") {
+      return HandleStatus(request);
+    }
+    if (request.method == "report") {
+      return HandleReport();
+    }
+    if (request.method == "metrics") {
+      return HandleMetrics(server_metrics);
+    }
+    if (request.method == "trace") {
+      return HandleTrace();
+    }
+    if (request.method == "advance") {
+      return HandleAdvance(request);
+    }
+    if (request.method == "drain") {
+      return HandleDrain(request);
+    }
+    if (request.method == "ping") {
+      JsonValue pong = JsonValue::MakeObject();
+      pong.Set("now_s", Num(service_->now()));
+      return OpResult::Ok(std::move(pong));
+    }
+    return OpResult::Error(kErrBadRequest, "unknown method '" + request.method + "'");
+  } catch (const std::exception& e) {
+    return OpResult::Error(kErrInternal, e.what());
+  }
+}
+
+OpResult ServiceRunner::HandleSubmit(const Request& request) {
+  if (draining_) {
+    return OpResult::Error(kErrDraining, "server is draining; resubmit after restart");
+  }
+  JobRequest job;
+  std::string error;
+  if (!ParseJobRequest(request.params, &job, &error)) {
+    return OpResult::Error(kErrBadRequest, error);
+  }
+
+  // Settle the pending same-time event group BEFORE scheduling the arrival.
+  // Replay applies each journaled op as `AdvanceUntil(op.at); apply(op)`,
+  // so the live run must interleave clock and op identically — otherwise
+  // same-timestamp events would carry different sequence numbers live vs
+  // replayed and the heaps could pop in different orders.
+  service_->AdvanceUntil(service_->now());
+
+  Op op;
+  op.kind = Op::Kind::kSubmit;
+  op.at = service_->now();
+  op.tenant = request.tenant;
+  op.params = JobRequestToParams(job);
+
+  const size_t index = service_->SubmitLive(std::move(job));
+  journal_.push_back(std::move(op));
+  // Run the freshly scheduled group so an immediate arrival's admission
+  // decision lands before we answer (submit is synchronous up to the
+  // decision, asynchronous for execution). Replay reproduces this with the
+  // next op's pre-advance.
+  service_->AdvanceUntil(service_->now());
+
+  const JobOutcome& outcome = service_->outcome(index);
+  JsonValue result = JobStatusJson(outcome);
+  result.Set("index", Num(static_cast<double>(index)));
+  result.Set("now_s", Num(service_->now()));
+  return OpResult::Ok(std::move(result));
+}
+
+OpResult ServiceRunner::HandleCancel(const Request& request) {
+  if (!request.params.Has("job") || !request.params.at("job").is_string()) {
+    return OpResult::Error(kErrBadRequest, "cancel needs a string field 'job'");
+  }
+  const std::string& name = request.params.at("job").string();
+  const size_t index = service_->FindJob(name);
+  if (index == TuningService::kNoJob) {
+    return OpResult::Error(kErrNotFound, "no job named '" + name + "'");
+  }
+  // Same clock/op interleaving as replay (see HandleSubmit).
+  service_->AdvanceUntil(service_->now());
+
+  Op op;
+  op.kind = Op::Kind::kCancel;
+  op.at = service_->now();
+  op.tenant = request.tenant;
+  op.params = JsonValue::MakeObject();
+  op.params.Set("job", Str(name));
+
+  std::string error;
+  if (!service_->CancelLive(index, &error)) {
+    return OpResult::Error(kErrConflict, error);
+  }
+  journal_.push_back(std::move(op));
+
+  JsonValue result = JobStatusJson(service_->outcome(index));
+  return OpResult::Ok(std::move(result));
+}
+
+OpResult ServiceRunner::HandleStatus(const Request& request) {
+  if (request.params.Has("job")) {
+    if (!request.params.at("job").is_string()) {
+      return OpResult::Error(kErrBadRequest, "field 'job' must be a string");
+    }
+    const std::string& name = request.params.at("job").string();
+    const size_t index = service_->FindJob(name);
+    if (index == TuningService::kNoJob) {
+      return OpResult::Error(kErrNotFound, "no job named '" + name + "'");
+    }
+    JsonValue result = JobStatusJson(service_->outcome(index));
+    result.Set("now_s", Num(service_->now()));
+    return OpResult::Ok(std::move(result));
+  }
+  JsonValue jobs = JsonValue::MakeArray();
+  for (size_t i = 0; i < service_->num_jobs(); ++i) {
+    jobs.Append(JobStatusJson(service_->outcome(i)));
+  }
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("jobs", std::move(jobs));
+  result.Set("now_s", Num(service_->now()));
+  result.Set("draining", JsonValue::MakeBool(draining_));
+  return OpResult::Ok(std::move(result));
+}
+
+OpResult ServiceRunner::HandleReport() {
+  ServiceReport report = service_->SnapshotReport();
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("now_s", Num(service_->now()));
+  result.Set("completed", Num(report.completed));
+  result.Set("rejected", Num(report.rejected));
+  result.Set("cancelled", Num(report.cancelled));
+  result.Set("in_flight", Num(report.in_flight));
+  result.Set("deadline_misses", Num(report.deadline_misses));
+  result.Set("total_cost_dollars", Num(report.total_cost.Total().dollars()));
+  result.Set("aggregate_utilization", Num(report.aggregate_utilization));
+  // The same renderer the CLI uses, so the wire report and the terminal
+  // report cannot drift.
+  ServiceFormatOptions format;
+  format.show_faults = options_.service.cloud.fault.Any();
+  format.show_stragglers = options_.service.cloud.fault.straggler_rate > 0.0 ||
+                           report.total_stragglers_detected > 0;
+  result.Set("text", Str(FormatServiceJobTable(report) + FormatServiceSummary(report, format)));
+  return OpResult::Ok(std::move(result));
+}
+
+OpResult ServiceRunner::HandleMetrics(const MetricsSnapshot* server_metrics) {
+  MetricsSnapshot merged = service_->MetricsNow();
+  if (server_metrics != nullptr) {
+    merged.Merge(*server_metrics);
+  }
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("now_s", Num(service_->now()));
+  result.Set("metrics", JsonValue::Parse(merged.ToJson()));
+  return OpResult::Ok(std::move(result));
+}
+
+OpResult ServiceRunner::HandleTrace() {
+  ServiceReport report = service_->SnapshotReport();
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("now_s", Num(service_->now()));
+  result.Set("chrome_trace", Str(ChromeTraceFromService(report)));
+  return OpResult::Ok(std::move(result));
+}
+
+OpResult ServiceRunner::HandleAdvance(const Request& request) {
+  double seconds = 0.0;
+  if (request.params.Has("seconds")) {
+    if (!request.params.at("seconds").is_number() ||
+        request.params.at("seconds").number() < 0.0) {
+      return OpResult::Error(kErrBadRequest, "field 'seconds' must be a number >= 0");
+    }
+    seconds = request.params.at("seconds").number();
+  }
+  const Seconds target = service_->now() + seconds;
+  const size_t events = service_->AdvanceUntil(target);
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("now_s", Num(service_->now()));
+  result.Set("events", Num(static_cast<double>(events)));
+  result.Set("idle", JsonValue::MakeBool(service_->LiveIdle()));
+  return OpResult::Ok(std::move(result));
+}
+
+OpResult ServiceRunner::HandleDrain(const Request& request) {
+  std::string mode = "snapshot";
+  if (request.params.Has("mode")) {
+    if (!request.params.at("mode").is_string()) {
+      return OpResult::Error(kErrBadRequest, "field 'mode' must be a string");
+    }
+    mode = request.params.at("mode").string();
+  }
+  draining_ = true;
+  JsonValue result = JsonValue::MakeObject();
+  if (mode == "finish") {
+    // Run every admitted job to completion before stopping; nothing is
+    // left to resume, so the snapshot degenerates to a completed journal.
+    service_->FinishLive();
+    const ServiceReport report = service_->SnapshotReport();
+    result.Set("completed", Num(report.completed));
+    result.Set("in_flight", Num(report.in_flight));
+  } else if (mode == "snapshot") {
+    const ServiceReport report = service_->SnapshotReport();
+    result.Set("completed", Num(report.completed));
+    result.Set("in_flight", Num(report.in_flight));
+  } else {
+    draining_ = false;
+    return OpResult::Error(kErrBadRequest, "drain mode must be 'snapshot' or 'finish'");
+  }
+  result.Set("mode", Str(mode));
+  result.Set("now_s", Num(service_->now()));
+  return OpResult::Ok(std::move(result));
+}
+
+void ServiceRunner::Tick() {
+  if (options_.auto_advance_step <= 0.0) {
+    return;
+  }
+  if (service_->LiveIdle() && !service_->HasPendingEvents()) {
+    return;  // an idle service's clock does not free-run
+  }
+  service_->AdvanceUntil(service_->now() + options_.auto_advance_step,
+                         options_.max_events_per_tick);
+}
+
+std::string ServiceRunner::SnapshotJson() const {
+  JsonValue snapshot = JsonValue::MakeObject();
+  snapshot.Set("version", Num(kSnapshotVersion));
+  snapshot.Set("config", ConfigFingerprint(options_.service));
+  snapshot.Set("now_s", Num(service_->now()));
+
+  JsonValue ops = JsonValue::MakeArray();
+  for (const Op& op : journal_) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("kind", Str(op.kind == Op::Kind::kSubmit ? "submit" : "cancel"));
+    entry.Set("at_s", Num(op.at));
+    entry.Set("tenant", Str(op.tenant));
+    entry.Set("params", op.params);
+    ops.Append(std::move(entry));
+  }
+  snapshot.Set("ops", std::move(ops));
+
+  // Digest of settled jobs: restore replays the journal and verifies these
+  // outcomes reproduce exactly (cost in exact micro-dollars, no float
+  // round-trip).
+  JsonValue completed = JsonValue::MakeArray();
+  for (size_t i = 0; i < service_->num_jobs(); ++i) {
+    const JobOutcome& outcome = service_->outcome(i);
+    if (outcome.state != JobState::kCompleted) {
+      continue;
+    }
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("job", Str(outcome.name));
+    entry.Set("jct_s", Num(outcome.jct));
+    entry.Set("cost_micros", Num(static_cast<double>(outcome.cost.micros())));
+    entry.Set("best_accuracy", Num(outcome.best_accuracy));
+    completed.Append(std::move(entry));
+  }
+  snapshot.Set("completed", std::move(completed));
+  return snapshot.ToJson();
+}
+
+std::unique_ptr<ServiceRunner> ServiceRunner::Restore(const RunnerOptions& options,
+                                                      const std::string& snapshot_json) {
+  JsonValue snapshot;
+  try {
+    snapshot = JsonValue::Parse(snapshot_json);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("unparseable snapshot: ") + e.what());
+  }
+  if (!snapshot.is_object() || !snapshot.Has("version") ||
+      snapshot.at("version").number() != kSnapshotVersion) {
+    throw std::runtime_error("snapshot missing or unsupported version");
+  }
+  const JsonValue fingerprint = ConfigFingerprint(options.service);
+  if (!snapshot.Has("config") || snapshot.at("config") != fingerprint) {
+    throw std::runtime_error(
+        "snapshot config does not match the server's (seed/capacity/cloud "
+        "must be identical to resume)");
+  }
+
+  auto runner = std::make_unique<ServiceRunner>(options);
+  TuningService& service = *runner->service_;
+
+  // Replay: advance to each op's application time, then re-apply it. The
+  // pre-op advance processes exactly the events the live run had processed
+  // before that op, so arrivals and stage events re-enter the heap in the
+  // original (time, seq) order.
+  for (const JsonValue& entry : snapshot.at("ops").array()) {
+    const std::string kind = entry.at("kind").string();
+    const Seconds at = entry.at("at_s").number();
+    service.AdvanceUntil(at);
+    if (kind == "submit") {
+      JobRequest job;
+      std::string error;
+      if (!ParseJobRequest(entry.at("params"), &job, &error)) {
+        throw std::runtime_error("corrupt journal submit: " + error);
+      }
+      service.SubmitLive(std::move(job));
+    } else if (kind == "cancel") {
+      const size_t index = service.FindJob(entry.at("params").at("job").string());
+      if (index == TuningService::kNoJob) {
+        throw std::runtime_error("corrupt journal: cancel of unknown job");
+      }
+      std::string error;
+      if (!service.CancelLive(index, &error)) {
+        throw std::runtime_error("journal cancel no longer applies: " + error);
+      }
+    } else {
+      throw std::runtime_error("corrupt journal: unknown op kind '" + kind + "'");
+    }
+    Op op;
+    op.kind = kind == "submit" ? Op::Kind::kSubmit : Op::Kind::kCancel;
+    op.at = at;
+    op.tenant = entry.Has("tenant") ? entry.at("tenant").string() : "default";
+    op.params = entry.at("params");
+    runner->journal_.push_back(std::move(op));
+  }
+  service.AdvanceUntil(snapshot.at("now_s").number());
+
+  // Verify the replayed timeline reproduced every completed job exactly.
+  for (const JsonValue& entry : snapshot.at("completed").array()) {
+    const std::string& name = entry.at("job").string();
+    const size_t index = service.FindJob(name);
+    if (index == TuningService::kNoJob) {
+      throw std::runtime_error("replay diverged: completed job '" + name + "' unknown");
+    }
+    const JobOutcome& outcome = service.outcome(index);
+    if (outcome.state != JobState::kCompleted || outcome.jct != entry.at("jct_s").number() ||
+        static_cast<double>(outcome.cost.micros()) != entry.at("cost_micros").number()) {
+      throw std::runtime_error("replay diverged on job '" + name +
+                               "' (outcome differs from snapshot digest)");
+    }
+  }
+  return runner;
+}
+
+}  // namespace rubberband

@@ -1,0 +1,113 @@
+// ServiceRunner: the single-threaded owner of a live TuningService behind
+// the serving front door.
+//
+// The server's I/O threads never touch the TuningService — they enqueue
+// requests, and exactly one service thread calls Handle() for each. That
+// thread-per-service design keeps the discrete-event simulation single-
+// threaded (its determinism contract) while the network side scales with
+// connections.
+//
+// Restartability is event sourcing. A live service run is a pure function
+// of (seed, config, the stamped operation sequence): every state-changing
+// op (submit, cancel) is journaled with the simulation time at which it was
+// applied. A snapshot is the journal plus a digest of completed outcomes;
+// restore replays `AdvanceUntil(op.at); apply(op)` per op and then advances
+// to the snapshot's clock, which reproduces the exact event heap — every
+// in-flight job resumes mid-stage, and every completed job's report is
+// verified bit-identical against the digest.
+
+#ifndef SRC_SERVER_SERVICE_RUNNER_H_
+#define SRC_SERVER_SERVICE_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/service/tuning_service.h"
+
+namespace rubberband {
+
+struct RunnerOptions {
+  ServiceConfig service;
+  // Simulated seconds the clock advances per idle Tick(); 0 disables
+  // auto-advance (tests drive time with the explicit `advance` method).
+  double auto_advance_step = 0.0;
+  // Event budget per Tick(), so one tick through a busy simulation cannot
+  // stall queued requests. A capped tick still finishes the current
+  // same-timestamp group (the replay-determinism invariant).
+  size_t max_events_per_tick = 4096;
+};
+
+// Outcome of one handled request, transport-agnostic.
+struct OpResult {
+  bool ok = true;
+  JsonValue body;            // `result` payload when ok
+  std::string code;          // protocol error code when !ok
+  std::string message;
+  int64_t retry_after_ms = -1;
+
+  static OpResult Ok(JsonValue body);
+  static OpResult Error(std::string code, std::string message, int64_t retry_after_ms = -1);
+};
+
+class ServiceRunner {
+ public:
+  explicit ServiceRunner(const RunnerOptions& options);
+
+  ServiceRunner(const ServiceRunner&) = delete;
+  ServiceRunner& operator=(const ServiceRunner&) = delete;
+
+  // Dispatches one request (submit / cancel / status / report / metrics /
+  // trace / advance / drain / ping). Single-threaded: caller guarantees no
+  // concurrent Handle/Tick. `server_metrics`, when non-null, is merged into
+  // the `metrics` response (the server's own request-path registry).
+  OpResult Handle(const Request& request, const MetricsSnapshot* server_metrics = nullptr);
+
+  // One auto-advance pacing step (no-op when auto_advance_step == 0 or the
+  // service is idle with no pending events).
+  void Tick();
+
+  // True once a drain was requested; new submits are refused.
+  bool draining() const { return draining_; }
+
+  // Serializes config fingerprint + op journal + completed-job digest.
+  std::string SnapshotJson() const;
+
+  // Rebuilds a runner by replaying a snapshot's journal under `options`.
+  // Throws std::runtime_error on a version/config mismatch, a corrupt op,
+  // or a completed job whose replayed outcome diverges from the digest.
+  static std::unique_ptr<ServiceRunner> Restore(const RunnerOptions& options,
+                                                const std::string& snapshot_json);
+
+  TuningService& service() { return *service_; }
+  const RunnerOptions& options() const { return options_; }
+
+ private:
+  struct Op {
+    enum class Kind { kSubmit, kCancel };
+    Kind kind;
+    Seconds at = 0.0;   // simulation time the op was applied
+    std::string tenant;
+    JsonValue params;   // submit params (journal form) or {"job": name}
+  };
+
+  OpResult HandleSubmit(const Request& request);
+  OpResult HandleCancel(const Request& request);
+  OpResult HandleStatus(const Request& request);
+  OpResult HandleReport();
+  OpResult HandleMetrics(const MetricsSnapshot* server_metrics);
+  OpResult HandleTrace();
+  OpResult HandleAdvance(const Request& request);
+  OpResult HandleDrain(const Request& request);
+
+  RunnerOptions options_;
+  std::unique_ptr<TuningService> service_;
+  std::vector<Op> journal_;
+  bool draining_ = false;
+};
+
+}  // namespace rubberband
+
+#endif  // SRC_SERVER_SERVICE_RUNNER_H_

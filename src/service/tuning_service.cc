@@ -1,6 +1,7 @@
 #include "src/service/tuning_service.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -24,6 +25,8 @@ std::string ToString(JobState state) {
       return "REJECTED_OVER_BUDGET";
     case JobState::kRejectedStale:
       return "REJECTED_STALE";
+    case JobState::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -52,7 +55,13 @@ void TuningService::Submit(JobRequest request) {
   job.outcome.submitted_at = request.submit_at;
   job.outcome.deadline_at = request.submit_at + request.deadline;
   job.request = std::move(request);
+  index_by_name_[job.outcome.name] = jobs_.size();
   jobs_.push_back(std::move(job));
+}
+
+size_t TuningService::FindJob(const std::string& name) const {
+  const auto it = index_by_name_.find(name);
+  return it == index_by_name_.end() ? kNoJob : it->second;
 }
 
 int TuningService::ReservationLimit() const {
@@ -87,6 +96,9 @@ PlannedJob TuningService::PlanFor(Job& job, Seconds time_left) {
 void TuningService::OnArrival(size_t index) {
   --arrivals_outstanding_;
   Job& job = jobs_[index];
+  if (job.outcome.state == JobState::kCancelled) {
+    return;  // withdrawn (live mode) before the arrival event fired
+  }
   obs::Inc(svc_.GetCounter("jobs_arrived"));
   job.planned = PlanFor(job, job.request.deadline);
   job.outcome.plan = job.planned.plan;
@@ -256,20 +268,121 @@ void TuningService::RouteInstanceLoss(InstanceId id, bool crashed) {
   // already closed its billing interval, so there is nothing to clean up.
 }
 
+void TuningService::InstallHandlers() {
+  cloud_.SetPreemptionHandler([this](InstanceId id) { RouteInstanceLoss(id, false); });
+  cloud_.SetCrashHandler([this](InstanceId id) { RouteInstanceLoss(id, true); });
+}
+
 ServiceReport TuningService::Run() {
-  if (ran_) {
+  if (ran_ || live_) {
     throw std::logic_error("TuningService::Run may only be called once");
   }
   ran_ = true;
 
-  cloud_.SetPreemptionHandler([this](InstanceId id) { RouteInstanceLoss(id, false); });
-  cloud_.SetCrashHandler([this](InstanceId id) { RouteInstanceLoss(id, true); });
+  InstallHandlers();
   arrivals_outstanding_ = static_cast<int>(jobs_.size());
   for (size_t i = 0; i < jobs_.size(); ++i) {
     sim_.ScheduleAt(jobs_[i].request.submit_at, [this, i] { OnArrival(i); });
   }
   sim_.Run();
+  return BuildReport(/*require_settled=*/true);
+}
 
+void TuningService::StartLive() {
+  if (ran_ || live_) {
+    throw std::logic_error("TuningService::StartLive after Run or StartLive");
+  }
+  if (!jobs_.empty()) {
+    throw std::logic_error("TuningService::StartLive must precede all submissions");
+  }
+  live_ = true;
+  InstallHandlers();
+}
+
+size_t TuningService::SubmitLive(JobRequest request) {
+  if (!live_) {
+    throw std::logic_error("TuningService::SubmitLive requires StartLive");
+  }
+  // Stamp the arrival: never in the simulation's past, so the operation
+  // sequence (and therefore a journal replay of it) is causally ordered.
+  request.submit_at = std::max(request.submit_at, sim_.now());
+  const size_t index = jobs_.size();
+  Submit(std::move(request));
+  ++arrivals_outstanding_;
+  sim_.ScheduleAt(jobs_[index].request.submit_at, [this, index] { OnArrival(index); });
+  return index;
+}
+
+size_t TuningService::AdvanceUntil(Seconds until, size_t max_events) {
+  if (!live_) {
+    throw std::logic_error("TuningService::AdvanceUntil requires StartLive");
+  }
+  if (until < sim_.now()) {
+    return 0;
+  }
+  return sim_.RunUntilCapped(
+      until, max_events == 0 ? std::numeric_limits<size_t>::max() : max_events);
+}
+
+bool TuningService::CancelLive(size_t index, std::string* error) {
+  if (!live_) {
+    throw std::logic_error("TuningService::CancelLive requires StartLive");
+  }
+  if (index >= jobs_.size()) {
+    if (error != nullptr) {
+      *error = "unknown job index";
+    }
+    return false;
+  }
+  Job& job = jobs_[index];
+  switch (job.outcome.state) {
+    case JobState::kPending:
+      // The arrival event is still scheduled; OnArrival sees the cancelled
+      // state and no-ops.
+      job.outcome.state = JobState::kCancelled;
+      obs::Inc(svc_.GetCounter("jobs_cancelled"));
+      return true;
+    case JobState::kQueued:
+      queue_.erase(std::find(queue_.begin(), queue_.end(), index));
+      job.outcome.state = JobState::kCancelled;
+      obs::Inc(svc_.GetCounter("jobs_cancelled"));
+      // Cancelling the queue head may unblock jobs behind it.
+      PumpQueue();
+      return true;
+    default:
+      if (error != nullptr) {
+        *error = "job '" + job.outcome.name + "' is " + ToString(job.outcome.state) +
+                 " and cannot be cancelled";
+      }
+      return false;
+  }
+}
+
+void TuningService::FinishLive() {
+  if (!live_) {
+    throw std::logic_error("TuningService::FinishLive requires StartLive");
+  }
+  // The last completion's idle check already released warm capacity; the
+  // explicit Drain covers traces that end in cancellations or rejections.
+  sim_.Run();
+  pool_.Drain();
+  sim_.Run();
+}
+
+MetricsSnapshot TuningService::MetricsNow() const {
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  snapshot.Merge(executor_metrics_);
+  return snapshot;
+}
+
+ServiceReport TuningService::SnapshotReport() {
+  if (!live_) {
+    throw std::logic_error("TuningService::SnapshotReport requires StartLive");
+  }
+  return BuildReport(/*require_settled=*/false);
+}
+
+ServiceReport TuningService::BuildReport(bool require_settled) {
   ServiceReport report;
   report.makespan = makespan_;
   Seconds total_wait = 0.0;
@@ -289,11 +402,18 @@ ServiceReport TuningService::Run() {
       case JobState::kRejectedStale:
         ++report.rejected;
         break;
+      case JobState::kCancelled:
+        ++report.cancelled;
+        break;
       case JobState::kPending:
       case JobState::kQueued:
       case JobState::kRunning:
-        throw std::logic_error("job '" + job.outcome.name +
-                               "' did not settle; the simulation drained early");
+        if (require_settled) {
+          throw std::logic_error("job '" + job.outcome.name +
+                                 "' did not settle; the simulation drained early");
+        }
+        ++report.in_flight;
+        break;
     }
     report.total_crashes += job.outcome.crashes;
     report.total_provision_failures += job.outcome.provision_failures;
@@ -332,7 +452,15 @@ ServiceReport TuningService::Run() {
   obs::Set(svc_.GetGauge("cost_per_completed_job_dollars"),
            report.cost_per_completed_job.dollars());
   obs::Set(svc_.GetGauge("aggregate_utilization"), report.aggregate_utilization);
-  PublishCacheStats(report.planner_cache, metrics_.scope("planner"));
+  // The registry counters accumulate, so repeated (live) reports publish
+  // only what changed since the last publish.
+  PlannerCacheStats cache_delta = report.planner_cache;
+  cache_delta.plan_evaluations -= published_cache_.plan_evaluations;
+  cache_delta.plan_memo_hits -= published_cache_.plan_memo_hits;
+  cache_delta.stage_evaluations -= published_cache_.stage_evaluations;
+  cache_delta.stage_cache_hits -= published_cache_.stage_cache_hits;
+  PublishCacheStats(cache_delta, metrics_.scope("planner"));
+  published_cache_ = report.planner_cache;
   report.metrics = metrics_.Snapshot();
   report.metrics.Merge(executor_metrics_);
   report.timeline = timeline_;

@@ -60,6 +60,7 @@ enum class JobState {
   kRejectedInfeasible,  // no plan meets the deadline (reported at admission)
   kRejectedOverBudget,  // cheapest feasible plan costs more than the budget
   kRejectedStale,       // queue wait made the deadline infeasible
+  kCancelled,           // withdrawn by the tenant before it started (live mode)
 };
 
 std::string ToString(JobState state);
@@ -130,6 +131,8 @@ struct ServiceReport {
   std::vector<JobOutcome> jobs;
   int completed = 0;
   int rejected = 0;
+  int cancelled = 0;        // withdrawn before start (live mode only)
+  int in_flight = 0;        // pending/queued/running (interim reports only)
   int deadline_misses = 0;  // admitted jobs that finished late (never silent)
   Seconds makespan = 0.0;   // time of the last job completion
   Seconds mean_queue_wait = 0.0;
@@ -179,6 +182,59 @@ class TuningService {
   // once.
   ServiceReport Run();
 
+  // ---- Live (incremental) mode ---------------------------------------
+  // The serving front door drives the service request by request instead
+  // of replaying a pre-submitted trace: StartLive installs the provider
+  // handlers, SubmitLive schedules one arrival, AdvanceUntil moves the
+  // simulation clock, and SnapshotReport works mid-flight. A live run is a
+  // pure function of (seed, config, the stamped operation sequence), so a
+  // journal of SubmitLive/CancelLive/AdvanceUntil calls replays
+  // bit-identically — the serving snapshot/restore contract.
+
+  // Switches to live mode (mutually exclusive with Run). Call once, before
+  // the first SubmitLive.
+  void StartLive();
+
+  // Schedules one arrival at max(request.submit_at, now()) and returns the
+  // job's index. The admission decision lands once AdvanceUntil passes the
+  // arrival time (same-tick submissions admit in submission order).
+  size_t SubmitLive(JobRequest request);
+
+  // Runs events up to `until` (capping work at `max_events` when nonzero;
+  // an early stop still finishes the same-timestamp group) and returns the
+  // number of events processed.
+  size_t AdvanceUntil(Seconds until, size_t max_events = 0);
+
+  // Withdraws a job that has not started (pending or queued). Returns
+  // false with `*error` set when the job is running or already settled.
+  bool CancelLive(size_t index, std::string* error);
+
+  // Runs the simulation to quiescence (all scheduled arrivals served,
+  // all admitted jobs finished) and releases warm capacity.
+  void FinishLive();
+
+  // True when nothing is running, queued, or scheduled to arrive.
+  bool LiveIdle() const { return running_ == 0 && queue_.empty() && arrivals_outstanding_ == 0; }
+  bool HasPendingEvents() const { return !sim_.queue().empty(); }
+  Seconds now() const { return sim_.now(); }
+
+  size_t num_jobs() const { return jobs_.size(); }
+  const JobOutcome& outcome(size_t index) const { return jobs_.at(index).outcome; }
+  const PlannedJob& planned(size_t index) const { return jobs_.at(index).planned; }
+  const JobRequest& request(size_t index) const { return jobs_.at(index).request; }
+  int share_cap(size_t index) const { return jobs_.at(index).share_cap; }
+  // Index of the most recent job submitted under `name`; npos when unknown.
+  static constexpr size_t kNoJob = static_cast<size_t>(-1);
+  size_t FindJob(const std::string& name) const;
+
+  // Fleet metrics right now: the service registry merged with the
+  // executor.* snapshots of every finished job.
+  MetricsSnapshot MetricsNow() const;
+
+  // Interim (live) or final report; unsettled jobs are reported in their
+  // current state instead of throwing. Callable repeatedly.
+  ServiceReport SnapshotReport();
+
  private:
   struct Job {
     JobRequest request;
@@ -192,6 +248,8 @@ class TuningService {
     int share_cap = 0;  // current fair-share GPU cap
   };
 
+  void InstallHandlers();
+  ServiceReport BuildReport(bool require_settled);
   void OnArrival(size_t index);
   void StartJob(size_t index);
   void OnJobDone(size_t index, const ExecutionReport& report);
@@ -219,12 +277,17 @@ class TuningService {
   std::vector<Job> jobs_;
   std::deque<size_t> queue_;
   std::map<std::string, ModelProfile> profiles_;  // keyed by workload name
+  std::map<std::string, size_t> index_by_name_;   // latest submission wins
   PlannerCacheStats replan_cache_;  // summed from finished executors
+  // Cache counters already pushed to the registry: repeated SnapshotReport
+  // calls publish only the delta (the registry counters accumulate).
+  PlannerCacheStats published_cache_;
   int reserved_gpus_ = 0;
   int running_ = 0;
   int arrivals_outstanding_ = 0;
   Seconds makespan_ = 0.0;
   bool ran_ = false;
+  bool live_ = false;
 };
 
 }  // namespace rubberband

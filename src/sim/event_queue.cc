@@ -34,6 +34,19 @@ void EventQueue::RunUntil(Seconds until) {
   }
 }
 
+size_t EventQueue::RunUntilCapped(Seconds until, size_t max_events) {
+  size_t run = 0;
+  while (!heap_.empty() && heap_.top().at <= until &&
+         (run < max_events || heap_.top().at == now_)) {
+    RunNext();
+    ++run;
+  }
+  if (run < max_events && now_ < until) {
+    now_ = until;  // reached `until` with budget to spare, as RunUntil does
+  }
+  return run;
+}
+
 void EventQueue::RunAll() {
   while (RunNext()) {
   }

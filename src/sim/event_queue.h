@@ -37,6 +37,18 @@ class EventQueue {
   // after `until`; the clock ends at min(until, time of last event run).
   void RunUntil(Seconds until);
 
+  // RunUntil with a work bound: stops early once `max_events` events ran —
+  // but always finishes the same-timestamp group first, so callers that
+  // schedule new events after an early stop observe a clock with no
+  // still-pending events at or before it. That invariant is what makes a
+  // capped live run replayable by an uncapped one (the serving front door
+  // journals operations by timestamp, not by slice boundary). Returns the
+  // number of events run; a value < max_events means `until` was reached.
+  size_t RunUntilCapped(Seconds until, size_t max_events);
+
+  // Earliest pending event time; only valid when !empty().
+  Seconds next_time() const { return heap_.top().at; }
+
   // Drains the queue completely.
   void RunAll();
 

@@ -19,6 +19,7 @@ class Simulation {
 
   Seconds now() const { return queue_.now(); }
   EventQueue& queue() { return queue_; }
+  const EventQueue& queue() const { return queue_; }
   Rng& rng() { return rng_; }
 
   void ScheduleAt(Seconds at, EventQueue::Callback fn) { queue_.ScheduleAt(at, std::move(fn)); }
@@ -28,6 +29,9 @@ class Simulation {
 
   void Run() { queue_.RunAll(); }
   void RunUntil(Seconds until) { queue_.RunUntil(until); }
+  size_t RunUntilCapped(Seconds until, size_t max_events) {
+    return queue_.RunUntilCapped(until, max_events);
+  }
 
  private:
   EventQueue queue_;

@@ -1,0 +1,677 @@
+// Serving front door: framing, the bounded admission queue, per-tenant
+// token buckets, the wire protocol, the single-threaded ServiceRunner
+// (including the drain → snapshot → restore identity contract), and the
+// full framed-TCP server end to end over real sockets.
+
+#include "src/server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rubberband.h"
+#include "src/server/bounded_queue.h"
+#include "src/server/client.h"
+#include "src/server/framing.h"
+#include "src/server/protocol.h"
+#include "src/server/rate_limiter.h"
+#include "src/server/service_runner.h"
+
+namespace rubberband {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+TEST(Framing, RoundTripsAPayload) {
+  std::string buffer = EncodeFrame(R"({"method":"ping"})");
+  std::string payload;
+  std::string error;
+  ASSERT_EQ(DecodeFrame(buffer, &payload, &error), 1) << error;
+  EXPECT_EQ(payload, R"({"method":"ping"})");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Framing, PartialFrameAsksForMoreBytes) {
+  const std::string frame = EncodeFrame("hello");
+  std::string payload;
+  std::string error;
+  // Just the prefix, then the prefix plus part of the payload: neither is
+  // decodable, and neither consumes anything.
+  for (size_t cut : {size_t{2}, size_t{4}, frame.size() - 1}) {
+    std::string buffer = frame.substr(0, cut);
+    EXPECT_EQ(DecodeFrame(buffer, &payload, &error), 0);
+    EXPECT_EQ(buffer.size(), cut);
+  }
+}
+
+TEST(Framing, DecodesBackToBackFramesInOrder) {
+  std::string buffer = EncodeFrame("first") + EncodeFrame("second");
+  std::string payload;
+  std::string error;
+  ASSERT_EQ(DecodeFrame(buffer, &payload, &error), 1);
+  EXPECT_EQ(payload, "first");
+  ASSERT_EQ(DecodeFrame(buffer, &payload, &error), 1);
+  EXPECT_EQ(payload, "second");
+  EXPECT_EQ(DecodeFrame(buffer, &payload, &error), 0);
+}
+
+TEST(Framing, RejectsAnOversizedAnnouncement) {
+  // A hand-built prefix announcing kMaxFrameBytes + 1 must fail before any
+  // payload bytes arrive — the cap is enforced on the announcement.
+  const uint32_t size = kMaxFrameBytes + 1;
+  std::string buffer;
+  buffer.push_back(static_cast<char>((size >> 24) & 0xff));
+  buffer.push_back(static_cast<char>((size >> 16) & 0xff));
+  buffer.push_back(static_cast<char>((size >> 8) & 0xff));
+  buffer.push_back(static_cast<char>(size & 0xff));
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(buffer, &payload, &error), -1);
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Bounded admission queue.
+
+TEST(BoundedQueue, RejectsPushesWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: reject, never block
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueue, DrainMovesEverythingAtOnce) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.TryPush(i));
+  }
+  std::vector<int> out;
+  EXPECT_EQ(queue.DrainFor(&out, std::chrono::milliseconds(10)), 5u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, CloseRejectsNewPushesButDrainsTheBacklog) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(7));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(8));
+  std::vector<int> out;
+  EXPECT_EQ(queue.DrainFor(&out, std::chrono::milliseconds(10)), 1u);
+  EXPECT_EQ(out, (std::vector<int>{7}));
+  // Closed and empty: the consumer gets 0 immediately, not a hang.
+  EXPECT_EQ(queue.DrainFor(&out, std::chrono::milliseconds(10)), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant token buckets (synthetic timestamps — fully deterministic).
+
+constexpr int64_t kSecondNs = 1'000'000'000;
+
+TEST(RateLimiter, DisabledConfigAdmitsEverything) {
+  RateLimiter limiter(RateLimitConfig{});  // rate 0 = disabled
+  EXPECT_FALSE(limiter.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(limiter.Admit("anyone", 0).admitted);
+  }
+}
+
+TEST(RateLimiter, BurstThenHonestRetryAfter) {
+  RateLimiter limiter(RateLimitConfig{/*rate_per_second=*/1.0, /*burst=*/2.0});
+  ASSERT_TRUE(limiter.enabled());
+  EXPECT_TRUE(limiter.Admit("a", 0).admitted);
+  EXPECT_TRUE(limiter.Admit("a", 0).admitted);
+  const RateDecision rejected = limiter.Admit("a", 0);
+  EXPECT_FALSE(rejected.admitted);
+  // One token deficit at 1 token/s: the honest hint is one second.
+  EXPECT_NEAR(static_cast<double>(rejected.retry_after_ns), kSecondNs, 1e6);
+  // Waiting exactly the advertised time makes the next request admissible.
+  EXPECT_TRUE(limiter.Admit("a", rejected.retry_after_ns).admitted);
+}
+
+TEST(RateLimiter, TenantsHaveIndependentBuckets) {
+  RateLimiter limiter(RateLimitConfig{/*rate_per_second=*/1.0, /*burst=*/1.0});
+  EXPECT_TRUE(limiter.Admit("hog", 0).admitted);
+  EXPECT_FALSE(limiter.Admit("hog", 0).admitted);
+  // The hog draining its bucket must not touch anyone else's.
+  EXPECT_TRUE(limiter.Admit("compliant", 0).admitted);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+
+TEST(Protocol, ParsesAnEnvelopeWithDefaults) {
+  Request request;
+  std::string error;
+  ASSERT_TRUE(ParseRequest(R"({"id": 7, "method": "status"})", &request, &error)) << error;
+  EXPECT_EQ(request.method, "status");
+  EXPECT_EQ(request.tenant, "default");
+  EXPECT_TRUE(request.params.is_object());
+  EXPECT_DOUBLE_EQ(request.id.number(), 7.0);
+}
+
+TEST(Protocol, RejectsMalformedEnvelopes) {
+  Request request;
+  std::string error;
+  EXPECT_FALSE(ParseRequest("not json", &request, &error));
+  EXPECT_FALSE(ParseRequest("[1, 2]", &request, &error));
+  EXPECT_FALSE(ParseRequest(R"({"id": 1})", &request, &error));  // no method
+  EXPECT_FALSE(ParseRequest(R"({"method": 42})", &request, &error));
+}
+
+TEST(Protocol, ResponsesEchoTheIdAndCarryRetryAfter) {
+  const JsonValue ok = JsonValue::Parse(OkResponse(JsonValue::MakeNumber(3),
+                                                   JsonValue::MakeObject()));
+  EXPECT_DOUBLE_EQ(ok.at("id").number(), 3.0);
+  EXPECT_TRUE(ok.at("ok").bool_value());
+
+  const JsonValue err = JsonValue::Parse(
+      ErrorResponse(JsonValue::MakeString("x"), kErrRateLimited, "slow down", 120));
+  EXPECT_EQ(err.at("id").string(), "x");
+  EXPECT_FALSE(err.at("ok").bool_value());
+  EXPECT_EQ(err.at("error").at("code").string(), kErrRateLimited);
+  EXPECT_DOUBLE_EQ(err.at("error").at("retry_after_ms").number(), 120.0);
+  // retry_after_ms is only present on backpressure responses.
+  const JsonValue plain =
+      JsonValue::Parse(ErrorResponse(JsonValue::MakeNull(), kErrNotFound, "nope"));
+  EXPECT_FALSE(plain.at("error").Has("retry_after_ms"));
+}
+
+TEST(Protocol, JobRequestValidationNamesTheField) {
+  JobRequest job;
+  std::string error;
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("deadline_s", JsonValue::MakeNumber(3600));
+  EXPECT_FALSE(ParseJobRequest(params, &job, &error));
+  EXPECT_NE(error.find("name"), std::string::npos);
+
+  params = JsonValue::MakeObject();
+  params.Set("name", JsonValue::MakeString("exp"));
+  EXPECT_FALSE(ParseJobRequest(params, &job, &error));
+  EXPECT_NE(error.find("deadline"), std::string::npos);
+}
+
+TEST(Protocol, JournalParamsRoundTripTheJob) {
+  // The journal stores ops in the same shape `submit` accepts, so a
+  // snapshot's replay parses the exact job back — including the explicit
+  // stage list (eta is not recoverable from stages, so stages travel
+  // verbatim).
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("name", JsonValue::MakeString("exp1"));
+  params.Set("trials", JsonValue::MakeNumber(8));
+  params.Set("min_iters", JsonValue::MakeNumber(2));
+  params.Set("max_iters", JsonValue::MakeNumber(14));
+  params.Set("eta", JsonValue::MakeNumber(2));
+  params.Set("deadline_s", JsonValue::MakeNumber(1800));
+  params.Set("weight", JsonValue::MakeNumber(2.0));
+
+  JobRequest job;
+  std::string error;
+  ASSERT_TRUE(ParseJobRequest(params, &job, &error)) << error;
+
+  JobRequest replayed;
+  ASSERT_TRUE(ParseJobRequest(JobRequestToParams(job), &replayed, &error)) << error;
+  ASSERT_EQ(replayed.spec.num_stages(), job.spec.num_stages());
+  for (int i = 0; i < job.spec.num_stages(); ++i) {
+    EXPECT_EQ(replayed.spec.stage(i).num_trials, job.spec.stage(i).num_trials);
+    EXPECT_EQ(replayed.spec.stage(i).iters_per_trial, job.spec.stage(i).iters_per_trial);
+  }
+  EXPECT_EQ(replayed.name, job.name);
+  EXPECT_EQ(replayed.workload.name, job.workload.name);
+  EXPECT_DOUBLE_EQ(replayed.deadline, job.deadline);
+  EXPECT_DOUBLE_EQ(replayed.weight, job.weight);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceRunner: the single-threaded request handler.
+
+RunnerOptions SmallRunner(uint64_t seed = 11) {
+  RunnerOptions options;
+  options.service.cloud.instance = P3_8xlarge();
+  options.service.cloud.provisioning = ProvisioningModel::Fixed(30.0, 60.0);
+  options.service.capacity_gpus = 16;
+  options.service.seed = seed;
+  options.auto_advance_step = 0.0;  // tests drive time explicitly
+  return options;
+}
+
+Request Req(const std::string& method, JsonValue params = JsonValue::MakeObject(),
+            const std::string& tenant = "default") {
+  Request request;
+  request.method = method;
+  request.params = std::move(params);
+  request.tenant = tenant;
+  return request;
+}
+
+JsonValue SubmitParams(const std::string& name, double deadline_s = 36'000.0) {
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("name", JsonValue::MakeString(name));
+  params.Set("trials", JsonValue::MakeNumber(4));
+  params.Set("min_iters", JsonValue::MakeNumber(1));
+  params.Set("max_iters", JsonValue::MakeNumber(4));
+  params.Set("eta", JsonValue::MakeNumber(2));
+  params.Set("deadline_s", JsonValue::MakeNumber(deadline_s));
+  return params;
+}
+
+JsonValue AdvanceParams(double seconds) {
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("seconds", JsonValue::MakeNumber(seconds));
+  return params;
+}
+
+// Advances the runner's service until it is idle (all admitted jobs done).
+void RunToQuiescence(ServiceRunner& runner) {
+  for (int i = 0; i < 10'000 && runner.service().HasPendingEvents(); ++i) {
+    runner.Handle(Req("advance", AdvanceParams(600.0)));
+  }
+  ASSERT_TRUE(runner.service().LiveIdle());
+}
+
+TEST(ServiceRunner, SubmitDecisionIsSynchronous) {
+  ServiceRunner runner(SmallRunner());
+  const OpResult result = runner.Handle(Req("submit", SubmitParams("exp1")));
+  ASSERT_TRUE(result.ok) << result.message;
+  // The admission decision (not execution) lands before the response: an
+  // ample-capacity submit is RUNNING, not PENDING.
+  EXPECT_EQ(result.body.at("state").string(), "RUNNING");
+  EXPECT_EQ(result.body.at("job").string(), "exp1");
+}
+
+TEST(ServiceRunner, StatusAndCancelErrorsUseTheClosedVocabulary) {
+  ServiceRunner runner(SmallRunner());
+  JsonValue who = JsonValue::MakeObject();
+  who.Set("job", JsonValue::MakeString("ghost"));
+  EXPECT_EQ(runner.Handle(Req("status", who)).code, kErrNotFound);
+  EXPECT_EQ(runner.Handle(Req("cancel", who)).code, kErrNotFound);
+  EXPECT_EQ(runner.Handle(Req("nonsense")).code, kErrBadRequest);
+
+  // Cancelling a running job is a state conflict, not a missing job.
+  runner.Handle(Req("submit", SubmitParams("exp1")));
+  JsonValue running = JsonValue::MakeObject();
+  running.Set("job", JsonValue::MakeString("exp1"));
+  EXPECT_EQ(runner.Handle(Req("cancel", running)).code, kErrConflict);
+}
+
+TEST(ServiceRunner, DrainRefusesNewSubmitsAndReportsInFlight) {
+  ServiceRunner runner(SmallRunner());
+  runner.Handle(Req("submit", SubmitParams("exp1")));
+  const OpResult drained = runner.Handle(Req("drain"));
+  ASSERT_TRUE(drained.ok) << drained.message;
+  EXPECT_DOUBLE_EQ(drained.body.at("in_flight").number(), 1.0);
+  EXPECT_TRUE(runner.draining());
+  EXPECT_EQ(runner.Handle(Req("submit", SubmitParams("exp2"))).code, kErrDraining);
+}
+
+// The acceptance contract: drain mid-run, restore from the snapshot, and
+// every job — in-flight at the drain or already done — finishes with a
+// report bit-identical to a run that was never interrupted.
+TEST(ServiceRunner, SnapshotRestoreMatchesAnUninterruptedRun) {
+  // Control: two jobs run start to finish in one process.
+  ServiceRunner control(SmallRunner());
+  control.Handle(Req("submit", SubmitParams("exp1")));
+  control.Handle(Req("advance", AdvanceParams(120.0)));
+  control.Handle(Req("submit", SubmitParams("exp2")));
+  RunToQuiescence(control);
+
+  // Interrupted: same ops, but drained mid-flight and restored.
+  ServiceRunner first(SmallRunner());
+  first.Handle(Req("submit", SubmitParams("exp1")));
+  first.Handle(Req("advance", AdvanceParams(120.0)));
+  first.Handle(Req("submit", SubmitParams("exp2")));
+  // Mid-provisioning for exp2, mid-stage for exp1: both still in flight.
+  first.Handle(Req("advance", AdvanceParams(60.0)));
+  const OpResult drained = first.Handle(Req("drain"));
+  ASSERT_TRUE(drained.ok);
+  EXPECT_DOUBLE_EQ(drained.body.at("in_flight").number(), 2.0);
+
+  std::unique_ptr<ServiceRunner> restored =
+      ServiceRunner::Restore(SmallRunner(), first.SnapshotJson());
+  RunToQuiescence(*restored);
+
+  ASSERT_EQ(restored->service().num_jobs(), control.service().num_jobs());
+  for (size_t i = 0; i < control.service().num_jobs(); ++i) {
+    const JobOutcome& a = control.service().outcome(i);
+    const JobOutcome& b = restored->service().outcome(i);
+    EXPECT_EQ(b.state, a.state) << a.name;
+    EXPECT_DOUBLE_EQ(b.jct, a.jct) << a.name;
+    EXPECT_EQ(b.cost.micros(), a.cost.micros()) << a.name;
+    EXPECT_DOUBLE_EQ(b.best_accuracy, a.best_accuracy) << a.name;
+    EXPECT_EQ(b.preemptions, a.preemptions) << a.name;
+  }
+}
+
+// A job that completed BEFORE the drain must survive the restart: the
+// restore replays it and verifies its outcome against the snapshot digest.
+TEST(ServiceRunner, CompletedReportsSurviveRestore) {
+  ServiceRunner first(SmallRunner());
+  first.Handle(Req("submit", SubmitParams("done-before-drain")));
+  RunToQuiescence(first);
+  first.Handle(Req("submit", SubmitParams("in-flight")));
+  first.Handle(Req("drain"));
+
+  const JobOutcome before = first.service().outcome(0);
+  ASSERT_EQ(before.state, JobState::kCompleted);
+
+  std::unique_ptr<ServiceRunner> restored =
+      ServiceRunner::Restore(SmallRunner(), first.SnapshotJson());
+  const JobOutcome& after = restored->service().outcome(0);
+  EXPECT_EQ(after.state, JobState::kCompleted);
+  EXPECT_DOUBLE_EQ(after.jct, before.jct);
+  EXPECT_EQ(after.cost.micros(), before.cost.micros());
+}
+
+TEST(ServiceRunner, RestoreRefusesAConfigMismatch) {
+  ServiceRunner first(SmallRunner(/*seed=*/11));
+  first.Handle(Req("submit", SubmitParams("exp1")));
+  first.Handle(Req("drain"));
+  const std::string snapshot = first.SnapshotJson();
+
+  // A different seed replays a different universe; the fingerprint check
+  // must refuse rather than resume into silently divergent state.
+  EXPECT_THROW(ServiceRunner::Restore(SmallRunner(/*seed=*/12), snapshot), std::runtime_error);
+  EXPECT_THROW(ServiceRunner::Restore(SmallRunner(), "{not json"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Server end to end: real sockets, real threads.
+
+ServerOptions SmallServer(uint64_t seed = 11) {
+  ServerOptions options;
+  options.runner = SmallRunner(seed);
+  options.port = 0;  // kernel-assigned
+  return options;
+}
+
+JsonValue MustCall(Client& client, const std::string& method, const JsonValue& params,
+                   const std::string& tenant = "default") {
+  JsonValue response;
+  std::string error;
+  EXPECT_TRUE(client.Call(method, params, tenant, &response, &error)) << error;
+  EXPECT_TRUE(response.at("ok").bool_value()) << response.ToJson();
+  return response.at("result");
+}
+
+TEST(ServerEndToEnd, SubmitStatusReportMetricsOverSockets) {
+  Server server(SmallServer());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+
+  const JsonValue submitted = MustCall(client, "submit", SubmitParams("exp1"));
+  EXPECT_EQ(submitted.at("state").string(), "RUNNING");
+
+  MustCall(client, "advance", AdvanceParams(600.0));
+  const JsonValue status = MustCall(client, "status", JsonValue::MakeObject());
+  ASSERT_EQ(status.at("jobs").size(), 1u);
+  EXPECT_EQ(status.at("jobs").at(0).at("job").string(), "exp1");
+
+  const JsonValue report = MustCall(client, "report", JsonValue::MakeObject());
+  EXPECT_TRUE(report.Has("text"));
+
+  // The metrics response merges the service registry with the server's own
+  // request-path counters.
+  const JsonValue metrics = MustCall(client, "metrics", JsonValue::MakeObject());
+  const JsonValue& counters = metrics.at("metrics").at("counters");
+  EXPECT_GE(counters.at("server.requests.submit").number(), 1.0);
+  EXPECT_GE(counters.at("service.jobs_admitted").number(), 1.0);
+
+  client.Close();
+  server.Stop();
+}
+
+TEST(ServerEndToEnd, MalformedFramesGetBadRequestNotDisconnect) {
+  Server server(SmallServer());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  // A well-formed frame holding garbage JSON: the server must answer (and
+  // keep the connection) rather than drop it.
+  JsonValue response;
+  ASSERT_TRUE(client.Call("bogus-method", JsonValue::MakeObject(), "default", &response, &error))
+      << error;
+  EXPECT_FALSE(response.at("ok").bool_value());
+  EXPECT_EQ(response.at("error").at("code").string(), kErrBadRequest);
+  // Connection still usable.
+  MustCall(client, "ping", JsonValue::MakeObject());
+  server.Stop();
+}
+
+TEST(ServerEndToEnd, DrainPersistsSnapshotAndRestartFinishesInFlightJobs) {
+  const std::string snapshot_path =
+      testing::TempDir() + "/rb_server_test_snapshot.json";
+  std::remove(snapshot_path.c_str());
+
+  // Control: the same op sequence, uninterrupted.
+  ServiceRunner control(SmallRunner());
+  control.Handle(Req("submit", SubmitParams("exp1")));
+  control.Handle(Req("advance", AdvanceParams(120.0)));
+  control.Handle(Req("submit", SubmitParams("exp2")));
+  RunToQuiescence(control);
+
+  ServerOptions options = SmallServer();
+  options.snapshot_path = snapshot_path;
+  std::string error;
+  {
+    Server server(options);
+    ASSERT_TRUE(server.Start(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+    MustCall(client, "submit", SubmitParams("exp1"));
+    MustCall(client, "advance", AdvanceParams(120.0));
+    MustCall(client, "submit", SubmitParams("exp2"));
+    const JsonValue drained = MustCall(client, "drain", JsonValue::MakeObject());
+    EXPECT_DOUBLE_EQ(drained.at("in_flight").number(), 2.0);
+    EXPECT_EQ(drained.at("snapshot_path").string(), snapshot_path);
+    server.Wait();  // returns once the drain has been fully served
+    server.Stop();
+  }
+
+  std::FILE* file = std::fopen(snapshot_path.c_str(), "rb");
+  ASSERT_NE(file, nullptr) << "drain must persist " << snapshot_path;
+  std::string snapshot;
+  char chunk[4096];
+  size_t read = 0;
+  while ((read = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    snapshot.append(chunk, read);
+  }
+  std::fclose(file);
+
+  {
+    Server server(options);
+    ASSERT_TRUE(server.StartRestored(snapshot, &error)) << error;
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+    for (int i = 0; i < 200; ++i) {
+      const JsonValue advanced = MustCall(client, "advance", AdvanceParams(600.0));
+      if (advanced.at("idle").bool_value()) {
+        break;
+      }
+    }
+    const JsonValue status = MustCall(client, "status", JsonValue::MakeObject());
+    ASSERT_EQ(status.at("jobs").size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+      const JsonValue& job = status.at("jobs").at(i);
+      const JobOutcome& expected = control.service().outcome(i);
+      EXPECT_EQ(job.at("state").string(), "COMPLETED") << job.ToJson();
+      // Identical to the run that was never interrupted, to the digit.
+      EXPECT_DOUBLE_EQ(job.at("jct_s").number(), expected.jct);
+      EXPECT_DOUBLE_EQ(job.at("cost_dollars").number(), expected.cost.dollars());
+      EXPECT_DOUBLE_EQ(job.at("best_accuracy").number(), expected.best_accuracy);
+    }
+    server.Stop();
+  }
+  std::remove(snapshot_path.c_str());
+}
+
+TEST(ServerEndToEnd, BackpressureBoundsTheHogAndSparesTheCompliant) {
+  ServerOptions options = SmallServer();
+  // Refill slow enough that even a sanitizer-throttled loop outpaces it:
+  // at 2 tokens/s the hog's 40 submits can all be admitted only if the
+  // loop takes 17+ seconds. The compliant tenant below is unaffected —
+  // its 5 submits fit entirely within its own burst.
+  options.rate.rate_per_second = 2.0;
+  options.rate.burst = 5.0;
+  std::string error;
+  Server server(options);
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client hog;
+  ASSERT_TRUE(hog.Connect("127.0.0.1", server.port(), &error)) << error;
+  int admitted = 0;
+  int rate_limited = 0;
+  bool retry_after_present = true;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 40; ++i) {
+    JsonValue response;
+    ASSERT_TRUE(hog.Call("submit", SubmitParams("hog-" + std::to_string(i)), "hog",
+                         &response, &error))
+        << error;
+    if (response.at("ok").bool_value()) {
+      ++admitted;
+    } else {
+      ASSERT_EQ(response.at("error").at("code").string(), kErrRateLimited);
+      ++rate_limited;
+      retry_after_present =
+          retry_after_present && response.at("error").Has("retry_after_ms") &&
+          response.at("error").at("retry_after_ms").number() > 0.0;
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  // The hog's admissions are bounded by burst + rate * elapsed (plus one
+  // token of slack); the rest were rejected with an honest retry hint.
+  EXPECT_GT(rate_limited, 0);
+  EXPECT_TRUE(retry_after_present);
+  EXPECT_LE(admitted, 5.0 + 2.0 * elapsed_s + 1.0);
+
+  // A compliant tenant staying inside its own burst is untouched by the
+  // hog's rejections, and its submits decide promptly.
+  Client compliant;
+  ASSERT_TRUE(compliant.Connect("127.0.0.1", server.port(), &error)) << error;
+  for (int i = 0; i < 5; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const JsonValue result =
+        MustCall(compliant, "submit", SubmitParams("ok-" + std::to_string(i)), "compliant");
+    const double wait_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    // Admitted (running, or queued behind the hog's jobs) — never rejected.
+    const std::string& state = result.at("state").string();
+    EXPECT_TRUE(state == "RUNNING" || state == "QUEUED") << state;
+    EXPECT_LT(wait_s, 5.0);  // generous CI budget; typical is sub-ms
+  }
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Request-path concurrency (also registered under the tsan ctest label:
+// tools/check.sh --tsan runs these under ThreadSanitizer).
+
+TEST(ServerConcurrency, ParallelClientsMixingMethodsStayConsistent) {
+  Server server(SmallServer());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const int port = server.port();
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 30;
+  std::atomic<int> transport_errors{0};
+  std::atomic<int> submits_admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      std::string err;
+      if (!client.Connect("127.0.0.1", port, &err)) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      const std::string tenant = "tenant-" + std::to_string(t);
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        JsonValue response;
+        bool ok = false;
+        switch (i % 4) {
+          case 0:
+            ok = client.Call("submit", SubmitParams(tenant + "-job-" + std::to_string(i)),
+                             tenant, &response, &err);
+            if (ok && response.at("ok").bool_value()) {
+              submits_admitted.fetch_add(1);
+            }
+            break;
+          case 1:
+            ok = client.Call("status", JsonValue::MakeObject(), "default", &response, &err);
+            break;
+          case 2:
+            ok = client.Call("ping", JsonValue::MakeObject(), "default", &response, &err);
+            break;
+          default:
+            ok = client.Call("metrics", JsonValue::MakeObject(), "default", &response, &err);
+            break;
+        }
+        if (!ok) {
+          transport_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(transport_errors.load(), 0);
+
+  // Every admitted submit is visible in one consistent status snapshot.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port, &error)) << error;
+  const JsonValue status = MustCall(client, "status", JsonValue::MakeObject());
+  EXPECT_EQ(static_cast<int>(status.at("jobs").size()), submits_admitted.load());
+  server.Stop();
+}
+
+TEST(ServerConcurrency, StopUnblocksWaitersWhileClientsAreActive) {
+  Server server(SmallServer());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const int port = server.port();
+
+  std::atomic<bool> keep_going{true};
+  std::thread chatter([&] {
+    Client client;
+    std::string err;
+    if (!client.Connect("127.0.0.1", port, &err)) {
+      return;
+    }
+    JsonValue response;
+    while (keep_going.load() &&
+           client.Call("ping", JsonValue::MakeObject(), "default", &response, &err)) {
+    }
+  });
+  std::thread waiter([&] { server.Wait(); });
+
+  // Stop with live traffic: Wait() must return promptly and the chatter's
+  // connection must fail cleanly, not hang.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Stop();
+  waiter.join();
+  keep_going.store(false);
+  chatter.join();
+}
+
+}  // namespace
+}  // namespace rubberband

@@ -18,6 +18,10 @@
 # and golden-artifact suite (ctest -L conformance) in the default build
 # tree.
 #
+# tools/check.sh --server runs only the serving front door suite (ctest
+# -L server): framing, admission queue, rate limiter, wire protocol,
+# snapshot/restore, and the socket end-to-end tests.
+#
 # tools/check.sh --sanitize rebuilds into build-asan/ with
 # -fsanitize=address,undefined and runs the suite under both sanitizers
 # (slower; catches the memory and UB bugs the plain build cannot).
@@ -27,15 +31,15 @@
 # evaluation, planners, service, straggler handling, metrics registry)
 # under ThreadSanitizer via the tsan ctest label (-DRB_TSAN_SUITE=ON).
 #
-# tools/check.sh --all runs the four tiers back to back (default,
-# --conformance, --sanitize, --tsan) and prints a one-line pass/fail
-# verdict per tier.
+# tools/check.sh --all runs the five tiers back to back (default,
+# --conformance, --server, --sanitize, --tsan) and prints a one-line
+# pass/fail verdict per tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--all" ]]; then
-  declare -a tiers=(default conformance sanitize tsan)
+  declare -a tiers=(default conformance server sanitize tsan)
   declare -a verdicts=()
   status=0
   for tier in "${tiers[@]}"; do
@@ -78,10 +82,12 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   ctest_args+=(-L tsan)
 elif [[ "${1:-}" == "--conformance" ]]; then
   ctest_args+=(-L conformance)
+elif [[ "${1:-}" == "--server" ]]; then
+  ctest_args+=(-L server)
 elif [[ $# -eq 0 ]]; then
   budget_s="${RB_SMOKE_BUDGET_S:-300}"
 else
-  echo "usage: tools/check.sh [--conformance|--sanitize|--tsan|--all]" >&2
+  echo "usage: tools/check.sh [--conformance|--server|--sanitize|--tsan|--all]" >&2
   exit 2
 fi
 

@@ -41,6 +41,15 @@
 // serve:    --jobs=4 --gap-s=120 --capacity-gpus=64 --overcommit=1.0
 //           --warm --pool-max=16 --warm-ttl-s=300 --budget=<dollars per job>
 //           (each job runs the common SHA spec/deadline; arrivals --gap-s apart)
+//           --listen turns serve into the networked front door:
+//           --host=127.0.0.1 --port=8787 --rate=<submits/s per tenant>
+//           --burst=8 --queue-cap=256 --auto-advance-s=1
+//           --snapshot=rubberband.snapshot.json --restore=<snapshot.json>
+// client:   rubberband client <action> --host=.. --port=.. --tenant=..
+//           actions: submit (--name --workload --trials --min-iters
+//           --max-iters --eta --deadline-min --budget --weight), status
+//           [--job], cancel --job, report, metrics, trace [--out], advance
+//           --seconds, drain [--mode=snapshot|finish], ping
 
 #include <cstdio>
 #include <fstream>
@@ -48,10 +57,13 @@
 #include <string>
 
 #include "src/common/flags.h"
+#include "src/common/report_format.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/metrics.h"
 #include "src/obs/timeline.h"
 #include "src/rubberband.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 
 namespace rubberband {
 namespace {
@@ -242,40 +254,13 @@ int RunExecute(const Flags& flags, CliSetup& setup) {
   }
   const ExecutionReport report = Execute(setup.spec, job.plan, setup.workload, setup.cloud,
                                          options);
-  std::printf("\nexecuted: JCT %s, cost %s (compute %s + data %s)\n",
-              FormatDuration(report.jct).c_str(), report.cost.Total().ToString().c_str(),
-              report.cost.compute.ToString().c_str(), report.cost.data.ToString().c_str());
-  std::printf("utilization %.0f%%, preemptions %d, best config %s, accuracy %.1f%%\n",
-              100.0 * report.realized_utilization, report.preemptions,
-              report.best_config.ToString().c_str(), 100.0 * report.best_accuracy);
-  if (setup.cloud.fault.Any()) {
-    std::printf("faults: %d crashes, %d provision failures (%d retried, %d abandoned), "
-                "%d checkpoint retries\n",
-                report.crashes, report.provision_failures, report.provision_retries,
-                report.capacity_shortfalls, report.checkpoint_retries);
-    std::printf("recovery: %d trial restarts, %.0fs spent recovering, %d degraded stage%s, "
-                "%d replan%s%s\n",
-                report.trial_restarts, report.recovery_seconds, report.degraded_stages,
-                report.degraded_stages == 1 ? "" : "s", report.replans,
-                report.replans == 1 ? "" : "s",
-                report.jct <= setup.deadline ? ", deadline met" : ", deadline MISSED");
-  }
-  if (setup.cloud.fault.straggler_rate > 0.0 || report.stragglers_detected > 0) {
-    std::printf("stragglers: %d injected, %d detected (%d false positive%s), "
-                "%d quarantined, %.0fs slowdown avoided for %.0fs mitigation cost\n",
-                report.stragglers_injected, report.stragglers_detected,
-                report.straggler_false_positives,
-                report.straggler_false_positives == 1 ? "" : "s",
-                report.stragglers_quarantined, report.straggler_slowdown_avoided,
-                report.straggler_mitigation_seconds);
-  }
-  std::printf("\n%-14s %8s %12s %14s\n", "epoch range", "trials", "GPUs/trial", "cluster size");
-  for (const StageLogEntry& stage : report.stage_log) {
-    std::printf("%4lld-%-9lld %8d %12d %14d\n",
-                static_cast<long long>(stage.start_cum_iters),
-                static_cast<long long>(stage.end_cum_iters), stage.num_trials,
-                stage.gpus_per_trial, stage.instances);
-  }
+  ExecutionFormatOptions format;
+  format.show_faults = setup.cloud.fault.Any();
+  format.show_stragglers =
+      setup.cloud.fault.straggler_rate > 0.0 || report.stragglers_detected > 0;
+  format.deadline = setup.deadline;
+  std::fputs(FormatExecutionSummary(report, format).c_str(), stdout);
+  std::fputs(FormatStageTable(report).c_str(), stdout);
   if (flags.GetBool("trace-csv")) {
     std::printf("\n%s", report.trace.ToCsv().c_str());
   }
@@ -294,8 +279,10 @@ int RunSweep(const Flags& flags, CliSetup& setup) {
   std::printf("%-12s %12s %12s %10s\n", "deadline", "static $", "rubberband $", "gain");
   for (double minutes = from; minutes <= to + 1e-9; minutes += step) {
     const PlannerInputs inputs{setup.spec, setup.profile, setup.cloud, Minutes(minutes)};
-    const PlannedJob fixed = PlanStatic(inputs);
-    const PlannedJob elastic = PlanGreedy(inputs);
+    // Honor the common planner flags (--plan-threads); sweep used to drop
+    // setup.planner on the floor and silently plan single-threaded.
+    const PlannedJob fixed = PlanStatic(inputs, setup.planner);
+    const PlannedJob elastic = PlanGreedy(inputs, setup.planner);
     if (!elastic.feasible) {
       std::printf("%-12.0f %12s %12s %10s\n", minutes, "-", "-", "infeasible");
       continue;
@@ -331,14 +318,8 @@ int RunAshaCommand(const Flags& flags, CliSetup& setup) {
   return 0;
 }
 
-int RunServe(const Flags& flags, CliSetup& setup) {
-  const int num_jobs = flags.GetInt("jobs", 4);
-  const double gap = flags.GetDouble("gap-s", 120.0);
-  if (num_jobs < 1 || gap < 0.0) {
-    return Fail("serve needs --jobs >= 1 and --gap-s >= 0");
-  }
-
-  const ObsFlags obs = ParseObsFlags(flags);
+ServiceConfig BuildServiceConfig(const Flags& flags, const CliSetup& setup,
+                                 const ObsFlags& obs) {
   ServiceConfig config;
   config.cloud = setup.cloud;
   config.observe = obs.Enabled();
@@ -355,6 +336,70 @@ int RunServe(const Flags& flags, CliSetup& setup) {
     config.straggler.detect = true;
     config.straggler.mitigate = true;
   }
+  return config;
+}
+
+// `serve --listen`: the networked front door. Blocks until a client drains
+// the server (snapshot written to --snapshot) or the process is killed.
+int RunServeListen(const Flags& flags, const ServiceConfig& config) {
+  ServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = flags.GetInt("port", 8787);
+  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue-cap", 256));
+  options.rate.rate_per_second = flags.GetDouble("rate", 0.0);
+  options.rate.burst = flags.GetDouble("burst", 8.0);
+  options.runner.service = config;
+  options.runner.auto_advance_step = flags.GetDouble("auto-advance-s", 1.0);
+  options.snapshot_path = flags.GetString("snapshot", "rubberband.snapshot.json");
+
+  Server server(options);
+  std::string error;
+  const std::string restore_path = flags.GetString("restore", "");
+  bool started = false;
+  if (!restore_path.empty()) {
+    std::ifstream in(restore_path, std::ios::binary);
+    if (!in) {
+      return Fail("cannot read snapshot '" + restore_path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      started = server.StartRestored(buffer.str(), &error);
+    } catch (const std::exception& e) {
+      return Fail(std::string("snapshot restore failed: ") + e.what());
+    }
+    if (started) {
+      std::fprintf(stderr, "restored from %s\n", restore_path.c_str());
+    }
+  } else {
+    started = server.Start(&error);
+  }
+  if (!started) {
+    return Fail(error);
+  }
+  std::fprintf(stderr, "serving on %s:%d (drain with: rubberband client drain)\n",
+               options.host.c_str(), server.port());
+  server.Wait();
+  server.Stop();
+  if (server.draining()) {
+    std::fprintf(stderr, "drained; snapshot at %s (resume with --restore=%s)\n",
+                 options.snapshot_path.c_str(), options.snapshot_path.c_str());
+  }
+  return 0;
+}
+
+int RunServe(const Flags& flags, CliSetup& setup) {
+  const ObsFlags obs = ParseObsFlags(flags);
+  const ServiceConfig config = BuildServiceConfig(flags, setup, obs);
+  if (flags.GetBool("listen")) {
+    return RunServeListen(flags, config);
+  }
+
+  const int num_jobs = flags.GetInt("jobs", 4);
+  const double gap = flags.GetDouble("gap-s", 120.0);
+  if (num_jobs < 1 || gap < 0.0) {
+    return Fail("serve needs --jobs >= 1 and --gap-s >= 0");
+  }
 
   TuningService service(config);
   for (int i = 0; i < num_jobs; ++i) {
@@ -369,55 +414,12 @@ int RunServe(const Flags& flags, CliSetup& setup) {
   }
   const ServiceReport report = service.Run();
 
-  std::printf("\n%-10s %-20s %10s %10s %10s %10s  %s\n", "job", "state", "submit", "wait",
-              "jct", "cost", "deadline");
-  for (const JobOutcome& job : report.jobs) {
-    if (job.state == JobState::kCompleted) {
-      std::printf("%-10s %-20s %10s %10s %10s %10s  %s\n", job.name.c_str(),
-                  ToString(job.state).c_str(), FormatDuration(job.submitted_at).c_str(),
-                  FormatDuration(job.queue_wait).c_str(), FormatDuration(job.jct).c_str(),
-                  job.cost.ToString().c_str(), job.met_deadline ? "met" : "MISSED");
-    } else {
-      std::printf("%-10s %-20s %10s %10s %10s %10s  %s\n", job.name.c_str(),
-                  ToString(job.state).c_str(), FormatDuration(job.submitted_at).c_str(), "-",
-                  "-", "-", "-");
-    }
-  }
-
-  std::printf("\nserved %d/%d jobs (%d rejected), %d deadline miss%s\n", report.completed,
-              num_jobs, report.rejected, report.deadline_misses,
-              report.deadline_misses == 1 ? "" : "es");
-  std::printf("makespan %s, mean queue wait %s\n", FormatDuration(report.makespan).c_str(),
-              FormatDuration(report.mean_queue_wait).c_str());
-  std::printf("total cost %s (%s per completed job), %d instance launches\n",
-              report.total_cost.Total().ToString().c_str(),
-              report.cost_per_completed_job.ToString().c_str(), report.instance_launches);
-  std::printf("warm pool: %lld/%lld warm hits (%.0f%%), %.0fs init saved, %.0fs parked idle\n",
-              static_cast<long long>(report.warm.warm_hits),
-              static_cast<long long>(report.warm.requests), 100.0 * report.warm.HitRate(),
-              report.warm.init_seconds_saved, report.warm.parked_idle_seconds);
-  std::printf("aggregate utilization %.0f%%\n", 100.0 * report.aggregate_utilization);
-  std::printf("planner cache: %lld/%lld plan estimates from memo (%.0f%% hit rate), "
-              "%lld stage sims reused\n",
-              static_cast<long long>(report.planner_cache.plan_memo_hits),
-              static_cast<long long>(report.planner_cache.plan_memo_hits +
-                                     report.planner_cache.plan_evaluations),
-              100.0 * report.planner_cache.PlanHitRate(),
-              static_cast<long long>(report.planner_cache.stage_cache_hits));
-  if (setup.cloud.fault.Any()) {
-    std::printf("faults: %d crashes, %d provision failures, %d replans, %.0fs recovery\n",
-                report.total_crashes, report.total_provision_failures, report.total_replans,
-                report.total_recovery_seconds);
-  }
-  if (setup.cloud.fault.straggler_rate > 0.0 || report.total_stragglers_detected > 0) {
-    std::printf("stragglers: %d injected fleet-wide, %d detected (%d false positive%s), "
-                "%d quarantined, %.0fs mitigation cost\n",
-                report.stragglers_injected, report.total_stragglers_detected,
-                report.total_straggler_false_positives,
-                report.total_straggler_false_positives == 1 ? "" : "s",
-                report.total_stragglers_quarantined,
-                report.total_straggler_mitigation_seconds);
-  }
+  std::fputs(FormatServiceJobTable(report).c_str(), stdout);
+  ServiceFormatOptions service_format;
+  service_format.show_faults = setup.cloud.fault.Any();
+  service_format.show_stragglers =
+      setup.cloud.fault.straggler_rate > 0.0 || report.total_stragglers_detected > 0;
+  std::fputs(FormatServiceSummary(report, service_format).c_str(), stdout);
   // The fleet view: service-level spans plus every job's executor phases
   // (each job keeps its own pid, matching the Chrome export's process map).
   Timeline fleet = report.timeline;
@@ -427,6 +429,80 @@ int RunServe(const Flags& flags, CliSetup& setup) {
   return EmitObservability(obs, report.metrics, fleet,
                            obs.chrome_trace.empty() ? std::string()
                                                     : ChromeTraceFromService(report));
+}
+
+// `rubberband client <action> [--flags]`: one request against a running
+// `serve --listen` server. Prints the response; exit 0 on ok, 1 on a
+// protocol error, 2 on transport failure.
+int RunClient(const std::string& action, const Flags& flags) {
+  Client client;
+  std::string error;
+  if (!client.Connect(flags.GetString("host", "127.0.0.1"), flags.GetInt("port", 8787),
+                      &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  JsonValue params = JsonValue::MakeObject();
+  if (action == "submit") {
+    params.Set("name", JsonValue::MakeString(flags.GetString("name", "job")));
+    params.Set("workload",
+               JsonValue::MakeString(flags.GetString("workload", "resnet101-cifar10")));
+    params.Set("trials", JsonValue::MakeNumber(flags.GetInt("trials", 32)));
+    params.Set("min_iters",
+               JsonValue::MakeNumber(static_cast<double>(flags.GetInt64("min-iters", 1))));
+    params.Set("max_iters",
+               JsonValue::MakeNumber(static_cast<double>(flags.GetInt64("max-iters", 50))));
+    params.Set("eta", JsonValue::MakeNumber(flags.GetInt("eta", 3)));
+    params.Set("deadline_s", JsonValue::MakeNumber(flags.GetDouble("deadline-min", 20.0) * 60.0));
+    params.Set("budget_dollars", JsonValue::MakeNumber(flags.GetDouble("budget", 0.0)));
+    params.Set("weight", JsonValue::MakeNumber(flags.GetDouble("weight", 1.0)));
+  } else if (action == "status" || action == "cancel") {
+    if (flags.Has("job")) {
+      params.Set("job", JsonValue::MakeString(flags.GetString("job", "")));
+    } else if (action == "cancel") {
+      return Fail("client cancel needs --job=<name>");
+    }
+  } else if (action == "advance") {
+    params.Set("seconds", JsonValue::MakeNumber(flags.GetDouble("seconds", 60.0)));
+  } else if (action == "drain") {
+    params.Set("mode", JsonValue::MakeString(flags.GetString("mode", "snapshot")));
+  } else if (action != "report" && action != "metrics" && action != "trace" &&
+             action != "ping") {
+    return Fail("unknown client action '" + action +
+                "' (submit|status|cancel|report|metrics|trace|advance|drain|ping)");
+  }
+
+  JsonValue response;
+  if (!client.Call(action, params, flags.GetString("tenant", "default"), &response, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  const bool ok = response.Has("ok") && response.at("ok").bool_value();
+  if (!ok) {
+    std::fprintf(stderr, "%s\n", response.ToJson().c_str());
+    return 1;
+  }
+  const JsonValue& result = response.at("result");
+  // The report's human rendering comes through as a text field — print it
+  // as a terminal report, not an escaped JSON string.
+  if (action == "report" && result.Has("text")) {
+    std::printf("%s", result.at("text").string().c_str());
+  } else if (action == "metrics" && result.Has("metrics")) {
+    std::printf("%s\n", result.at("metrics").ToJson().c_str());
+  } else if (action == "trace" && result.Has("chrome_trace")) {
+    const std::string out_path = flags.GetString("out", "");
+    if (out_path.empty()) {
+      std::printf("%s", result.at("chrome_trace").string().c_str());
+    } else if (!WriteFile(out_path, result.at("chrome_trace").string())) {
+      return 1;
+    } else {
+      std::fprintf(stderr, "chrome trace: wrote %s\n", out_path.c_str());
+    }
+  } else {
+    std::printf("%s\n", result.ToJson().c_str());
+  }
+  return 0;
 }
 
 int RunTraceToChrome(const Flags& flags) {
@@ -474,11 +550,32 @@ int RunTraceToChrome(const Flags& flags) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s plan|execute|sweep|asha|serve|trace2chrome [--flags]\n",
+    std::fprintf(stderr,
+                 "usage: %s plan|execute|sweep|asha|serve|client|trace2chrome [--flags]\n",
                  argv[0]);
     return 2;
   }
   const std::string command = argv[1];
+
+  // client is a pure network front end — no workload setup, and its action
+  // word comes before the flags.
+  if (command == "client") {
+    if (argc < 3 || argv[2][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s client submit|status|cancel|report|metrics|trace|advance|"
+                   "drain|ping [--host=.. --port=.. --tenant=..]\n",
+                   argv[0]);
+      return 2;
+    }
+    const std::string action = argv[2];
+    const Flags client_flags = Flags::Parse(argc - 3, argv + 3);
+    const int status = RunClient(action, client_flags);
+    for (const std::string& key : client_flags.UnusedKeys()) {
+      std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+    }
+    return status;
+  }
+
   const Flags flags = Flags::Parse(argc - 2, argv + 2);
 
   // trace2chrome is a pure file converter — no workload setup (or banner).
