@@ -1,0 +1,61 @@
+#include "src/common/crc32c.h"
+
+#include <array>
+
+namespace rubberband {
+
+namespace {
+
+// 8 tables of 256 entries: table[0] is the classic byte-at-a-time table for
+// the reflected Castagnoli polynomial; table[k] advances a byte through k
+// additional zero bytes, which lets the hot loop fold 8 input bytes per
+// iteration (slice-by-8).
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+
+  constexpr Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xffu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+constexpr Crc32cTables kTables{};
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Fold 8 bytes per iteration while enough input remains.
+  while (size >= 8) {
+    const uint32_t low = crc ^ (static_cast<uint32_t>(p[0]) |
+                                (static_cast<uint32_t>(p[1]) << 8) |
+                                (static_cast<uint32_t>(p[2]) << 16) |
+                                (static_cast<uint32_t>(p[3]) << 24));
+    crc = kTables.t[7][low & 0xffu] ^ kTables.t[6][(low >> 8) & 0xffu] ^
+          kTables.t[5][(low >> 16) & 0xffu] ^ kTables.t[4][low >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace rubberband

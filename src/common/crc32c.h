@@ -1,0 +1,32 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// The checksum behind the serving front door's durability layer: every
+// write-ahead-journal record carries a CRC of its payload, and snapshot
+// files carry a whole-file digest, so a torn write or a flipped bit is
+// detected at recovery instead of silently replaying a different history.
+// Castagnoli rather than the zlib polynomial because its error-detection
+// properties are strictly better at these record sizes and it is what
+// storage systems (ext4, leveldb, iSCSI) standardized on — recovery code
+// ported elsewhere keeps its checksums meaningful.
+
+#ifndef SRC_COMMON_CRC32C_H_
+#define SRC_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rubberband {
+
+// Extends `crc` (state from a previous call, 0 for a fresh stream) over
+// `size` bytes. Software slice-by-8: no hardware dependency, ~1 GB/s —
+// journal records are hundreds of bytes, nowhere near the bottleneck.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace rubberband
+
+#endif  // SRC_COMMON_CRC32C_H_

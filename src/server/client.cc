@@ -1,19 +1,72 @@
 #include "src/server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/server/framing.h"
 
 namespace rubberband {
 
+namespace {
+
+// connect() under a deadline: non-blocking connect, poll for writability,
+// then read back SO_ERROR (the poll success only means "resolved", not
+// "succeeded").
+bool ConnectWithTimeout(int fd, const sockaddr_in& addr, int timeout_ms, std::string* error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (timeout_ms > 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    return false;
+  }
+  if (rc < 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      *error = "TIMEOUT: connect deadline of " + std::to_string(timeout_ms) + "ms expired";
+      return false;
+    }
+    if (rc < 0) {
+      *error = std::string("poll: ") + std::strerror(errno);
+      return false;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      *error = std::string("connect: ") + std::strerror(so_error);
+      return false;
+    }
+  }
+  if (timeout_ms > 0) {
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking; reads are poll-gated
+  }
+  return true;
+}
+
+}  // namespace
+
 bool Client::Connect(const std::string& host, int port, std::string* error) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     *error = std::string("socket: ") + std::strerror(errno);
@@ -27,17 +80,21 @@ bool Client::Connect(const std::string& host, int port, std::string* error) {
     Close();
     return false;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    *error = std::string("connect: ") + std::strerror(errno);
+  if (!ConnectWithTimeout(fd_, addr, options_.connect_timeout_ms, error)) {
+    if (error->rfind("TIMEOUT", 0) == 0) {
+      ++stats_.timeouts;
+    }
     Close();
     return false;
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  transport_ = MakeTransport(fd_, options_.fault, conn_serial_++);
   return true;
 }
 
 void Client::Close() {
+  transport_.reset();
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -46,6 +103,12 @@ void Client::Close() {
 
 bool Client::Call(const std::string& method, const JsonValue& params, const std::string& tenant,
                   JsonValue* response, std::string* error) {
+  return CallOnce(method, params, tenant, /*idem=*/"", response, error);
+}
+
+bool Client::CallOnce(const std::string& method, const JsonValue& params,
+                      const std::string& tenant, const std::string& idem, JsonValue* response,
+                      std::string* error) {
   if (fd_ < 0) {
     *error = "not connected";
     return false;
@@ -54,17 +117,26 @@ bool Client::Call(const std::string& method, const JsonValue& params, const std:
   request.Set("id", JsonValue::MakeNumber(static_cast<double>(next_id_++)));
   request.Set("tenant", JsonValue::MakeString(tenant));
   request.Set("method", JsonValue::MakeString(method));
+  if (!idem.empty()) {
+    request.Set("idem", JsonValue::MakeString(idem));
+  }
   request.Set("params", params);
 
-  if (!WriteFrame(fd_, request.ToJson(), error)) {
+  const int io_ms = options_.io_timeout_ms > 0 ? options_.io_timeout_ms : -1;
+  if (!WriteFrame(*transport_, request.ToJson(), error, io_ms)) {
     Close();
     return false;
   }
   std::string payload;
-  const int status = ReadFrame(fd_, &payload, error);
+  const int status = ReadFrame(*transport_, &payload, error, io_ms, io_ms);
   if (status <= 0) {
     if (status == 0) {
       *error = "connection closed by server";
+    } else if (status == kTransportTimeout) {
+      // A late response would desynchronize the lockstep framing, so a
+      // timed-out connection cannot be reused.
+      ++stats_.timeouts;
+      *error = "TIMEOUT: " + *error;
     }
     Close();
     return false;
@@ -77,6 +149,44 @@ bool Client::Call(const std::string& method, const JsonValue& params, const std:
     return false;
   }
   return true;
+}
+
+bool Client::CallIdempotent(const std::string& method, const JsonValue& params,
+                            const std::string& tenant, const std::string& idem,
+                            JsonValue* response, std::string* error) {
+  const int attempts = std::max(1, options_.max_attempts);
+  // Deterministic jitter: one stream per (seed, call), so a fixed seed
+  // replays the exact retry schedule.
+  Rng rng = Rng::ForStream(options_.seed, /*stream=*/0x9E77, static_cast<uint64_t>(next_id_));
+  std::string last_error = "no attempt made";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      double backoff = options_.base_backoff_ms;
+      for (int i = 1; i < attempt && backoff < options_.max_backoff_ms; ++i) {
+        backoff *= 2.0;
+      }
+      backoff = std::min(backoff, options_.max_backoff_ms);
+      backoff *= 1.0 + rng.Uniform(-options_.jitter, options_.jitter);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(std::max(0.0, backoff))));
+    }
+    if (!connected()) {
+      if (!Connect(host_, port_, error)) {
+        last_error = *error;
+        continue;  // server may still be restarting; back off and retry
+      }
+      if (conn_serial_ > 1) {
+        ++stats_.reconnects;  // re-established, as opposed to first connect
+      }
+    }
+    if (CallOnce(method, params, tenant, idem, response, error)) {
+      return true;
+    }
+    last_error = *error;
+  }
+  *error = last_error;
+  return false;
 }
 
 }  // namespace rubberband

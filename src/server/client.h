@@ -1,38 +1,101 @@
 // Blocking client for the serving front door: one TCP connection, framed
 // JSON request/response pairs in lockstep. Used by the `rubberband client`
-// CLI subcommand, the server tests, and the closed-loop load generator.
+// CLI subcommand, the server tests, and the load / chaos generators.
+//
+// Resilience model: Call() is one attempt under connect/IO deadlines — a
+// deadline expiry surfaces as a "TIMEOUT: ..." error (the client-side twin
+// of the protocol's TIMEOUT code) and closes the connection, because a
+// late response would desynchronize the lockstep framing. CallIdempotent()
+// layers at-least-once delivery on top: it reconnects and retries
+// ambiguous failures with capped exponential backoff and deterministic
+// jitter, stamping the client-supplied idempotency key into the envelope
+// so the server applies the op at most once no matter how many retries —
+// or server restarts — it takes.
 
 #ifndef SRC_SERVER_CLIENT_H_
 #define SRC_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "src/common/rng.h"
 #include "src/obs/json.h"
+#include "src/server/transport.h"
 
 namespace rubberband {
 
+struct ClientOptions {
+  // Deadline for establishing the TCP connection; <= 0 blocks indefinitely.
+  int connect_timeout_ms = 10'000;
+  // Per-read/write deadline inside one call; <= 0 blocks indefinitely.
+  int io_timeout_ms = 30'000;
+  // Retry policy for CallIdempotent (the ClusterManager RetryPolicy idiom:
+  // capped exponential backoff, deterministic jitter). max_attempts == 1
+  // means a single attempt, i.e. plain Call behavior.
+  int max_attempts = 1;
+  double base_backoff_ms = 50.0;
+  double max_backoff_ms = 2'000.0;
+  double jitter = 0.2;  // +/- fraction of the backoff
+  uint64_t seed = 0;    // jitter stream; same seed => same retry schedule
+  // Client-side wire-fault injection (tests / chaos bench; inert by
+  // default).
+  NetFaultProfile fault;
+};
+
 class Client {
  public:
+  // Counters for observing resilience behavior (chaos bench report).
+  struct Stats {
+    int64_t retries = 0;     // re-attempts after a failed call
+    int64_t reconnects = 0;  // connections re-established by CallIdempotent
+    int64_t timeouts = 0;    // calls that died on a deadline
+  };
+
   Client() = default;
+  explicit Client(const ClientOptions& options) : options_(options) {}
   ~Client() { Close(); }
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  // Connects under connect_timeout_ms; remembers host/port so
+  // CallIdempotent can re-establish the connection after a failure.
   bool Connect(const std::string& host, int port, std::string* error);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  // Sends one request and blocks for its response. Returns false with
-  // `*error` set on transport failure (the connection is closed); protocol
-  // errors come back as a parsed `ok: false` envelope, not a failure.
+  // Sends one request and blocks for its response (one attempt). Returns
+  // false with `*error` set on transport failure or deadline expiry
+  // ("TIMEOUT: ..."); the connection is closed either way. Protocol errors
+  // come back as a parsed `ok: false` envelope, not a failure.
   bool Call(const std::string& method, const JsonValue& params, const std::string& tenant,
             JsonValue* response, std::string* error);
 
+  // Call with retries. `idem`, when non-empty, is stamped into the request
+  // envelope; the server journals the original decision under that key, so
+  // a retry that lands after the original applied (lost ack, restart)
+  // returns the original decision instead of double-submitting. Ambiguous
+  // failures (timeout, reset, refused connection) are retried up to
+  // options_.max_attempts with capped exponential backoff.
+  bool CallIdempotent(const std::string& method, const JsonValue& params,
+                      const std::string& tenant, const std::string& idem, JsonValue* response,
+                      std::string* error);
+
+  const Stats& stats() const { return stats_; }
+
  private:
+  bool CallOnce(const std::string& method, const JsonValue& params, const std::string& tenant,
+                const std::string& idem, JsonValue* response, std::string* error);
+
+  ClientOptions options_;
   int fd_ = -1;
+  std::unique_ptr<Transport> transport_;
   int64_t next_id_ = 1;
+  uint64_t conn_serial_ = 0;  // fault-injection stream per connection
+  std::string host_;
+  int port_ = 0;
+  Stats stats_;
 };
 
 }  // namespace rubberband

@@ -1,9 +1,5 @@
 #include "src/server/framing.h"
 
-#include <errno.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cstring>
 
 namespace rubberband {
@@ -24,37 +20,20 @@ uint32_t GetPrefix(const char in[4]) {
          static_cast<uint32_t>(static_cast<unsigned char>(in[3]));
 }
 
-// Writes all of `data`, retrying on EINTR and short writes. MSG_NOSIGNAL
-// turns a write to a peer-closed socket into an EPIPE error return instead
-// of a process-killing SIGPIPE — connection teardown races are routine
-// (the server shuts connections down during Stop()), not fatal.
-bool WriteAll(int fd, const char* data, size_t size, std::string* error) {
-  size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      *error = std::string("write: ") + std::strerror(errno);
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-// Reads exactly `size` bytes. Returns 1 on success, 0 on EOF before the
-// first byte, -1 on error or EOF mid-message.
-int ReadAll(int fd, char* data, size_t size, std::string* error) {
+// Reads exactly `size` bytes through the transport. Returns 1 on success,
+// 0 on EOF before the first byte, kTransportTimeout on deadline, -1 on
+// error or EOF mid-read. `first_timeout_ms` guards the wait for the first
+// byte; `rest_timeout_ms` guards every subsequent read.
+int ReadExactly(Transport& transport, char* data, size_t size, int first_timeout_ms,
+                int rest_timeout_ms, std::string* error) {
   size_t got = 0;
   while (got < size) {
-    const ssize_t n = ::read(fd, data + got, size - got);
+    const int timeout = got == 0 ? first_timeout_ms : rest_timeout_ms;
+    const int n = transport.Recv(data + got, size - got, timeout, error);
+    if (n == kTransportTimeout) {
+      return kTransportTimeout;
+    }
     if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      *error = std::string("read: ") + std::strerror(errno);
       return -1;
     }
     if (n == 0) {
@@ -98,24 +77,28 @@ int DecodeFrame(std::string& buffer, std::string* payload, std::string* error) {
   return 1;
 }
 
-bool WriteFrame(int fd, const std::string& payload, std::string* error) {
+bool WriteFrame(Transport& transport, const std::string& payload, std::string* error,
+                int timeout_ms) {
   if (payload.size() > kMaxFrameBytes) {
     *error = "frame of " + std::to_string(payload.size()) + " bytes exceeds limit";
     return false;
   }
-  char prefix[4];
-  PutPrefix(static_cast<uint32_t>(payload.size()), prefix);
-  if (!WriteAll(fd, prefix, 4, error)) {
-    return false;
-  }
-  return WriteAll(fd, payload.data(), payload.size(), error);
+  // Prefix and payload leave in one Send: the fault shim (and the kernel)
+  // may still tear the frame mid-stream, but frames never interleave.
+  const std::string frame = EncodeFrame(payload);
+  return transport.Send(frame.data(), frame.size(), timeout_ms, error) ==
+         static_cast<int>(frame.size());
 }
 
-int ReadFrame(int fd, std::string* payload, std::string* error) {
+int ReadFrame(Transport& transport, std::string* payload, std::string* error,
+              int idle_timeout_ms, int frame_timeout_ms) {
   char prefix[4];
-  const int header = ReadAll(fd, prefix, 4, error);
+  // Waiting for a frame's first byte is idleness; everything after it is
+  // mid-frame and gets the (typically much tighter) frame deadline.
+  const int header =
+      ReadExactly(transport, prefix, 4, idle_timeout_ms, frame_timeout_ms, error);
   if (header <= 0) {
-    return header;
+    return header;  // EOF, error, or timeout (kTransportTimeout)
   }
   const uint32_t length = GetPrefix(prefix);
   if (length > kMaxFrameBytes) {
@@ -126,7 +109,18 @@ int ReadFrame(int fd, std::string* payload, std::string* error) {
   if (length == 0) {
     return 1;
   }
-  return ReadAll(fd, payload->data(), length, error) == 1 ? 1 : -1;
+  return ReadExactly(transport, payload->data(), length, frame_timeout_ms,
+                     frame_timeout_ms, error);
+}
+
+bool WriteFrame(int fd, const std::string& payload, std::string* error) {
+  FdTransport transport(fd);
+  return WriteFrame(transport, payload, error);
+}
+
+int ReadFrame(int fd, std::string* payload, std::string* error) {
+  FdTransport transport(fd);
+  return ReadFrame(transport, payload, error);
 }
 
 }  // namespace rubberband

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/server/transport.h"
+
 namespace rubberband {
 
 // Hard cap on a single frame's payload. Requests are small JSON documents;
@@ -27,10 +29,28 @@ std::string EncodeFrame(const std::string& payload);
 // the prefix announces an oversized frame.
 int DecodeFrame(std::string& buffer, std::string* payload, std::string* error);
 
-// Blocking frame I/O on a file descriptor. WriteFrame returns false with
-// `*error` set on any short write or oversized payload. ReadFrame returns
-// 1 on a frame, 0 on clean EOF at a message boundary, and -1 with `*error`
-// set on a truncated frame, read error, or oversized announcement.
+// Frame I/O over a Transport. WriteFrame sends prefix + payload as one
+// buffer (a crash or injected reset can tear the frame at any byte, but
+// frames never interleave); returns false with `*error` set on transport
+// failure, deadline expiry, or an oversized payload. `timeout_ms` < 0
+// disables the write deadline.
+bool WriteFrame(Transport& transport, const std::string& payload, std::string* error,
+                int timeout_ms = -1);
+
+// Reads one frame. Returns 1 on a frame, 0 on clean EOF at a message
+// boundary, -1 with `*error` set on a truncated frame / read error /
+// oversized announcement, and -2 (kTransportTimeout) when a deadline
+// expires. Two deadlines, because they mean different things: a peer
+// quietly holding an idle connection (`idle_timeout_ms`, waiting for a
+// frame's first byte) versus a peer that announced a frame and then
+// stalled mid-payload — the slow-loris shape (`frame_timeout_ms`, applied
+// to every read after the first byte). Either value < 0 disables that
+// deadline.
+int ReadFrame(Transport& transport, std::string* payload, std::string* error,
+              int idle_timeout_ms = -1, int frame_timeout_ms = -1);
+
+// Legacy fd entry points (no deadlines, no fault shim); kept for call
+// sites that only ever speak to a live local peer.
 bool WriteFrame(int fd, const std::string& payload, std::string* error);
 int ReadFrame(int fd, std::string* payload, std::string* error);
 

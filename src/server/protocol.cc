@@ -68,6 +68,13 @@ bool ParseRequest(const std::string& payload, Request* request, std::string* err
     return false;
   }
   request->method = doc.at("method").string();
+  if (doc.Has("idem")) {
+    if (!doc.at("idem").is_string()) {
+      *error = "field 'idem' must be a string";
+      return false;
+    }
+    request->idem = doc.at("idem").string();
+  }
   if (doc.Has("params")) {
     if (!doc.at("params").is_object()) {
       *error = "field 'params' must be an object";

@@ -33,6 +33,7 @@ inline constexpr const char* kErrDraining = "DRAINING";         // server refusi
 inline constexpr const char* kErrNotFound = "NOT_FOUND";        // unknown job name
 inline constexpr const char* kErrConflict = "CONFLICT";         // op illegal in current state
 inline constexpr const char* kErrInternal = "INTERNAL";         // handler threw
+inline constexpr const char* kErrTimeout = "TIMEOUT";           // client-side deadline expired
 
 // A parsed request envelope.
 struct Request {
@@ -40,6 +41,11 @@ struct Request {
   std::string tenant = "default";
   std::string method;
   JsonValue params;  // object; empty object when absent
+  // Client-supplied idempotency key (optional). A submit/cancel retried
+  // with the same key after an ambiguous failure (timeout, dead
+  // connection, server restart) is applied at most once: the journaled
+  // original decision is returned verbatim instead of re-executing.
+  std::string idem;
 };
 
 // Parses one request frame. Returns false with `*error` set on malformed

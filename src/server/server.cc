@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 
 #include "src/server/framing.h"
 
@@ -30,13 +31,21 @@ Server::Server(const ServerOptions& options)
 Server::~Server() { Stop(); }
 
 bool Server::Start(std::string* error) {
-  return StartWithRunner(std::make_unique<ServiceRunner>(options_.runner), error);
+  // Open() resumes an existing WAL (or starts fresh without one); throws
+  // on a corrupt or mismatched journal — refusing to serve beats silently
+  // diverging from acknowledged history.
+  return StartWithRunner(ServiceRunner::Open(options_.runner), error);
 }
 
 bool Server::StartRestored(const std::string& snapshot_json, std::string* error) {
-  // Throws on config mismatch / replay divergence — a corrupt snapshot is
-  // an operator problem, not a socket error.
-  return StartWithRunner(ServiceRunner::Restore(options_.runner, snapshot_json), error);
+  // Throws on digest/config mismatch / replay divergence — a corrupt
+  // snapshot is an operator problem, not a socket error.
+  std::string body;
+  std::string digest_error;
+  if (!DecodeDigestFile(snapshot_json, &body, &digest_error)) {
+    throw std::runtime_error("snapshot " + digest_error);
+  }
+  return StartWithRunner(ServiceRunner::Restore(options_.runner, body), error);
 }
 
 bool Server::StartWithRunner(std::unique_ptr<ServiceRunner> runner, std::string* error) {
@@ -127,11 +136,21 @@ bool Server::Prescreen(const Request& request, std::string* response) {
 }
 
 void Server::ConnectionLoop(int fd) {
+  const uint64_t serial = conn_serial_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<Transport> transport = MakeTransport(fd, options_.fault, serial);
+  const int idle_ms = options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
+  const int frame_ms = options_.frame_timeout_ms > 0 ? options_.frame_timeout_ms : -1;
   std::string payload;
   std::string error;
   while (!stopping_.load(std::memory_order_acquire)) {
     payload.clear();
-    const int status = ReadFrame(fd, &payload, &error);
+    const int status = ReadFrame(*transport, &payload, &error, idle_ms, frame_ms);
+    if (status == kTransportTimeout) {
+      // Idle past the reaper deadline, or trickling a frame too slowly —
+      // either way this reader thread is reclaimed.
+      obs::Inc(metrics_.GetCounter("server.conn.idle_closed"));
+      break;
+    }
     if (status <= 0) {
       break;  // clean EOF, peer reset, or shutdown
     }
@@ -164,7 +183,7 @@ void Server::ConnectionLoop(int fd) {
         }
       }
     }
-    if (!WriteFrame(fd, response, &error)) {
+    if (!WriteFrame(*transport, response, &error, frame_ms)) {
       break;
     }
   }
@@ -237,11 +256,24 @@ void Server::ServiceLoop() {
 void Server::FinishDrain(const std::string& snapshot_json) {
   if (!options_.snapshot_path.empty()) {
     std::ofstream out(options_.snapshot_path, std::ios::binary | std::ios::trunc);
-    out << snapshot_json;
+    // Digest envelope: a torn or bit-rotted snapshot file fails the CRC on
+    // restore instead of replaying a truncated history.
+    out << EncodeDigestFile(snapshot_json);
   }
 }
 
 bool Server::draining() const { return draining_.load(std::memory_order_acquire); }
+
+void Server::Kill() {
+  Stop();
+  // After the service thread is joined nothing touches the WAL; dropping
+  // it without the close-time fsync models a process that died rather
+  // than exited. (Bytes already write()n survive either way — true torn
+  // tails are injected explicitly in tests via WalWriter::AppendTorn.)
+  if (runner_ != nullptr) {
+    runner_->AbandonWal();
+  }
+}
 
 void Server::Wait() {
   std::unique_lock<std::mutex> lock(done_mu_);

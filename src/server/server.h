@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
@@ -26,6 +27,7 @@
 #include "src/server/protocol.h"
 #include "src/server/rate_limiter.h"
 #include "src/server/service_runner.h"
+#include "src/server/transport.h"
 
 namespace rubberband {
 
@@ -38,8 +40,18 @@ struct ServerOptions {
   RateLimitConfig rate;
   RunnerOptions runner;
   // Where `drain` (mode "snapshot") persists the service snapshot; empty
-  // keeps the snapshot response-only.
+  // keeps the snapshot response-only. Written as a digest file (whole-file
+  // CRC envelope, journal.h) so a torn snapshot is detected on restore.
   std::string snapshot_path;
+  // Read deadlines, milliseconds; <= 0 disables. `idle_timeout_ms` bounds
+  // the wait for a frame's FIRST byte (idle-connection reaper);
+  // `frame_timeout_ms` bounds every read after it (a peer trickling a
+  // frame byte-by-byte cannot pin a reader thread past this).
+  int idle_timeout_ms = 0;
+  int frame_timeout_ms = 30'000;
+  // Deterministic wire-fault injection on accepted connections (tests /
+  // chaos bench only; inert by default).
+  NetFaultProfile fault;
 };
 
 class Server {
@@ -50,10 +62,13 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds, listens, and starts the accept + service threads. On a restore,
-  // pass the snapshot JSON; throws std::runtime_error when the snapshot
-  // does not replay under this config. Returns false with `*error` set on
-  // socket errors.
+  // Binds, listens, and starts the accept + service threads. With
+  // runner.wal_path set, Start() resumes from an existing write-ahead
+  // journal (ServiceRunner::Open) and throws std::runtime_error on a
+  // corrupt or mismatched one. On a restore, pass the snapshot file
+  // contents (digest envelope or bare JSON); throws std::runtime_error
+  // when the digest fails or the snapshot does not replay under this
+  // config. Returns false with `*error` set on socket errors.
   bool Start(std::string* error);
   bool StartRestored(const std::string& snapshot_json, std::string* error);
 
@@ -65,8 +80,18 @@ class Server {
   // Idempotent.
   void Stop();
 
+  // Crash-style stop: like Stop(), but the WAL is abandoned without its
+  // final fsync — the closest an in-process server gets to kill -9. No
+  // drain, no snapshot; recovery goes through the WAL.
+  void Kill();
+
   int port() const { return port_; }
   bool draining() const;
+
+  // The runner, for post-mortem inspection (WAL recovery stats, idempotency
+  // counters). Only safe to read once the service thread has stopped
+  // (after Wait/Stop/Kill) — the runner is single-threaded.
+  const ServiceRunner* runner() const { return runner_.get(); }
 
   // The server's own request-path metrics (server.* scope): per-method
   // counters, rejection counters, submit→decision latency histogram.
@@ -100,6 +125,9 @@ class Server {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
+  // Per-connection serial, the fault-injection stream index: connection k
+  // of a given server sees the same fault schedule on every run.
+  std::atomic<uint64_t> conn_serial_{0};
   // EWMA of service-thread op handling time, the honest basis for the
   // QUEUE_FULL retry-after hint.
   std::atomic<int64_t> avg_op_ns_{1'000'000};

@@ -12,6 +12,7 @@ namespace rubberband {
 namespace {
 
 constexpr int kSnapshotVersion = 1;
+constexpr int kWalVersion = 1;
 
 JsonValue Num(double value) { return JsonValue::MakeNumber(value); }
 JsonValue Str(std::string value) { return JsonValue::MakeString(std::move(value)); }
@@ -53,46 +54,289 @@ OpResult OpResult::Error(std::string code, std::string message, int64_t retry_af
 ServiceRunner::ServiceRunner(const RunnerOptions& options)
     : options_(options), service_(std::make_unique<TuningService>(options.service)) {
   service_->StartLive();
+  if (!options_.wal_path.empty()) {
+    std::string error;
+    if (!wal_.Create(options_.wal_path, options_.wal, &error)) {
+      throw std::runtime_error(error);
+    }
+    JsonValue header = JsonValue::MakeObject();
+    header.Set("kind", Str("header"));
+    header.Set("version", Num(kWalVersion));
+    header.Set("config", ConfigFingerprint(options_.service));
+    if (!wal_.Append(header.ToJson(), &error) || !wal_.Sync(&error)) {
+      throw std::runtime_error(error);
+    }
+  }
 }
+
+std::unique_ptr<ServiceRunner> ServiceRunner::Open(const RunnerOptions& options) {
+  if (options.wal_path.empty()) {
+    return std::make_unique<ServiceRunner>(options);
+  }
+  WalReadResult wal;
+  std::string error;
+  if (!ReadWal(options.wal_path, &wal, &error)) {
+    throw std::runtime_error(error);
+  }
+  if (wal.records.empty()) {
+    // Absent, empty, or nothing but a torn first record: a fresh journal.
+    return std::make_unique<ServiceRunner>(options);
+  }
+
+  // Replay without a WAL attached (the constructor with a wal_path would
+  // truncate the very journal we are recovering).
+  RunnerOptions replay_options = options;
+  replay_options.wal_path.clear();
+  auto runner = std::make_unique<ServiceRunner>(replay_options);
+
+  JsonValue header;
+  try {
+    header = JsonValue::Parse(wal.records[0]);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("wal header unparseable: ") + e.what());
+  }
+  if (!header.is_object() || !header.Has("kind") || header.at("kind").string() != "header" ||
+      !header.Has("version") || header.at("version").number() != kWalVersion) {
+    throw std::runtime_error("wal header missing or unsupported version");
+  }
+  if (!header.Has("config") ||
+      header.at("config") != ConfigFingerprint(options.service)) {
+    throw std::runtime_error(
+        "wal config does not match the server's (seed/capacity/cloud must be "
+        "identical to resume)");
+  }
+
+  for (size_t i = 1; i < wal.records.size(); ++i) {
+    const std::string where = "wal record " + std::to_string(i);
+    JsonValue record;
+    try {
+      record = JsonValue::Parse(wal.records[i]);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(where + " unparseable: " + e.what());
+    }
+    runner->ReplayWalRecord(record, where);
+  }
+
+  runner->wal_stats_.recovered = true;
+  runner->wal_stats_.ops_replayed = static_cast<int64_t>(runner->journal_.size());
+  if (wal.torn_tail) {
+    if (!TruncateWal(options.wal_path, wal.valid_bytes, &error)) {
+      throw std::runtime_error(error);
+    }
+    runner->wal_stats_.torn_tail_truncated = true;
+    runner->wal_stats_.torn_offset = wal.torn_offset;
+  }
+  runner->options_.wal_path = options.wal_path;
+  runner->options_.wal = options.wal;
+  if (!runner->wal_.OpenAppend(options.wal_path, options.wal, &error)) {
+    throw std::runtime_error(error);
+  }
+  // Jobs that completed before the crash but after the last digest record
+  // get their outcome digested now.
+  runner->JournalNewOutcomes();
+  return runner;
+}
+
+void ServiceRunner::ReplayWalRecord(const JsonValue& record, const std::string& where) {
+  if (!record.is_object() || !record.Has("kind") || !record.at("kind").is_string()) {
+    throw std::runtime_error(where + ": record has no kind");
+  }
+  const std::string& kind = record.at("kind").string();
+  TuningService& service = *service_;
+  if (kind == "clock") {
+    service.AdvanceUntil(record.at("at_s").number());
+    return;
+  }
+  if (kind == "outcome") {
+    const std::string& name = record.at("job").string();
+    const size_t index = service.FindJob(name);
+    if (index == TuningService::kNoJob) {
+      throw std::runtime_error(where + ": replay diverged: completed job '" + name +
+                               "' unknown");
+    }
+    const JobOutcome& outcome = service.outcome(index);
+    if (outcome.state != JobState::kCompleted ||
+        outcome.jct != record.at("jct_s").number() ||
+        static_cast<double>(outcome.cost.micros()) != record.at("cost_micros").number()) {
+      throw std::runtime_error(where + ": replay diverged on job '" + name +
+                               "' (outcome differs from journaled digest)");
+    }
+    if (index >= outcome_digested_.size()) {
+      outcome_digested_.resize(index + 1, false);
+    }
+    outcome_digested_[index] = true;
+    ++wal_stats_.outcomes_verified;
+    return;
+  }
+  if (kind != "submit" && kind != "cancel") {
+    throw std::runtime_error(where + ": unknown op kind '" + kind + "'");
+  }
+
+  // Replay: advance to the op's application time, then re-apply it. The
+  // pre-op advance processes exactly the events the live run had processed
+  // before that op, so arrivals and stage events re-enter the heap in the
+  // original (time, seq) order.
+  const Seconds at = record.at("at_s").number();
+  service.AdvanceUntil(at);
+  if (kind == "submit") {
+    JobRequest job;
+    std::string error;
+    if (!ParseJobRequest(record.at("params"), &job, &error)) {
+      throw std::runtime_error(where + ": corrupt journal submit: " + error);
+    }
+    service.SubmitLive(std::move(job));
+  } else {
+    const size_t index = service.FindJob(record.at("params").at("job").string());
+    if (index == TuningService::kNoJob) {
+      throw std::runtime_error(where + ": corrupt journal: cancel of unknown job");
+    }
+    std::string error;
+    if (!service.CancelLive(index, &error)) {
+      throw std::runtime_error(where + ": journal cancel no longer applies: " + error);
+    }
+  }
+  Op op;
+  op.kind = kind == "submit" ? Op::Kind::kSubmit : Op::Kind::kCancel;
+  op.at = at;
+  op.tenant = record.Has("tenant") ? record.at("tenant").string() : "default";
+  op.params = record.at("params");
+  if (record.Has("idem")) {
+    op.idem = record.at("idem").string();
+  }
+  if (record.Has("response")) {
+    op.response_json = record.at("response").ToJson();
+  }
+  if (!op.idem.empty()) {
+    idem_index_[op.idem] = op.response_json;
+  }
+  journal_.push_back(std::move(op));
+}
+
+JsonValue ServiceRunner::OpToJson(const Op& op) {
+  JsonValue entry = JsonValue::MakeObject();
+  entry.Set("kind", Str(op.kind == Op::Kind::kSubmit ? "submit" : "cancel"));
+  entry.Set("at_s", Num(op.at));
+  entry.Set("tenant", Str(op.tenant));
+  entry.Set("params", op.params);
+  if (!op.idem.empty()) {
+    entry.Set("idem", Str(op.idem));
+  }
+  if (!op.response_json.empty()) {
+    entry.Set("response", JsonValue::Parse(op.response_json));
+  }
+  return entry;
+}
+
+void ServiceRunner::CommitOp(Op op) {
+  if (wal_.is_open()) {
+    std::string error;
+    if (!wal_.Append(OpToJson(op).ToJson(), &error)) {
+      // The op is already applied; failing to journal it means a restart
+      // would replay a shorter history than clients observed. Surfacing a
+      // hard error (the client sees INTERNAL, not an ack) is the only
+      // honest option — an unacknowledged op may be absent after recovery.
+      throw std::runtime_error("wal append failed: " + error);
+    }
+  }
+  if (!op.idem.empty()) {
+    idem_index_[op.idem] = op.response_json;
+  }
+  journal_.push_back(std::move(op));
+}
+
+const std::string* ServiceRunner::FindIdempotent(const std::string& key) const {
+  if (key.empty()) {
+    return nullptr;
+  }
+  const auto it = idem_index_.find(key);
+  return it == idem_index_.end() ? nullptr : &it->second;
+}
+
+void ServiceRunner::JournalNewOutcomes() {
+  if (!wal_.is_open()) {
+    return;
+  }
+  if (outcome_digested_.size() < service_->num_jobs()) {
+    outcome_digested_.resize(service_->num_jobs(), false);
+  }
+  std::vector<size_t> fresh;
+  for (size_t i = 0; i < service_->num_jobs(); ++i) {
+    if (!outcome_digested_[i] && service_->outcome(i).state == JobState::kCompleted) {
+      fresh.push_back(i);
+    }
+  }
+  if (fresh.empty()) {
+    return;
+  }
+  std::string error;
+  // The clock record pins the simulation time at which these completions
+  // are known to have settled; recovery advances to it before verifying.
+  JsonValue clock = JsonValue::MakeObject();
+  clock.Set("kind", Str("clock"));
+  clock.Set("at_s", Num(service_->now()));
+  if (!wal_.Append(clock.ToJson(), &error)) {
+    throw std::runtime_error("wal append failed: " + error);
+  }
+  for (size_t index : fresh) {
+    const JobOutcome& outcome = service_->outcome(index);
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("kind", Str("outcome"));
+    entry.Set("job", Str(outcome.name));
+    entry.Set("jct_s", Num(outcome.jct));
+    entry.Set("cost_micros", Num(static_cast<double>(outcome.cost.micros())));
+    entry.Set("best_accuracy", Num(outcome.best_accuracy));
+    if (!wal_.Append(entry.ToJson(), &error)) {
+      throw std::runtime_error("wal append failed: " + error);
+    }
+    outcome_digested_[index] = true;
+  }
+}
+
+void ServiceRunner::AbandonWal() { wal_.Abandon(); }
 
 OpResult ServiceRunner::Handle(const Request& request, const MetricsSnapshot* server_metrics) {
   try {
+    OpResult result;
     if (request.method == "submit") {
-      return HandleSubmit(request);
-    }
-    if (request.method == "cancel") {
-      return HandleCancel(request);
-    }
-    if (request.method == "status") {
-      return HandleStatus(request);
-    }
-    if (request.method == "report") {
-      return HandleReport();
-    }
-    if (request.method == "metrics") {
-      return HandleMetrics(server_metrics);
-    }
-    if (request.method == "trace") {
-      return HandleTrace();
-    }
-    if (request.method == "advance") {
-      return HandleAdvance(request);
-    }
-    if (request.method == "drain") {
-      return HandleDrain(request);
-    }
-    if (request.method == "ping") {
+      result = HandleSubmit(request);
+    } else if (request.method == "cancel") {
+      result = HandleCancel(request);
+    } else if (request.method == "status") {
+      result = HandleStatus(request);
+    } else if (request.method == "report") {
+      result = HandleReport();
+    } else if (request.method == "metrics") {
+      result = HandleMetrics(server_metrics);
+    } else if (request.method == "trace") {
+      result = HandleTrace();
+    } else if (request.method == "advance") {
+      result = HandleAdvance(request);
+    } else if (request.method == "drain") {
+      result = HandleDrain(request);
+    } else if (request.method == "ping") {
       JsonValue pong = JsonValue::MakeObject();
       pong.Set("now_s", Num(service_->now()));
-      return OpResult::Ok(std::move(pong));
+      result = OpResult::Ok(std::move(pong));
+    } else {
+      return OpResult::Error(kErrBadRequest, "unknown method '" + request.method + "'");
     }
-    return OpResult::Error(kErrBadRequest, "unknown method '" + request.method + "'");
+    // Digest any jobs this op drove to completion, so a crash right after
+    // the response still verifies them on recovery.
+    JournalNewOutcomes();
+    return result;
   } catch (const std::exception& e) {
     return OpResult::Error(kErrInternal, e.what());
   }
 }
 
 OpResult ServiceRunner::HandleSubmit(const Request& request) {
+  // A retry of an op that already happened must answer with the original
+  // decision, even across a restart — checked before the draining gate,
+  // because "already applied" beats "no longer accepting".
+  if (const std::string* original = FindIdempotent(request.idem)) {
+    ++idem_duplicates_;
+    return OpResult::Ok(JsonValue::Parse(*original));
+  }
   if (draining_) {
     return OpResult::Error(kErrDraining, "server is draining; resubmit after restart");
   }
@@ -113,10 +357,10 @@ OpResult ServiceRunner::HandleSubmit(const Request& request) {
   op.kind = Op::Kind::kSubmit;
   op.at = service_->now();
   op.tenant = request.tenant;
+  op.idem = request.idem;
   op.params = JobRequestToParams(job);
 
   const size_t index = service_->SubmitLive(std::move(job));
-  journal_.push_back(std::move(op));
   // Run the freshly scheduled group so an immediate arrival's admission
   // decision lands before we answer (submit is synchronous up to the
   // decision, asynchronous for execution). Replay reproduces this with the
@@ -127,10 +371,17 @@ OpResult ServiceRunner::HandleSubmit(const Request& request) {
   JsonValue result = JobStatusJson(outcome);
   result.Set("index", Num(static_cast<double>(index)));
   result.Set("now_s", Num(service_->now()));
+  // Journal op + decision (write-ahead of the acknowledgement), then reply.
+  op.response_json = result.ToJson();
+  CommitOp(std::move(op));
   return OpResult::Ok(std::move(result));
 }
 
 OpResult ServiceRunner::HandleCancel(const Request& request) {
+  if (const std::string* original = FindIdempotent(request.idem)) {
+    ++idem_duplicates_;
+    return OpResult::Ok(JsonValue::Parse(*original));
+  }
   if (!request.params.Has("job") || !request.params.at("job").is_string()) {
     return OpResult::Error(kErrBadRequest, "cancel needs a string field 'job'");
   }
@@ -146,6 +397,7 @@ OpResult ServiceRunner::HandleCancel(const Request& request) {
   op.kind = Op::Kind::kCancel;
   op.at = service_->now();
   op.tenant = request.tenant;
+  op.idem = request.idem;
   op.params = JsonValue::MakeObject();
   op.params.Set("job", Str(name));
 
@@ -153,9 +405,10 @@ OpResult ServiceRunner::HandleCancel(const Request& request) {
   if (!service_->CancelLive(index, &error)) {
     return OpResult::Error(kErrConflict, error);
   }
-  journal_.push_back(std::move(op));
 
   JsonValue result = JobStatusJson(service_->outcome(index));
+  op.response_json = result.ToJson();
+  CommitOp(std::move(op));
   return OpResult::Ok(std::move(result));
 }
 
@@ -281,6 +534,7 @@ void ServiceRunner::Tick() {
   }
   service_->AdvanceUntil(service_->now() + options_.auto_advance_step,
                          options_.max_events_per_tick);
+  JournalNewOutcomes();
 }
 
 std::string ServiceRunner::SnapshotJson() const {
@@ -291,12 +545,7 @@ std::string ServiceRunner::SnapshotJson() const {
 
   JsonValue ops = JsonValue::MakeArray();
   for (const Op& op : journal_) {
-    JsonValue entry = JsonValue::MakeObject();
-    entry.Set("kind", Str(op.kind == Op::Kind::kSubmit ? "submit" : "cancel"));
-    entry.Set("at_s", Num(op.at));
-    entry.Set("tenant", Str(op.tenant));
-    entry.Set("params", op.params);
-    ops.Append(std::move(entry));
+    ops.Append(OpToJson(op));
   }
   snapshot.Set("ops", std::move(ops));
 
@@ -339,57 +588,56 @@ std::unique_ptr<ServiceRunner> ServiceRunner::Restore(const RunnerOptions& optio
         "must be identical to resume)");
   }
 
-  auto runner = std::make_unique<ServiceRunner>(options);
+  // Replay with the WAL detached (see Open); it is rebuilt afterwards so
+  // post-restore crashes recover the resumed history.
+  RunnerOptions replay_options = options;
+  replay_options.wal_path.clear();
+  auto runner = std::make_unique<ServiceRunner>(replay_options);
   TuningService& service = *runner->service_;
 
-  // Replay: advance to each op's application time, then re-apply it. The
-  // pre-op advance processes exactly the events the live run had processed
-  // before that op, so arrivals and stage events re-enter the heap in the
-  // original (time, seq) order.
+  size_t index = 0;
   for (const JsonValue& entry : snapshot.at("ops").array()) {
-    const std::string kind = entry.at("kind").string();
-    const Seconds at = entry.at("at_s").number();
-    service.AdvanceUntil(at);
-    if (kind == "submit") {
-      JobRequest job;
-      std::string error;
-      if (!ParseJobRequest(entry.at("params"), &job, &error)) {
-        throw std::runtime_error("corrupt journal submit: " + error);
-      }
-      service.SubmitLive(std::move(job));
-    } else if (kind == "cancel") {
-      const size_t index = service.FindJob(entry.at("params").at("job").string());
-      if (index == TuningService::kNoJob) {
-        throw std::runtime_error("corrupt journal: cancel of unknown job");
-      }
-      std::string error;
-      if (!service.CancelLive(index, &error)) {
-        throw std::runtime_error("journal cancel no longer applies: " + error);
-      }
-    } else {
-      throw std::runtime_error("corrupt journal: unknown op kind '" + kind + "'");
-    }
-    Op op;
-    op.kind = kind == "submit" ? Op::Kind::kSubmit : Op::Kind::kCancel;
-    op.at = at;
-    op.tenant = entry.Has("tenant") ? entry.at("tenant").string() : "default";
-    op.params = entry.at("params");
-    runner->journal_.push_back(std::move(op));
+    runner->ReplayWalRecord(entry, "snapshot op " + std::to_string(index++));
   }
   service.AdvanceUntil(snapshot.at("now_s").number());
 
   // Verify the replayed timeline reproduced every completed job exactly.
   for (const JsonValue& entry : snapshot.at("completed").array()) {
     const std::string& name = entry.at("job").string();
-    const size_t index = service.FindJob(name);
-    if (index == TuningService::kNoJob) {
+    const size_t job = service.FindJob(name);
+    if (job == TuningService::kNoJob) {
       throw std::runtime_error("replay diverged: completed job '" + name + "' unknown");
     }
-    const JobOutcome& outcome = service.outcome(index);
+    const JobOutcome& outcome = service.outcome(job);
     if (outcome.state != JobState::kCompleted || outcome.jct != entry.at("jct_s").number() ||
         static_cast<double>(outcome.cost.micros()) != entry.at("cost_micros").number()) {
       throw std::runtime_error("replay diverged on job '" + name +
                                "' (outcome differs from snapshot digest)");
+    }
+  }
+
+  if (!options.wal_path.empty()) {
+    runner->options_.wal_path = options.wal_path;
+    runner->options_.wal = options.wal;
+    std::string error;
+    if (!runner->wal_.Create(options.wal_path, options.wal, &error)) {
+      throw std::runtime_error(error);
+    }
+    JsonValue header = JsonValue::MakeObject();
+    header.Set("kind", Str("header"));
+    header.Set("version", Num(kWalVersion));
+    header.Set("config", fingerprint);
+    if (!runner->wal_.Append(header.ToJson(), &error)) {
+      throw std::runtime_error(error);
+    }
+    for (const Op& op : runner->journal_) {
+      if (!runner->wal_.Append(OpToJson(op).ToJson(), &error)) {
+        throw std::runtime_error(error);
+      }
+    }
+    runner->JournalNewOutcomes();
+    if (!runner->wal_.Sync(&error)) {
+      throw std::runtime_error(error);
     }
   }
   return runner;

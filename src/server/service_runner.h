@@ -10,20 +10,27 @@
 // Restartability is event sourcing. A live service run is a pure function
 // of (seed, config, the stamped operation sequence): every state-changing
 // op (submit, cancel) is journaled with the simulation time at which it was
-// applied. A snapshot is the journal plus a digest of completed outcomes;
-// restore replays `AdvanceUntil(op.at); apply(op)` per op and then advances
-// to the snapshot's clock, which reproduces the exact event heap — every
-// in-flight job resumes mid-stage, and every completed job's report is
-// verified bit-identical against the digest.
+// applied. Two durability layers share that journal:
+//
+//   - the drained snapshot (graceful stop): journal + digest of completed
+//     outcomes in one JSON document, restored via Restore();
+//   - the write-ahead log (`journal.{h,cc}`, crash stop): every op is
+//     appended (and, per fsync policy, fsynced) BEFORE its response leaves
+//     the server, so a kill -9 at any byte recovers via Open() — the WAL
+//     replays exactly like a snapshot's op list, torn tails are truncated,
+//     and completed-outcome digest records interleaved in the log verify
+//     the replay reproduced history bit-identically or the resume refuses.
 
 #ifndef SRC_SERVER_SERVICE_RUNNER_H_
 #define SRC_SERVER_SERVICE_RUNNER_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/server/journal.h"
 #include "src/server/protocol.h"
 #include "src/service/tuning_service.h"
 
@@ -38,6 +45,10 @@ struct RunnerOptions {
   // stall queued requests. A capped tick still finishes the current
   // same-timestamp group (the replay-determinism invariant).
   size_t max_events_per_tick = 4096;
+  // Write-ahead journal. Empty path disables the WAL (snapshot-only
+  // durability, the PR 6 behavior).
+  std::string wal_path;
+  WalOptions wal;
 };
 
 // Outcome of one handled request, transport-agnostic.
@@ -52,12 +63,30 @@ struct OpResult {
   static OpResult Error(std::string code, std::string message, int64_t retry_after_ms = -1);
 };
 
+// Counters from a WAL recovery, surfaced to metrics and the chaos bench.
+struct WalRecoveryStats {
+  bool recovered = false;      // true when Open() replayed a non-empty WAL
+  int64_t ops_replayed = 0;
+  int64_t outcomes_verified = 0;
+  bool torn_tail_truncated = false;
+  uint64_t torn_offset = 0;
+};
+
 class ServiceRunner {
  public:
+  // Starts a FRESH run. With `wal_path` set this truncates any existing
+  // journal at that path — use Open() to resume one.
   explicit ServiceRunner(const RunnerOptions& options);
 
   ServiceRunner(const ServiceRunner&) = delete;
   ServiceRunner& operator=(const ServiceRunner&) = delete;
+
+  // Resumes from the WAL at options.wal_path when it exists and holds
+  // records; otherwise starts fresh (identical to the constructor). Throws
+  // std::runtime_error, naming the byte offset where possible, on a corrupt
+  // journal, a config-fingerprint mismatch, or a replay that diverges from
+  // the journaled outcome digests.
+  static std::unique_ptr<ServiceRunner> Open(const RunnerOptions& options);
 
   // Dispatches one request (submit / cancel / status / report / metrics /
   // trace / advance / drain / ping). Single-threaded: caller guarantees no
@@ -78,11 +107,20 @@ class ServiceRunner {
   // Rebuilds a runner by replaying a snapshot's journal under `options`.
   // Throws std::runtime_error on a version/config mismatch, a corrupt op,
   // or a completed job whose replayed outcome diverges from the digest.
+  // With options.wal_path set, the restored runner rewrites the WAL so
+  // subsequent crashes recover from the resumed history.
   static std::unique_ptr<ServiceRunner> Restore(const RunnerOptions& options,
                                                 const std::string& snapshot_json);
 
+  // Closes the WAL without the final fsync — crash simulation (see
+  // WalWriter::Abandon). Safe to call when no WAL is configured.
+  void AbandonWal();
+
   TuningService& service() { return *service_; }
   const RunnerOptions& options() const { return options_; }
+  const WalRecoveryStats& wal_stats() const { return wal_stats_; }
+  int64_t wal_appends() const { return wal_.appends(); }
+  int64_t idem_duplicates() const { return idem_duplicates_; }
 
  private:
   struct Op {
@@ -91,6 +129,8 @@ class ServiceRunner {
     Seconds at = 0.0;   // simulation time the op was applied
     std::string tenant;
     JsonValue params;   // submit params (journal form) or {"job": name}
+    std::string idem;   // idempotency key, empty when the client sent none
+    std::string response_json;  // the original decision body, serialized
   };
 
   OpResult HandleSubmit(const Request& request);
@@ -102,9 +142,32 @@ class ServiceRunner {
   OpResult HandleAdvance(const Request& request);
   OpResult HandleDrain(const Request& request);
 
+  // Records `op` in the in-memory journal, the idempotency index, and —
+  // when configured — the WAL (append + fsync per policy). Called after
+  // the op applied but before its response leaves Handle(): the WAL write
+  // is ahead of the acknowledgement, which is the durability contract.
+  void CommitOp(Op op);
+  // Appends clock + outcome digest records for newly completed jobs.
+  void JournalNewOutcomes();
+  // Returns the journaled original decision when `key` was seen before.
+  const std::string* FindIdempotent(const std::string& key) const;
+
+  // Shared WAL-record (de)serialization.
+  static JsonValue OpToJson(const Op& op);
+  // Replays one WAL record into the service; throws on corruption or
+  // divergence. `where` names the record for error messages.
+  void ReplayWalRecord(const JsonValue& record, const std::string& where);
+
   RunnerOptions options_;
   std::unique_ptr<TuningService> service_;
   std::vector<Op> journal_;
+  // Idempotency index: key -> serialized original decision body. Rebuilt
+  // from the journal on every recovery path, so it survives restarts.
+  std::map<std::string, std::string> idem_index_;
+  int64_t idem_duplicates_ = 0;
+  WalWriter wal_;
+  WalRecoveryStats wal_stats_;
+  std::vector<bool> outcome_digested_;  // per job index, WAL outcome written
   bool draining_ = false;
 };
 

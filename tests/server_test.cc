@@ -5,7 +5,11 @@
 
 #include "src/server/server.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -17,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/rubberband.h"
 #include "src/server/bounded_queue.h"
 #include "src/server/client.h"
@@ -671,6 +676,292 @@ TEST(ServerConcurrency, StopUnblocksWaitersWhileClientsAreActive) {
   waiter.join();
   keep_going.store(false);
   chatter.join();
+}
+
+// ---------------------------------------------------------------------------
+// Fault paths: malformed byte streams, deadlines, wire faults, restarts.
+// (ServerFault* also runs under the TSan tier — these paths cross the
+// accept/reader/service threads in unusual orders.)
+
+// A raw TCP connection for speaking garbage the Client refuses to send.
+class RawConn {
+ public:
+  explicit RawConn(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() { Close(); }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  bool ok() const { return fd_ >= 0; }
+  void SendAll(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+  // Blocks until the peer closes (or data arrives); true on clean EOF.
+  bool WaitForEof() {
+    char buffer[256];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n == 0) {
+        return true;
+      }
+      if (n < 0) {
+        return false;
+      }
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Pure-function property test: no byte sequence may crash the frame
+// decoder or the envelope parser — only clean 1/0/-1 verdicts.
+TEST(ServerFault, DecoderAndParserSurviveArbitraryBytes) {
+  Rng rng(20260808);
+  for (int round = 0; round < 500; ++round) {
+    const size_t size = static_cast<size_t>(rng.UniformInt(0, 64));
+    std::string bytes;
+    for (size_t i = 0; i < size; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    std::string buffer = bytes;
+    std::string payload;
+    std::string error;
+    const int verdict = DecodeFrame(buffer, &payload, &error);
+    EXPECT_GE(verdict, -1);
+    EXPECT_LE(verdict, 1);
+    Request request;
+    ParseRequest(bytes, &request, &error);  // must not throw or crash
+  }
+  // Mutations of a VALID frame: every truncation, and every one-byte flip.
+  const std::string frame = EncodeFrame(R"({"method":"ping","params":{}})");
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::string buffer = frame.substr(0, cut);
+    std::string payload;
+    std::string error;
+    EXPECT_EQ(DecodeFrame(buffer, &payload, &error), 0) << "cut " << cut;
+  }
+  for (size_t flip = 0; flip < frame.size(); ++flip) {
+    std::string buffer = frame;
+    buffer[flip] ^= 0x40;
+    std::string payload;
+    std::string error;
+    const int verdict = DecodeFrame(buffer, &payload, &error);
+    if (verdict == 1) {
+      Request request;
+      ParseRequest(payload, &request, &error);
+    }
+  }
+}
+
+TEST(ServerFault, MalformedByteStreamsNeverWedgeTheServer) {
+  ServerOptions options = SmallServer();
+  options.frame_timeout_ms = 200;  // stalled mid-frame garbage gets evicted
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Oversize-by-one announcement: refused at the prefix, connection closed.
+  {
+    const uint32_t size = kMaxFrameBytes + 1;
+    std::string prefix;
+    prefix.push_back(static_cast<char>((size >> 24) & 0xff));
+    prefix.push_back(static_cast<char>((size >> 16) & 0xff));
+    prefix.push_back(static_cast<char>((size >> 8) & 0xff));
+    prefix.push_back(static_cast<char>(size & 0xff));
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.ok());
+    conn.SendAll(prefix);
+    EXPECT_TRUE(conn.WaitForEof());
+  }
+  // Truncated prefix then EOF; a frame torn mid-payload then EOF.
+  {
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.ok());
+    conn.SendAll("\x00\x00");
+    conn.Close();
+  }
+  {
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.ok());
+    const std::string frame = EncodeFrame(R"({"method":"ping"})");
+    conn.SendAll(frame.substr(0, frame.size() - 3));
+    conn.Close();
+  }
+  // Seeded random garbage streams.
+  Rng rng(7);
+  for (int round = 0; round < 8; ++round) {
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.ok());
+    std::string bytes;
+    for (int i = 0; i < 32; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    conn.SendAll(bytes);
+    conn.Close();
+  }
+
+  // After all that abuse a clean client still gets served.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  MustCall(client, "ping", JsonValue::MakeObject());
+  server.Stop();
+}
+
+TEST(ServerFault, IdleAndSlowLorisConnectionsAreReaped) {
+  ServerOptions options = SmallServer();
+  options.idle_timeout_ms = 150;
+  options.frame_timeout_ms = 150;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Idle: connects, never sends a byte.
+  RawConn idle(server.port());
+  ASSERT_TRUE(idle.ok());
+  // Slow loris: sends a prefix announcing 100 bytes, then one byte, then
+  // stalls mid-frame.
+  RawConn loris(server.port());
+  ASSERT_TRUE(loris.ok());
+  loris.SendAll(std::string("\x00\x00\x00\x64", 4) + "{");
+
+  EXPECT_TRUE(idle.WaitForEof());
+  EXPECT_TRUE(loris.WaitForEof());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  const JsonValue metrics = MustCall(client, "metrics", JsonValue::MakeObject());
+  EXPECT_GE(metrics.at("metrics").at("counters").at("server.conn.idle_closed").number(), 2.0);
+  server.Stop();
+}
+
+TEST(ServerFault, ClientDeadlineExpiryIsACleanTimeoutError) {
+  // A listener that accepts and never answers.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+
+  ClientOptions client_options;
+  client_options.io_timeout_ms = 100;
+  Client client(client_options);
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ntohs(bound.sin_port), &error)) << error;
+  JsonValue response;
+  EXPECT_FALSE(client.Call("ping", JsonValue::MakeObject(), "default", &response, &error));
+  EXPECT_EQ(error.rfind("TIMEOUT", 0), 0u) << error;
+  EXPECT_EQ(client.stats().timeouts, 1);
+  EXPECT_FALSE(client.connected());  // a timed-out connection is unusable
+  ::close(listener);
+}
+
+TEST(ServerFault, WireFaultInjectionYieldsCleanErrorsNotCrashes) {
+  ServerOptions options = SmallServer();
+  options.fault.seed = 4242;
+  options.fault.reset_rate = 0.05;
+  options.fault.short_write_rate = 0.3;
+  options.fault.byte_flip_rate = 0.05;
+  options.frame_timeout_ms = 500;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ClientOptions client_options;
+  client_options.io_timeout_ms = 2'000;
+  client_options.max_attempts = 5;
+  client_options.base_backoff_ms = 1.0;
+  client_options.max_backoff_ms = 10.0;
+  client_options.seed = 99;
+  Client client(client_options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+
+  // Under resets, short writes, and byte flips, every retried call must
+  // land eventually — and the ones that fail mid-way must fail cleanly.
+  int successes = 0;
+  for (int i = 0; i < 40; ++i) {
+    JsonValue response;
+    if (client.CallIdempotent("ping", JsonValue::MakeObject(), "default",
+                              /*idem=*/"", &response, &error)) {
+      ++successes;
+    }
+  }
+  EXPECT_GT(successes, 30) << "retries should ride out injected faults";
+  server.Stop();
+}
+
+TEST(ServerFault, IdempotentRetryAcrossRestartSubmitsExactlyOnce) {
+  const std::string wal_path = testing::TempDir() + "/rb_serverfault_restart.wal";
+  std::remove(wal_path.c_str());
+
+  ServerOptions options = SmallServer();
+  options.runner.wal_path = wal_path;
+  auto first = std::make_unique<Server>(options);
+  std::string error;
+  ASSERT_TRUE(first->Start(&error)) << error;
+  const int port = first->port();
+
+  ClientOptions client_options;
+  client_options.max_attempts = 20;
+  client_options.base_backoff_ms = 5.0;
+  client_options.max_backoff_ms = 50.0;
+  Client client(client_options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port, &error)) << error;
+  JsonValue original;
+  ASSERT_TRUE(client.CallIdempotent("submit", SubmitParams("exp1"), "default", "idem-7",
+                                    &original, &error))
+      << error;
+  ASSERT_TRUE(original.at("ok").bool_value()) << original.ToJson();
+
+  // kill -9: no drain, no snapshot, WAL abandoned mid-flight.
+  first->Kill();
+  first.reset();
+
+  options.port = port;  // rebind the same front door
+  Server second(options);
+  ASSERT_TRUE(second.Start(&error)) << error;
+
+  // The client never learned whether the first submit survived, so it
+  // retries with the same key. The WAL-recovered server answers with the
+  // journaled original decision and does NOT submit a second job.
+  JsonValue retried;
+  ASSERT_TRUE(client.CallIdempotent("submit", SubmitParams("exp1"), "default", "idem-7",
+                                    &retried, &error))
+      << error;
+  EXPECT_EQ(retried.at("result").ToJson(), original.at("result").ToJson());
+  EXPECT_GE(client.stats().reconnects, 1);
+
+  const JsonValue status = MustCall(client, "status", JsonValue::MakeObject());
+  EXPECT_EQ(status.at("jobs").size(), 1u);
+  second.Stop();
+  EXPECT_TRUE(second.runner()->wal_stats().recovered);
+  EXPECT_EQ(second.runner()->idem_duplicates(), 1);
+  std::remove(wal_path.c_str());
 }
 
 }  // namespace

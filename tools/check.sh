@@ -31,15 +31,21 @@
 # evaluation, planners, service, straggler handling, metrics registry)
 # under ThreadSanitizer via the tsan ctest label (-DRB_TSAN_SUITE=ON).
 #
-# tools/check.sh --all runs the five tiers back to back (default,
-# --conformance, --server, --sanitize, --tsan) and prints a one-line
-# pass/fail verdict per tier.
+# tools/check.sh --chaos runs the front-door durability tier in the
+# default build tree: the WAL torn-write recovery matrix and idempotency
+# suites (ctest -R), then bench/chaos_server across three seeds — a
+# seeded kill/restart schedule whose final report must be byte-identical
+# to the uninterrupted run.
+#
+# tools/check.sh --all runs the six tiers back to back (default,
+# --conformance, --server, --sanitize, --tsan, --chaos) and prints a
+# one-line pass/fail verdict per tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--all" ]]; then
-  declare -a tiers=(default conformance server sanitize tsan)
+  declare -a tiers=(default conformance server sanitize tsan chaos)
   declare -a verdicts=()
   status=0
   for tier in "${tiers[@]}"; do
@@ -62,6 +68,7 @@ fi
 
 build_dir=build
 budget_s=""
+chaos_bench=""
 cmake_args=()
 ctest_args=()
 if [[ "${1:-}" == "--sanitize" ]]; then
@@ -84,10 +91,13 @@ elif [[ "${1:-}" == "--conformance" ]]; then
   ctest_args+=(-L conformance)
 elif [[ "${1:-}" == "--server" ]]; then
   ctest_args+=(-L server)
+elif [[ "${1:-}" == "--chaos" ]]; then
+  ctest_args+=(-R "Wal|Idempotency|ServerFault")
+  chaos_bench=1
 elif [[ $# -eq 0 ]]; then
   budget_s="${RB_SMOKE_BUDGET_S:-300}"
 else
-  echo "usage: tools/check.sh [--conformance|--server|--sanitize|--tsan|--all]" >&2
+  echo "usage: tools/check.sh [--conformance|--server|--sanitize|--tsan|--chaos|--all]" >&2
   exit 2
 fi
 
@@ -104,6 +114,10 @@ fi
 cd "$build_dir"
 test_start=$SECONDS
 ctest --output-on-failure "${ctest_args[@]}" -j
+if [[ -n "$chaos_bench" ]]; then
+  echo "=== bench/chaos_server: seeded kill/restart byte-identity ==="
+  ./bench/chaos_server --seeds=3 --jobs=12 --kill-rate=0.3
+fi
 test_elapsed=$((SECONDS - test_start))
 if [[ -n "$budget_s" ]]; then
   echo "test wall clock: ${test_elapsed}s (budget ${budget_s}s)"

@@ -351,6 +351,17 @@ int RunServeListen(const Flags& flags, const ServiceConfig& config) {
   options.runner.service = config;
   options.runner.auto_advance_step = flags.GetDouble("auto-advance-s", 1.0);
   options.snapshot_path = flags.GetString("snapshot", "rubberband.snapshot.json");
+  // Crash durability: with --wal set, every submit/cancel is journaled
+  // (and fsynced per --wal-fsync) before its ack, and a restart with the
+  // same --wal resumes from the journal automatically.
+  options.runner.wal_path = flags.GetString("wal", "");
+  if (flags.Has("wal-fsync")) {
+    if (!ParseFsyncPolicy(flags.GetString("wal-fsync", "always"), &options.runner.wal.fsync)) {
+      return Fail("--wal-fsync must be always, batch, or off");
+    }
+  }
+  options.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 300'000);
+  options.frame_timeout_ms = flags.GetInt("frame-timeout-ms", 30'000);
 
   Server server(options);
   std::string error;
@@ -435,7 +446,11 @@ int RunServe(const Flags& flags, CliSetup& setup) {
 // `serve --listen` server. Prints the response; exit 0 on ok, 1 on a
 // protocol error, 2 on transport failure.
 int RunClient(const std::string& action, const Flags& flags) {
-  Client client;
+  ClientOptions client_options;
+  client_options.connect_timeout_ms = flags.GetInt("connect-timeout-ms", 10'000);
+  client_options.io_timeout_ms = flags.GetInt("timeout-ms", 30'000);
+  client_options.max_attempts = flags.GetInt("retries", 1);
+  Client client(client_options);
   std::string error;
   if (!client.Connect(flags.GetString("host", "127.0.0.1"), flags.GetInt("port", 8787),
                       &error)) {
@@ -473,8 +488,12 @@ int RunClient(const std::string& action, const Flags& flags) {
                 "' (submit|status|cancel|report|metrics|trace|advance|drain|ping)");
   }
 
+  // --idem gives retried submits/cancels at-most-once semantics: the
+  // server journals the first decision under the key and answers retries
+  // with it verbatim, even across a crash-restart.
   JsonValue response;
-  if (!client.Call(action, params, flags.GetString("tenant", "default"), &response, &error)) {
+  if (!client.CallIdempotent(action, params, flags.GetString("tenant", "default"),
+                             flags.GetString("idem", ""), &response, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
