@@ -1,11 +1,25 @@
-// Microbenchmarks for RubberBand's own hot paths: DAG construction and
-// Algorithm 1 plan simulation. The planner calls these in its inner loop,
-// so their throughput bounds how many candidate plans a search can afford.
+// Microbenchmarks for RubberBand's own hot paths: DAG construction,
+// Algorithm 1 plan simulation, and the DES kernel itself (EventQueue
+// schedule/run/cancel). The planner calls the simulators in its inner loop,
+// and every runtime layer ticks on the kernel, so these throughputs bound
+// everything above them.
+//
+//   --json <path>   skip google-benchmark and emit the kernel events/s
+//                   baseline as JSON (BENCH_sim.json). Fails (exit 1) if
+//                   any inline-sized callback fell back to the heap — the
+//                   allocation-free hot-path regression check.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "src/dag/builder.h"
+#include "src/sim/event_queue.h"
 
 namespace rubberband {
 namespace {
@@ -79,7 +93,209 @@ BENCHMARK(BM_EndToEndExecution)->Arg(16)->Arg(64);
 void BM_EndToEndExecutionObserved(benchmark::State& state) { EndToEndExecution(state, true); }
 BENCHMARK(BM_EndToEndExecutionObserved)->Arg(16)->Arg(64);
 
+// --- DES kernel microbenchmarks -------------------------------------------
+//
+// Three access patterns bracket how the layers above actually drive the
+// queue: the executor schedules bursts and drains them (schedule/run), the
+// warm pool schedules TTL timers it usually cancels (schedule/cancel), and
+// steady-state simulation is a self-rescheduling chain (churn). All captures
+// are inline-sized, so the runs double as the allocation-free check.
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  int64_t sink = 0;
+  for (auto _ : state) {
+    EventQueue queue;
+    for (int i = 0; i < batch; ++i) {
+      queue.ScheduleAt(static_cast<Seconds>(i), [&sink, i] { sink += i; });
+    }
+    queue.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<EventHandle> handles(static_cast<size_t>(batch));
+  int64_t sink = 0;
+  for (auto _ : state) {
+    EventQueue queue;
+    for (int i = 0; i < batch; ++i) {
+      handles[static_cast<size_t>(i)] =
+          queue.ScheduleAt(static_cast<Seconds>(i), [&sink] { ++sink; });
+    }
+    for (int i = 0; i < batch; ++i) {
+      queue.Cancel(handles[static_cast<size_t>(i)]);
+    }
+    benchmark::DoNotOptimize(queue.size());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleCancel)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue queue;
+    int remaining = chain;
+    // Self-rescheduling chain: each event schedules its successor, the
+    // steady state of the executor's iteration loop.
+    struct Tick {
+      EventQueue* queue;
+      int* remaining;
+      void operator()() const {
+        if (--*(remaining) > 0) {
+          queue->ScheduleAt(queue->now() + 1.0, Tick{queue, remaining});
+        }
+      }
+    };
+    queue.ScheduleAt(0.0, Tick{&queue, &remaining});
+    queue.RunAll();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1024)->Arg(16384);
+
+// --- --json mode: checked-in kernel baseline (BENCH_sim.json) -------------
+
+struct KernelResult {
+  std::string name;
+  int64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_s = 0.0;
+};
+
+template <typename Body>
+KernelResult TimeKernel(const std::string& name, int64_t events, Body body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+  KernelResult result;
+  result.name = name;
+  result.events = events;
+  result.wall_s = wall.count();
+  result.events_per_s = result.wall_s > 0.0 ? static_cast<double>(events) / result.wall_s : 0.0;
+  return result;
+}
+
+int JsonMain(const std::string& path) {
+  // Sized so each bench runs long enough to time stably (~100ms+) but the
+  // whole mode stays under a couple of seconds for CI.
+  constexpr int kEvents = 2'000'000;
+  constexpr int kBatch = 16384;  // bursts mirror the executor's fan-out width
+
+  const int64_t fallbacks_before = EventCallback::HeapConstructions();
+  std::vector<KernelResult> results;
+
+  // schedule_run: burst-fill then drain, repeated. Exercises slab alloc,
+  // pairing-heap meld, pop, and slot recycling across bursts.
+  results.push_back(TimeKernel("schedule_run", kEvents, [] {
+    EventQueue queue;
+    int64_t sink = 0;
+    for (int burst = 0; burst < kEvents / kBatch; ++burst) {
+      for (int i = 0; i < kBatch; ++i) {
+        queue.ScheduleAt(queue.now() + static_cast<Seconds>(i), [&sink, i] { sink += i; });
+      }
+      queue.RunAll();
+    }
+    if (sink < 0) std::abort();  // keep the work observable
+  }));
+
+  // schedule_cancel: every event is cancelled before it fires — the warm
+  // pool's TTL-timer pattern. Measures handle validation + lazy pruning.
+  results.push_back(TimeKernel("schedule_cancel", kEvents, [] {
+    EventQueue queue;
+    std::vector<EventHandle> handles(kBatch);
+    int64_t sink = 0;
+    for (int burst = 0; burst < kEvents / kBatch; ++burst) {
+      for (int i = 0; i < kBatch; ++i) {
+        handles[static_cast<size_t>(i)] =
+            queue.ScheduleAt(queue.now() + 1.0 + i, [&sink] { ++sink; });
+      }
+      for (int i = 0; i < kBatch; ++i) {
+        queue.Cancel(handles[static_cast<size_t>(i)]);
+      }
+      // Drain the tombstones so the slab stays bounded across bursts.
+      queue.RunAll();
+    }
+    if (sink != 0) std::abort();  // every event was cancelled before firing
+  }));
+
+  // churn: a single self-rescheduling chain — queue depth stays at 1, so
+  // this isolates per-event constant cost (alloc + meld + pop + invoke).
+  results.push_back(TimeKernel("churn", kEvents, [] {
+    EventQueue queue;
+    int remaining = kEvents;
+    struct Tick {
+      EventQueue* queue;
+      int* remaining;
+      void operator()() const {
+        if (--*(remaining) > 0) {
+          queue->ScheduleAt(queue->now() + 1.0, Tick{queue, remaining});
+        }
+      }
+    };
+    queue.ScheduleAt(0.0, Tick{&queue, &remaining});
+    queue.RunAll();
+    if (remaining != 0) std::abort();
+  }));
+
+  const int64_t fallbacks = EventCallback::HeapConstructions() - fallbacks_before;
+
+  std::printf("%-16s %12s %9s %13s\n", "bench", "events", "wall", "events/s");
+  for (const KernelResult& result : results) {
+    std::printf("%-16s %12lld %8.3fs %12.2fM\n", result.name.c_str(),
+                static_cast<long long>(result.events), result.wall_s,
+                result.events_per_s / 1e6);
+  }
+  std::printf("callback heap fallbacks: %lld\n", static_cast<long long>(fallbacks));
+
+  if (fallbacks > 0) {
+    std::fprintf(stderr, "error: %lld inline-sized callbacks heap-allocated\n",
+                 static_cast<long long>(fallbacks));
+    return 1;
+  }
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(file, "{\n  \"benchmark\": \"event_queue_kernel\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& result = results[i];
+    std::fprintf(file,
+                 "    {\"bench\": \"%s\", \"events\": %lld, \"wall_s\": %.3f, "
+                 "\"events_per_s\": %.0f}%s\n",
+                 result.name.c_str(), static_cast<long long>(result.events), result.wall_s,
+                 result.events_per_s, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n  \"callback_heap_fallbacks\": %lld\n}\n",
+               static_cast<long long>(fallbacks));
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace rubberband
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json requires a path\n");
+        return 2;
+      }
+      return rubberband::JsonMain(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,9 +7,19 @@
 // predecessors' still-billed instances, so real provisioning events (and
 // the init time billed with them) drop as the trace gets busier.
 //
+// A second, fleet-scale section replays 1k/10k/100k-job synthetic arrival
+// traces against a wide cluster with the fleet knobs on (shared admission
+// evaluator, no retained traces, no per-tenant gauges) and reports control
+// plane throughput: jobs/s and DES events/s of wall clock. This is the
+// proof row for the allocation-free kernel — the same table also reports
+// EventCallback heap fallbacks, which must stay zero.
+//
 //   --json <path>   additionally write the table as JSON (BENCH_service.json)
 //   --seed <n>      service RNG seed (default 7, the checked-in baseline)
+//   --fleet <n>     run ONLY the n-job fleet trace (the --perf CI tier)
+//   --budget-s <s>  with --fleet: fail (exit 1) if wall clock exceeds s
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -55,6 +65,66 @@ ServiceReport Replay(int num_jobs, const WarmPoolConfig& pool, uint64_t seed) {
   return service.Run();
 }
 
+struct FleetRow {
+  int jobs = 0;
+  int completed = 0;
+  int rejected = 0;
+  double wall_s = 0.0;
+  double jobs_per_s = 0.0;
+  int64_t events = 0;
+  double events_per_s = 0.0;
+  int64_t heap_fallbacks = 0;
+  double hit_rate = 0.0;
+  Seconds makespan = 0.0;
+};
+
+// Fleet trace: many small SHA jobs arriving at a steady rate on a wide
+// shared cluster. The job shape is deliberately tiny (4 trials, 1..4
+// iterations) so the trace exercises control-plane and kernel throughput —
+// admission, fair-share arbitration, queue pumping, warm handoffs — rather
+// than simulated training time.
+FleetRow FleetReplay(int num_jobs, uint64_t seed) {
+  ServiceConfig config;
+  config.cloud = bench::P38Cloud(/*queuing_seconds=*/30.0, /*init_seconds=*/120.0);
+  config.capacity_gpus = 1024;
+  config.warm_pool.max_parked = 256;
+  config.warm_pool.max_idle_seconds = 600.0;
+  config.seed = seed;
+  config.share_admission_evaluator = true;
+  config.keep_job_artifacts = false;
+  config.per_tenant_metrics = false;
+
+  TuningService service(config);
+  for (int i = 0; i < num_jobs; ++i) {
+    JobRequest job;
+    job.name = "fleet-" + std::to_string(i);
+    job.spec = MakeSha(/*num_trials=*/4, /*min_iters=*/1, /*max_iters=*/4,
+                       /*reduction_factor=*/2);
+    job.workload = ResNet101Cifar10();
+    job.submit_at = 2.0 * i;  // steady arrivals below the service rate
+    job.deadline = 4.0 * 3600.0;
+    service.Submit(job);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const ServiceReport report = service.Run();
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+
+  FleetRow row;
+  row.jobs = num_jobs;
+  row.completed = report.completed;
+  row.rejected = report.rejected;
+  row.wall_s = wall.count();
+  row.jobs_per_s = row.wall_s > 0.0 ? num_jobs / row.wall_s : 0.0;
+  const auto events = report.metrics.counters.find("sim.events.run");
+  row.events = events != report.metrics.counters.end() ? events->second : 0;
+  row.events_per_s = row.wall_s > 0.0 ? static_cast<double>(row.events) / row.wall_s : 0.0;
+  const auto fallbacks = report.metrics.counters.find("sim.callback_heap_fallbacks");
+  row.heap_fallbacks = fallbacks != report.metrics.counters.end() ? fallbacks->second : 0;
+  row.hit_rate = report.warm.HitRate();
+  row.makespan = report.makespan;
+  return row;
+}
+
 Row MakeRow(int jobs, const std::string& mode, const ServiceReport& report) {
   Row row;
   row.jobs = jobs;
@@ -69,7 +139,8 @@ Row MakeRow(int jobs, const std::string& mode, const ServiceReport& report) {
   return row;
 }
 
-bool WriteJson(const std::string& path, const std::vector<Row>& rows) {
+bool WriteJson(const std::string& path, const std::vector<Row>& rows,
+               const std::vector<FleetRow>& fleet) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -87,15 +158,65 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows) {
                  row.makespan, row.mean_queue_wait, row.total_cost, row.cost_per_job,
                  i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(file, "  ],\n  \"fleet\": [\n");
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    const FleetRow& row = fleet[i];
+    std::fprintf(file,
+                 "    {\"jobs\": %d, \"completed\": %d, \"rejected\": %d, "
+                 "\"wall_s\": %.3f, \"jobs_per_s\": %.0f, \"events\": %lld, "
+                 "\"events_per_s\": %.0f, \"callback_heap_fallbacks\": %lld, "
+                 "\"warm_hit_rate\": %.4f, \"sim_makespan_s\": %.1f}%s\n",
+                 row.jobs, row.completed, row.rejected, row.wall_s, row.jobs_per_s,
+                 static_cast<long long>(row.events), row.events_per_s,
+                 static_cast<long long>(row.heap_fallbacks), row.hit_rate, row.makespan,
+                 i + 1 < fleet.size() ? "," : "");
+  }
   std::fprintf(file, "  ]\n}\n");
   std::fclose(file);
   std::printf("\nwrote %s\n", path.c_str());
   return true;
 }
 
+void PrintFleetRow(const FleetRow& row) {
+  std::printf("%7d %9d %8d %8.2fs %9.0f %11lld %12.2fM %9lld %8.0f%%\n", row.jobs, row.completed,
+              row.rejected, row.wall_s, row.jobs_per_s, static_cast<long long>(row.events),
+              row.events_per_s / 1e6, static_cast<long long>(row.heap_fallbacks),
+              100.0 * row.hit_rate);
+}
+
+void FleetHeading() {
+  bench::Heading("fleet traces: control-plane + DES kernel throughput");
+  std::printf("%7s %9s %8s %9s %9s %11s %13s %9s %9s\n", "jobs", "completed", "rejected", "wall",
+              "jobs/s", "events", "events/s", "heapfall", "hit rate");
+}
+
 int Main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc - 1, argv + 1);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed", 7));
+
+  if (flags.Has("fleet")) {
+    // CI perf tier: one fleet trace under a wall-clock budget; any
+    // EventCallback heap fallback is a hot-path allocation regression.
+    const int jobs = static_cast<int>(flags.GetInt64("fleet", 10000));
+    FleetHeading();
+    const FleetRow row = FleetReplay(jobs, seed);
+    PrintFleetRow(row);
+    if (row.heap_fallbacks > 0) {
+      std::fprintf(stderr, "error: %lld event callbacks overflowed the inline buffer\n",
+                   static_cast<long long>(row.heap_fallbacks));
+      return 1;
+    }
+    if (flags.Has("budget-s")) {
+      const double budget = static_cast<double>(flags.GetInt64("budget-s", 60));
+      if (row.wall_s > budget) {
+        std::fprintf(stderr, "error: %d-job trace took %.2fs (budget %.0fs)\n", jobs, row.wall_s,
+                     budget);
+        return 1;
+      }
+      std::printf("within budget: %.2fs <= %.0fs\n", row.wall_s, budget);
+    }
+    return 0;
+  }
 
   bench::Heading("tuning service throughput: cold vs warm pool");
   std::printf("%5s %6s %10s %9s %9s %10s %11s %10s %8s\n", "jobs", "mode", "completed",
@@ -120,13 +241,21 @@ int Main(int argc, char** argv) {
     }
   }
 
+  FleetHeading();
+  std::vector<FleetRow> fleet;
+  for (const int jobs : {1000, 10000, 100000}) {
+    const FleetRow row = FleetReplay(jobs, seed);
+    fleet.push_back(row);
+    PrintFleetRow(row);
+  }
+
   if (flags.Has("json")) {
     const std::string path = flags.GetString("json", "");
     if (path.empty()) {
       std::fprintf(stderr, "error: --json requires a path\n");
       return 2;
     }
-    if (!WriteJson(path, rows)) {
+    if (!WriteJson(path, rows, fleet)) {
       return 1;
     }
   }

@@ -40,6 +40,7 @@ InstanceId WarmPool::PopHottest() {
   stack_.pop_back();
   auto it = parked_.find(id);
   obs::Add(m_.parked_idle_seconds, sim_.now() - it->second.parked_at);
+  sim_.Cancel(it->second.ttl_event);
   parked_.erase(it);
   return id;
 }
@@ -82,9 +83,10 @@ void WarmPool::ReleaseInstance(InstanceId id) {
   }
   obs::Inc(m_.parked);
   const int64_t generation = ++next_generation_;
-  parked_[id] = ParkedInstance{sim_.now(), generation};
+  ParkedInstance& entry = parked_[id];
+  entry = ParkedInstance{sim_.now(), generation, EventHandle{}};
   stack_.push_back(id);
-  sim_.ScheduleIn(config_.max_idle_seconds, [this, id, generation] {
+  entry.ttl_event = sim_.ScheduleIn(config_.max_idle_seconds, [this, id, generation] {
     auto it = parked_.find(id);
     if (it == parked_.end() || it->second.generation != generation) {
       return;  // re-acquired (and possibly re-parked) since; not our entry
@@ -108,6 +110,7 @@ bool WarmPool::OnPreempted(InstanceId id) {
     return false;
   }
   obs::Add(m_.parked_idle_seconds, sim_.now() - it->second.parked_at);
+  sim_.Cancel(it->second.ttl_event);
   parked_.erase(it);
   stack_.erase(std::find(stack_.begin(), stack_.end(), id));
   obs::Inc(m_.preempted_parked);

@@ -93,6 +93,10 @@ class WarmPool : public InstanceSource {
     Seconds parked_at = 0.0;
     // Bumped every time the same id is re-parked; stale TTL events no-op.
     int64_t generation = 0;
+    // The pending TTL-expiry event: cancelled when the entry leaves the
+    // pool early (claimed, preempted, drained), so dead timers never sit in
+    // the event queue. The generation check stays as defense in depth.
+    EventHandle ttl_event;
   };
 
   InstanceId PopHottest();

@@ -330,12 +330,21 @@ void Executor::StartTrialOnStage(TrialId id, int gpus) {
   busy_start_[id] = sim_.now();
   report_.trace.Record(sim_.now(), TraceEventType::kTrialStart, current_stage_, id);
   const int generation = ++generation_[id];
+  CancelTrialEvent(id);
   // Worker gang startup: checkpoint fetch + peer rendezvous.
-  sim_.ScheduleIn(startup, [this, id, generation] {
+  pending_trial_event_[id] = sim_.ScheduleIn(startup, [this, id, generation] {
     if (generation_[id] == generation) {
       ScheduleNextIteration(id);
     }
   });
+}
+
+void Executor::CancelTrialEvent(TrialId id) {
+  auto it = pending_trial_event_.find(id);
+  if (it != pending_trial_event_.end()) {
+    sim_.Cancel(it->second);
+    pending_trial_event_.erase(it);
+  }
 }
 
 void Executor::SetupGang(TrialId id) {
@@ -368,7 +377,7 @@ void Executor::ScheduleNextIteration(TrialId id) {
   }
   const Seconds latency = trial.trainer().SampleIterLatency();
   const int generation = generation_[id];
-  sim_.ScheduleIn(latency, [this, id, generation] {
+  pending_trial_event_[id] = sim_.ScheduleIn(latency, [this, id, generation] {
     if (generation_[id] != generation) {
       return;  // this worker gang was destroyed (preemption/migration)
     }
@@ -458,6 +467,7 @@ void Executor::QuarantineInstance(InstanceId instance) {
       continue;
     }
     ++generation_[id];  // invalidate in-flight iteration events
+    CancelTrialEvent(id);
     const int gpus = allocations_.count(id) > 0 ? allocations_[id] : gpus_per_trial_;
     RecordUsage(gpus, sim_.now() - busy_start_[id]);
     allocations_.erase(id);
@@ -647,6 +657,7 @@ void Executor::OnInstanceLost(InstanceId instance, bool crashed) {
       continue;  // already finished its stage work; ranking state is safe
     }
     ++generation_[id];  // invalidate in-flight iteration events
+    CancelTrialEvent(id);
     const int gpus = allocations_.count(id) > 0 ? allocations_[id] : gpus_per_trial_;
     RecordUsage(gpus, sim_.now() - busy_start_[id]);
     allocations_.erase(id);
@@ -978,6 +989,12 @@ void Executor::Finish(int final_stage) {
     report_.metrics.Merge(cloud_.metrics().Snapshot());
   }
   report_.timeline = std::move(timeline_);
+  // Whatever handles remain are stale (their events fired); Cancel no-ops
+  // on those, and drops any straggling pending one with the job.
+  for (auto& entry : pending_trial_event_) {
+    sim_.Cancel(entry.second);
+  }
+  pending_trial_event_.clear();
   finished_ = true;
   if (on_done_) {
     on_done_(report_);

@@ -213,6 +213,14 @@ class Executor {
 
   bool finished() const { return finished_; }
 
+  // True once the job is finished AND no in-flight provisioning callback
+  // can still fire (nothing pending captures this executor): the owner may
+  // destroy it. The tuning service frees quiescent executors as their jobs
+  // complete so a 100k-job trace does not hold 100k dead executors.
+  bool Quiescent() const {
+    return finished_ && !manager_.awaiting_scale() && manager_.num_inflight() == 0;
+  }
+
  private:
   void StartStage(int stage);
   void BeginTraining(int stage);
@@ -245,6 +253,9 @@ class Executor {
   // A trial left `pending_restart_`; attribute its wait to recovery time
   // (or to mitigation time, if quarantine put it there).
   void NoteRestarted(TrialId id);
+  // Cancels the trial's in-flight startup/iteration event, if any (gang
+  // teardown).
+  void CancelTrialEvent(TrialId id);
   // Records the gang's instance list and (when stragglers are injected)
   // hands the trainer its per-worker slowdown factors. Called on every gang
   // (re)creation.
@@ -307,6 +318,12 @@ class Executor {
   std::map<TrialId, int> generation_;
   std::deque<TrialId> pending_restart_;
   std::map<TrialId, Seconds> pending_since_;
+  // Each running trial's in-flight startup/iteration event. Cancelled when
+  // the gang is destroyed (quarantine, instance loss, reallocation), so a
+  // torn-down trial's events leave the queue instead of firing as
+  // generation-guarded tombstones. The generation check remains the
+  // correctness backstop; cancellation is queue hygiene.
+  std::map<TrialId, EventHandle> pending_trial_event_;
   std::vector<InstanceId> nodes_in_controller_;
 
   // Gray-failure detection state. The detector exists only when the policy

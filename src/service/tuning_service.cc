@@ -37,6 +37,16 @@ TuningService::TuningService(const ServiceConfig& config)
   if (config_.capacity_gpus < config_.cloud.gpus_per_instance()) {
     throw std::invalid_argument("service capacity is smaller than one instance");
   }
+  h_.arrived = svc_.GetCounter("jobs_arrived");
+  h_.admitted = svc_.GetCounter("jobs_admitted");
+  h_.completed = svc_.GetCounter("jobs_completed");
+  h_.queued = svc_.GetCounter("jobs_queued");
+  h_.rejected_infeasible = svc_.GetCounter("jobs_rejected_infeasible");
+  h_.rejected_over_budget = svc_.GetCounter("jobs_rejected_over_budget");
+  h_.cancelled = svc_.GetCounter("jobs_cancelled");
+  h_.deadline_misses = svc_.GetCounter("deadline_misses");
+  h_.queue_wait = svc_.GetHistogram("queue_wait_seconds");
+  heap_fallback_baseline_ = EventCallback::HeapConstructions();
 }
 
 void TuningService::Submit(JobRequest request) {
@@ -79,6 +89,41 @@ const ModelProfile& TuningService::ProfileFor(const WorkloadSpec& workload) {
 }
 
 PlannedJob TuningService::PlanFor(Job& job, Seconds time_left) {
+  if (config_.share_admission_evaluator) {
+    // Fleet mode: all jobs with this (workload, spec) shape plan through
+    // one evaluator — the first arrival pays the stage simulations, every
+    // later arrival and queued-job re-plan is memo hits. Deadlines differ
+    // per call, but the plan memo is keyed by allocation, not deadline, so
+    // the caches survive set_deadline (the same property the per-job
+    // dequeue re-plan has always relied on).
+    const std::string key = job.request.workload.name + "|" + job.request.spec.ToString();
+    const bool at_arrival = time_left == job.request.deadline;
+    std::string plan_key;
+    if (at_arrival) {
+      // Arrival-time planning is a pure function of (shape, deadline):
+      // memoize the whole decision, not just the evaluator caches.
+      plan_key = key + "|" + std::to_string(time_left);
+      const auto cached = admission_plans_.find(plan_key);
+      if (cached != admission_plans_.end()) {
+        return cached->second;
+      }
+    }
+    auto it = shared_evaluators_.find(key);
+    if (it == shared_evaluators_.end()) {
+      PlannerOptions options = config_.planner;
+      options.max_total_gpus = std::min(options.max_total_gpus, config_.capacity_gpus);
+      const PlannerInputs inputs{job.request.spec, ProfileFor(job.request.workload), config_.cloud,
+                                 time_left};
+      it = shared_evaluators_.emplace(key, std::make_unique<PlanEvaluator>(inputs, options)).first;
+    } else {
+      it->second->set_deadline(time_left);
+    }
+    PlannedJob planned = PlanGreedy(*it->second);
+    if (at_arrival) {
+      admission_plans_.emplace(std::move(plan_key), planned);
+    }
+    return planned;
+  }
   if (job.evaluator == nullptr) {
     PlannerOptions options = config_.planner;
     options.max_total_gpus = std::min(options.max_total_gpus, config_.capacity_gpus);
@@ -94,30 +139,31 @@ PlannedJob TuningService::PlanFor(Job& job, Seconds time_left) {
 }
 
 void TuningService::OnArrival(size_t index) {
+  SweepRetiredExecutors();
   --arrivals_outstanding_;
   Job& job = jobs_[index];
   if (job.outcome.state == JobState::kCancelled) {
     return;  // withdrawn (live mode) before the arrival event fired
   }
-  obs::Inc(svc_.GetCounter("jobs_arrived"));
+  obs::Inc(h_.arrived);
   job.planned = PlanFor(job, job.request.deadline);
   job.outcome.plan = job.planned.plan;
   if (!job.planned.feasible) {
     job.outcome.state = JobState::kRejectedInfeasible;
-    obs::Inc(svc_.GetCounter("jobs_rejected_infeasible"));
+    obs::Inc(h_.rejected_infeasible);
     return;
   }
   if (job.request.budget.dollars() > 0.0 &&
       job.planned.estimate.cost_mean.dollars() > job.request.budget.dollars()) {
     job.outcome.state = JobState::kRejectedOverBudget;
-    obs::Inc(svc_.GetCounter("jobs_rejected_over_budget"));
+    obs::Inc(h_.rejected_over_budget);
     return;
   }
   if (reserved_gpus_ + job.planned.plan.MaxGpus() <= ReservationLimit()) {
     StartJob(index);
   } else {
     job.outcome.state = JobState::kQueued;
-    obs::Inc(svc_.GetCounter("jobs_queued"));
+    obs::Inc(h_.queued);
     queue_.push_back(index);
   }
 }
@@ -127,16 +173,21 @@ void TuningService::StartJob(size_t index) {
   job.outcome.state = JobState::kRunning;
   job.outcome.started_at = sim_.now();
   job.outcome.queue_wait = sim_.now() - job.outcome.submitted_at;
-  obs::Inc(svc_.GetCounter("jobs_admitted"));
-  obs::ObserveSeconds(svc_.GetHistogram("queue_wait_seconds"), job.outcome.queue_wait);
+  obs::Inc(h_.admitted);
+  obs::ObserveSeconds(h_.queue_wait, job.outcome.queue_wait);
   reserved_gpus_ += job.planned.plan.MaxGpus();
   ++running_;
+  running_set_.insert(std::lower_bound(running_set_.begin(), running_set_.end(), index), index);
+  shares_dirty_ = true;
 
   SharedClusterContext context;
   context.sim = &sim_;
   context.cloud = &cloud_;
   context.source = &pool_;
-  context.gpu_cap = [this, index] { return jobs_[index].share_cap; };
+  context.gpu_cap = [this, index] {
+    EnsureShares();
+    return jobs_[index].share_cap;
+  };
 
   ExecutorOptions options;
   options.seed = config_.seed + 1000003 * (static_cast<uint64_t>(index) + 1);
@@ -152,14 +203,15 @@ void TuningService::StartJob(size_t index) {
         std::min(config_.planner.max_total_gpus, config_.capacity_gpus);
   }
 
-  // Give the newcomer its cap before the executor reads it in StartStage.
+  // The newcomer's cap lands before the executor reads it in StartStage:
+  // the gpu_cap hook recomputes the dirty shares on first read.
   job.executor = std::make_unique<Executor>(job.request.spec, job.planned.plan,
                                             job.request.workload, context, options);
-  RecomputeShares();
   job.executor->Start([this, index](const ExecutionReport& report) { OnJobDone(index, report); });
 }
 
 void TuningService::OnJobDone(size_t index, const ExecutionReport& report) {
+  SweepRetiredExecutors();  // frees executors retired on earlier events
   Job& job = jobs_[index];
   job.outcome.state = JobState::kCompleted;
   job.outcome.finished_at = sim_.now();
@@ -183,17 +235,21 @@ void TuningService::OnJobDone(size_t index, const ExecutionReport& report) {
   }
   makespan_ = std::max(makespan_, sim_.now());
 
-  obs::Inc(svc_.GetCounter("jobs_completed"));
+  obs::Inc(h_.completed);
   if (!job.outcome.met_deadline) {
-    obs::Inc(svc_.GetCounter("deadline_misses"));
+    obs::Inc(h_.deadline_misses);
   }
-  obs::Set(svc_.GetGauge("tenant." + job.outcome.name + ".cost_dollars"),
-           job.outcome.cost.dollars());
+  if (config_.per_tenant_metrics) {
+    obs::Set(svc_.GetGauge("tenant." + job.outcome.name + ".cost_dollars"),
+             job.outcome.cost.dollars());
+  }
   // Fold this job's executor.* metrics into the fleet totals, and keep its
   // trace/timeline for the per-process Chrome export.
   executor_metrics_.Merge(report.metrics);
-  job.outcome.trace = report.trace;
-  job.outcome.timeline = report.timeline;
+  if (config_.keep_job_artifacts) {
+    job.outcome.trace = report.trace;
+    job.outcome.timeline = report.timeline;
+  }
   if (config_.observe) {
     const int pid = static_cast<int>(index) + 1;
     timeline_.Record(TimelineSpan{"queue-wait", "service", job.outcome.submitted_at,
@@ -204,12 +260,36 @@ void TuningService::OnJobDone(size_t index, const ExecutionReport& report) {
 
   reserved_gpus_ -= job.planned.plan.MaxGpus();
   --running_;
-  RecomputeShares();
+  running_set_.erase(std::lower_bound(running_set_.begin(), running_set_.end(), index));
+  shares_dirty_ = true;
+  if (config_.release_finished_executors) {
+    // This executor's Finish frame is on the stack right now; park it and
+    // free on a later event once nothing in flight can reach it.
+    retired_executors_.push_back(index);
+  }
   PumpQueue();
   if (running_ == 0 && queue_.empty() && arrivals_outstanding_ == 0) {
     // The trace is fully served: stop paying for warm capacity.
     pool_.Drain();
   }
+}
+
+void TuningService::SweepRetiredExecutors() {
+  if (retired_executors_.empty()) {
+    return;
+  }
+  size_t kept = 0;
+  for (const size_t index : retired_executors_) {
+    Job& job = jobs_[index];
+    if (job.executor && job.executor->Quiescent()) {
+      job.executor.reset();
+    } else if (job.executor) {
+      // A replacement request is still in flight (fault paths); keep the
+      // executor until it quiesces.
+      retired_executors_[kept++] = index;
+    }
+  }
+  retired_executors_.resize(kept);
 }
 
 void TuningService::PumpQueue() {
@@ -235,18 +315,22 @@ void TuningService::PumpQueue() {
   }
 }
 
-void TuningService::RecomputeShares() {
-  std::vector<size_t> running_jobs;
+void TuningService::EnsureShares() {
+  if (!shares_dirty_) {
+    return;
+  }
+  shares_dirty_ = false;
+  // running_set_ is maintained in ascending index order — the same order
+  // the old eager full-scan visited jobs — so the arbiter sees an
+  // identical request vector and produces identical caps.
   std::vector<ShareRequest> requests;
-  for (size_t i = 0; i < jobs_.size(); ++i) {
-    if (jobs_[i].outcome.state == JobState::kRunning) {
-      running_jobs.push_back(i);
-      requests.push_back(ShareRequest{jobs_[i].planned.plan.MaxGpus(), jobs_[i].request.weight});
-    }
+  requests.reserve(running_set_.size());
+  for (const size_t i : running_set_) {
+    requests.push_back(ShareRequest{jobs_[i].planned.plan.MaxGpus(), jobs_[i].request.weight});
   }
   const std::vector<int> shares = FairShares(config_.capacity_gpus, requests);
-  for (size_t k = 0; k < running_jobs.size(); ++k) {
-    jobs_[running_jobs[k]].share_cap = shares[k];
+  for (size_t k = 0; k < running_set_.size(); ++k) {
+    jobs_[running_set_[k]].share_cap = shares[k];
   }
 }
 
@@ -285,6 +369,7 @@ ServiceReport TuningService::Run() {
     sim_.ScheduleAt(jobs_[i].request.submit_at, [this, i] { OnArrival(i); });
   }
   sim_.Run();
+  SweepRetiredExecutors();
   return BuildReport(/*require_settled=*/true);
 }
 
@@ -320,8 +405,10 @@ size_t TuningService::AdvanceUntil(Seconds until, size_t max_events) {
   if (until < sim_.now()) {
     return 0;
   }
-  return sim_.RunUntilCapped(
+  const size_t run = sim_.RunUntilCapped(
       until, max_events == 0 ? std::numeric_limits<size_t>::max() : max_events);
+  SweepRetiredExecutors();
+  return run;
 }
 
 bool TuningService::CancelLive(size_t index, std::string* error) {
@@ -340,12 +427,12 @@ bool TuningService::CancelLive(size_t index, std::string* error) {
       // The arrival event is still scheduled; OnArrival sees the cancelled
       // state and no-ops.
       job.outcome.state = JobState::kCancelled;
-      obs::Inc(svc_.GetCounter("jobs_cancelled"));
+      obs::Inc(h_.cancelled);
       return true;
     case JobState::kQueued:
       queue_.erase(std::find(queue_.begin(), queue_.end(), index));
       job.outcome.state = JobState::kCancelled;
-      obs::Inc(svc_.GetCounter("jobs_cancelled"));
+      obs::Inc(h_.cancelled);
       // Cancelling the queue head may unblock jobs behind it.
       PumpQueue();
       return true;
@@ -367,12 +454,29 @@ void TuningService::FinishLive() {
   sim_.Run();
   pool_.Drain();
   sim_.Run();
+  SweepRetiredExecutors();
 }
 
 MetricsSnapshot TuningService::MetricsNow() const {
   MetricsSnapshot snapshot = metrics_.Snapshot();
   snapshot.Merge(executor_metrics_);
+  InjectSimStats(&snapshot);
   return snapshot;
+}
+
+void TuningService::InjectSimStats(MetricsSnapshot* snapshot) const {
+  // The kernel keeps plain intrinsic counters (src/sim cannot depend on
+  // src/obs, and per-event atomics would tax the hot path); the service
+  // overlays them as absolute values at snapshot time, so they behave like
+  // registry counters in --metrics-json without per-event cost.
+  const EventQueue::Stats& stats = sim_.queue().stats();
+  snapshot->counters["sim.events.scheduled"] = static_cast<int64_t>(stats.scheduled);
+  snapshot->counters["sim.events.run"] = static_cast<int64_t>(stats.run);
+  snapshot->counters["sim.events.cancelled"] = static_cast<int64_t>(stats.cancelled);
+  snapshot->counters["sim.callback_heap_fallbacks"] =
+      EventCallback::HeapConstructions() - heap_fallback_baseline_;
+  snapshot->gauges["sim.queue.depth_high_water"] =
+      static_cast<double>(stats.depth_high_water);
 }
 
 ServiceReport TuningService::SnapshotReport() {
@@ -428,6 +532,9 @@ ServiceReport TuningService::BuildReport(bool require_settled) {
       report.planner_cache += job.evaluator->stats();
     }
   }
+  for (const auto& entry : shared_evaluators_) {
+    report.planner_cache += entry.second->stats();
+  }
   report.planner_cache += replan_cache_;
   report.mean_queue_wait = started > 0 ? total_wait / started : 0.0;
   report.total_cost = cloud_.Cost();
@@ -463,6 +570,7 @@ ServiceReport TuningService::BuildReport(bool require_settled) {
   published_cache_ = report.planner_cache;
   report.metrics = metrics_.Snapshot();
   report.metrics.Merge(executor_metrics_);
+  InjectSimStats(&report.metrics);
   report.timeline = timeline_;
   return report;
 }

@@ -125,6 +125,28 @@ struct ServiceConfig {
   // Timeline spans + per-executor latency histograms for every tenant (the
   // Chrome-trace profile). Counters always flow regardless.
   bool observe = false;
+
+  // ---- Fleet-scale knobs (100k-job arrival traces) ---------------------
+  // All default off/keep: the small-N service behaves exactly as before.
+
+  // Draw admission/dequeue plans from one PlanEvaluator per distinct
+  // (workload, spec) shape instead of one evaluator per job: a fleet of
+  // identical tenants plans each shape once and re-plans queued jobs from
+  // warm memo caches. Identical plans come out either way (the evaluator is
+  // deterministic); only the cache sharing — and therefore the reported
+  // planner-cache hit rate — changes, which is why it is opt-in.
+  bool share_admission_evaluator = false;
+  // Keep each job's raw event trace and timeline in its outcome. Off at
+  // fleet scale: 100k retained traces dominate memory.
+  bool keep_job_artifacts = true;
+  // Publish the per-tenant cost gauge (tenant.<name>.cost_dollars). Off at
+  // fleet scale: one registry entry per job name.
+  bool per_tenant_metrics = true;
+  // Free each executor once its job completes and nothing in flight can
+  // reach it (Executor::Quiescent); freed lazily, never from inside the
+  // executor's own completion callback. Off only to keep executors
+  // inspectable post-run.
+  bool release_finished_executors = true;
 };
 
 struct ServiceReport {
@@ -222,7 +244,11 @@ class TuningService {
   const JobOutcome& outcome(size_t index) const { return jobs_.at(index).outcome; }
   const PlannedJob& planned(size_t index) const { return jobs_.at(index).planned; }
   const JobRequest& request(size_t index) const { return jobs_.at(index).request; }
-  int share_cap(size_t index) const { return jobs_.at(index).share_cap; }
+  // Current fair-share cap (recomputes lazily if membership changed).
+  int share_cap(size_t index) {
+    EnsureShares();
+    return jobs_.at(index).share_cap;
+  }
   // Index of the most recent job submitted under `name`; npos when unknown.
   static constexpr size_t kNoJob = static_cast<size_t>(-1);
   size_t FindJob(const std::string& name) const;
@@ -254,7 +280,19 @@ class TuningService {
   void StartJob(size_t index);
   void OnJobDone(size_t index, const ExecutionReport& report);
   void PumpQueue();
-  void RecomputeShares();
+  // Lazily recomputes fair-share caps if the running set changed since the
+  // last read. Start/finish only flip a dirty flag (a completion burst at
+  // fleet scale re-arbitrates once, not once per event); the recompute
+  // itself is the same weighted max-min over the running set, so the caps
+  // any reader observes are identical to the eager per-event values.
+  void EnsureShares();
+  // Frees executors retired on earlier events (never the one whose
+  // completion callback is on the stack right now).
+  void SweepRetiredExecutors();
+  // Overlays the DES kernel's intrinsic counters (sim.events.*, queue
+  // depth, callback heap fallbacks) onto a registry snapshot so kernel
+  // throughput shows up in --metrics-json without per-event registry costs.
+  void InjectSimStats(MetricsSnapshot* snapshot) const;
   // Routes a provider-initiated instance loss (spot reclamation or hardware
   // crash) to the pool or the owning tenant's executor.
   void RouteInstanceLoss(InstanceId id, bool crashed);
@@ -278,6 +316,38 @@ class TuningService {
   std::deque<size_t> queue_;
   std::map<std::string, ModelProfile> profiles_;  // keyed by workload name
   std::map<std::string, size_t> index_by_name_;   // latest submission wins
+  // Cached service.* registry handles: per-event GetCounter string lookups
+  // were a measurable control-plane cost at fleet scale.
+  struct SvcHandles {
+    Counter* arrived = nullptr;
+    Counter* admitted = nullptr;
+    Counter* completed = nullptr;
+    Counter* queued = nullptr;
+    Counter* rejected_infeasible = nullptr;
+    Counter* rejected_over_budget = nullptr;
+    Counter* cancelled = nullptr;
+    Counter* deadline_misses = nullptr;
+    Histogram* queue_wait = nullptr;
+  };
+  SvcHandles h_;
+  // Fair-share state: indices of RUNNING jobs in ascending order (the same
+  // order the eager full scan visited them) plus the dirty flag.
+  std::vector<size_t> running_set_;
+  bool shares_dirty_ = false;
+  // Pooled admission evaluators, keyed by workload + spec shape
+  // (ServiceConfig::share_admission_evaluator).
+  std::map<std::string, std::unique_ptr<PlanEvaluator>> shared_evaluators_;
+  // Memoized arrival-time planning decisions: two jobs with the same shape
+  // and the same full deadline get the same plan, so a fleet of identical
+  // tenants runs the greedy planner once, not 100k times. Dequeue re-plans
+  // (time_left < deadline, unbounded distinct values) bypass this cache and
+  // go to the shared evaluator's warm memos instead.
+  std::map<std::string, PlannedJob> admission_plans_;
+  // Completed jobs whose executors await the deferred free.
+  std::vector<size_t> retired_executors_;
+  // EventCallback heap fallbacks at construction (the sim.* injection
+  // reports this service's delta, not the process-wide total).
+  int64_t heap_fallback_baseline_ = 0;
   PlannerCacheStats replan_cache_;  // summed from finished executors
   // Cache counters already pushed to the registry: repeated SnapshotReport
   // calls publish only the delta (the registry counters accumulate).

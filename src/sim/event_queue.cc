@@ -1,33 +1,157 @@
 #include "src/sim/event_queue.h"
 
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 namespace rubberband {
 
-void EventQueue::ScheduleAt(Seconds at, Callback fn) {
+std::atomic<int64_t> EventCallback::heap_constructions_{0};
+
+EventHandle EventQueue::ScheduleAt(Seconds at, Callback fn) {
   if (at < now_) {
-    throw std::logic_error("event scheduled in the past");
+    char message[160];
+    std::snprintf(message, sizeof(message),
+                  "EventQueue::ScheduleAt: event scheduled in the past (at=%.9g s < now=%.9g s)",
+                  at, now_);
+    throw std::logic_error(message);
   }
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+  const uint32_t index = AllocNode();
+  Node& node = nodes_[index];
+  node.at = at;
+  node.seq = next_seq_++;
+  node.child = kNil;
+  node.sibling = kNil;
+  node.cancelled = false;
+  node.fn = std::move(fn);
+  root_ = Meld(root_, index);
+  ++live_;
+  ++stats_.scheduled;
+  if (live_ > stats_.depth_high_water) {
+    stats_.depth_high_water = live_;
+  }
+  return EventHandle{index, node.seq};
+}
+
+bool EventQueue::Cancel(EventHandle handle) {
+  if (!IsPending(handle)) {
+    return false;
+  }
+  Node& node = nodes_[handle.slot];
+  node.cancelled = true;
+  node.fn.Reset();  // release captures now; the node is pruned lazily
+  --live_;
+  ++stats_.cancelled;
+  return true;
+}
+
+bool EventQueue::IsPending(EventHandle handle) const {
+  return handle.valid() && handle.slot < nodes_.size() &&
+         nodes_[handle.slot].seq == handle.seq && nodes_[handle.slot].fn &&
+         !nodes_[handle.slot].cancelled;
+}
+
+uint32_t EventQueue::AllocNode() {
+  if (!free_.empty()) {
+    const uint32_t index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+  nodes_.emplace_back();
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void EventQueue::FreeNode(uint32_t index) {
+  Node& node = nodes_[index];
+  node.fn.Reset();
+  node.child = kNil;
+  node.sibling = kNil;
+  node.cancelled = false;
+  // Retire the seq so stale handles to this slot stop matching even after
+  // the slot is recycled (the next occupant gets a fresh, larger seq).
+  node.seq = 0;
+  free_.push_back(index);
+}
+
+uint32_t EventQueue::Meld(uint32_t a, uint32_t b) {
+  if (a == kNil) {
+    return b;
+  }
+  if (b == kNil) {
+    return a;
+  }
+  if (Before(b, a)) {
+    std::swap(a, b);
+  }
+  nodes_[b].sibling = nodes_[a].child;
+  nodes_[a].child = b;
+  return a;
+}
+
+void EventQueue::PopRoot() {
+  // Two-pass pairing: meld children left-to-right in pairs, then fold the
+  // pairs right-to-left. scratch_ is a member so steady-state pops do not
+  // allocate.
+  uint32_t child = nodes_[root_].child;
+  nodes_[root_].child = kNil;
+  scratch_.clear();
+  while (child != kNil) {
+    const uint32_t a = child;
+    const uint32_t b = nodes_[a].sibling;
+    uint32_t next = kNil;
+    nodes_[a].sibling = kNil;
+    if (b != kNil) {
+      next = nodes_[b].sibling;
+      nodes_[b].sibling = kNil;
+    }
+    scratch_.push_back(Meld(a, b));
+    child = next;
+  }
+  uint32_t merged = kNil;
+  for (size_t i = scratch_.size(); i > 0; --i) {
+    merged = Meld(merged, scratch_[i - 1]);
+  }
+  root_ = merged;
+}
+
+void EventQueue::PruneCancelledRoot() {
+  while (root_ != kNil && nodes_[root_].cancelled) {
+    const uint32_t dead = root_;
+    PopRoot();
+    FreeNode(dead);
+  }
+}
+
+void EventQueue::RunRoot() {
+  const uint32_t index = root_;
+  Node& node = nodes_[index];
+  now_ = node.at;
+  // Move the callback out and retire the node BEFORE invoking: the callback
+  // may schedule new events, which can grow the slab and recycle this slot.
+  Callback fn = std::move(node.fn);
+  PopRoot();
+  FreeNode(index);
+  --live_;
+  ++stats_.run;
+  fn();
 }
 
 bool EventQueue::RunNext() {
-  if (heap_.empty()) {
+  PruneCancelledRoot();
+  if (root_ == kNil) {
     return false;
   }
-  // priority_queue::top returns const&; the callback must be moved out
-  // before pop, so copy the event header and move the closure.
-  Event event = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  now_ = event.at;
-  event.fn();
+  RunRoot();
   return true;
 }
 
 void EventQueue::RunUntil(Seconds until) {
-  while (!heap_.empty() && heap_.top().at <= until) {
-    RunNext();
+  for (;;) {
+    PruneCancelledRoot();
+    if (root_ == kNil || nodes_[root_].at > until) {
+      break;
+    }
+    RunRoot();
   }
   if (now_ < until) {
     now_ = until;
@@ -36,15 +160,26 @@ void EventQueue::RunUntil(Seconds until) {
 
 size_t EventQueue::RunUntilCapped(Seconds until, size_t max_events) {
   size_t run = 0;
-  while (!heap_.empty() && heap_.top().at <= until &&
-         (run < max_events || heap_.top().at == now_)) {
-    RunNext();
+  for (;;) {
+    PruneCancelledRoot();
+    if (root_ == kNil || nodes_[root_].at > until) {
+      break;
+    }
+    if (run >= max_events && nodes_[root_].at != now_) {
+      break;
+    }
+    RunRoot();
     ++run;
   }
   if (run < max_events && now_ < until) {
     now_ = until;  // reached `until` with budget to spare, as RunUntil does
   }
   return run;
+}
+
+Seconds EventQueue::next_time() {
+  PruneCancelledRoot();
+  return nodes_[root_].at;
 }
 
 void EventQueue::RunAll() {

@@ -4,30 +4,186 @@
 // delay, instance initialization) and the executor (trial iterations, stage
 // synchronization barriers) both run as events on one queue. Events at equal
 // timestamps fire in scheduling order, which makes runs deterministic.
+//
+// The hot path is allocation-free (DESIGN.md §15): callbacks live inline in
+// slab-recycled event nodes (EventCallback, a move-only small-buffer
+// callable sized for the largest runtime capture), and the pending set is a
+// pairing heap threaded through slab indices — O(1) insert/meld, amortized
+// O(log n) pop, no per-event node allocation once the slab is warm.
+//
+// Determinism contract: events are ordered by the strict total order
+// (at, seq) where seq is a monotonic schedule counter, so equal-timestamp
+// events fire in scheduling order — exactly the order the previous
+// std::priority_queue implementation produced. Cancellation never perturbs
+// the order or the clock: a cancelled node is pruned when it surfaces,
+// without counting as a run event or advancing `now`.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/time.h"
 
 namespace rubberband {
 
+// Move-only callable with inline storage for the common event captures.
+// Sized so every closure the runtime schedules today (largest: the
+// simulated cloud's instance-ready event, ~88 bytes of captures) fits
+// without touching the heap; larger callables fall back to a heap box and
+// bump a process-wide counter the perf tests assert stays flat on the hot
+// path.
+class EventCallback {
+ public:
+  static constexpr size_t kInlineBytes = 112;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventCallback>>>
+  EventCallback(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    Emplace(std::forward<F>(fn));
+  }
+
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~EventCallback() { Reset(); }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+  // Destroys the held callable (releasing its captures) and empties this.
+  void Reset() {
+    if (manage_ != nullptr) {
+      manage_(storage_, nullptr);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  // Process-wide count of constructions that exceeded kInlineBytes and had
+  // to heap-allocate. The microbench and the allocation-free regression
+  // test assert this does not grow across hot-path scheduling.
+  static int64_t HeapConstructions() {
+    return heap_constructions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using InvokeFn = void (*)(void*);
+  // dst == nullptr: destroy the callable at src. Otherwise: relocate
+  // (move-construct into dst, destroy src).
+  using ManageFn = void (*)(void* src, void* dst);
+
+  template <typename F>
+  void Emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); };
+      manage_ = [](void* src, void* dst) {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        if (dst != nullptr) {
+          ::new (dst) D(std::move(*from));
+        }
+        from->~D();
+      };
+    } else {
+      heap_constructions_.fetch_add(1, std::memory_order_relaxed);
+      *reinterpret_cast<D**>(static_cast<void*>(storage_)) = new D(std::forward<F>(fn));
+      invoke_ = [](void* s) { (**reinterpret_cast<D**>(s))(); };
+      manage_ = [](void* src, void* dst) {
+        D* boxed = *reinterpret_cast<D**>(src);
+        if (dst != nullptr) {
+          *reinterpret_cast<D**>(dst) = boxed;
+        } else {
+          delete boxed;
+        }
+      };
+    }
+  }
+
+  void MoveFrom(EventCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) {
+      manage_(other.storage_, storage_);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  static std::atomic<int64_t> heap_constructions_;
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+// Ticket for a scheduled event. `seq` doubles as a liveness check: once the
+// event runs (or is cancelled) its slab slot is recycled under a new seq,
+// so stale handles simply stop matching — Cancel on them returns false.
+struct EventHandle {
+  static constexpr uint32_t kInvalidSlot = 0xFFFFFFFFu;
+  uint32_t slot = kInvalidSlot;
+  uint64_t seq = 0;
+
+  bool valid() const { return slot != kInvalidSlot; }
+};
+
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
-  // Schedules `fn` at absolute time `at`. Scheduling in the past is an
-  // error (indicates a causality bug in the caller).
-  void ScheduleAt(Seconds at, Callback fn);
+  // Intrinsic kernel counters: plain (non-atomic) because the queue is
+  // single-threaded by contract. The tuning service publishes these into
+  // its metrics registry; the micro/bench layer reads them directly.
+  struct Stats {
+    uint64_t scheduled = 0;  // ScheduleAt calls
+    uint64_t run = 0;        // callbacks actually invoked
+    uint64_t cancelled = 0;  // successful Cancel calls
+    size_t depth_high_water = 0;  // max pending (live) events ever queued
+  };
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  // Schedules `fn` at absolute time `at` and returns a handle that can
+  // cancel it while pending. Scheduling in the past is a causality bug in
+  // the caller and throws std::logic_error naming both timestamps.
+  EventHandle ScheduleAt(Seconds at, Callback fn);
+
+  // Cancels a pending event: its callback is destroyed immediately
+  // (releasing captures) and it will never run, never count as a run
+  // event, and never advance the clock. Returns false if the handle is
+  // invalid, already fired, or already cancelled. The node itself is
+  // pruned lazily when it surfaces at the heap root.
+  bool Cancel(EventHandle handle);
+
+  // True while the handled event is scheduled and not cancelled.
+  bool IsPending(EventHandle handle) const;
+
+  bool empty() const { return live_ == 0; }
+  // Pending (scheduled, not yet run, not cancelled) events.
+  size_t size() const { return live_; }
   Seconds now() const { return now_; }
+  const Stats& stats() const { return stats_; }
+  // Slab capacity in nodes (recycling diagnostics; tests assert it stays
+  // bounded under steady-state schedule/run churn).
+  size_t slab_capacity() const { return nodes_.capacity(); }
 
   // Pops and runs the earliest event, advancing the clock. Returns false if
   // the queue was empty.
@@ -46,30 +202,56 @@ class EventQueue {
   // number of events run; a value < max_events means `until` was reached.
   size_t RunUntilCapped(Seconds until, size_t max_events);
 
-  // Earliest pending event time; only valid when !empty().
-  Seconds next_time() const { return heap_.top().at; }
+  // Earliest pending event time; only valid when !empty(). Prunes
+  // cancelled nodes off the heap root as a side effect.
+  Seconds next_time();
 
   // Drains the queue completely.
   void RunAll();
 
  private:
-  struct Event {
-    Seconds at;
-    uint64_t seq;
+  static constexpr uint32_t kNil = EventHandle::kInvalidSlot;
+
+  // Slab-resident event node, threaded into the pairing heap via indices
+  // (indices survive slab growth where pointers would dangle).
+  struct Node {
+    Seconds at = 0.0;
+    uint64_t seq = 0;
+    uint32_t child = kNil;    // leftmost child in the pairing heap
+    uint32_t sibling = kNil;  // next sibling (or next free-list entry)
+    bool cancelled = false;
     Callback fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Strict total order (at, seq): seq is unique, so no two nodes compare
+  // equal — pop order is fully determined, matching the old binary heap.
+  bool Before(uint32_t a, uint32_t b) const {
+    const Node& na = nodes_[a];
+    const Node& nb = nodes_[b];
+    if (na.at != nb.at) {
+      return na.at < nb.at;
+    }
+    return na.seq < nb.seq;
+  }
+
+  uint32_t AllocNode();
+  void FreeNode(uint32_t index);
+  uint32_t Meld(uint32_t a, uint32_t b);
+  // Detaches the root and melds its children (two-pass pairing).
+  void PopRoot();
+  // Drops cancelled nodes as they surface at the root.
+  void PruneCancelledRoot();
+  // Pops and runs the root. Precondition: root is live (pruned).
+  void RunRoot();
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> free_;     // recycled slab slots
+  std::vector<uint32_t> scratch_;  // pairing-pass buffer, reused across pops
+  uint32_t root_ = kNil;
+  size_t live_ = 0;  // pending minus cancelled-but-unpruned
   Seconds now_ = 0.0;
   uint64_t next_seq_ = 0;
+  Stats stats_;
 };
 
 }  // namespace rubberband

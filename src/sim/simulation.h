@@ -22,10 +22,15 @@ class Simulation {
   const EventQueue& queue() const { return queue_; }
   Rng& rng() { return rng_; }
 
-  void ScheduleAt(Seconds at, EventQueue::Callback fn) { queue_.ScheduleAt(at, std::move(fn)); }
-  void ScheduleIn(Seconds delay, EventQueue::Callback fn) {
-    queue_.ScheduleAt(now() + delay, std::move(fn));
+  EventHandle ScheduleAt(Seconds at, EventQueue::Callback fn) {
+    return queue_.ScheduleAt(at, std::move(fn));
   }
+  EventHandle ScheduleIn(Seconds delay, EventQueue::Callback fn) {
+    return queue_.ScheduleAt(now() + delay, std::move(fn));
+  }
+  // Cancels a pending event (see EventQueue::Cancel); false if it already
+  // fired or was already cancelled.
+  bool Cancel(EventHandle handle) { return queue_.Cancel(handle); }
 
   void Run() { queue_.RunAll(); }
   void RunUntil(Seconds until) { queue_.RunUntil(until); }

@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/sim/simulation.h"
@@ -70,6 +78,302 @@ TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
   EXPECT_TRUE(queue.empty());
 }
 
+TEST(EventQueue, PastTimeErrorNamesBothTimestamps) {
+  EventQueue queue;
+  queue.ScheduleAt(10.0, [] {});
+  queue.RunAll();
+  try {
+    queue.ScheduleAt(5.0, [] {});
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("5"), std::string::npos) << message;
+    EXPECT_NE(message.find("10"), std::string::npos) << message;
+  }
+}
+
+// --- cancellation handles --------------------------------------------------
+
+TEST(EventQueue, CancelPendingEventNeverRuns) {
+  EventQueue queue;
+  int fired = 0;
+  const EventHandle handle = queue.ScheduleAt(1.0, [&] { ++fired; });
+  queue.ScheduleAt(2.0, [&] { ++fired; });
+  EXPECT_TRUE(queue.IsPending(handle));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_TRUE(queue.Cancel(handle));
+  EXPECT_FALSE(queue.IsPending(handle));
+  EXPECT_EQ(queue.size(), 1u);
+  queue.RunAll();
+  EXPECT_EQ(fired, 1);
+  // A cancelled head never counts as run and never advances the clock to
+  // its timestamp; the clock lands on the event that actually ran.
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+  EXPECT_EQ(queue.stats().run, 1u);
+  EXPECT_EQ(queue.stats().cancelled, 1u);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue queue;
+  const EventHandle handle = queue.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(queue.Cancel(handle));
+  EXPECT_FALSE(queue.Cancel(handle));
+}
+
+TEST(EventQueue, CancelAfterFiredReturnsFalse) {
+  EventQueue queue;
+  const EventHandle handle = queue.ScheduleAt(1.0, [] {});
+  queue.RunAll();
+  EXPECT_FALSE(queue.IsPending(handle));
+  EXPECT_FALSE(queue.Cancel(handle));
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseReturnsFalse) {
+  EventQueue queue;
+  const EventHandle stale = queue.ScheduleAt(1.0, [] {});
+  queue.RunAll();  // frees the slot
+  int fired = 0;
+  const EventHandle fresh = queue.ScheduleAt(2.0, [&] { ++fired; });
+  // The recycled slot carries a new seq, so the stale ticket stops matching.
+  EXPECT_EQ(stale.slot, fresh.slot);
+  EXPECT_FALSE(queue.Cancel(stale));
+  queue.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelledHeadSkippedByNextTime) {
+  EventQueue queue;
+  const EventHandle head = queue.ScheduleAt(1.0, [] {});
+  queue.ScheduleAt(5.0, [] {});
+  queue.Cancel(head);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 5.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+TEST(EventQueue, CancelInvalidHandleReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Cancel(EventHandle{}));
+  EXPECT_FALSE(queue.IsPending(EventHandle{}));
+}
+
+TEST(EventQueue, CancelReleasesCapturesImmediately) {
+  EventQueue queue;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const EventHandle handle = queue.ScheduleAt(1.0, [token = std::move(token)] {});
+  EXPECT_FALSE(watch.expired());
+  queue.Cancel(handle);
+  // The callback (and its captured shared_ptr) is destroyed on Cancel, not
+  // deferred to lazy heap pruning.
+  EXPECT_TRUE(watch.expired());
+}
+
+// --- randomized model test vs the reference implementation -----------------
+
+// Drives the pairing-heap queue and a reference std::priority_queue (the
+// previous implementation) through the same randomized schedule/run/cancel
+// trace and asserts identical pop order and clock — the determinism contract
+// that keeps golden baselines bit-identical across the kernel swap.
+TEST(EventQueue, RandomizedModelMatchesReferenceQueue) {
+  using Entry = std::tuple<Seconds, uint64_t>;  // (at, seq), min-first
+  struct EntryAfter {
+    bool operator()(const Entry& a, const Entry& b) const { return a > b; }
+  };
+
+  std::mt19937_64 rng(20260808);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue queue;
+    std::priority_queue<Entry, std::vector<Entry>, EntryAfter> model;
+    std::vector<char> model_cancelled;  // by scheduling order
+    std::vector<uint64_t> queue_order;
+    std::vector<uint64_t> model_order;
+    std::vector<EventHandle> handles;
+    Seconds model_now = 0.0;
+    uint64_t next_id = 0;
+
+    std::uniform_int_distribution<int> op(0, 9);
+    std::uniform_real_distribution<double> delay(0.0, 8.0);
+    for (int step = 0; step < 400; ++step) {
+      const int choice = op(rng);
+      if (choice < 6 || model.empty()) {
+        // Schedule. Coarse timestamps force equal-time collisions.
+        const Seconds at = model_now + std::floor(delay(rng));
+        const uint64_t id = next_id++;
+        handles.push_back(queue.ScheduleAt(at, [&queue_order, id] { queue_order.push_back(id); }));
+        model.emplace(at, id);
+        model_cancelled.push_back(0);
+      } else if (choice < 8) {
+        // Cancel a random not-yet-fired, not-yet-cancelled event (if any).
+        std::uniform_int_distribution<size_t> pick(0, handles.size() - 1);
+        const size_t index = pick(rng);
+        const bool expect = queue.IsPending(handles[index]);
+        EXPECT_EQ(queue.Cancel(handles[index]), expect);
+        if (expect) {
+          model_cancelled[index] = 1;
+        }
+      } else {
+        // Run next live event in both.
+        while (!model.empty() && model_cancelled[std::get<1>(model.top())]) {
+          model.pop();
+        }
+        if (model.empty()) {
+          EXPECT_FALSE(queue.RunNext());
+          continue;
+        }
+        const auto [at, id] = model.top();
+        model.pop();
+        model_now = at;
+        model_order.push_back(id);
+        EXPECT_TRUE(queue.RunNext());
+        EXPECT_DOUBLE_EQ(queue.now(), model_now);
+      }
+      size_t model_live = 0;
+      {
+        auto copy = model;
+        while (!copy.empty()) {
+          if (!model_cancelled[std::get<1>(copy.top())]) ++model_live;
+          copy.pop();
+        }
+      }
+      ASSERT_EQ(queue.size(), model_live);
+    }
+    queue.RunAll();
+    while (!model.empty()) {
+      const auto [at, id] = model.top();
+      model.pop();
+      if (!model_cancelled[id]) {
+        model_order.push_back(id);
+      }
+    }
+    ASSERT_EQ(queue_order, model_order) << "round " << round;
+  }
+}
+
+TEST(EventQueue, SameScheduleTwiceGivesIdenticalOrder) {
+  auto run_trace = [] {
+    std::mt19937_64 rng(99);
+    std::uniform_real_distribution<double> delay(0.0, 4.0);
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 200; ++i) {
+      queue.ScheduleAt(std::floor(delay(rng)), [&order, i] { order.push_back(i); });
+    }
+    queue.RunAll();
+    return order;
+  };
+  EXPECT_EQ(run_trace(), run_trace());
+}
+
+TEST(EventQueue, EqualTimestampFifoUnderRandomInterleaving) {
+  std::mt19937_64 rng(4242);
+  EventQueue queue;
+  std::vector<std::pair<int, int>> order;  // (timestamp bucket, schedule index)
+  std::uniform_int_distribution<int> bucket(0, 4);
+  std::vector<int> per_bucket_index(5, 0);
+  for (int i = 0; i < 300; ++i) {
+    const int b = bucket(rng);
+    const int index = per_bucket_index[static_cast<size_t>(b)]++;
+    queue.ScheduleAt(static_cast<Seconds>(b),
+                     [&order, b, index] { order.emplace_back(b, index); });
+  }
+  queue.RunAll();
+  std::vector<int> last_seen(5, -1);
+  int last_bucket = -1;
+  for (const auto& [b, index] : order) {
+    EXPECT_GE(b, last_bucket);  // time never goes backwards
+    last_bucket = b;
+    // Within a timestamp, events fire in scheduling order.
+    EXPECT_EQ(index, last_seen[static_cast<size_t>(b)] + 1);
+    last_seen[static_cast<size_t>(b)] = index;
+  }
+}
+
+// RunUntilCapped may overrun the cap but must never split an equal-timestamp
+// group: after an early stop, nothing pending is at (or before) the clock.
+TEST(EventQueue, RunUntilCappedNeverSplitsTimestampGroup) {
+  std::mt19937_64 rng(777);
+  std::uniform_int_distribution<int> bucket(0, 9);
+  std::uniform_int_distribution<size_t> cap(1, 12);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue queue;
+    int fired = 0;
+    for (int i = 0; i < 200; ++i) {
+      queue.ScheduleAt(static_cast<Seconds>(bucket(rng)), [&fired] { ++fired; });
+    }
+    while (!queue.empty()) {
+      const size_t max_events = cap(rng);
+      const size_t ran = queue.RunUntilCapped(100.0, max_events);
+      if (ran == 0) break;
+      if (!queue.empty()) {
+        EXPECT_GT(queue.next_time(), queue.now());
+      }
+    }
+    EXPECT_EQ(fired, 200);
+  }
+}
+
+// --- allocation + slab behaviour -------------------------------------------
+
+TEST(EventQueue, InlineCallbacksNeverHeapAllocate) {
+  EventQueue queue;
+  int64_t sink = 0;
+  const int64_t before = EventCallback::HeapConstructions();
+  for (int i = 0; i < 1000; ++i) {
+    queue.ScheduleAt(static_cast<Seconds>(i), [&sink, i] { sink += i; });
+  }
+  queue.RunAll();
+  EXPECT_EQ(EventCallback::HeapConstructions(), before);
+  EXPECT_EQ(sink, 999 * 1000 / 2);
+}
+
+TEST(EventQueue, OversizedCallbackFallsBackToHeapAndStillRuns) {
+  EventQueue queue;
+  char big[2 * EventCallback::kInlineBytes];
+  std::memset(big, 'x', sizeof(big));
+  big[sizeof(big) - 1] = '\0';
+  const int64_t before = EventCallback::HeapConstructions();
+  std::string seen;
+  queue.ScheduleAt(1.0, [big, &seen] { seen = big; });
+  EXPECT_EQ(EventCallback::HeapConstructions(), before + 1);
+  queue.RunAll();
+  EXPECT_EQ(seen.size(), sizeof(big) - 1);
+}
+
+TEST(EventQueue, SlabStaysBoundedUnderChurn) {
+  EventQueue queue;
+  int remaining = 100000;
+  struct Tick {
+    EventQueue* queue;
+    int* remaining;
+    void operator()() const {
+      if (--*(remaining) > 0) {
+        queue->ScheduleAt(queue->now() + 1.0, Tick{queue, remaining});
+      }
+    }
+  };
+  queue.ScheduleAt(0.0, Tick{&queue, &remaining});
+  queue.RunAll();
+  EXPECT_EQ(remaining, 0);
+  // Steady-state depth is 1; recycled slots keep the slab tiny no matter
+  // how many events flow through.
+  EXPECT_LE(queue.slab_capacity(), 16u);
+}
+
+TEST(EventQueue, StatsCountersTrackSchedulingRunsAndCancels) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(queue.ScheduleAt(static_cast<Seconds>(i), [] {}));
+  }
+  queue.Cancel(handles[2]);
+  queue.Cancel(handles[5]);
+  queue.RunAll();
+  EXPECT_EQ(queue.stats().scheduled, 8u);
+  EXPECT_EQ(queue.stats().run, 6u);
+  EXPECT_EQ(queue.stats().cancelled, 2u);
+  EXPECT_EQ(queue.stats().depth_high_water, 8u);
+}
+
 TEST(Simulation, ScheduleInUsesCurrentTime) {
   Simulation sim(0);
   std::vector<double> times;
@@ -87,6 +391,17 @@ TEST(Simulation, SeededRngIsDeterministic) {
   Simulation a(123);
   Simulation b(123);
   EXPECT_DOUBLE_EQ(a.rng().Uniform(0, 1), b.rng().Uniform(0, 1));
+}
+
+TEST(Simulation, CancelPreventsScheduledEvent) {
+  Simulation sim(0);
+  int fired = 0;
+  const EventHandle doomed = sim.ScheduleIn(1.0, [&] { ++fired; });
+  sim.ScheduleIn(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.Cancel(doomed));
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Cancel(doomed));
 }
 
 }  // namespace

@@ -37,15 +37,21 @@
 # seeded kill/restart schedule whose final report must be byte-identical
 # to the uninterrupted run.
 #
-# tools/check.sh --all runs the six tiers back to back (default,
-# --conformance, --server, --sanitize, --tsan, --chaos) and prints a
-# one-line pass/fail verdict per tier.
+# tools/check.sh --perf runs the control-plane/DES-kernel throughput
+# gate in the default build tree: bench/service_throughput --fleet 10000
+# under a wall-clock budget (RB_PERF_BUDGET_S, default 60s), plus the
+# kernel microbench allocation check (bench/micro_simulator --json). Any
+# EventCallback heap fallback or budget overrun fails the tier.
+#
+# tools/check.sh --all runs the seven tiers back to back (default,
+# --conformance, --server, --sanitize, --tsan, --chaos, --perf) and
+# prints a one-line pass/fail verdict per tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--all" ]]; then
-  declare -a tiers=(default conformance server sanitize tsan chaos)
+  declare -a tiers=(default conformance server sanitize tsan chaos perf)
   declare -a verdicts=()
   status=0
   for tier in "${tiers[@]}"; do
@@ -69,6 +75,7 @@ fi
 build_dir=build
 budget_s=""
 chaos_bench=""
+perf_bench=""
 cmake_args=()
 ctest_args=()
 if [[ "${1:-}" == "--sanitize" ]]; then
@@ -94,10 +101,13 @@ elif [[ "${1:-}" == "--server" ]]; then
 elif [[ "${1:-}" == "--chaos" ]]; then
   ctest_args+=(-R "Wal|Idempotency|ServerFault")
   chaos_bench=1
+elif [[ "${1:-}" == "--perf" ]]; then
+  ctest_args+=(-R "EventQueue")
+  perf_bench=1
 elif [[ $# -eq 0 ]]; then
   budget_s="${RB_SMOKE_BUDGET_S:-300}"
 else
-  echo "usage: tools/check.sh [--conformance|--server|--sanitize|--tsan|--chaos|--all]" >&2
+  echo "usage: tools/check.sh [--conformance|--server|--sanitize|--tsan|--chaos|--perf|--all]" >&2
   exit 2
 fi
 
@@ -117,6 +127,12 @@ ctest --output-on-failure "${ctest_args[@]}" -j
 if [[ -n "$chaos_bench" ]]; then
   echo "=== bench/chaos_server: seeded kill/restart byte-identity ==="
   ./bench/chaos_server --seeds=3 --jobs=12 --kill-rate=0.3
+fi
+if [[ -n "$perf_bench" ]]; then
+  echo "=== bench/micro_simulator --json: kernel events/s + allocation check ==="
+  ./bench/micro_simulator --json "$(mktemp)"
+  echo "=== bench/service_throughput --fleet 10000: control-plane budget gate ==="
+  ./bench/service_throughput --fleet 10000 --budget-s "${RB_PERF_BUDGET_S:-60}"
 fi
 test_elapsed=$((SECONDS - test_start))
 if [[ -n "$budget_s" ]]; then
