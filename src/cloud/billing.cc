@@ -6,10 +6,18 @@
 namespace rubberband {
 
 void BillingMeter::RecordInstanceUsage(Seconds launch, Seconds terminate) {
+  RecordInstanceUsage(launch, terminate, 1.0, false);
+}
+
+void BillingMeter::RecordInstanceUsage(Seconds launch, Seconds terminate, double rate_multiplier,
+                                       bool provider_reclaimed) {
   if (terminate < launch) {
     throw std::invalid_argument("instance terminated before launch");
   }
-  instance_intervals_.push_back(Interval{launch, terminate});
+  if (rate_multiplier < 0.0) {
+    throw std::invalid_argument("negative billing rate multiplier");
+  }
+  instance_intervals_.push_back(Interval{launch, terminate, rate_multiplier, provider_reclaimed});
 }
 
 void BillingMeter::RecordFunctionUsage(int gpus, Seconds duration) {
@@ -27,14 +35,30 @@ void BillingMeter::RecordDataIngress(double gigabytes) {
 }
 
 CostBreakdown BillingMeter::Price(const InstanceType& type, const PricingPolicy& policy) const {
+  return PriceIntervals(type, policy, /*at_full_rate=*/false);
+}
+
+CostBreakdown BillingMeter::PriceAtFullRate(const InstanceType& type,
+                                            const PricingPolicy& policy) const {
+  return PriceIntervals(type, policy, /*at_full_rate=*/true);
+}
+
+CostBreakdown BillingMeter::PriceIntervals(const InstanceType& type, const PricingPolicy& policy,
+                                           bool at_full_rate) const {
   CostBreakdown breakdown;
   switch (policy.billing) {
     case BillingModel::kPerInstance: {
       const Money per_second = type.PricePerSecond();
       for (const Interval& interval : instance_intervals_) {
+        // A provider-initiated reclamation never owes the per-acquisition
+        // minimum: the remainder was the provider's choice, not the
+        // customer's.
         const Seconds billed =
-            std::max(interval.terminate - interval.launch, policy.minimum_billed_seconds);
-        breakdown.compute += per_second * billed;
+            interval.provider_reclaimed
+                ? interval.terminate - interval.launch
+                : std::max(interval.terminate - interval.launch, policy.minimum_billed_seconds);
+        const double multiplier = at_full_rate ? 1.0 : interval.rate_multiplier;
+        breakdown.compute += per_second * (billed * multiplier);
       }
       break;
     }

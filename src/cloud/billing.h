@@ -29,6 +29,15 @@ class BillingMeter {
   // One instance acquisition, alive over [launch, terminate).
   void RecordInstanceUsage(Seconds launch, Seconds terminate);
 
+  // Market-aware variant: `rate_multiplier` scales the instance's
+  // per-second rate over this interval (spot discount × the time-averaged
+  // price-trace multiplier; 1.0 for on-demand capacity), and
+  // `provider_reclaimed` marks an interval the provider ended (spot
+  // reclamation) — such an interval never owes the per-acquisition
+  // minimum charge, since the customer did not choose to stop early.
+  void RecordInstanceUsage(Seconds launch, Seconds terminate, double rate_multiplier,
+                           bool provider_reclaimed);
+
   // One function-style task execution holding `gpus` GPUs for `duration`.
   void RecordFunctionUsage(int gpus, Seconds duration);
 
@@ -40,6 +49,11 @@ class BillingMeter {
   // priced identically under both.
   CostBreakdown Price(const InstanceType& type, const PricingPolicy& policy) const;
 
+  // Prices the ledger as if every interval had billed at rate multiplier
+  // 1.0 — the on-demand counterfactual used for spot-savings attribution.
+  // Identical to Price() when no discounted intervals were recorded.
+  CostBreakdown PriceAtFullRate(const InstanceType& type, const PricingPolicy& policy) const;
+
   double TotalInstanceSeconds() const;
   double TotalGpuSecondsUsed() const;
   double total_ingress_gb() const { return ingress_gb_; }
@@ -49,7 +63,12 @@ class BillingMeter {
   struct Interval {
     Seconds launch = 0.0;
     Seconds terminate = 0.0;
+    double rate_multiplier = 1.0;
+    bool provider_reclaimed = false;
   };
+
+  CostBreakdown PriceIntervals(const InstanceType& type, const PricingPolicy& policy,
+                               bool at_full_rate) const;
   struct FunctionRecord {
     int gpus = 0;
     Seconds duration = 0.0;

@@ -17,6 +17,17 @@ namespace rubberband {
 
 using InstanceId = int64_t;
 
+// Capacity market a request draws from. Sources that model a spot market
+// honour the choice; everything else serves plain on-demand capacity.
+enum class Market {
+  // Pre-emptible capacity at the (time-varying) spot price. Served
+  // on-demand when the source has no spot market configured, so callers
+  // can default to kSpot and let the profile decide.
+  kSpot,
+  // Regular capacity: full price, never reclaimed by the provider.
+  kOnDemand,
+};
+
 class InstanceSource {
  public:
   virtual ~InstanceSource() = default;
@@ -35,6 +46,16 @@ class InstanceSource {
   // fault-free provider never invokes on_failure anyway).
   void RequestInstances(int count, double dataset_gb, std::function<void(InstanceId)> on_ready) {
     RequestInstances(count, dataset_gb, std::move(on_ready), nullptr);
+  }
+
+  // Market-aware request. The default implementation ignores the market
+  // and serves the plain request path, so sources without a spot market
+  // (test fakes, single-market providers) need not care.
+  virtual void RequestInstances(int count, double dataset_gb, Market market,
+                                std::function<void(InstanceId)> on_ready,
+                                std::function<void()> on_failure) {
+    (void)market;
+    RequestInstances(count, dataset_gb, std::move(on_ready), std::move(on_failure));
   }
 
   // Gives a ready instance back to the source (terminate or recycle).

@@ -1,5 +1,7 @@
 #include "src/cloud/simulated_cloud.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -13,7 +15,11 @@ SimulatedCloud::SimulatedCloud(Simulation& sim, CloudProfile profile, MetricsReg
       // Only fork a fault stream when faults are configured, so fault-free
       // profiles draw the exact same sequences as before the fault layer
       // existed (bit-identical replays of old seeds).
-      faults_(profile_.fault, profile_.fault.Any() ? rng_.Fork() : Rng(0)) {
+      faults_(profile_.fault, profile_.fault.Any() ? rng_.Fork() : Rng(0)),
+      price_trace_(profile_.spot.PriceVaries()
+                       ? std::make_unique<SpotPriceTrace>(profile_.spot, rng_.Fork())
+                       : nullptr),
+      storm_rng_(profile_.spot.StormsEnabled() ? rng_.Fork() : Rng(0)) {
   if (registry == nullptr) {
     owned_registry_ = std::make_unique<MetricsRegistry>();
     registry = owned_registry_.get();
@@ -30,23 +36,78 @@ SimulatedCloud::SimulatedCloud(Simulation& sim, CloudProfile profile, MetricsReg
   m_.provision_latency = scope.GetHistogram("provision_latency_seconds");
 }
 
-void SimulatedCloud::CloseBillingInterval(Seconds launch) {
-  meter_.RecordInstanceUsage(launch, sim_.now());
+void SimulatedCloud::CloseBillingInterval(Seconds launch, Market market, bool provider_reclaimed) {
+  // Spot intervals bill at the discounted base rate scaled by the exact
+  // time-average of the price trace over the interval; on-demand intervals
+  // (including market-fallback capacity on a spot-enabled profile) bill at
+  // full rate.
+  double multiplier = 1.0;
+  if (market == Market::kSpot && profile_.spot.enabled) {
+    multiplier = profile_.spot.discount;
+    if (price_trace_) {
+      multiplier *= price_trace_->AverageOver(launch, sim_.now());
+    }
+  }
+  meter_.RecordInstanceUsage(launch, sim_.now(), multiplier, provider_reclaimed);
   // Same interval, same order as the meter's own sum, so the gauge
   // reconciles exactly against TotalInstanceSeconds().
   obs::Add(m_.billed_seconds, sim_.now() - launch);
 }
 
+Market SimulatedCloud::InstanceMarket(InstanceId id) const {
+  auto it = ready_.find(id);
+  if (it != ready_.end()) {
+    return it->second.market;
+  }
+  auto pending = pending_launch_.find(id);
+  if (pending != pending_launch_.end()) {
+    return pending->second.market;
+  }
+  return Market::kOnDemand;
+}
+
 void SimulatedCloud::RequestInstances(int count, double dataset_gb,
                                       std::function<void(InstanceId)> on_ready,
                                       std::function<void()> on_failure) {
+  RequestInstances(count, dataset_gb,
+                   profile_.spot.enabled ? Market::kSpot : Market::kOnDemand, std::move(on_ready),
+                   std::move(on_failure));
+}
+
+void SimulatedCloud::RequestInstances(int count, double dataset_gb, Market market,
+                                      std::function<void(InstanceId)> on_ready,
+                                      std::function<void()> on_failure) {
+  if (!profile_.spot.enabled) {
+    market = Market::kOnDemand;
+  }
   obs::Inc(m_.requested, count);
   const Seconds requested_at = sim_.now();
+  if (profile_.spot.enabled) {
+    MaybeStartMarketClocks();
+  }
   for (int i = 0; i < count; ++i) {
     ++pending_;
     const InstanceId id = next_id_++;
     const Seconds queuing = profile_.provisioning.queuing_delay.Sample(rng_);
     const int64_t epoch = cancel_epoch_;
+    if (market == Market::kSpot && profile_.spot.capacity_limit > 0 &&
+        spot_held_ >= profile_.spot.capacity_limit) {
+      // The family is out of spot capacity: rejected after the queuing
+      // delay like any provisioning rejection, but counted separately so
+      // callers can fall back to on-demand instead of retrying a market
+      // that has no machines.
+      sim_.ScheduleAt(sim_.now() + queuing, [this, on_failure, epoch]() {
+        if (epoch != cancel_epoch_) {
+          return;  // cancelled by TerminateAll
+        }
+        --pending_;
+        ++capacity_rejections_;
+        if (on_failure) {
+          on_failure();
+        }
+      });
+      continue;
+    }
     if (faults_.ProvisionFails()) {
       // Insufficient capacity: the provider rejects the request after the
       // queuing delay. Nothing launched, nothing billed.
@@ -61,22 +122,28 @@ void SimulatedCloud::RequestInstances(int count, double dataset_gb,
       });
       continue;
     }
+    if (market == Market::kSpot) {
+      ++spot_held_;
+    }
     const Seconds init = profile_.provisioning.init_latency.Sample(rng_);
     const Seconds launch_at = sim_.now() + queuing;
     const Seconds ready_at = launch_at + init;
     if (dataset_gb > 0.0) {
       meter_.RecordDataIngress(dataset_gb);
     }
-    pending_launch_.emplace(id, launch_at);
+    pending_launch_.emplace(id, PendingSlot{launch_at, market});
     if (faults_.InitFails()) {
       // The instance launched (and billed) but died before becoming ready.
-      sim_.ScheduleAt(ready_at, [this, id, launch_at, on_failure, epoch]() {
+      sim_.ScheduleAt(ready_at, [this, id, launch_at, market, on_failure, epoch]() {
         if (epoch != cancel_epoch_) {
           return;
         }
         --pending_;
         pending_launch_.erase(id);
-        CloseBillingInterval(launch_at);
+        if (market == Market::kSpot) {
+          --spot_held_;
+        }
+        CloseBillingInterval(launch_at, market, /*provider_reclaimed=*/false);
         obs::Inc(m_.init_failures);
         if (on_failure) {
           on_failure();
@@ -88,20 +155,20 @@ void SimulatedCloud::RequestInstances(int count, double dataset_gb,
     // Drawn here (request order) so the fault stream stays deterministic no
     // matter how ready events interleave.
     const double straggler_factor = faults_.SampleStragglerFactor();
-    sim_.ScheduleAt(ready_at, [this, id, launch_at, ready_at, straggler_factor, on_ready,
+    sim_.ScheduleAt(ready_at, [this, id, launch_at, ready_at, market, straggler_factor, on_ready,
                                requested_at, epoch]() {
       if (epoch != cancel_epoch_) {
         return;
       }
       --pending_;
       pending_launch_.erase(id);
-      ready_.emplace(id, Instance{launch_at, ready_at});
+      ready_.emplace(id, Instance{launch_at, ready_at, market, /*warned=*/false});
       obs::Inc(m_.launched);
       obs::ObserveSeconds(m_.provision_latency, sim_.now() - requested_at);
       if (straggler_factor != 1.0) {
         straggler_factors_.emplace(id, straggler_factor);
       }
-      if (profile_.spot.enabled) {
+      if (market == Market::kSpot && profile_.spot.HazardEnabled()) {
         SchedulePreemption(id);
       }
       if (faults_.crashes_enabled()) {
@@ -113,12 +180,16 @@ void SimulatedCloud::RequestInstances(int count, double dataset_gb,
 }
 
 void SimulatedCloud::ReclaimInstance(InstanceId id, Counter* counter,
-                                     const std::function<void(InstanceId)>& handler) {
+                                     const std::function<void(InstanceId)>& handler,
+                                     bool provider_reclaimed) {
   auto it = ready_.find(id);
   if (it == ready_.end()) {
     return;  // already terminated by the job (or lost to the other cause)
   }
-  CloseBillingInterval(it->second.launch);
+  if (it->second.market == Market::kSpot) {
+    --spot_held_;
+  }
+  CloseBillingInterval(it->second.launch, it->second.market, provider_reclaimed);
   ready_.erase(it);
   straggler_factors_.erase(id);
   obs::Inc(counter);
@@ -127,14 +198,102 @@ void SimulatedCloud::ReclaimInstance(InstanceId id, Counter* counter,
   }
 }
 
+void SimulatedCloud::WarnInstance(InstanceId id) {
+  auto it = ready_.find(id);
+  if (it == ready_.end() || it->second.warned) {
+    return;  // gone, or already warned (individual hazard + storm overlap)
+  }
+  it->second.warned = true;
+  ++preemption_warnings_;
+  if (on_preemption_warning_) {
+    on_preemption_warning_(id);
+  }
+}
+
 void SimulatedCloud::SchedulePreemption(InstanceId id) {
-  const Seconds delay = rng_.Exponential(profile_.spot.mean_time_to_preemption);
-  sim_.ScheduleIn(delay, [this, id]() { ReclaimInstance(id, m_.preempted, on_preempted_); });
+  Seconds delay = rng_.Exponential(profile_.spot.mean_time_to_preemption);
+  if (profile_.spot.hazard_coupling != 0.0 && price_trace_ != nullptr) {
+    // Expected lifetime scales as multiplier^coupling at the price level in
+    // effect at launch: cheap capacity is the first to be reclaimed when
+    // on-demand customers want it back.
+    delay *= std::pow(price_trace_->current(), profile_.spot.hazard_coupling);
+  }
+  const Seconds warning = std::min(profile_.spot.reclamation_warning_s, delay);
+  if (warning > 0.0) {
+    sim_.ScheduleIn(delay - warning, [this, id]() { WarnInstance(id); });
+  }
+  sim_.ScheduleIn(delay, [this, id]() {
+    ReclaimInstance(id, m_.preempted, on_preempted_, /*provider_reclaimed=*/true);
+  });
 }
 
 void SimulatedCloud::ScheduleCrash(InstanceId id) {
   const Seconds delay = faults_.SampleTimeToCrash();
-  sim_.ScheduleIn(delay, [this, id]() { ReclaimInstance(id, m_.crashed, on_crashed_); });
+  // A crash is not a market reclamation: the interval keeps the normal
+  // minimum-charge rule, exactly as the fault benchmarks pinned it.
+  sim_.ScheduleIn(delay, [this, id]() {
+    ReclaimInstance(id, m_.crashed, on_crashed_, /*provider_reclaimed=*/false);
+  });
+}
+
+void SimulatedCloud::MaybeStartMarketClocks() {
+  if (price_trace_ != nullptr && !price_clock_running_) {
+    price_clock_running_ = true;
+    sim_.ScheduleIn(profile_.spot.price_interval_s, [this]() { PriceStep(); });
+  }
+  if (profile_.spot.StormsEnabled() && !storm_clock_running_) {
+    storm_clock_running_ = true;
+    sim_.ScheduleIn(storm_rng_.Exponential(profile_.spot.storm_mean_interval_s),
+                    [this]() { StormTick(); });
+  }
+}
+
+void SimulatedCloud::PriceStep() {
+  if (!MarketActive()) {
+    price_clock_running_ = false;  // restarted by the next request
+    return;
+  }
+  const double multiplier = price_trace_->Step(sim_.now());
+  if (on_price_change_) {
+    on_price_change_(multiplier);
+  }
+  sim_.ScheduleIn(profile_.spot.price_interval_s, [this]() { PriceStep(); });
+}
+
+void SimulatedCloud::StormTick() {
+  if (!MarketActive()) {
+    storm_clock_running_ = false;  // restarted by the next request
+    return;
+  }
+  std::vector<InstanceId> spot_ready;
+  for (const auto& [id, instance] : ready_) {
+    if (instance.market == Market::kSpot) {
+      spot_ready.push_back(id);
+    }
+  }
+  if (!spot_ready.empty()) {
+    // Sweep the oldest instances first (ascending id): the provider drains
+    // the longest-held capacity back into the on-demand pool.
+    const int victims = std::min(
+        static_cast<int>(spot_ready.size()),
+        static_cast<int>(
+            std::ceil(profile_.spot.storm_fraction * static_cast<double>(spot_ready.size()))));
+    if (victims > 0) {
+      ++storms_;
+    }
+    const Seconds warning = std::max(profile_.spot.reclamation_warning_s, 0.0);
+    for (int i = 0; i < victims; ++i) {
+      const InstanceId id = spot_ready[i];
+      if (warning > 0.0) {
+        WarnInstance(id);
+      }
+      sim_.ScheduleIn(warning, [this, id]() {
+        ReclaimInstance(id, m_.preempted, on_preempted_, /*provider_reclaimed=*/true);
+      });
+    }
+  }
+  sim_.ScheduleIn(storm_rng_.Exponential(profile_.spot.storm_mean_interval_s),
+                  [this]() { StormTick(); });
 }
 
 void SimulatedCloud::TerminateInstance(InstanceId id) {
@@ -142,7 +301,10 @@ void SimulatedCloud::TerminateInstance(InstanceId id) {
   if (it == ready_.end()) {
     throw std::logic_error("terminating unknown or pending instance");
   }
-  CloseBillingInterval(it->second.launch);
+  if (it->second.market == Market::kSpot) {
+    --spot_held_;
+  }
+  CloseBillingInterval(it->second.launch, it->second.market, /*provider_reclaimed=*/false);
   ready_.erase(it);
   straggler_factors_.erase(id);
   obs::Inc(m_.terminated);
@@ -159,13 +321,14 @@ void SimulatedCloud::TerminateAll() {
   }
   // Cancel in-flight requests: instances already launched were billing and
   // settle at now; still-queued requests never started billing.
-  for (const auto& [id, launch_at] : pending_launch_) {
-    if (launch_at < sim_.now()) {
-      CloseBillingInterval(launch_at);
+  for (const auto& [id, slot] : pending_launch_) {
+    if (slot.launch < sim_.now()) {
+      CloseBillingInterval(slot.launch, slot.market, /*provider_reclaimed=*/false);
     }
   }
   pending_launch_.clear();
   pending_ = 0;
+  spot_held_ = 0;
   ++cancel_epoch_;
 }
 

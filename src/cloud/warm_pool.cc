@@ -17,6 +17,7 @@ WarmPool::WarmPool(Simulation& sim, SimulatedCloud& cloud, WarmPoolConfig config
   m_.released_cold = scope.GetCounter("released_cold");
   m_.expired = scope.GetCounter("expired");
   m_.preempted_parked = scope.GetCounter("preempted_parked");
+  m_.warned_parked = scope.GetCounter("warned_parked");
   m_.init_seconds_saved = scope.GetGauge("init_seconds_saved");
   m_.parked_idle_seconds = scope.GetGauge("parked_idle_seconds");
 }
@@ -30,6 +31,7 @@ WarmPoolStats WarmPool::stats() const {
   stats.released_cold = m_.released_cold->value();
   stats.expired = m_.expired->value();
   stats.preempted_parked = m_.preempted_parked->value();
+  stats.warned_parked = m_.warned_parked->value();
   stats.init_seconds_saved = m_.init_seconds_saved->value();
   stats.parked_idle_seconds = m_.parked_idle_seconds->value();
   return stats;
@@ -48,6 +50,14 @@ InstanceId WarmPool::PopHottest() {
 void WarmPool::RequestInstances(int count, double dataset_gb,
                                 std::function<void(InstanceId)> on_ready,
                                 std::function<void()> on_failure) {
+  RequestInstances(count, dataset_gb,
+                   cloud_.profile().spot.enabled ? Market::kSpot : Market::kOnDemand,
+                   std::move(on_ready), std::move(on_failure));
+}
+
+void WarmPool::RequestInstances(int count, double dataset_gb, Market market,
+                                std::function<void(InstanceId)> on_ready,
+                                std::function<void()> on_failure) {
   obs::Inc(m_.requests, count);
   int remaining = count;
   while (remaining > 0 && !stack_.empty()) {
@@ -57,13 +67,13 @@ void WarmPool::RequestInstances(int count, double dataset_gb,
     --remaining;
     // Hand over on the next tick so the caller's async contract (callback
     // after RequestInstances returns) holds for warm hits too.
-    sim_.ScheduleIn(0.0, [this, on_ready, on_failure, id, dataset_gb] {
+    sim_.ScheduleIn(0.0, [this, on_ready, on_failure, id, dataset_gb, market] {
       if (!cloud_.IsReady(id)) {
         // Reclaimed inside the handover tick (spot): downgrade to a miss.
         obs::Inc(m_.cold_misses);
         obs::Inc(m_.warm_hits, -1);
         obs::Add(m_.init_seconds_saved, -cloud_.profile().provisioning.MeanReadyLatency());
-        cloud_.RequestInstances(1, dataset_gb, on_ready, on_failure);
+        cloud_.RequestInstances(1, dataset_gb, market, on_ready, on_failure);
         return;
       }
       on_ready(id);
@@ -71,7 +81,8 @@ void WarmPool::RequestInstances(int count, double dataset_gb,
   }
   if (remaining > 0) {
     obs::Inc(m_.cold_misses, remaining);
-    cloud_.RequestInstances(remaining, dataset_gb, std::move(on_ready), std::move(on_failure));
+    cloud_.RequestInstances(remaining, dataset_gb, market, std::move(on_ready),
+                            std::move(on_failure));
   }
 }
 
@@ -115,6 +126,22 @@ bool WarmPool::OnPreempted(InstanceId id) {
   stack_.erase(std::find(stack_.begin(), stack_.end(), id));
   obs::Inc(m_.preempted_parked);
   return true;  // the provider already closed the billing interval
+}
+
+bool WarmPool::OnWarned(InstanceId id) {
+  auto it = parked_.find(id);
+  if (it == parked_.end()) {
+    return false;
+  }
+  obs::Add(m_.parked_idle_seconds, sim_.now() - it->second.parked_at);
+  sim_.Cancel(it->second.ttl_event);
+  parked_.erase(it);
+  stack_.erase(std::find(stack_.begin(), stack_.end(), id));
+  obs::Inc(m_.warned_parked);
+  // Still ours until the provider takes it: terminate for real, which also
+  // stops the meter before the doomed warning window runs out.
+  cloud_.TerminateInstance(id);
+  return true;
 }
 
 void WarmPool::Drain() {

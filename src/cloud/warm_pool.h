@@ -41,6 +41,8 @@ struct WarmPoolStats {
   int64_t released_cold = 0;  // releases terminated (pool full or disabled)
   int64_t expired = 0;        // parked instances that idled out
   int64_t preempted_parked = 0;
+  // Parked instances evicted early on their reclamation warning.
+  int64_t warned_parked = 0;
   // Provisioning latency (queuing + init) the warm hits did not pay.
   double init_seconds_saved = 0.0;
   // Instance-seconds spent parked (the price of keeping capacity warm).
@@ -69,6 +71,14 @@ class WarmPool : public InstanceSource {
   void RequestInstances(int count, double dataset_gb, std::function<void(InstanceId)> on_ready,
                         std::function<void()> on_failure) override;
 
+  // Market-aware variant: the market only steers slots that fall through
+  // to real provisioning — a warm hit hands out whatever is parked (the
+  // pool does not segregate markets; recycled capacity is recycled
+  // capacity).
+  void RequestInstances(int count, double dataset_gb, Market market,
+                        std::function<void(InstanceId)> on_ready,
+                        std::function<void()> on_failure) override;
+
   // Parks the instance (or terminates it when the pool is full/disabled).
   void ReleaseInstance(InstanceId id) override;
 
@@ -79,6 +89,12 @@ class WarmPool : public InstanceSource {
   // The provider reclaimed a spot instance. Returns true if it was parked
   // here (the pool drops it); false if some job holds it.
   bool OnPreempted(InstanceId id);
+
+  // The provider announced it will reclaim a spot instance. If it is
+  // parked here the pool terminates it immediately — a doomed machine must
+  // not be handed to the next tenant, and terminating early stops the
+  // billing for the warning window. Returns true if it was parked.
+  bool OnWarned(InstanceId id);
 
   // Terminates everything still parked (end-of-run cleanup).
   void Drain();
@@ -119,6 +135,7 @@ class WarmPool : public InstanceSource {
     Counter* released_cold = nullptr;
     Counter* expired = nullptr;
     Counter* preempted_parked = nullptr;
+    Counter* warned_parked = nullptr;
     Gauge* init_seconds_saved = nullptr;
     Gauge* parked_idle_seconds = nullptr;
   };

@@ -53,6 +53,15 @@ std::string FormatExecutionSummary(const ExecutionReport& report,
             report.stragglers_quarantined, report.straggler_slowdown_avoided,
             report.straggler_mitigation_seconds);
   }
+  if (options.show_spot) {
+    Appendf(out,
+            "spot: saved %s vs on-demand, %d warning%s -> %d eager checkpoint%s, "
+            "%.0fs rework, %d market fallback%s\n",
+            report.spot_savings.ToString().c_str(), report.preemption_warnings,
+            report.preemption_warnings == 1 ? "" : "s", report.eager_checkpoints,
+            report.eager_checkpoints == 1 ? "" : "s", report.spot_rework_seconds,
+            report.market_fallbacks, report.market_fallbacks == 1 ? "" : "s");
+  }
   return out;
 }
 
@@ -128,6 +137,15 @@ std::string FormatServiceSummary(const ServiceReport& report,
             report.total_straggler_false_positives,
             report.total_straggler_false_positives == 1 ? "" : "s",
             report.total_stragglers_quarantined, report.total_straggler_mitigation_seconds);
+  }
+  if (options.show_spot) {
+    Appendf(out,
+            "spot: saved %s vs on-demand fleet-wide, %d preemption%s (%d warned), "
+            "%.0fs rework, %d market fallback%s\n",
+            report.total_spot_savings.ToString().c_str(), report.total_preemptions,
+            report.total_preemptions == 1 ? "" : "s", report.total_preemption_warnings,
+            report.total_spot_rework_seconds, report.total_market_fallbacks,
+            report.total_market_fallbacks == 1 ? "" : "s");
   }
   return out;
 }

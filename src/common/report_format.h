@@ -23,6 +23,10 @@ struct ExecutionFormatOptions {
   // Print the straggler summary line (injection configured or detections
   // observed).
   bool show_stragglers = false;
+  // Print the spot-market summary line (the CLI enables this when the
+  // profile's spot market is on). Off keeps non-spot output byte-identical
+  // to the golden baselines.
+  bool show_spot = false;
   // Absolute deadline for the fault summary's met/MISSED tail.
   Seconds deadline = 0.0;
 };
@@ -37,6 +41,8 @@ std::string FormatStageTable(const ExecutionReport& report);
 struct ServiceFormatOptions {
   bool show_faults = false;
   bool show_stragglers = false;
+  // Spot totals line; gated like the execution formatter's show_spot.
+  bool show_spot = false;
 };
 
 // The per-job state table ("job  state  submit  wait  jct  cost  deadline").

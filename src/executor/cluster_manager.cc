@@ -38,7 +38,7 @@ void ClusterManager::RequestSlots(int count, int attempt,
                                   std::function<void(InstanceId)> on_each_ready) {
   inflight_ += count;
   source_.RequestInstances(
-      count, dataset_gb_,
+      count, dataset_gb_, market_,
       [this, on_each_ready](InstanceId id) {
         --inflight_;
         on_each_ready(id);

@@ -85,9 +85,19 @@ class ClusterManager {
   // Observer for provisioning failures: fired once per failed slot with
   // whether the manager will retry it (false = retries exhausted, the slot
   // is abandoned — a capacity shortfall the caller must degrade around).
+  // Fired before the retry is scheduled, so an observer that switches the
+  // market (spot capacity exhausted → on-demand fallback) redirects the
+  // retry itself.
   void SetFaultObserver(std::function<void(bool will_retry)> observer) {
     fault_observer_ = std::move(observer);
   }
+
+  // The market new provisioning requests (including retries and loss
+  // replacements) are placed on. Defaults to kSpot, which the source
+  // serves on-demand when no spot market is configured; the executor flips
+  // it for market fallback and back at stage boundaries.
+  void set_market(Market market) { market_ = market; }
+  Market market() const { return market_; }
 
   const std::vector<InstanceId>& ready_instances() const { return ready_; }
   int num_ready() const { return static_cast<int>(ready_.size()); }
@@ -116,6 +126,7 @@ class ClusterManager {
   double dataset_gb_;
   RetryPolicy retry_;
   Rng backoff_rng_;
+  Market market_ = Market::kSpot;
   std::vector<InstanceId> ready_;
   std::set<InstanceId> quarantined_;
   std::function<void()> waiter_;

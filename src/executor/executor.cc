@@ -1,6 +1,7 @@
 #include "src/executor/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "src/dag/builder.h"
@@ -87,6 +88,17 @@ void Executor::InitMetrics() {
     m_.sync_wait = scope.GetHistogram("sync_wait_seconds");
     m_.stage_seconds = scope.GetHistogram("stage_seconds");
   }
+  if (cloud_.profile().spot.enabled) {
+    // Handles stay null on on-demand runs so their metric snapshots (and
+    // every golden artifact derived from them) are byte-identical.
+    MetricsScope spot = metrics_.scope("spot");
+    m_.preemption_warnings = spot.GetCounter("preemption_warnings");
+    m_.eager_checkpoints = spot.GetCounter("eager_checkpoints");
+    m_.market_fallbacks = spot.GetCounter("market_fallbacks");
+    m_.spot_preemptions = spot.GetCounter("preemptions");
+    m_.spot_rework_seconds = spot.GetGauge("rework_seconds");
+    m_.spot_savings = spot.GetGauge("savings_dollars");
+  }
 }
 
 void Executor::Span(const char* name, Seconds start, Seconds end, int stage, int trial,
@@ -121,7 +133,24 @@ void Executor::RecordUsage(int gpus, Seconds duration) {
   job_meter_.RecordFunctionUsage(gpus, duration);
 }
 
-void Executor::NoteAcquired(InstanceId id) { acquired_at_[id] = sim_.now(); }
+void Executor::NoteAcquired(InstanceId id) {
+  acquired_at_[id] = sim_.now();
+  if (cloud_.profile().spot.enabled) {
+    acquired_market_[id] = cloud_.InstanceMarket(id);
+  }
+}
+
+double Executor::HeldMultiplier(InstanceId id, Seconds acquired) const {
+  const SpotMarket& spot = cloud_.profile().spot;
+  if (!spot.enabled) {
+    return 1.0;
+  }
+  auto it = acquired_market_.find(id);
+  if (it == acquired_market_.end() || it->second != Market::kSpot) {
+    return 1.0;  // on-demand (fallback) capacity bills at full rate
+  }
+  return spot.discount * cloud_.SpotAverageMultiplier(acquired, sim_.now());
+}
 
 void Executor::NoteReleased(InstanceId id) {
   if (detector_) {
@@ -132,8 +161,9 @@ void Executor::NoteReleased(InstanceId id) {
   if (it == acquired_at_.end()) {
     return;  // never registered (e.g. reclaimed before first use)
   }
-  job_meter_.RecordInstanceUsage(it->second, sim_.now());
+  job_meter_.RecordInstanceUsage(it->second, sim_.now(), HeldMultiplier(id, it->second), false);
   acquired_at_.erase(it);
+  acquired_market_.erase(id);
 }
 
 void Executor::Start(std::function<void(const ExecutionReport&)> on_done) {
@@ -148,6 +178,18 @@ void Executor::Start(std::function<void(const ExecutionReport&)> on_done) {
     ++fault_events_;
     obs::Inc(m_.provision_failures);
     report_.trace.Record(sim_.now(), TraceEventType::kProvisionFailure, current_stage_);
+    // Spot capacity rejection: the observer runs before the retry is
+    // scheduled, so flipping the market here redirects the retry itself —
+    // re-asking a market with no machines would burn the whole backoff
+    // schedule for nothing. (On a shared cloud the rejection counter moves
+    // for every tenant; a fallback prompted by a neighbour's rejection is
+    // a benign over-reaction while the family is exhausted anyway.)
+    if (options_.spot.market_fallback && cloud_.profile().spot.enabled &&
+        manager_.market() == Market::kSpot &&
+        cloud_.num_capacity_rejections() > capacity_rejections_seen_) {
+      capacity_rejections_seen_ = cloud_.num_capacity_rejections();
+      MarketFallback();
+    }
     if (will_retry) {
       obs::Inc(m_.provision_retries);
       report_.trace.Record(sim_.now(), TraceEventType::kProvisionRetry, current_stage_);
@@ -184,6 +226,13 @@ ExecutionReport Executor::Run() {
   }
   cloud_.SetPreemptionHandler([this](InstanceId id) { OnPreemption(id); });
   cloud_.SetCrashHandler([this](InstanceId id) { OnCrash(id); });
+  cloud_.SetPreemptionWarningHandler([this](InstanceId id) { OnPreemptionWarning(id); });
+  cloud_.SetPriceChangeHandler([this](double multiplier) {
+    // The multiplier rides in the instance column, in basis points, so the
+    // trace CSV stays integral.
+    report_.trace.Record(sim_.now(), TraceEventType::kSpotPriceChange, current_stage_, -1,
+                         static_cast<int64_t>(std::lround(multiplier * 10000.0)));
+  });
   Start(nullptr);
   sim_.Run();
   if (!finished_) {
@@ -207,6 +256,9 @@ void Executor::StartStage(int stage) {
   stage_degradation_reported_ = false;
   stage_open_at_ = sim_.now();
   stage_completed_at_.clear();
+  // Boundary checkpoints taken below supersede any warning-window saves
+  // from the previous stage.
+  eager_checkpoint_remaining_.clear();
   const Stage& spec_stage = spec_.stage(stage);
   if (static_cast<int>(survivors_.size()) != spec_stage.num_trials) {
     throw std::logic_error("survivor count does not match the specification");
@@ -628,8 +680,44 @@ void Executor::OnPreemption(InstanceId instance) { OnInstanceLost(instance, fals
 
 void Executor::OnCrash(InstanceId instance) { OnInstanceLost(instance, true); }
 
+void Executor::OnPreemptionWarning(InstanceId instance) {
+  if (finished_) {
+    return;
+  }
+  const bool tracked = std::find(nodes_in_controller_.begin(), nodes_in_controller_.end(),
+                                 instance) != nodes_in_controller_.end();
+  if (!tracked) {
+    return;  // warned before the executor ever used it (mid-scale-up)
+  }
+  obs::Inc(m_.preemption_warnings);
+  report_.trace.Record(sim_.now(), TraceEventType::kPreemptionWarning, current_stage_, -1,
+                       instance);
+  // Eagerly checkpoint every running trial whose gang spans the doomed
+  // instance, at its *current* progress. The gang keeps training through
+  // the warning window (those iterations may still land); when the
+  // reclamation arrives, the loss path restores from here, so at most the
+  // window's work is redone instead of the whole stage.
+  for (const auto& [id, instances] : trial_instances_) {
+    if (std::find(instances.begin(), instances.end(), instance) == instances.end()) {
+      continue;
+    }
+    Trial& trial = trials_[static_cast<size_t>(id)];
+    if (trial.state() != TrialState::kRunning) {
+      continue;
+    }
+    trial.SaveCheckpoint();
+    const Seconds save = checkpoint_store_.Save(id, workload_.checkpoint_gb);
+    Span("eager-checkpoint", sim_.now(), sim_.now() + save, current_stage_, id, instance);
+    eager_checkpoint_remaining_[id] = trial.remaining_iters();
+    obs::Inc(m_.eager_checkpoints);
+  }
+}
+
 void Executor::OnInstanceLost(InstanceId instance, bool crashed) {
   obs::Inc(crashed ? m_.crashes : m_.preemptions);
+  if (!crashed) {
+    obs::Inc(m_.spot_preemptions);  // the spot.* view; null when spot is off
+  }
   if (finished_) {
     return;
   }
@@ -662,12 +750,37 @@ void Executor::OnInstanceLost(InstanceId instance, bool crashed) {
     RecordUsage(gpus, sim_.now() - busy_start_[id]);
     allocations_.erase(id);
     trial.set_state(TrialState::kPending);
+    // Roll back to the newest checkpoint: a warning-window eager save (the
+    // trial resumes the remaining work recorded at save time) when one
+    // exists, the stage-start boundary checkpoint (full stage redone)
+    // otherwise. The difference between the rolled-back-to point and the
+    // progress at loss is rework the preemption cost us.
     trial.RestoreFromCheckpoint();
-    trial.AssignStageWork(spec_.stage(current_stage_).iters_per_trial);
+    auto eager = eager_checkpoint_remaining_.find(id);
+    const int64_t checkpoint_iters = eager != eager_checkpoint_remaining_.end()
+                                         ? eager->second
+                                         : spec_.stage(current_stage_).iters_per_trial;
+    if (!crashed) {
+      const int64_t lost_iters = std::max<int64_t>(0, checkpoint_iters - trial.remaining_iters());
+      obs::Add(m_.spot_rework_seconds,
+               static_cast<double>(lost_iters) * trial.trainer().MeanIterLatency());
+    }
+    trial.AssignStageWork(checkpoint_iters);
+    if (eager != eager_checkpoint_remaining_.end()) {
+      eager_checkpoint_remaining_.erase(eager);
+    }
     pending_restart_.push_back(id);
     pending_since_[id] = sim_.now();
     obs::Inc(m_.trial_restarts);
     report_.trace.Record(sim_.now(), TraceEventType::kTrialRestart, current_stage_, id);
+  }
+
+  // A reclamation storm just swept the family: replacement capacity (and
+  // everything after) goes on-demand rather than back into the blast zone.
+  if (!crashed && options_.spot.market_fallback && cloud_.profile().spot.enabled &&
+      manager_.market() == Market::kSpot && cloud_.num_storms() > storms_seen_) {
+    storms_seen_ = cloud_.num_storms();
+    MarketFallback();
   }
 
   // Ask for a replacement to keep the cluster at the planned size; restart
@@ -859,6 +972,47 @@ void Executor::MaybeReplan(int next_stage) {
   report_.trace.Record(sim_.now(), TraceEventType::kReplan, next_stage);
 }
 
+void Executor::MarketFallback() {
+  if (market_fallbacks_done_ >= options_.spot.max_fallbacks ||
+      manager_.market() != Market::kSpot) {
+    return;
+  }
+  ++market_fallbacks_done_;
+  manager_.set_market(Market::kOnDemand);
+  obs::Inc(m_.market_fallbacks);
+  report_.trace.Record(sim_.now(), TraceEventType::kMarketFallback, current_stage_);
+}
+
+void Executor::MaybeSwitchMarket() {
+  const SpotMarket& spot = cloud_.profile().spot;
+  if (!spot.enabled || !options_.spot.market_fallback) {
+    return;
+  }
+  const double price = cloud_.SpotPriceMultiplier();
+  if (manager_.market() == Market::kSpot) {
+    // Hostile-market check at the stage boundary (the natural reallocation
+    // point): a price spike, or realized preemptions far above what the
+    // profile's mean time to preemption predicts.
+    bool hostile = price >= options_.spot.fallback_price_multiplier;
+    if (!hostile && spot.HazardEnabled() && m_.preemptions != nullptr) {
+      const double expected = sim_.now() / spot.mean_time_to_preemption *
+                              std::max(1, manager_.num_ready());
+      hostile = static_cast<double>(m_.preemptions->value()) >
+                options_.spot.hazard_tolerance * std::max(expected, 1.0);
+    }
+    if (hostile) {
+      MarketFallback();
+    }
+  } else if (price <= options_.spot.give_back_price_multiplier) {
+    // The market calmed down: future capacity goes back to spot. Absorb
+    // any storms/rejections that happened while we were away so stale
+    // events cannot immediately re-trigger the fallback.
+    manager_.set_market(Market::kSpot);
+    storms_seen_ = cloud_.num_storms();
+    capacity_rejections_seen_ = cloud_.num_capacity_rejections();
+  }
+}
+
 void Executor::Sync(int stage) {
   report_.stage_log.back().end = sim_.now();
   report_.trace.Record(sim_.now(), TraceEventType::kSync, stage);
@@ -901,6 +1055,9 @@ void Executor::Sync(int stage) {
     trials_[static_cast<size_t>(id)].SaveCheckpoint();
     trials_[static_cast<size_t>(id)].set_state(TrialState::kPaused);
   }
+  // Stage boundaries are also market-choice points: re-decide spot vs
+  // on-demand from the observed price and preemption rate before scaling.
+  MaybeSwitchMarket();
   // Deadline-aware self-healing: if accumulated fault delay burned the
   // slack, re-plan the remaining stages before committing to the next one.
   MaybeReplan(stage + 1);
@@ -937,9 +1094,15 @@ void Executor::Finish(int final_stage) {
   // per-job report prices this job's attributed slice instead; the service
   // reports the exact aggregate from the account ledger.
   const BillingMeter& meter = shared_ ? job_meter_ : cloud_.meter();
-  report_.cost = shared_
-                     ? job_meter_.Price(cloud_.profile().BilledInstance(), cloud_.profile().pricing)
-                     : cloud_.Cost();
+  // Shared-mode per-instance intervals carry their own rate multiplier
+  // (spot discount x price trace), so they price at the on-demand rate;
+  // per-function records carry none and keep the flat discounted rate —
+  // the same convention as SimulatedCloud::Cost().
+  const CloudProfile& profile = cloud_.profile();
+  const InstanceType billed_type = profile.pricing.billing == BillingModel::kPerFunction
+                                       ? profile.BilledInstance()
+                                       : profile.instance;
+  report_.cost = shared_ ? job_meter_.Price(billed_type, profile.pricing) : cloud_.Cost();
   report_.checkpoint_saves = checkpoint_store_.saves();
   report_.checkpoint_fetches = checkpoint_store_.fetches();
   report_.checkpoint_gb_moved = checkpoint_store_.gb_moved();
@@ -969,6 +1132,21 @@ void Executor::Finish(int final_stage) {
   report_.recovery_seconds = m_.recovery_seconds->value();
   report_.straggler_mitigation_seconds = m_.mitigation_seconds->value();
   report_.straggler_slowdown_avoided = m_.slowdown_avoided->value();
+  if (profile.spot.enabled) {
+    report_.preemption_warnings = static_cast<int>(m_.preemption_warnings->value());
+    report_.eager_checkpoints = static_cast<int>(m_.eager_checkpoints->value());
+    report_.market_fallbacks = static_cast<int>(m_.market_fallbacks->value());
+    report_.spot_rework_seconds = m_.spot_rework_seconds->value();
+    // What this usage would have cost on-demand, minus what it billed:
+    // the job's realized spot savings (net of price-trace drift; the
+    // rework above is its time-side cost).
+    const CostBreakdown full_rate = shared_
+                                        ? job_meter_.PriceAtFullRate(profile.instance,
+                                                                     profile.pricing)
+                                        : cloud_.OnDemandEquivalentCost();
+    report_.spot_savings = full_rate.Total() - report_.cost.Total();
+    obs::Set(m_.spot_savings, report_.spot_savings.dollars());
+  }
 
   // Outcome gauges + traffic counters for the exported snapshot.
   MetricsScope scope = metrics_.scope("executor");

@@ -69,6 +69,28 @@ struct StragglerPolicy {
   int max_quarantines = 4;
 };
 
+// Spot-market hedging (consulted only when the cloud profile's spot market
+// is enabled). The executor requests spot capacity by default and falls
+// back to on-demand when the market turns hostile: a capacity rejection, a
+// reclamation storm, or a price spike observed at a stage boundary. Each
+// switch is a MARKET_FALLBACK trace event; switches are bounded so a
+// flapping market cannot thrash the job.
+struct SpotPolicy {
+  // Master switch for the fallback logic (eager pre-preemption checkpoints
+  // stay on regardless — they only ever reduce lost work).
+  bool market_fallback = true;
+  // Stage-boundary price hysteresis: above `fallback`, new capacity goes
+  // on-demand; once back below `give_back`, the job returns to spot.
+  double fallback_price_multiplier = 1.6;
+  double give_back_price_multiplier = 1.2;
+  // Observed-hazard fallback: switch when realized preemptions exceed this
+  // multiple of what the profile's mean-time-to-preemption predicts.
+  double hazard_tolerance = 3.0;
+  // Budget on market switches (spot -> on-demand); after this many the job
+  // stays wherever it is.
+  int max_fallbacks = 8;
+};
+
 struct ExecutorOptions {
   uint64_t seed = 0;
   // Table 1 ablation: kScatter disables locality-aware placement.
@@ -88,6 +110,9 @@ struct ExecutorOptions {
   ReplanPolicy replan;
   // Persistent-straggler detection and checkpoint-based mitigation.
   StragglerPolicy straggler;
+  // Spot-market hedging: eager pre-preemption checkpoints and on-demand
+  // fallback under capacity crunch.
+  SpotPolicy spot;
   // Timeline spans + latency histograms (the Chrome-trace profile). Report
   // counters always flow through the registry; this knob only adds the
   // optional depth. Off by default so existing runs stay bit-identical.
@@ -116,6 +141,15 @@ struct ExecutionReport {
   // Spot-market statistics (zero on on-demand runs).
   int preemptions = 0;
   int trial_restarts = 0;
+  int preemption_warnings = 0;   // reclamation warnings delivered to this job
+  int eager_checkpoints = 0;     // mid-stage saves taken inside warning windows
+  int market_fallbacks = 0;      // spot -> on-demand switches (capacity/storm/price)
+  // Training seconds redone because preemptions rolled trials back to a
+  // checkpoint (warning-window saves shrink this).
+  Seconds spot_rework_seconds = 0.0;
+  // Billed cost versus the on-demand counterfactual of the same usage
+  // (positive = the spot market paid off despite the rework above).
+  Money spot_savings;
   // Fault/recovery statistics (zero on fault-free runs).
   int crashes = 0;                // hardware crashes on ready instances
   int provision_failures = 0;     // failed provisioning slots observed
@@ -207,6 +241,14 @@ class Executor {
   void OnPreemption(InstanceId instance);
   void OnCrash(InstanceId instance);
 
+  // Reclamation warning: the provider announced it will take `instance`
+  // back shortly. Every running trial with workers on it is checkpointed at
+  // its *current* progress, so the reclamation (when it lands) rolls back
+  // only the warning window instead of the whole stage. Standalone
+  // executors wire this to the provider; a shared-cluster owner routes each
+  // warning to the executor holding the instance.
+  void OnPreemptionWarning(InstanceId instance);
+
   // True while this job's cluster holds the instance (shared-mode
   // preemption routing).
   bool OwnsInstance(InstanceId instance) const;
@@ -250,6 +292,17 @@ class Executor {
   // Re-plan the stages from `next_stage` on if fault delay burned the
   // deadline slack (no-op while fault-free or when re-planning is off).
   void MaybeReplan(int next_stage);
+  // Stage-boundary market re-choice: fall back to on-demand when the spot
+  // price or the realized preemption rate turned hostile; return to spot
+  // once the price calms down. No-op unless the profile has a spot market.
+  void MaybeSwitchMarket();
+  // Point future provisioning at the on-demand market (capacity rejection,
+  // storm, or price spike); bounded by SpotPolicy::max_fallbacks.
+  void MarketFallback();
+  // Billing multiplier of this job's hold of `id` over [acquired, now]:
+  // spot discount x the trace's average price for spot instances, 1.0
+  // otherwise.
+  double HeldMultiplier(InstanceId id, Seconds acquired) const;
   // A trial left `pending_restart_`; attribute its wait to recovery time
   // (or to mitigation time, if quarantine put it there).
   void NoteRestarted(TrialId id);
@@ -303,6 +356,10 @@ class Executor {
   // init time and acquisition minimums stay on the account-level ledger.
   BillingMeter job_meter_;
   std::map<InstanceId, Seconds> acquired_at_;
+  // Market each held instance was acquired on, captured at acquisition:
+  // by release-after-loss time the provider has already forgotten the
+  // instance, so asking then would misattribute preempted spot capacity.
+  std::map<InstanceId, Market> acquired_market_;
 
   ClusterManager manager_;
   PlacementController placement_;
@@ -334,6 +391,17 @@ class Executor {
   std::unique_ptr<StragglerDetector> detector_;
   std::map<TrialId, std::vector<InstanceId>> trial_instances_;
   std::set<TrialId> quarantine_pending_;
+
+  // Spot-survival state. eager_checkpoint_remaining_ records, per trial,
+  // the remaining stage iterations at the moment a warning-window save was
+  // taken: the loss path restores that much work instead of the whole
+  // stage. Cleared at stage boundaries (boundary checkpoints supersede).
+  // The *_seen_ counters are snapshots of provider-wide event counts so
+  // fallback triggers fire once per new event, not once per observation.
+  std::map<TrialId, int64_t> eager_checkpoint_remaining_;
+  int storms_seen_ = 0;
+  int capacity_rejections_seen_ = 0;
+  int market_fallbacks_done_ = 0;
 
   // Checkpoint-transfer fault stream: seeded from the job seed, so it is
   // independent of the cloud's streams and deterministic per run.
@@ -382,6 +450,14 @@ class Executor {
     Gauge* recovery_seconds = nullptr;
     Gauge* mitigation_seconds = nullptr;
     Gauge* slowdown_avoided = nullptr;
+    // spot.* scope; null unless the cloud profile's spot market is enabled,
+    // so non-spot runs export byte-identical snapshots.
+    Counter* preemption_warnings = nullptr;
+    Counter* eager_checkpoints = nullptr;
+    Counter* market_fallbacks = nullptr;
+    Counter* spot_preemptions = nullptr;
+    Gauge* spot_rework_seconds = nullptr;
+    Gauge* spot_savings = nullptr;
     // Null unless options_.observe (histograms are profile depth, not
     // report fields).
     Histogram* sync_wait = nullptr;

@@ -46,6 +46,12 @@ std::string ToString(TraceEventType type) {
       return "STRAGGLER_QUARANTINED";
     case TraceEventType::kStragglerFalsePositive:
       return "STRAGGLER_FALSE_POSITIVE";
+    case TraceEventType::kSpotPriceChange:
+      return "SPOT_PRICE_CHANGE";
+    case TraceEventType::kPreemptionWarning:
+      return "PREEMPTION_WARNING";
+    case TraceEventType::kMarketFallback:
+      return "MARKET_FALLBACK";
   }
   return "UNKNOWN";
 }

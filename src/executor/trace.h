@@ -37,6 +37,10 @@ enum class TraceEventType {
   kStragglerDetected,       // detector flagged an instance as persistently slow
   kStragglerQuarantined,    // flagged instance checkpointed out and discarded
   kStragglerFalsePositive,  // flagged instance was in fact healthy
+  // Spot-market events (price-trace survival).
+  kSpotPriceChange,     // the spot price trace stepped (multiplier in `instance`, in basis points)
+  kPreemptionWarning,   // provider announced a reclamation; eager checkpoint taken
+  kMarketFallback,      // capacity rejected/storming: switched markets
 };
 
 // Number of TraceEventType values. Keep in sync with the enum above: the
@@ -44,7 +48,7 @@ enum class TraceEventType {
 // an event kind without bumping this (and thereby enrolling the new kind in
 // the exhaustive round-trip test) fails the build's test tier.
 inline constexpr int kNumTraceEventTypes =
-    static_cast<int>(TraceEventType::kStragglerFalsePositive) + 1;
+    static_cast<int>(TraceEventType::kMarketFallback) + 1;
 
 std::string ToString(TraceEventType type);
 

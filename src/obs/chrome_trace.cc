@@ -103,6 +103,14 @@ ChromeEventRule ChromeRuleFor(TraceEventType type) {
       return {"straggler-quarantined", ChromeEventRule::kClose, ChromeSpanKey::kInstance};
     case TraceEventType::kStragglerFalsePositive:
       return {"straggler-false-positive", ChromeEventRule::kInstant, ChromeSpanKey::kInstance};
+    case TraceEventType::kSpotPriceChange:
+      // The instance column carries the price multiplier in basis points,
+      // not an instance id, so the marker lives on the control lane.
+      return {"spot-price-change", ChromeEventRule::kInstant, ChromeSpanKey::kStage};
+    case TraceEventType::kPreemptionWarning:
+      return {"preemption-warning", ChromeEventRule::kInstant, ChromeSpanKey::kInstance};
+    case TraceEventType::kMarketFallback:
+      return {"market-fallback", ChromeEventRule::kInstant, ChromeSpanKey::kStage};
   }
   return {};  // past the enum's end: the guard test asserts this stays empty
 }

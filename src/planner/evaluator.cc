@@ -1,5 +1,6 @@
 #include "src/planner/evaluator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/stats.h"
@@ -124,13 +125,57 @@ PlanEstimate PlanEvaluator::EvaluateIncremental(const AllocationPlan& plan) {
   return estimate;
 }
 
+void PlanEvaluator::ApplyRiskAdjustment(const AllocationPlan& plan,
+                                        PlanEstimate* estimate) const {
+  const SpotMarket& spot = inputs_.cloud.spot;
+  if (!spot.enabled || !spot.HazardEnabled() || estimate->jct_mean <= 0.0) {
+    return;
+  }
+  // Closed-form expected-rework model. Per-stage spans are approximated as
+  // shares of the estimated JCT weighted by serial iteration volume; each
+  // stage then expects (instances x span / MTTP) preemptions, and each
+  // preemption costs a replacement wait plus the lost work — bounded by the
+  // reclamation warning window when the provider gives one (the executor
+  // checkpoints eagerly inside it), half the stage span otherwise.
+  const int num_stages = inputs_.spec.num_stages();
+  const int gpg = inputs_.cloud.gpus_per_instance();
+  double total_iters = 0.0;
+  for (int i = 0; i < num_stages; ++i) {
+    total_iters += static_cast<double>(inputs_.spec.stage(i).iters_per_trial);
+  }
+  if (total_iters <= 0.0) {
+    return;
+  }
+  double expected_delay = 0.0;
+  for (int i = 0; i < num_stages; ++i) {
+    const double span = estimate->jct_mean *
+                        static_cast<double>(inputs_.spec.stage(i).iters_per_trial) / total_iters;
+    const int instances = (plan.gpus(i) + gpg - 1) / gpg;
+    const double expected_preemptions = instances * span / spot.mean_time_to_preemption;
+    const double rework = spot.reclamation_warning_s > 0.0
+                              ? std::min(span, spot.reclamation_warning_s)
+                              : 0.5 * span;
+    expected_delay +=
+        expected_preemptions * (rework + inputs_.cloud.provisioning.MeanReadyLatency());
+  }
+  // The rework runs on billing instances, so it burns money at the plan's
+  // average rate as well as time.
+  const double burn_rate = estimate->cost_mean.dollars() / estimate->jct_mean;
+  const Money extra = Money::FromDollars(expected_delay * burn_rate);
+  estimate->jct_mean += expected_delay;
+  estimate->cost_mean += extra;
+  estimate->compute_cost_mean += extra;  // rework is pure compute
+}
+
 PlanEstimate PlanEvaluator::Evaluate(const AllocationPlan& plan) {
   if (options_.evaluation == PlanEvaluation::kFresh) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.plan_evaluations;
     }
-    return EvaluateFresh(plan);
+    PlanEstimate estimate = EvaluateFresh(plan);
+    ApplyRiskAdjustment(plan, &estimate);
+    return estimate;
   }
 
   {
@@ -143,7 +188,8 @@ PlanEstimate PlanEvaluator::Evaluate(const AllocationPlan& plan) {
     ++stats_.plan_evaluations;
   }
 
-  const PlanEstimate estimate = EvaluateIncremental(plan);
+  PlanEstimate estimate = EvaluateIncremental(plan);
+  ApplyRiskAdjustment(plan, &estimate);
 
   std::lock_guard<std::mutex> lock(mu_);
   memo_.try_emplace(plan.stage_gpus(), estimate);

@@ -115,6 +115,14 @@ class PlanEvaluator {
   const StageEntry* GetStage(int stage_index, int gpus, int prev_instances);
   PlanEstimate EvaluateFresh(const AllocationPlan& plan);
   PlanEstimate EvaluateIncremental(const AllocationPlan& plan);
+  // Risk-aware scoring under a preemptible market: prices each stage's
+  // expected rework (restart latency + warning-bounded lost work, times the
+  // stage's expected preemption count) into the estimate. Applied
+  // identically after the fresh and incremental paths (so they still match
+  // bit for bit, and the memo stays consistent); a no-op unless the cloud
+  // profile's spot market has a preemption hazard, so on-demand planning is
+  // unperturbed.
+  void ApplyRiskAdjustment(const AllocationPlan& plan, PlanEstimate* estimate) const;
 
   PlannerInputs inputs_;
   PlannerOptions options_;

@@ -220,6 +220,10 @@ void TuningService::OnJobDone(size_t index, const ExecutionReport& report) {
   job.outcome.cost = report.cost.Total();
   job.outcome.best_accuracy = report.best_accuracy;
   job.outcome.preemptions = report.preemptions;
+  job.outcome.preemption_warnings = report.preemption_warnings;
+  job.outcome.market_fallbacks = report.market_fallbacks;
+  job.outcome.spot_savings = report.spot_savings;
+  job.outcome.spot_rework_seconds = report.spot_rework_seconds;
   job.outcome.crashes = report.crashes;
   job.outcome.trial_restarts = report.trial_restarts;
   job.outcome.provision_failures = report.provision_failures;
@@ -352,9 +356,24 @@ void TuningService::RouteInstanceLoss(InstanceId id, bool crashed) {
   // already closed its billing interval, so there is nothing to clean up.
 }
 
+void TuningService::RouteWarning(InstanceId id) {
+  if (pool_.OnWarned(id)) {
+    return;  // was parked; the pool released it ahead of the reclamation
+  }
+  for (Job& job : jobs_) {
+    if (job.executor && !job.executor->finished() && job.executor->OwnsInstance(id)) {
+      job.executor->OnPreemptionWarning(id);
+      return;
+    }
+  }
+  // In a handover window (no tenant holds it yet); the reclamation that
+  // follows is routed — and cleaned up — by RouteInstanceLoss.
+}
+
 void TuningService::InstallHandlers() {
   cloud_.SetPreemptionHandler([this](InstanceId id) { RouteInstanceLoss(id, false); });
   cloud_.SetCrashHandler([this](InstanceId id) { RouteInstanceLoss(id, true); });
+  cloud_.SetPreemptionWarningHandler([this](InstanceId id) { RouteWarning(id); });
 }
 
 ServiceReport TuningService::Run() {
@@ -519,6 +538,11 @@ ServiceReport TuningService::BuildReport(bool require_settled) {
         ++report.in_flight;
         break;
     }
+    report.total_preemptions += job.outcome.preemptions;
+    report.total_preemption_warnings += job.outcome.preemption_warnings;
+    report.total_market_fallbacks += job.outcome.market_fallbacks;
+    report.total_spot_savings += job.outcome.spot_savings;
+    report.total_spot_rework_seconds += job.outcome.spot_rework_seconds;
     report.total_crashes += job.outcome.crashes;
     report.total_provision_failures += job.outcome.provision_failures;
     report.total_replans += job.outcome.replans;
@@ -559,6 +583,9 @@ ServiceReport TuningService::BuildReport(bool require_settled) {
   obs::Set(svc_.GetGauge("cost_per_completed_job_dollars"),
            report.cost_per_completed_job.dollars());
   obs::Set(svc_.GetGauge("aggregate_utilization"), report.aggregate_utilization);
+  // Fleet spot.* totals need no service-side gauges: every finished job's
+  // executor snapshot carries its spot.* family, and the merge below sums
+  // them (gauges merge as accumulators) into exactly the report's totals.
   // The registry counters accumulate, so repeated (live) reports publish
   // only what changed since the last publish.
   PlannerCacheStats cache_delta = report.planner_cache;

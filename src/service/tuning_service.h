@@ -79,6 +79,13 @@ struct JobOutcome {
   Money cost;         // this job's attributed compute cost
   double best_accuracy = 0.0;
   int preemptions = 0;
+  // Spot-market attribution (zero when the market is off): warnings routed
+  // to this job, its market switches, what the discount saved it against
+  // the on-demand counterfactual, and the training it had to redo.
+  int preemption_warnings = 0;
+  int market_fallbacks = 0;
+  Money spot_savings;
+  Seconds spot_rework_seconds = 0.0;
   // Fault attribution: what the provider did to this job and what the
   // recovery cost it (per-tenant blast-radius accounting).
   int crashes = 0;
@@ -165,6 +172,13 @@ struct ServiceReport {
   int instance_launches = 0;  // real provisioning events (init paid)
   WarmPoolStats warm;
   double aggregate_utilization = 0.0;  // busy GPU-s / provisioned GPU-s
+  // Fleet-wide spot-market totals (sums of the per-job attributions; all
+  // zero when the spot market is off).
+  int total_preemptions = 0;
+  int total_preemption_warnings = 0;
+  int total_market_fallbacks = 0;
+  Money total_spot_savings;
+  Seconds total_spot_rework_seconds = 0.0;
   // Fleet-wide fault totals (sums of the per-job attributions).
   int total_crashes = 0;
   int total_provision_failures = 0;
@@ -296,6 +310,10 @@ class TuningService {
   // Routes a provider-initiated instance loss (spot reclamation or hardware
   // crash) to the pool or the owning tenant's executor.
   void RouteInstanceLoss(InstanceId id, bool crashed);
+  // Routes a reclamation warning: a parked instance leaves the pool (no
+  // point holding doomed capacity warm); a held one reaches its tenant's
+  // executor for an eager checkpoint.
+  void RouteWarning(InstanceId id);
   const ModelProfile& ProfileFor(const WorkloadSpec& workload);
   PlannedJob PlanFor(Job& job, Seconds time_left);
   int ReservationLimit() const;

@@ -1,8 +1,18 @@
 // Spot-market extension: discounted pricing, provider-initiated
-// preemptions, and checkpoint-based trial recovery in the executor.
+// preemptions, and checkpoint-based trial recovery in the executor — plus
+// the market layer (price traces, storms, capacity limits, reclamation
+// warnings) and the risk-aware planning / billing / warm-pool plumbing
+// around it.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/cloud/spot_price.h"
+#include "src/cloud/warm_pool.h"
+#include "src/planner/evaluator.h"
 #include "src/rubberband.h"
 
 namespace rubberband {
@@ -111,6 +121,471 @@ TEST(Spot, DeterministicForFixedSeed) {
   EXPECT_DOUBLE_EQ(a.jct, b.jct);
   EXPECT_EQ(a.preemptions, b.preemptions);
   EXPECT_EQ(a.cost.Total(), b.cost.Total());
+}
+
+// ---------------------------------------------------------------------------
+// SpotPriceTrace: the deterministic piecewise-constant price multiplier.
+
+SpotMarket VolatileMarket() {
+  SpotMarket market;
+  market.enabled = true;
+  market.volatility = 0.4;
+  market.price_interval_s = 100.0;
+  return market;
+}
+
+TEST(SpotPrice, DeterministicForFixedSeed) {
+  SpotPriceTrace a(VolatileMarket(), Rng(42));
+  SpotPriceTrace b(VolatileMarket(), Rng(42));
+  for (int i = 1; i <= 50; ++i) {
+    EXPECT_EQ(a.Step(100.0 * i), b.Step(100.0 * i));
+  }
+  EXPECT_EQ(a.num_steps(), 50);
+  EXPECT_EQ(a.current(), b.current());
+}
+
+TEST(SpotPrice, ClampsToFloorAndCap) {
+  SpotMarket market = VolatileMarket();
+  market.volatility = 2.0;  // wild steps guarantee both clamps are hit
+  SpotPriceTrace trace(market, Rng(7));
+  double lo = 10.0, hi = 0.0;
+  for (int i = 1; i <= 200; ++i) {
+    const double multiplier = trace.Step(100.0 * i);
+    EXPECT_GE(multiplier, market.price_floor);
+    EXPECT_LE(multiplier, market.price_cap);
+    lo = std::min(lo, multiplier);
+    hi = std::max(hi, multiplier);
+  }
+  EXPECT_EQ(lo, market.price_floor);
+  EXPECT_EQ(hi, market.price_cap);
+}
+
+TEST(SpotPrice, AverageOverIntegratesTheBreakpoints) {
+  SpotPriceTrace trace(VolatileMarket(), Rng(3));
+  trace.Step(100.0);
+  trace.Step(200.0);
+  // Before the first step the multiplier is 1.0 by construction.
+  EXPECT_EQ(trace.MultiplierAt(50.0), 1.0);
+  // [50, 150] straddles the first breakpoint: half at 1.0, half at m1.
+  const double m1 = trace.MultiplierAt(150.0);
+  EXPECT_DOUBLE_EQ(trace.AverageOver(50.0, 150.0), 0.5 * (1.0 + m1));
+  // A window inside one segment is flat.
+  EXPECT_DOUBLE_EQ(trace.AverageOver(110.0, 190.0), m1);
+  // A zero-width window samples the point value.
+  EXPECT_DOUBLE_EQ(trace.AverageOver(150.0, 150.0), m1);
+}
+
+// ---------------------------------------------------------------------------
+// Billing: provider-reclaimed intervals never owe the per-acquisition
+// minimum charge (the customer did not choose to stop early).
+
+TEST(SpotBilling, ReclaimedIntervalSkipsMinimumCharge) {
+  const PricingPolicy policy;  // 60s minimum
+  BillingMeter reclaimed;
+  reclaimed.RecordInstanceUsage(0.0, 10.0, 1.0, /*provider_reclaimed=*/true);
+  BillingMeter terminated;
+  terminated.RecordInstanceUsage(0.0, 10.0, 1.0, /*provider_reclaimed=*/false);
+  // 10 reclaimed seconds bill exactly 10 seconds; the same lifetime ended
+  // by the customer rounds up to the minimum.
+  EXPECT_NEAR(terminated.Price(P3_8xlarge(), policy).compute.dollars(),
+              6.0 * reclaimed.Price(P3_8xlarge(), policy).compute.dollars(), 1e-9);
+}
+
+TEST(SpotBilling, PriceAtFullRateUndoesTheMultiplier) {
+  const PricingPolicy policy;
+  BillingMeter meter;
+  meter.RecordInstanceUsage(0.0, 3600.0, 0.3, false);
+  const double discounted = meter.Price(P3_8xlarge(), policy).compute.dollars();
+  const double full = meter.PriceAtFullRate(P3_8xlarge(), policy).compute.dollars();
+  EXPECT_NEAR(discounted, 0.3 * full, 1e-6);
+  EXPECT_GT(full, discounted);
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedCloud market mechanics.
+
+TEST(Spot, WarningPrecedesReclamationByTheConfiguredWindow) {
+  Simulation sim(11);
+  CloudProfile profile = SpotCloud(/*mean_time_to_preemption=*/600.0);
+  profile.spot.reclamation_warning_s = 120.0;
+  SimulatedCloud cloud(sim, profile);
+  std::map<InstanceId, Seconds> warned, reclaimed;
+  cloud.SetPreemptionWarningHandler([&](InstanceId id) {
+    warned[id] = sim.now();
+    EXPECT_TRUE(cloud.IsReady(id));  // still running (and billing)
+  });
+  cloud.SetPreemptionHandler([&](InstanceId id) { reclaimed[id] = sim.now(); });
+  cloud.RequestInstances(8, 0.0, [](InstanceId) {});
+  sim.RunUntil(50'000.0);
+  EXPECT_EQ(static_cast<int>(reclaimed.size()), 8);
+  EXPECT_EQ(cloud.num_preemption_warnings(), static_cast<int>(warned.size()));
+  EXPECT_EQ(warned.size(), 8u);
+  int full_windows = 0;
+  for (const auto& [id, warn_time] : warned) {
+    ASSERT_TRUE(reclaimed.count(id));
+    // The provider gives min(warning, lifetime) of notice: a full window
+    // normally, less only when the drawn lifetime is shorter than it.
+    const Seconds notice = reclaimed[id] - warn_time;
+    EXPECT_GE(notice, 0.0);
+    EXPECT_LE(notice, 120.0 + 1e-9);
+    full_windows += std::abs(notice - 120.0) < 1e-9 ? 1 : 0;
+  }
+  EXPECT_GT(full_windows, 0);
+}
+
+TEST(Spot, CapacityLimitRejectsOverLimitSpotRequests) {
+  Simulation sim(11);
+  CloudProfile profile = SpotCloud(/*mean_time_to_preemption=*/0.0);
+  profile.spot.capacity_limit = 4;
+  SimulatedCloud cloud(sim, profile);
+  int ready = 0, failed = 0;
+  cloud.RequestInstances(8, 0.0, Market::kSpot, [&](InstanceId) { ++ready; },
+                         [&] { ++failed; });
+  sim.Run();
+  EXPECT_EQ(ready, 4);
+  EXPECT_EQ(failed, 4);
+  EXPECT_EQ(cloud.num_capacity_rejections(), 4);
+  EXPECT_TRUE(cloud.SpotCapacityExhausted());
+  // On-demand capacity is not subject to the spot family's limit.
+  cloud.RequestInstances(4, 0.0, Market::kOnDemand, [&](InstanceId) { ++ready; },
+                         [&] { ++failed; });
+  sim.Run();
+  EXPECT_EQ(ready, 8);
+  EXPECT_EQ(failed, 4);
+}
+
+TEST(Spot, StormSweepsAFractionOfTheFleetAtOnce) {
+  Simulation sim(11);
+  CloudProfile profile = SpotCloud(/*mean_time_to_preemption=*/0.0);  // no solo hazard
+  profile.spot.storm_mean_interval_s = 500.0;
+  profile.spot.storm_fraction = 0.5;
+  profile.spot.reclamation_warning_s = 0.0;
+  SimulatedCloud cloud(sim, profile);
+  std::map<double, int> reclaim_times;  // time -> instances taken then
+  cloud.SetPreemptionHandler([&](InstanceId) { ++reclaim_times[sim.now()]; });
+  cloud.RequestInstances(8, 0.0, [](InstanceId) {});
+  sim.RunUntil(2'000.0);
+  ASSERT_GE(cloud.num_storms(), 1);
+  // The first storm takes ceil(0.5 * 8) = 4 instances in one event.
+  EXPECT_EQ(reclaim_times.begin()->second, 4);
+}
+
+TEST(Spot, ZeroHazardNeverReclaimsButStillDiscounts) {
+  const ExperimentSpec spec = MakeSha(4, 2, 6, 2);
+  const AllocationPlan plan({4, 4});
+  CloudProfile cloud = SpotCloud(/*mean_time_to_preemption=*/0.0);
+  const ExecutionReport report = ExecutePlan(spec, plan, ResNet101Cifar10(), cloud);
+  EXPECT_EQ(report.preemptions, 0);
+  EXPECT_GT(report.spot_savings.dollars(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The zero-volatility self-check (satellite): a spot market with no price
+// movement, no hazard, no storms, no caps, and no discount replays the
+// on-demand baseline bit-identically. This is the regression anchor that
+// proves the market plumbing costs nothing when it is inert.
+
+TEST(Spot, ZeroVolatilityMarketIsBitIdenticalToOnDemand) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const AllocationPlan plan({8, 8, 8});
+  ExecutorOptions options;
+  options.seed = 4;
+
+  CloudProfile inert = SpotCloud(/*mean_time_to_preemption=*/0.0);
+  inert.spot.discount = 1.0;
+  inert.spot.volatility = 0.0;
+  inert.spot.storm_mean_interval_s = 0.0;
+  inert.spot.capacity_limit = 0;
+  CloudProfile on_demand = inert;
+  on_demand.spot.enabled = false;
+
+  const ExecutionReport spot =
+      ExecutePlan(spec, plan, ResNet101Cifar10(), inert, options);
+  const ExecutionReport baseline =
+      ExecutePlan(spec, plan, ResNet101Cifar10(), on_demand, options);
+
+  EXPECT_EQ(spot.jct, baseline.jct);
+  EXPECT_EQ(spot.cost.Total(), baseline.cost.Total());
+  EXPECT_EQ(spot.preemptions, 0);
+  EXPECT_EQ(spot.preemption_warnings, 0);
+  EXPECT_EQ(spot.market_fallbacks, 0);
+  EXPECT_EQ(spot.spot_savings, Money());
+  EXPECT_EQ(spot.best_accuracy, baseline.best_accuracy);
+}
+
+// ---------------------------------------------------------------------------
+// Executor survival: warning -> eager checkpoint -> reclaim -> restore.
+
+TEST(Spot, WarningWindowCutsReworkVersusUnannouncedReclaims) {
+  // One long stage: without a warning a mid-stage reclaim rolls the trial
+  // all the way back to the stage-start checkpoint, so the eager-checkpoint
+  // path's saving is large and robust across seeds.
+  ExperimentSpec spec;
+  spec.AddStage(4, 40);
+  const AllocationPlan plan({8});
+  ExecutorOptions options;
+  options.seed = 5;
+
+  CloudProfile warned_cloud = SpotCloud(/*mean_time_to_preemption=*/1200.0);
+  warned_cloud.spot.reclamation_warning_s = 120.0;
+  CloudProfile silent_cloud = warned_cloud;
+  silent_cloud.spot.reclamation_warning_s = 0.0;
+
+  const ExecutionReport warned =
+      ExecutePlan(spec, plan, ResNet101Cifar10(), warned_cloud, options);
+  const ExecutionReport silent =
+      ExecutePlan(spec, plan, ResNet101Cifar10(), silent_cloud, options);
+
+  EXPECT_GT(warned.preemptions, 0);
+  EXPECT_GT(warned.preemption_warnings, 0);
+  EXPECT_GT(warned.eager_checkpoints, 0);
+  EXPECT_EQ(silent.preemption_warnings, 0);
+  EXPECT_EQ(silent.eager_checkpoints, 0);
+  // Eager checkpoints bound each loss to at most the warning window, so the
+  // warned run re-does strictly less work and finishes sooner.
+  EXPECT_LT(warned.spot_rework_seconds, silent.spot_rework_seconds);
+  EXPECT_LT(warned.jct, silent.jct);
+  // Both survive to a finished experiment.
+  EXPECT_GT(warned.best_accuracy, 0.0);
+  EXPECT_GT(silent.best_accuracy, 0.0);
+}
+
+TEST(Spot, WarningRacingStageCompletionStaysDeterministic) {
+  // A warning window longer than the mean reclamation spacing guarantees
+  // warnings land across stage boundaries and trial completions; the run
+  // must neither crash nor diverge between replays.
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const AllocationPlan plan({8, 8, 8});
+  CloudProfile cloud = SpotCloud(/*mean_time_to_preemption=*/300.0);
+  cloud.spot.reclamation_warning_s = 240.0;
+  ExecutorOptions options;
+  options.seed = 13;
+  const ExecutionReport a = ExecutePlan(spec, plan, ResNet101Cifar10(), cloud, options);
+  const ExecutionReport b = ExecutePlan(spec, plan, ResNet101Cifar10(), cloud, options);
+  EXPECT_DOUBLE_EQ(a.jct, b.jct);
+  EXPECT_EQ(a.cost.Total(), b.cost.Total());
+  EXPECT_EQ(a.preemption_warnings, b.preemption_warnings);
+  EXPECT_EQ(a.eager_checkpoints, b.eager_checkpoints);
+  EXPECT_DOUBLE_EQ(a.spot_rework_seconds, b.spot_rework_seconds);
+  EXPECT_GT(a.best_accuracy, 0.5);
+}
+
+TEST(Spot, CapacityCrunchFallsBackToOnDemandAndCompletes) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const AllocationPlan plan({8, 8, 8});
+  CloudProfile cloud = SpotCloud(/*mean_time_to_preemption=*/0.0);
+  cloud.spot.capacity_limit = 1;  // the planned cluster cannot fit on spot
+  ExecutorOptions options;
+  options.seed = 6;
+  const ExecutionReport report = ExecutePlan(spec, plan, ResNet101Cifar10(), cloud, options);
+  EXPECT_GE(report.market_fallbacks, 1);
+  EXPECT_GT(report.best_accuracy, 0.5);
+  bool traced_fallback = false;
+  for (const TraceEvent& event : report.trace.events()) {
+    traced_fallback |= event.type == TraceEventType::kMarketFallback;
+  }
+  EXPECT_TRUE(traced_fallback);
+}
+
+TEST(Spot, StormMidStageTriggersFallbackAndTheGangRecovers) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const AllocationPlan plan({8, 8, 8});
+  CloudProfile cloud = SpotCloud(/*mean_time_to_preemption=*/0.0);  // storms only
+  cloud.spot.storm_mean_interval_s = 400.0;
+  cloud.spot.storm_fraction = 1.0;  // each storm drains the whole family
+  ExecutorOptions options;
+  options.seed = 8;
+  const ExecutionReport report = ExecutePlan(spec, plan, ResNet101Cifar10(), cloud, options);
+  EXPECT_GT(report.preemptions, 0);
+  EXPECT_GT(report.trial_restarts, 0);
+  EXPECT_GE(report.market_fallbacks, 1);
+  EXPECT_GT(report.best_accuracy, 0.5);
+  EXPECT_EQ(report.stage_log.size(), 3u);
+}
+
+TEST(Spot, PriceChangesAndWarningsAppearInTheTrace) {
+  const ExperimentSpec spec = MakeSha(8, 2, 14, 2);
+  const AllocationPlan plan({8, 8, 8});
+  CloudProfile cloud = SpotCloud(/*mean_time_to_preemption=*/600.0);
+  cloud.spot.volatility = 0.5;
+  cloud.spot.price_interval_s = 60.0;
+  ExecutorOptions options;
+  options.seed = 3;
+  const ExecutionReport report = ExecutePlan(spec, plan, ResNet101Cifar10(), cloud, options);
+  int price_changes = 0, warnings = 0;
+  for (const TraceEvent& event : report.trace.events()) {
+    if (event.type == TraceEventType::kSpotPriceChange) {
+      ++price_changes;
+      // The instance column carries the multiplier in basis points.
+      EXPECT_GE(event.instance, 5'000);   // >= price floor 0.5
+      EXPECT_LE(event.instance, 25'000);  // <= price cap 2.5
+      EXPECT_EQ(event.trial, -1);
+    }
+    if (event.type == TraceEventType::kPreemptionWarning) {
+      ++warnings;
+      EXPECT_EQ(event.trial, -1);  // instance-scoped, like preemptions
+      EXPECT_GE(event.instance, 0);
+    }
+  }
+  EXPECT_GT(price_changes, 0);
+  EXPECT_EQ(warnings, report.preemption_warnings);
+}
+
+// ---------------------------------------------------------------------------
+// Warm pool: a parked instance under a reclamation warning is evicted and
+// terminated, never handed to the next tenant as a doomed "warm hit".
+
+TEST(SpotWarmPool, WarnedParkedInstanceIsEvictedWithoutAWarmHit) {
+  Simulation sim(11);
+  CloudProfile profile = SpotCloud(/*mean_time_to_preemption=*/0.0);
+  SimulatedCloud cloud(sim, profile);
+  WarmPoolConfig config;
+  config.max_parked = 4;
+  config.max_idle_seconds = 10'000.0;
+  WarmPool pool(sim, cloud, config);
+
+  InstanceId parked_id = -1;
+  pool.RequestInstances(1, 0.0, [&](InstanceId id) { parked_id = id; }, [] {});
+  sim.Run();
+  ASSERT_GE(parked_id, 0);
+  pool.ReleaseInstance(parked_id);
+  EXPECT_EQ(pool.num_parked(), 1);
+
+  // An id nobody parked is not the pool's problem.
+  EXPECT_FALSE(pool.OnWarned(parked_id + 1000));
+  // The warned instance leaves the pool and the provider terminates it.
+  EXPECT_TRUE(pool.OnWarned(parked_id));
+  EXPECT_EQ(pool.num_parked(), 0);
+  sim.Run();
+  EXPECT_FALSE(cloud.IsReady(parked_id));
+  EXPECT_EQ(pool.stats().warned_parked, 1);
+
+  // The next request cold-misses: no doomed machine changes hands.
+  InstanceId next_id = -1;
+  pool.RequestInstances(1, 0.0, [&](InstanceId id) { next_id = id; }, [] {});
+  sim.Run();
+  EXPECT_GE(next_id, 0);
+  EXPECT_NE(next_id, parked_id);
+  EXPECT_EQ(pool.stats().warm_hits, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Risk-aware planning: the evaluator prices expected preemption rework into
+// every candidate when the market's hazard is live, and leaves on-demand
+// (and hazard-free spot) estimates untouched.
+
+PlannerInputs RiskInputs() {
+  PlannerInputs inputs;
+  inputs.spec = MakeSha(8, 2, 14, 2);
+  inputs.model.iter_latency_1gpu = Distribution::TruncatedNormal(30.0, 3.0, 0.0);
+  inputs.model.scaling = ScalingFunction::FromPoints({{1, 1.0}, {2, 1.8}, {4, 3.0}, {8, 4.0}});
+  inputs.model.trial_startup_seconds = 2.0;
+  inputs.model.sync_seconds = 1.0;
+  inputs.cloud.instance = P3_8xlarge();
+  inputs.cloud.provisioning = ProvisioningModel::Fixed(2.0, 5.0);
+  inputs.deadline = Minutes(30);
+  return inputs;
+}
+
+TEST(SpotPlanner, HazardInflatesEstimatesAndInertMarketsDoNot) {
+  const AllocationPlan plan = AllocationPlan::Uniform(3, 8);
+  const PlannerOptions options;
+
+  PlannerInputs on_demand = RiskInputs();
+  PlannerInputs hazardous = RiskInputs();
+  hazardous.cloud.spot.enabled = true;
+  hazardous.cloud.spot.mean_time_to_preemption = 1800.0;
+  PlannerInputs inert = RiskInputs();
+  inert.cloud.spot.enabled = true;
+  inert.cloud.spot.mean_time_to_preemption = 0.0;  // hazard off
+
+  PlanEvaluator baseline(on_demand, options);
+  PlanEvaluator risky(hazardous, options);
+  PlanEvaluator hazard_free(inert, options);
+
+  const PlanEstimate base = baseline.Evaluate(plan);
+  const PlanEstimate risk = risky.Evaluate(plan);
+  const PlanEstimate inert_estimate = hazard_free.Evaluate(plan);
+
+  EXPECT_GT(risk.jct_mean, base.jct_mean);
+  EXPECT_GT(risk.cost_mean.dollars(), base.cost_mean.dollars());
+  EXPECT_EQ(inert_estimate.jct_mean, base.jct_mean);
+  EXPECT_EQ(inert_estimate.cost_mean, base.cost_mean);
+}
+
+TEST(SpotPlanner, RiskAdjustmentIsIdenticalAcrossFreshAndIncremental) {
+  PlannerInputs inputs = RiskInputs();
+  inputs.cloud.spot.enabled = true;
+  inputs.cloud.spot.mean_time_to_preemption = 1800.0;
+
+  PlannerOptions incremental_options;
+  PlannerOptions fresh_options;
+  fresh_options.evaluation = PlanEvaluation::kFresh;
+  PlanEvaluator incremental(inputs, incremental_options);
+  PlanEvaluator fresh(inputs, fresh_options);
+
+  for (const AllocationPlan& plan :
+       {AllocationPlan::Uniform(3, 8), AllocationPlan({16, 8, 4}), AllocationPlan({2, 4, 8})}) {
+    SCOPED_TRACE(plan.ToString());
+    const PlanEstimate a = incremental.Evaluate(plan);
+    const PlanEstimate b = fresh.Evaluate(plan);
+    EXPECT_EQ(a.jct_mean, b.jct_mean);
+    EXPECT_EQ(a.cost_mean, b.cost_mean);
+    EXPECT_EQ(a.compute_cost_mean, b.compute_cost_mean);
+    // Re-evaluating through the memo must return the adjusted estimate,
+    // not re-adjust it.
+    const PlanEstimate memoized = incremental.Evaluate(plan);
+    EXPECT_EQ(memoized.jct_mean, a.jct_mean);
+    EXPECT_EQ(memoized.cost_mean, a.cost_mean);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service-level attribution: spot totals surface in the ServiceReport and
+// the fleet-wide metrics registry.
+
+TEST(SpotService, FleetReportCarriesSpotTotalsAndMetrics) {
+  ServiceConfig config;
+  config.cloud = SpotCloud(/*mean_time_to_preemption=*/1200.0);
+  config.cloud.provisioning = ProvisioningModel::Fixed(5.0, 10.0);
+  config.capacity_gpus = 64;
+  config.seed = 11;
+
+  std::vector<JobRequest> trace;
+  for (int i = 0; i < 2; ++i) {
+    JobRequest job;
+    job.name = "job-" + std::to_string(i);
+    job.spec = MakeSha(8, 2, 14, 2);
+    job.workload = ResNet101Cifar10();
+    job.submit_at = 30.0 * i;
+    job.deadline = 3600.0;
+    trace.push_back(job);
+  }
+  TuningService service(config);
+  for (const JobRequest& job : trace) {
+    service.Submit(job);
+  }
+  const ServiceReport report = service.Run();
+
+  ASSERT_EQ(report.completed, 2);
+  // The spot fleet is cheaper than its on-demand counterfactual.
+  EXPECT_GT(report.total_spot_savings.dollars(), 0.0);
+  Money job_savings;
+  for (const JobOutcome& job : report.jobs) {
+    job_savings += job.spot_savings;
+  }
+  EXPECT_NEAR(job_savings.dollars(), report.total_spot_savings.dollars(), 1e-6);
+  // The fleet registry snapshot (per-job executor spot.* families, merged)
+  // exports the same totals.
+  const auto savings = report.metrics.gauges.find("spot.savings_dollars");
+  ASSERT_NE(savings, report.metrics.gauges.end());
+  EXPECT_NEAR(savings->second, report.total_spot_savings.dollars(), 1e-6);
+  const auto rework = report.metrics.gauges.find("spot.rework_seconds");
+  ASSERT_NE(rework, report.metrics.gauges.end());
+  EXPECT_NEAR(rework->second, report.total_spot_rework_seconds, 1e-6);
+  const auto preemptions = report.metrics.counters.find("spot.preemptions");
+  ASSERT_NE(preemptions, report.metrics.counters.end());
+  EXPECT_EQ(static_cast<int>(preemptions->second), report.total_preemptions);
 }
 
 }  // namespace

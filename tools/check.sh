@@ -43,15 +43,22 @@
 # kernel microbench allocation check (bench/micro_simulator --json). Any
 # EventCallback heap fallback or budget overrun fails the tier.
 #
-# tools/check.sh --all runs the seven tiers back to back (default,
-# --conformance, --server, --sanitize, --tsan, --chaos, --perf) and
-# prints a one-line pass/fail verdict per tier.
+# tools/check.sh --spot runs the spot-market survival tier in the default
+# build tree: the Spot* suites (market mechanics, eager checkpoints,
+# fallback, risk-aware planning, billing) via ctest -R, then
+# bench/spot_sweep — whose hard self-checks (inert-market row byte-equal
+# to on-demand; moderate volatility >= 25% cheaper without giving up the
+# deadline) regenerate BENCH_spot.json.
+#
+# tools/check.sh --all runs the eight tiers back to back (default,
+# --conformance, --server, --sanitize, --tsan, --chaos, --perf, --spot)
+# and prints a one-line pass/fail verdict per tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--all" ]]; then
-  declare -a tiers=(default conformance server sanitize tsan chaos perf)
+  declare -a tiers=(default conformance server sanitize tsan chaos perf spot)
   declare -a verdicts=()
   status=0
   for tier in "${tiers[@]}"; do
@@ -76,6 +83,7 @@ build_dir=build
 budget_s=""
 chaos_bench=""
 perf_bench=""
+spot_bench=""
 cmake_args=()
 ctest_args=()
 if [[ "${1:-}" == "--sanitize" ]]; then
@@ -104,6 +112,9 @@ elif [[ "${1:-}" == "--chaos" ]]; then
 elif [[ "${1:-}" == "--perf" ]]; then
   ctest_args+=(-R "EventQueue")
   perf_bench=1
+elif [[ "${1:-}" == "--spot" ]]; then
+  ctest_args+=(-R "Spot")
+  spot_bench=1
 elif [[ $# -eq 0 ]]; then
   budget_s="${RB_SMOKE_BUDGET_S:-300}"
 else
@@ -133,6 +144,10 @@ if [[ -n "$perf_bench" ]]; then
   ./bench/micro_simulator --json "$(mktemp)"
   echo "=== bench/service_throughput --fleet 10000: control-plane budget gate ==="
   ./bench/service_throughput --fleet 10000 --budget-s "${RB_PERF_BUDGET_S:-60}"
+fi
+if [[ -n "$spot_bench" ]]; then
+  echo "=== bench/spot_sweep: volatility regimes + inert-market self-check ==="
+  ./bench/spot_sweep --json ../BENCH_spot.json
 fi
 test_elapsed=$((SECONDS - test_start))
 if [[ -n "$budget_s" ]]; then

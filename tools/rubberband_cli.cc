@@ -16,6 +16,19 @@
 //   --instance=p3.8xlarge --billing=per-instance|per-function
 //   --data-price-gb=0.0 --queue-s=5 --init-s=10
 //   --spot --spot-mttp-s=14400 --seed=1
+//   Spot market (all take effect only with --spot):
+//   --spot-discount=0.3            spot price as a fraction of on-demand
+//   --spot-volatility=0.0          per-step stddev of the price random walk
+//   --spot-price-interval-s=300    seconds between price-trace steps
+//   --spot-hazard-coupling=0.0     preemption-hazard exponent on the price
+//                                  level (cheap capacity reclaims faster)
+//   --spot-storm-interval-s=0      mean seconds between reclamation storms
+//                                  (0 = storms off)
+//   --spot-storm-fraction=0.25     fraction of the family a storm sweeps
+//   --spot-capacity=0              family capacity limit (0 = unlimited);
+//                                  over-limit requests are rejected outright
+//   --spot-warning-s=120           reclamation warning the executor uses to
+//                                  checkpoint eagerly before the reclaim
 //   --plan-threads=4               parallel candidate evaluation inside the
 //                                  planner (identical plans at any count)
 //   Fault injection (all default off; runs stay deterministic per seed):
@@ -174,8 +187,18 @@ bool BuildSetup(const Flags& flags, CliSetup& setup) {
   setup.cloud.pricing.data_price_per_gb =
       Money::FromDollars(flags.GetDouble("data-price-gb", 0.0));
   if (flags.GetBool("spot")) {
-    setup.cloud.spot.enabled = true;
-    setup.cloud.spot.mean_time_to_preemption = flags.GetDouble("spot-mttp-s", 14'400.0);
+    SpotMarket& spot = setup.cloud.spot;
+    spot.enabled = true;
+    spot.mean_time_to_preemption = flags.GetDouble("spot-mttp-s", 14'400.0);
+    spot.discount = flags.GetDouble("spot-discount", spot.discount);
+    spot.volatility = flags.GetDouble("spot-volatility", spot.volatility);
+    spot.price_interval_s = flags.GetDouble("spot-price-interval-s", spot.price_interval_s);
+    spot.hazard_coupling = flags.GetDouble("spot-hazard-coupling", spot.hazard_coupling);
+    spot.storm_mean_interval_s =
+        flags.GetDouble("spot-storm-interval-s", spot.storm_mean_interval_s);
+    spot.storm_fraction = flags.GetDouble("spot-storm-fraction", spot.storm_fraction);
+    spot.capacity_limit = flags.GetInt("spot-capacity", spot.capacity_limit);
+    spot.reclamation_warning_s = flags.GetDouble("spot-warning-s", spot.reclamation_warning_s);
   }
   setup.cloud.fault.provision_failure_rate = flags.GetDouble("provision-failure-rate", 0.0);
   setup.cloud.fault.init_failure_rate = flags.GetDouble("init-failure-rate", 0.0);
@@ -258,6 +281,7 @@ int RunExecute(const Flags& flags, CliSetup& setup) {
   format.show_faults = setup.cloud.fault.Any();
   format.show_stragglers =
       setup.cloud.fault.straggler_rate > 0.0 || report.stragglers_detected > 0;
+  format.show_spot = setup.cloud.spot.enabled;
   format.deadline = setup.deadline;
   std::fputs(FormatExecutionSummary(report, format).c_str(), stdout);
   std::fputs(FormatStageTable(report).c_str(), stdout);
@@ -430,6 +454,7 @@ int RunServe(const Flags& flags, CliSetup& setup) {
   service_format.show_faults = setup.cloud.fault.Any();
   service_format.show_stragglers =
       setup.cloud.fault.straggler_rate > 0.0 || report.total_stragglers_detected > 0;
+  service_format.show_spot = setup.cloud.spot.enabled;
   std::fputs(FormatServiceSummary(report, service_format).c_str(), stdout);
   // The fleet view: service-level spans plus every job's executor phases
   // (each job keeps its own pid, matching the Chrome export's process map).
