@@ -66,7 +66,8 @@ ServiceReport Replay(int num_jobs, const WarmPoolConfig& pool, uint64_t seed) {
 }
 
 struct FleetRow {
-  int jobs = 0;
+  int jobs = 0;  // submissions: jobs (sha trace) or experiments (mixed trace)
+  std::string mode = "sha";
   int completed = 0;
   int rejected = 0;
   double wall_s = 0.0;
@@ -78,12 +79,49 @@ struct FleetRow {
   Seconds makespan = 0.0;
 };
 
-// Fleet trace: many small SHA jobs arriving at a steady rate on a wide
-// shared cluster. The job shape is deliberately tiny (4 trials, 1..4
+// Mixed-scheduler fleet shape: submissions cycle through every scheduler
+// kind the plan compiler lowers, so the trace also covers experiment
+// compilation, bracket fan-out, and the ASHA engine's rung events.
+ExperimentIR FleetIr(int i) {
+  ExperimentIR ir;
+  ir.reduction_factor = 2;
+  switch (i % 5) {
+    case 0:
+      ir.scheduler = SchedulerKind::kSha;
+      ir.num_trials = 4;
+      ir.max_iters = 4;
+      break;
+    case 1:
+      ir.scheduler = SchedulerKind::kHyperband;  // 3 brackets per experiment
+      ir.max_iters = 4;
+      break;
+    case 2:
+      ir.scheduler = SchedulerKind::kAsha;
+      ir.num_trials = 4;
+      ir.max_iters = 4;
+      break;
+    case 3:
+      ir.scheduler = SchedulerKind::kRandom;
+      ir.num_trials = 3;
+      ir.max_iters = 4;
+      break;
+    default:
+      ir.scheduler = SchedulerKind::kGrid;
+      ir.max_iters = 4;
+      ir.grid = GridShape{2, 1, 1};
+      break;
+  }
+  return ir;
+}
+
+// Fleet trace: many small jobs arriving at a steady rate on a wide shared
+// cluster. The job shape is deliberately tiny (a few trials, 1..4
 // iterations) so the trace exercises control-plane and kernel throughput —
 // admission, fair-share arbitration, queue pumping, warm handoffs — rather
-// than simulated training time.
-FleetRow FleetReplay(int num_jobs, uint64_t seed) {
+// than simulated training time. The sha trace submits the legacy JobRequest
+// shape; the mixed trace submits compiled experiments cycling all five
+// scheduler kinds (hyperband experiments fan out into three bracket jobs).
+FleetRow FleetReplay(int num_jobs, uint64_t seed, bool mixed = false) {
   ServiceConfig config;
   config.cloud = bench::P38Cloud(/*queuing_seconds=*/30.0, /*init_seconds=*/120.0);
   config.capacity_gpus = 1024;
@@ -96,14 +134,24 @@ FleetRow FleetReplay(int num_jobs, uint64_t seed) {
 
   TuningService service(config);
   for (int i = 0; i < num_jobs; ++i) {
-    JobRequest job;
-    job.name = "fleet-" + std::to_string(i);
-    job.spec = MakeSha(/*num_trials=*/4, /*min_iters=*/1, /*max_iters=*/4,
-                       /*reduction_factor=*/2);
-    job.workload = ResNet101Cifar10();
-    job.submit_at = 2.0 * i;  // steady arrivals below the service rate
-    job.deadline = 4.0 * 3600.0;
-    service.Submit(job);
+    if (mixed) {
+      ExperimentRequest request;
+      request.name = "fleet-" + std::to_string(i);
+      request.ir = FleetIr(i);
+      request.workload = ResNet101Cifar10();
+      request.submit_at = 2.0 * i;  // steady arrivals below the service rate
+      request.deadline = 4.0 * 3600.0;
+      service.SubmitExperiment(request);
+    } else {
+      JobRequest job;
+      job.name = "fleet-" + std::to_string(i);
+      job.spec = MakeSha(/*num_trials=*/4, /*min_iters=*/1, /*max_iters=*/4,
+                         /*reduction_factor=*/2);
+      job.workload = ResNet101Cifar10();
+      job.submit_at = 2.0 * i;  // steady arrivals below the service rate
+      job.deadline = 4.0 * 3600.0;
+      service.Submit(job);
+    }
   }
   const auto start = std::chrono::steady_clock::now();
   const ServiceReport report = service.Run();
@@ -111,6 +159,7 @@ FleetRow FleetReplay(int num_jobs, uint64_t seed) {
 
   FleetRow row;
   row.jobs = num_jobs;
+  row.mode = mixed ? "mixed" : "sha";
   row.completed = report.completed;
   row.rejected = report.rejected;
   row.wall_s = wall.count();
@@ -162,12 +211,12 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows,
   for (size_t i = 0; i < fleet.size(); ++i) {
     const FleetRow& row = fleet[i];
     std::fprintf(file,
-                 "    {\"jobs\": %d, \"completed\": %d, \"rejected\": %d, "
+                 "    {\"jobs\": %d, \"mode\": \"%s\", \"completed\": %d, \"rejected\": %d, "
                  "\"wall_s\": %.3f, \"jobs_per_s\": %.0f, \"events\": %lld, "
                  "\"events_per_s\": %.0f, \"callback_heap_fallbacks\": %lld, "
                  "\"warm_hit_rate\": %.4f, \"sim_makespan_s\": %.1f}%s\n",
-                 row.jobs, row.completed, row.rejected, row.wall_s, row.jobs_per_s,
-                 static_cast<long long>(row.events), row.events_per_s,
+                 row.jobs, row.mode.c_str(), row.completed, row.rejected, row.wall_s,
+                 row.jobs_per_s, static_cast<long long>(row.events), row.events_per_s,
                  static_cast<long long>(row.heap_fallbacks), row.hit_rate, row.makespan,
                  i + 1 < fleet.size() ? "," : "");
   }
@@ -178,16 +227,16 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows,
 }
 
 void PrintFleetRow(const FleetRow& row) {
-  std::printf("%7d %9d %8d %8.2fs %9.0f %11lld %12.2fM %9lld %8.0f%%\n", row.jobs, row.completed,
-              row.rejected, row.wall_s, row.jobs_per_s, static_cast<long long>(row.events),
-              row.events_per_s / 1e6, static_cast<long long>(row.heap_fallbacks),
-              100.0 * row.hit_rate);
+  std::printf("%7d %6s %9d %8d %8.2fs %9.0f %11lld %12.2fM %9lld %8.0f%%\n", row.jobs,
+              row.mode.c_str(), row.completed, row.rejected, row.wall_s, row.jobs_per_s,
+              static_cast<long long>(row.events), row.events_per_s / 1e6,
+              static_cast<long long>(row.heap_fallbacks), 100.0 * row.hit_rate);
 }
 
 void FleetHeading() {
   bench::Heading("fleet traces: control-plane + DES kernel throughput");
-  std::printf("%7s %9s %8s %9s %9s %11s %13s %9s %9s\n", "jobs", "completed", "rejected", "wall",
-              "jobs/s", "events", "events/s", "heapfall", "hit rate");
+  std::printf("%7s %6s %9s %8s %9s %9s %11s %13s %9s %9s\n", "jobs", "mode", "completed",
+              "rejected", "wall", "jobs/s", "events", "events/s", "heapfall", "hit rate");
 }
 
 int Main(int argc, char** argv) {
@@ -199,21 +248,29 @@ int Main(int argc, char** argv) {
     // EventCallback heap fallback is a hot-path allocation regression.
     const int jobs = static_cast<int>(flags.GetInt64("fleet", 10000));
     FleetHeading();
-    const FleetRow row = FleetReplay(jobs, seed);
-    PrintFleetRow(row);
-    if (row.heap_fallbacks > 0) {
-      std::fprintf(stderr, "error: %lld event callbacks overflowed the inline buffer\n",
-                   static_cast<long long>(row.heap_fallbacks));
-      return 1;
+    // The sha trace gates the legacy control-plane path; the mixed trace
+    // (one fifth the submissions) gates the compiled-experiment path —
+    // compilation, bracket fan-out, and ASHA rung events included.
+    const std::vector<FleetRow> rows = {FleetReplay(jobs, seed),
+                                        FleetReplay(jobs / 5, seed, /*mixed=*/true)};
+    double total_wall = 0.0;
+    for (const FleetRow& row : rows) {
+      PrintFleetRow(row);
+      total_wall += row.wall_s;
+      if (row.heap_fallbacks > 0) {
+        std::fprintf(stderr, "error: %lld event callbacks overflowed the inline buffer\n",
+                     static_cast<long long>(row.heap_fallbacks));
+        return 1;
+      }
     }
     if (flags.Has("budget-s")) {
       const double budget = static_cast<double>(flags.GetInt64("budget-s", 60));
-      if (row.wall_s > budget) {
-        std::fprintf(stderr, "error: %d-job trace took %.2fs (budget %.0fs)\n", jobs, row.wall_s,
+      if (total_wall > budget) {
+        std::fprintf(stderr, "error: %d-job traces took %.2fs (budget %.0fs)\n", jobs, total_wall,
                      budget);
         return 1;
       }
-      std::printf("within budget: %.2fs <= %.0fs\n", row.wall_s, budget);
+      std::printf("within budget: %.2fs <= %.0fs\n", total_wall, budget);
     }
     return 0;
   }
@@ -248,6 +305,11 @@ int Main(int argc, char** argv) {
     fleet.push_back(row);
     PrintFleetRow(row);
   }
+  // Mixed-scheduler trace: 2000 experiments compile into ~2800 jobs across
+  // all five scheduler kinds.
+  const FleetRow mixed = FleetReplay(2000, seed, /*mixed=*/true);
+  fleet.push_back(mixed);
+  PrintFleetRow(mixed);
 
   if (flags.Has("json")) {
     const std::string path = flags.GetString("json", "");

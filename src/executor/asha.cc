@@ -73,6 +73,7 @@ class AshaRun {
       std::optional<int> promotable = FindPromotable(r);
       if (promotable.has_value()) {
         ++report_.rungs[static_cast<size_t>(r)].promoted;
+        report_.promotions.push_back(AshaPromotion{r, *promotable});
         return Job{*promotable, r + 1};
       }
     }

@@ -46,6 +46,16 @@ struct AshaRungStats {
   int promoted = 0;   // results promoted to the next rung
 };
 
+// One promotion decision: `trial` placed in the top 1/eta of rung `rung`
+// and was dispatched to rung + 1. The ordered log is the scheduler's full
+// decision trace — two ASHA implementations agree iff their logs agree.
+struct AshaPromotion {
+  int rung = 0;
+  int trial = -1;
+
+  bool operator==(const AshaPromotion&) const = default;
+};
+
 struct AshaReport {
   int configurations_sampled = 0;
   double best_accuracy = 0.0;
@@ -54,8 +64,16 @@ struct AshaReport {
   Seconds jct = 0.0;
   CostBreakdown cost;
   std::vector<AshaRungStats> rungs;
+  std::vector<AshaPromotion> promotions;  // in decision order
 };
 
+// DEPRECATED: this side-car executor survives only as the comparison
+// oracle for the compiled-ASHA path (src/executor/asha_engine.h runs the
+// same promotion rule through the shared planner/executor/service stack);
+// Compile.AshaOracleParity asserts the two produce identical promotion
+// logs and final-trial selections before any divergence could land. New
+// callers should compile an ExperimentIR with SchedulerKind::kAsha.
+//
 // Runs ASHA to the time limit on a fixed cluster sized for
 // num_workers * gpus_per_trial GPUs.
 AshaReport RunAsha(const WorkloadSpec& workload, const CloudProfile& cloud,

@@ -199,13 +199,13 @@ void Executor::Start(std::function<void(const ExecutionReport&)> on_done) {
       HandleShortfall();
     }
   });
-  // Sample one configuration per initial trial (random search over the
-  // user-provided space).
-  SearchSpace space;
-  Rng config_rng(options_.seed ^ 0xC0FFEE);
+  // One configuration per initial trial, from the options' source (by
+  // default the same random-search stream this loop always drew inline).
   const int initial_trials = spec_.stage(0).num_trials;
+  const std::vector<HyperparameterConfig> configs =
+      options_.configs.Materialize(initial_trials, options_.seed);
   for (int i = 0; i < initial_trials; ++i) {
-    trials_.emplace_back(i, workload_, space.Sample(config_rng),
+    trials_.emplace_back(i, workload_, configs[static_cast<size_t>(i)],
                          options_.seed * 7919 + static_cast<uint64_t>(i));
     survivors_.push_back(i);
   }

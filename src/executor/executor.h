@@ -35,6 +35,7 @@
 #include "src/planner/evaluator.h"
 #include "src/planner/plan.h"
 #include "src/planner/planner.h"
+#include "src/spec/compile.h"
 #include "src/spec/experiment_spec.h"
 #include "src/trainer/model_zoo.h"
 #include "src/trainer/search_space.h"
@@ -113,6 +114,10 @@ struct ExecutorOptions {
   // Spot-market hedging: eager pre-preemption checkpoints and on-demand
   // fallback under capacity crunch.
   SpotPolicy spot;
+  // Where the initial trial configurations come from. The default replays
+  // the executor's historical random sampling bit-identically; compiled
+  // plans substitute their own source (grid points, custom bounds).
+  ConfigSource configs;
   // Timeline spans + latency histograms (the Chrome-trace profile). Report
   // counters always flow through the registry; this knob only adds the
   // optional depth. Off by default so existing runs stay bit-identical.

@@ -1,0 +1,48 @@
+#include "src/executor/run_compiled.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rubberband {
+
+CompiledExecutionReport ExecuteCompiled(const CompiledPlan& compiled,
+                                        const CompiledPlannedExperiment& planned,
+                                        const WorkloadSpec& workload,
+                                        const CloudProfile& cloud_profile,
+                                        const ExecutorOptions& base_options) {
+  if (compiled.units.size() != planned.units.size()) {
+    throw std::invalid_argument("compiled plan and planned experiment disagree on unit count");
+  }
+  CompiledExecutionReport result;
+  if (compiled.asha) {
+    AshaEngineOptions engine_options;
+    engine_options.num_workers = planned.asha_workers;
+    engine_options.seed = base_options.seed;
+    engine_options.observe = base_options.observe;
+    AshaEngine engine(*compiled.asha, workload, cloud_profile, engine_options);
+    result.units.push_back(engine.Run());
+  } else {
+    for (size_t i = 0; i < compiled.units.size(); ++i) {
+      ExecutorOptions options = base_options;
+      options.configs = compiled.units[i].configs;
+      // Unit 0 keeps the caller's seed (SHA bit-identity); later brackets
+      // fork their own deterministic streams, exactly as the tuning
+      // service seeds sibling jobs.
+      options.seed = base_options.seed + 1000003 * static_cast<uint64_t>(i);
+      result.units.push_back(ExecutePlan(compiled.units[i].spec, planned.units[i].plan, workload,
+                                         cloud_profile, options));
+    }
+  }
+  for (const ExecutionReport& report : result.units) {
+    result.jct = std::max(result.jct, report.jct);
+    result.cost.compute += report.cost.compute;
+    result.cost.data += report.cost.data;
+    if (report.best_accuracy > result.best_accuracy) {
+      result.best_accuracy = report.best_accuracy;
+      result.best_config = report.best_config;
+    }
+  }
+  return result;
+}
+
+}  // namespace rubberband

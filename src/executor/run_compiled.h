@@ -1,0 +1,38 @@
+// Standalone execution of a compiled experiment: every unit runs on its own
+// fresh simulated cloud (brackets are concurrent sub-DAGs of one job, so
+// the experiment's JCT is the slowest unit's and its cost the sum), and an
+// ASHA plan runs on the engine with the pool the planner sized. The
+// multi-tenant path is TuningService::SubmitExperiment instead.
+
+#ifndef SRC_EXECUTOR_RUN_COMPILED_H_
+#define SRC_EXECUTOR_RUN_COMPILED_H_
+
+#include <vector>
+
+#include "src/executor/asha_engine.h"
+#include "src/executor/executor.h"
+#include "src/planner/compiled.h"
+
+namespace rubberband {
+
+struct CompiledExecutionReport {
+  std::vector<ExecutionReport> units;  // unit order
+  Seconds jct = 0.0;  // slowest unit (units execute concurrently)
+  CostBreakdown cost;  // summed across units
+  double best_accuracy = 0.0;
+  HyperparameterConfig best_config;
+};
+
+// Runs every unit of `compiled` under `planned`. Unit 0 executes with the
+// caller's seed (compiled-SHA stays bit-identical to the legacy path);
+// later units fork deterministic per-unit seeds so brackets draw distinct
+// configuration streams.
+CompiledExecutionReport ExecuteCompiled(const CompiledPlan& compiled,
+                                        const CompiledPlannedExperiment& planned,
+                                        const WorkloadSpec& workload,
+                                        const CloudProfile& cloud_profile,
+                                        const ExecutorOptions& base_options = {});
+
+}  // namespace rubberband
+
+#endif  // SRC_EXECUTOR_RUN_COMPILED_H_

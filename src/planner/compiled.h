@@ -1,0 +1,43 @@
+// Planning over compiled experiments: GPU-per-stage optimization for any
+// scheduler the plan compiler lowers.
+//
+// Every CompiledUnit is a staged spec the existing planners already
+// optimize, so planning a compiled experiment is per-unit planning under a
+// shared deadline: Hyperband's brackets are planned concurrently (each gets
+// the full deadline — they run side by side as sub-DAGs of one job), and an
+// ASHA envelope is planned *statically*, because the engine executes on a
+// fixed worker pool whose size this plan chooses.
+
+#ifndef SRC_PLANNER_COMPILED_H_
+#define SRC_PLANNER_COMPILED_H_
+
+#include <vector>
+
+#include "src/planner/planner.h"
+#include "src/spec/compile.h"
+
+namespace rubberband {
+
+struct CompiledPlannedExperiment {
+  // One planned job per compiled unit, in unit order.
+  std::vector<PlannedJob> units;
+  bool feasible = false;  // every unit meets the deadline
+  // kAsha: worker-gang pool size derived from the envelope's static plan.
+  int asha_workers = 0;
+
+  // Concurrent units: the experiment finishes when its slowest unit does,
+  // and pays for all of them.
+  Seconds EstimatedJct() const;
+  Money EstimatedCost() const;
+};
+
+// Plans every unit of `compiled` against the same absolute deadline:
+// PlanGreedy for staged units, PlanStatic for an ASHA envelope.
+CompiledPlannedExperiment PlanCompiledExperiment(const CompiledPlan& compiled,
+                                                 const ModelProfile& model,
+                                                 const CloudProfile& cloud, Seconds deadline,
+                                                 const PlannerOptions& options = {});
+
+}  // namespace rubberband
+
+#endif  // SRC_PLANNER_COMPILED_H_

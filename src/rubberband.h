@@ -30,7 +30,9 @@
 #include "src/dag/node.h"
 #include "src/dag/simulate.h"
 #include "src/executor/asha.h"
+#include "src/executor/asha_engine.h"
 #include "src/executor/executor.h"
+#include "src/executor/run_compiled.h"
 #include "src/model/profile.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/metrics.h"
@@ -38,14 +40,17 @@
 #include "src/model/profiler.h"
 #include "src/model/scaling.h"
 #include "src/placement/controller.h"
+#include "src/planner/compiled.h"
 #include "src/planner/plan.h"
 #include "src/planner/planner.h"
 #include "src/planner/multi_job.h"
 #include "src/planner/render.h"
 #include "src/service/fair_share.h"
 #include "src/service/tuning_service.h"
+#include "src/spec/compile.h"
 #include "src/spec/experiment_spec.h"
 #include "src/spec/hyperband.h"
+#include "src/spec/ir.h"
 #include "src/spec/sha.h"
 #include "src/trainer/dataset.h"
 #include "src/trainer/model_zoo.h"

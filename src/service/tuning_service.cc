@@ -69,6 +69,39 @@ void TuningService::Submit(JobRequest request) {
   jobs_.push_back(std::move(job));
 }
 
+std::vector<size_t> TuningService::SubmitExperiment(const ExperimentRequest& request) {
+  const CompiledPlan compiled = CompileExperiment(request.ir);
+  const int64_t total_work = compiled.TotalWork();
+  std::vector<size_t> indices;
+  indices.reserve(compiled.units.size());
+  for (const CompiledUnit& unit : compiled.units) {
+    JobRequest job;
+    // A single-unit experiment keeps the tenant's name verbatim, so a sha
+    // experiment is indistinguishable from the equivalent plain Submit.
+    job.name = compiled.units.size() > 1 ? request.name + "/" + unit.name : request.name;
+    job.spec = unit.spec;
+    job.workload = request.workload;
+    job.submit_at = request.submit_at;
+    job.deadline = request.deadline;
+    if (request.budget.dollars() > 0.0 && total_work > 0) {
+      job.budget = Money::FromDollars(request.budget.dollars() *
+                                      static_cast<double>(unit.spec.TotalWork()) /
+                                      static_cast<double>(total_work));
+    }
+    job.weight = request.weight;
+    job.retry = request.retry;
+    job.configs = unit.configs;
+    job.asha = compiled.asha;
+    if (live_) {
+      indices.push_back(SubmitLive(std::move(job)));
+    } else {
+      indices.push_back(jobs_.size());
+      Submit(std::move(job));
+    }
+  }
+  return indices;
+}
+
 size_t TuningService::FindJob(const std::string& name) const {
   const auto it = index_by_name_.find(name);
   return it == index_by_name_.end() ? kNoJob : it->second;
@@ -89,14 +122,21 @@ const ModelProfile& TuningService::ProfileFor(const WorkloadSpec& workload) {
 }
 
 PlannedJob TuningService::PlanFor(Job& job, Seconds time_left) {
+  // ASHA jobs plan their envelope *statically*: the engine executes on a
+  // fixed worker pool whose size the plan's peak chooses, so an elastic
+  // per-stage schedule would promise scaling the engine never does.
+  const bool asha = job.request.asha != nullptr;
   if (config_.share_admission_evaluator) {
     // Fleet mode: all jobs with this (workload, spec) shape plan through
     // one evaluator — the first arrival pays the stage simulations, every
     // later arrival and queued-job re-plan is memo hits. Deadlines differ
     // per call, but the plan memo is keyed by allocation, not deadline, so
     // the caches survive set_deadline (the same property the per-job
-    // dequeue re-plan has always relied on).
-    const std::string key = job.request.workload.name + "|" + job.request.spec.ToString();
+    // dequeue re-plan has always relied on). ASHA jobs get their own key
+    // space: an envelope shaped like a plain SHA job must not inherit its
+    // memoized greedy plan.
+    const std::string key = (asha ? std::string("asha|") : std::string()) +
+                            job.request.workload.name + "|" + job.request.spec.ToString();
     const bool at_arrival = time_left == job.request.deadline;
     std::string plan_key;
     if (at_arrival) {
@@ -118,7 +158,7 @@ PlannedJob TuningService::PlanFor(Job& job, Seconds time_left) {
     } else {
       it->second->set_deadline(time_left);
     }
-    PlannedJob planned = PlanGreedy(*it->second);
+    PlannedJob planned = asha ? PlanStatic(*it->second) : PlanGreedy(*it->second);
     if (at_arrival) {
       admission_plans_.emplace(std::move(plan_key), planned);
     }
@@ -135,7 +175,7 @@ PlannedJob TuningService::PlanFor(Job& job, Seconds time_left) {
     // evaluator's caches stay valid and the search is mostly memo hits.
     job.evaluator->set_deadline(time_left);
   }
-  return PlanGreedy(*job.evaluator);
+  return asha ? PlanStatic(*job.evaluator) : PlanGreedy(*job.evaluator);
 }
 
 void TuningService::OnArrival(size_t index) {
@@ -189,11 +229,27 @@ void TuningService::StartJob(size_t index) {
     return jobs_[index].share_cap;
   };
 
+  if (job.request.asha != nullptr) {
+    // Compiled ASHA: rung events on a fixed worker pool sized from the
+    // envelope's static plan, sharing the service's cloud and warm pool.
+    AshaEngineOptions engine_options;
+    engine_options.num_workers =
+        std::max(1, job.planned.plan.MaxGpus() / job.request.asha->gpus_per_trial);
+    engine_options.seed = config_.seed + 1000003 * (static_cast<uint64_t>(index) + 1);
+    engine_options.observe = config_.observe;
+    job.asha_engine = std::make_unique<AshaEngine>(*job.request.asha, job.request.workload,
+                                                   context, engine_options);
+    job.asha_engine->Start(
+        [this, index](const ExecutionReport& report) { OnJobDone(index, report); });
+    return;
+  }
+
   ExecutorOptions options;
   options.seed = config_.seed + 1000003 * (static_cast<uint64_t>(index) + 1);
   options.retry = job.request.retry;
   options.straggler = config_.straggler;
   options.observe = config_.observe;
+  options.configs = job.request.configs;
   if (config_.replan_on_faults) {
     options.replan.enabled = true;
     options.replan.deadline = job.outcome.deadline_at;
@@ -287,7 +343,9 @@ void TuningService::SweepRetiredExecutors() {
     Job& job = jobs_[index];
     if (job.executor && job.executor->Quiescent()) {
       job.executor.reset();
-    } else if (job.executor) {
+    } else if (job.asha_engine && job.asha_engine->Quiescent()) {
+      job.asha_engine.reset();
+    } else if (job.executor || job.asha_engine) {
       // A replacement request is still in flight (fault paths); keep the
       // executor until it quiesces.
       retired_executors_[kept++] = index;
@@ -351,6 +409,14 @@ void TuningService::RouteInstanceLoss(InstanceId id, bool crashed) {
       }
       return;
     }
+    if (job.asha_engine && !job.asha_engine->finished() && job.asha_engine->OwnsInstance(id)) {
+      if (crashed) {
+        job.asha_engine->OnCrash(id);
+      } else {
+        job.asha_engine->OnPreemption(id);
+      }
+      return;
+    }
   }
   // Lost in a handover window (no tenant held it yet); the provider
   // already closed its billing interval, so there is nothing to clean up.
@@ -363,6 +429,10 @@ void TuningService::RouteWarning(InstanceId id) {
   for (Job& job : jobs_) {
     if (job.executor && !job.executor->finished() && job.executor->OwnsInstance(id)) {
       job.executor->OnPreemptionWarning(id);
+      return;
+    }
+    if (job.asha_engine && !job.asha_engine->finished() && job.asha_engine->OwnsInstance(id)) {
+      job.asha_engine->OnPreemptionWarning(id);
       return;
     }
   }

@@ -31,10 +31,12 @@
 #include <vector>
 
 #include "src/cloud/warm_pool.h"
+#include "src/executor/asha_engine.h"
 #include "src/executor/executor.h"
 #include "src/model/profiler.h"
 #include "src/planner/evaluator.h"
 #include "src/planner/planner.h"
+#include "src/spec/compile.h"
 
 namespace rubberband {
 
@@ -49,6 +51,28 @@ struct JobRequest {
   double weight = 1.0;      // fair-share weight
   // Per-job retry policy for failed provisioning (backoff schedule and
   // give-up point); the default suits most tenants.
+  RetryPolicy retry;
+  // Where the executor's initial trial configurations come from. The
+  // default replays the executor's historical sampling stream, so requests
+  // that never touch this field behave bit-identically to before.
+  ConfigSource configs;
+  // Set for compiled-ASHA jobs: `spec` is then the planning envelope and
+  // execution runs on an AshaEngine instead of a staged Executor.
+  std::shared_ptr<const AshaPlan> asha;
+};
+
+// A scheduler-level request: a declarative experiment the service compiles
+// and admits as one job per compiled unit (a Hyperband experiment becomes
+// one job per bracket, all sharing the deadline; every other scheduler
+// lowers to a single job).
+struct ExperimentRequest {
+  std::string name;
+  ExperimentIR ir;
+  WorkloadSpec workload;
+  Seconds submit_at = 0.0;
+  Seconds deadline = 0.0;
+  Money budget;  // split across units in proportion to their training work
+  double weight = 1.0;
   RetryPolicy retry;
 };
 
@@ -214,6 +238,13 @@ class TuningService {
   // Registers a job arrival. All submissions happen before Run().
   void Submit(JobRequest request);
 
+  // Compiles `request.ir` and submits one job per compiled unit (multi-unit
+  // experiments suffix each job name with "/<unit>"; the budget splits in
+  // proportion to unit work). Works both before Run() and in live mode, and
+  // returns the submitted job indices in unit order. A sha experiment
+  // submitted this way is indistinguishable from the equivalent Submit().
+  std::vector<size_t> SubmitExperiment(const ExperimentRequest& request);
+
   // Replays the submitted arrival trace to completion and reports. Call
   // once.
   ServiceReport Run();
@@ -281,6 +312,9 @@ class TuningService {
     JobOutcome outcome;
     PlannedJob planned;
     std::unique_ptr<Executor> executor;
+    // Exactly one of executor / asha_engine runs a started job; ASHA jobs
+    // (request.asha set) execute rung events instead of gang barriers.
+    std::unique_ptr<AshaEngine> asha_engine;
     // One evaluator per job, created at admission and kept for the job's
     // lifetime: dequeue re-planning only moves the deadline, so every stage
     // simulation and plan memo entry from admission is reused verbatim.

@@ -1,0 +1,161 @@
+#include "src/spec/compile.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/rng.h"
+#include "src/spec/hyperband.h"
+#include "src/spec/sha.h"
+
+namespace rubberband {
+namespace {
+
+// Axis value at index i of `points` evenly spaced over [lo, hi]; one point
+// pins the midpoint.
+double AxisValue(double lo, double hi, int i, int points) {
+  if (points <= 1) {
+    return (lo + hi) / 2.0;
+  }
+  return lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+}
+
+}  // namespace
+
+std::vector<HyperparameterConfig> ConfigSource::Materialize(int count, uint64_t seed) const {
+  std::vector<HyperparameterConfig> configs;
+  configs.reserve(static_cast<size_t>(count));
+  switch (kind) {
+    case Kind::kRandom: {
+      // The executor's historical inline sampling, draw for draw: one
+      // stream, configurations in trial order, sequential ids.
+      SearchSpace sampler(space);
+      Rng config_rng(seed ^ 0xC0FFEE);
+      for (int i = 0; i < count; ++i) {
+        configs.push_back(sampler.Sample(config_rng));
+      }
+      break;
+    }
+    case Kind::kExplicit: {
+      if (static_cast<size_t>(count) > points.size()) {
+        throw std::invalid_argument("ConfigSource has fewer points than requested trials");
+      }
+      configs.assign(points.begin(), points.begin() + count);
+      break;
+    }
+  }
+  return configs;
+}
+
+std::vector<HyperparameterConfig> EnumerateGrid(const SearchSpace::Options& space,
+                                                const GridShape& grid) {
+  SearchSpace surface(space);
+  std::vector<HyperparameterConfig> points;
+  points.reserve(static_cast<size_t>(grid.TrialCount()));
+  int id = 0;
+  for (int li = 0; li < grid.lr_points; ++li) {
+    const double log_lr = AxisValue(space.log10_lr_min, space.log10_lr_max, li, grid.lr_points);
+    for (int wi = 0; wi < grid.wd_points; ++wi) {
+      const double log_wd = AxisValue(space.log10_wd_min, space.log10_wd_max, wi, grid.wd_points);
+      for (int mi = 0; mi < grid.momentum_points; ++mi) {
+        HyperparameterConfig config;
+        config.id = id++;
+        config.learning_rate = std::pow(10.0, log_lr);
+        config.weight_decay = std::pow(10.0, log_wd);
+        config.momentum = AxisValue(space.momentum_min, space.momentum_max, mi,
+                                    grid.momentum_points);
+        config.quality = surface.Quality(config);
+        points.push_back(config);
+      }
+    }
+  }
+  return points;
+}
+
+int64_t CompiledPlan::TotalWork() const {
+  int64_t work = 0;
+  for (const CompiledUnit& unit : units) {
+    work += unit.spec.TotalWork();
+  }
+  return work;
+}
+
+CompiledPlan CompileExperiment(const ExperimentIR& ir) {
+  ir.Validate();  // no invalid IR ever reaches a lowering
+
+  CompiledPlan plan;
+  plan.scheduler = ir.scheduler;
+
+  ConfigSource random_source;
+  random_source.kind = ConfigSource::Kind::kRandom;
+  random_source.space = ir.space;
+
+  switch (ir.scheduler) {
+    case SchedulerKind::kSha: {
+      CompiledUnit unit;
+      unit.name = "sha";
+      unit.spec = MakeSha(ir.num_trials, ir.min_iters, ir.max_iters, ir.reduction_factor);
+      unit.configs = random_source;
+      plan.units.push_back(std::move(unit));
+      break;
+    }
+    case SchedulerKind::kHyperband: {
+      const std::vector<ExperimentSpec> brackets =
+          MakeHyperband(HyperbandParams{ir.max_iters, ir.reduction_factor});
+      const int s_max = static_cast<int>(brackets.size()) - 1;
+      for (size_t i = 0; i < brackets.size(); ++i) {
+        CompiledUnit unit;
+        unit.name = "bracket-" + std::to_string(s_max - static_cast<int>(i));
+        unit.spec = brackets[i];
+        unit.configs = random_source;
+        plan.units.push_back(std::move(unit));
+      }
+      break;
+    }
+    case SchedulerKind::kAsha: {
+      // The envelope (what the rung ladder converges to when results arrive
+      // in rank order) sizes the cluster and carries admission planning;
+      // execution itself follows the AshaPlan, promotion by promotion.
+      CompiledUnit unit;
+      unit.name = "asha-envelope";
+      unit.spec = MakeSha(ir.num_trials, ir.min_iters, ir.max_iters, ir.reduction_factor);
+      unit.configs = random_source;
+      plan.units.push_back(std::move(unit));
+
+      auto asha = std::make_shared<AshaPlan>();
+      int64_t budget = ir.min_iters;
+      while (budget < ir.max_iters) {
+        asha->rung_budgets.push_back(budget);
+        budget *= ir.reduction_factor;
+      }
+      asha->rung_budgets.push_back(ir.max_iters);
+      asha->reduction_factor = ir.reduction_factor;
+      asha->gpus_per_trial = 1;
+      asha->num_trials = ir.num_trials;
+      asha->space = ir.space;
+      plan.asha = std::move(asha);
+      break;
+    }
+    case SchedulerKind::kRandom: {
+      CompiledUnit unit;
+      unit.name = "random";
+      unit.spec = ExperimentSpec().AddStage(ir.num_trials, ir.max_iters);
+      unit.configs = random_source;
+      plan.units.push_back(std::move(unit));
+      break;
+    }
+    case SchedulerKind::kGrid: {
+      CompiledUnit unit;
+      unit.name = "grid";
+      unit.configs.kind = ConfigSource::Kind::kExplicit;
+      unit.configs.space = ir.space;
+      unit.configs.points = EnumerateGrid(ir.space, ir.grid);
+      unit.spec = ExperimentSpec().AddStage(static_cast<int>(unit.configs.points.size()),
+                                            ir.max_iters);
+      plan.units.push_back(std::move(unit));
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace rubberband

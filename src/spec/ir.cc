@@ -1,0 +1,266 @@
+#include "src/spec/ir.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/json.h"
+
+namespace rubberband {
+namespace {
+
+// Any cumulative budget past this cannot survive the eta^k rung ladder (or
+// a trials * iters product) without overflowing int64 arithmetic.
+constexpr int64_t kMaxBudget = int64_t{1} << 56;
+// Grids are materialized configuration lists; cap the product well below
+// anything an executor could run.
+constexpr int64_t kMaxGridTrials = int64_t{1} << 20;
+
+[[noreturn]] void Reject(const std::string& message) {
+  throw std::invalid_argument("invalid experiment IR: " + message);
+}
+
+void CheckFinite(double value, const char* field) {
+  if (!std::isfinite(value)) {
+    std::ostringstream os;
+    os << field << " is not finite";
+    Reject(os.str());
+  }
+}
+
+void ValidateSpace(const SearchSpace::Options& space) {
+  CheckFinite(space.log10_lr_min, "search_space.log10_lr_min");
+  CheckFinite(space.log10_lr_max, "search_space.log10_lr_max");
+  CheckFinite(space.log10_wd_min, "search_space.log10_wd_min");
+  CheckFinite(space.log10_wd_max, "search_space.log10_wd_max");
+  CheckFinite(space.momentum_min, "search_space.momentum_min");
+  CheckFinite(space.momentum_max, "search_space.momentum_max");
+  CheckFinite(space.optimal_log10_lr, "search_space.optimal_log10_lr");
+  CheckFinite(space.optimal_log10_wd, "search_space.optimal_log10_wd");
+  CheckFinite(space.optimal_momentum, "search_space.optimal_momentum");
+  if (space.log10_lr_min > space.log10_lr_max) {
+    Reject("search_space.log10_lr_min exceeds search_space.log10_lr_max (empty search space)");
+  }
+  if (space.log10_wd_min > space.log10_wd_max) {
+    Reject("search_space.log10_wd_min exceeds search_space.log10_wd_max (empty search space)");
+  }
+  if (space.momentum_min > space.momentum_max) {
+    Reject("search_space.momentum_min exceeds search_space.momentum_max (empty search space)");
+  }
+}
+
+}  // namespace
+
+std::string ToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSha:
+      return "sha";
+    case SchedulerKind::kHyperband:
+      return "hyperband";
+    case SchedulerKind::kAsha:
+      return "asha";
+    case SchedulerKind::kRandom:
+      return "random";
+    case SchedulerKind::kGrid:
+      return "grid";
+  }
+  return "unknown";
+}
+
+SchedulerKind ParseSchedulerKind(const std::string& text) {
+  if (text == "sha") return SchedulerKind::kSha;
+  if (text == "hyperband") return SchedulerKind::kHyperband;
+  if (text == "asha") return SchedulerKind::kAsha;
+  if (text == "random") return SchedulerKind::kRandom;
+  if (text == "grid") return SchedulerKind::kGrid;
+  Reject("scheduler must be one of sha|hyperband|asha|random|grid (got \"" + text + "\")");
+}
+
+void ExperimentIR::Validate() const {
+  const bool needs_trials = scheduler == SchedulerKind::kSha ||
+                            scheduler == SchedulerKind::kAsha ||
+                            scheduler == SchedulerKind::kRandom;
+  const bool needs_eta = scheduler == SchedulerKind::kSha ||
+                         scheduler == SchedulerKind::kHyperband ||
+                         scheduler == SchedulerKind::kAsha;
+
+  if (needs_trials && num_trials < 1) {
+    std::ostringstream os;
+    os << "num_trials must be >= 1 (got " << num_trials << ")";
+    Reject(os.str());
+  }
+  if (min_iters < 1) {
+    std::ostringstream os;
+    os << "min_iters must be >= 1 (got " << min_iters << ")";
+    Reject(os.str());
+  }
+  if (max_iters < min_iters) {
+    std::ostringstream os;
+    os << "max_iters must be >= min_iters (got " << max_iters << " < " << min_iters << ")";
+    Reject(os.str());
+  }
+  if (max_iters > kMaxBudget) {
+    std::ostringstream os;
+    os << "max_iters rung budget overflows (got " << max_iters << ", limit " << kMaxBudget << ")";
+    Reject(os.str());
+  }
+  if (needs_eta && reduction_factor < 2) {
+    std::ostringstream os;
+    os << "reduction_factor must be >= 2 (got " << reduction_factor << ")";
+    Reject(os.str());
+  }
+  if (needs_trials &&
+      static_cast<__int128>(num_trials) * static_cast<__int128>(max_iters) > kMaxBudget) {
+    Reject("num_trials * max_iters overflows the trial budget (num_trials too large)");
+  }
+
+  ValidateSpace(space);
+
+  if (scheduler == SchedulerKind::kGrid) {
+    if (grid.lr_points < 1) {
+      Reject("grid.lr_points must be >= 1");
+    }
+    if (grid.wd_points < 1) {
+      Reject("grid.wd_points must be >= 1");
+    }
+    if (grid.momentum_points < 1) {
+      Reject("grid.momentum_points must be >= 1");
+    }
+    const __int128 product = static_cast<__int128>(grid.lr_points) *
+                             static_cast<__int128>(grid.wd_points) *
+                             static_cast<__int128>(grid.momentum_points);
+    if (product > kMaxGridTrials) {
+      std::ostringstream os;
+      os << "grid.lr_points * grid.wd_points * grid.momentum_points overflows the trial budget "
+         << "(limit " << kMaxGridTrials << ")";
+      Reject(os.str());
+    }
+    if (product * static_cast<__int128>(max_iters) > kMaxBudget) {
+      Reject("grid.lr_points * grid.wd_points * grid.momentum_points * max_iters overflows");
+    }
+  }
+}
+
+std::string ExperimentIR::ToString() const {
+  std::ostringstream os;
+  os << "ExperimentIR[" << rubberband::ToString(scheduler);
+  if (scheduler == SchedulerKind::kGrid) {
+    os << ", grid " << grid.lr_points << "x" << grid.wd_points << "x" << grid.momentum_points;
+  } else if (scheduler != SchedulerKind::kHyperband) {
+    os << ", " << num_trials << " trials";  // hyperband derives per-bracket counts
+  }
+  os << ", iters " << min_iters << ".." << max_iters;
+  if (scheduler != SchedulerKind::kRandom && scheduler != SchedulerKind::kGrid) {
+    os << ", eta " << reduction_factor;
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+int64_t IntField(const JsonValue& value, const std::string& key) {
+  if (!value.is_number()) {
+    Reject("field \"" + key + "\" must be a number");
+  }
+  return static_cast<int64_t>(value.number());
+}
+
+double DoubleField(const JsonValue& value, const std::string& key) {
+  if (!value.is_number()) {
+    Reject("field \"" + key + "\" must be a number");
+  }
+  return value.number();
+}
+
+void ParseSpace(const JsonValue& doc, SearchSpace::Options* space) {
+  if (!doc.is_object()) {
+    Reject("field \"search_space\" must be an object");
+  }
+  for (const auto& [key, value] : doc.object()) {
+    if (key == "log10_lr_min") {
+      space->log10_lr_min = DoubleField(value, "search_space." + key);
+    } else if (key == "log10_lr_max") {
+      space->log10_lr_max = DoubleField(value, "search_space." + key);
+    } else if (key == "log10_wd_min") {
+      space->log10_wd_min = DoubleField(value, "search_space." + key);
+    } else if (key == "log10_wd_max") {
+      space->log10_wd_max = DoubleField(value, "search_space." + key);
+    } else if (key == "momentum_min") {
+      space->momentum_min = DoubleField(value, "search_space." + key);
+    } else if (key == "momentum_max") {
+      space->momentum_max = DoubleField(value, "search_space." + key);
+    } else {
+      Reject("unknown field \"search_space." + key + "\"");
+    }
+  }
+}
+
+void ParseGrid(const JsonValue& doc, GridShape* grid) {
+  if (!doc.is_object()) {
+    Reject("field \"grid\" must be an object");
+  }
+  for (const auto& [key, value] : doc.object()) {
+    if (key == "lr_points") {
+      grid->lr_points = static_cast<int>(IntField(value, "grid." + key));
+    } else if (key == "wd_points") {
+      grid->wd_points = static_cast<int>(IntField(value, "grid." + key));
+    } else if (key == "momentum_points") {
+      grid->momentum_points = static_cast<int>(IntField(value, "grid." + key));
+    } else {
+      Reject("unknown field \"grid." + key + "\"");
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentIR ParseExperimentIR(const std::string& json_text) {
+  const JsonValue doc = JsonValue::Parse(json_text);
+  if (!doc.is_object()) {
+    Reject("experiment spec document must be a JSON object");
+  }
+  ExperimentIR ir;
+  bool saw_scheduler = false;
+  for (const auto& [key, value] : doc.object()) {
+    if (key == "scheduler") {
+      if (!value.is_string()) {
+        Reject("field \"scheduler\" must be a string");
+      }
+      ir.scheduler = ParseSchedulerKind(value.string());
+      saw_scheduler = true;
+    } else if (key == "num_trials") {
+      ir.num_trials = static_cast<int>(IntField(value, key));
+    } else if (key == "min_iters") {
+      ir.min_iters = IntField(value, key);
+    } else if (key == "max_iters") {
+      ir.max_iters = IntField(value, key);
+    } else if (key == "reduction_factor") {
+      ir.reduction_factor = static_cast<int>(IntField(value, key));
+    } else if (key == "search_space") {
+      ParseSpace(value, &ir.space);
+    } else if (key == "grid") {
+      ParseGrid(value, &ir.grid);
+    } else {
+      Reject("unknown field \"" + key + "\"");
+    }
+  }
+  if (!saw_scheduler) {
+    Reject("scheduler field is required");
+  }
+  ir.Validate();
+  return ir;
+}
+
+ExperimentIR LoadExperimentIR(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read experiment spec file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseExperimentIR(buffer.str());
+}
+
+}  // namespace rubberband

@@ -1,0 +1,84 @@
+// Declarative experiment IR: the scheduler-agnostic front end of the
+// compile-then-execute split.
+//
+// An ExperimentIR names a search space, a trial budget, and a rung/bracket
+// structure plus promotion rule (the scheduler kind); `Validate()` rejects
+// malformed specifications *by field name* before anything reaches the
+// compiler, and `CompileExperiment` (src/spec/compile.h) lowers a valid IR
+// into the staged ExperimentSpec structure the DAG back-end consumes. Five
+// schedulers lower today:
+//   sha        — Successive Halving (the paper's native front end)
+//   hyperband  — Hyperband's outer loop: one SHA bracket per aggressiveness
+//                level, planned and run concurrently under one deadline
+//   asha       — asynchronous successive halving: rung events on the DES
+//                kernel instead of gang barriers (no staged DAG at all)
+//   random     — n independent trials trained to the full budget
+//   grid       — the cartesian product of axis points, full budget each
+
+#ifndef SRC_SPEC_IR_H_
+#define SRC_SPEC_IR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trainer/search_space.h"
+
+namespace rubberband {
+
+enum class SchedulerKind { kSha, kHyperband, kAsha, kRandom, kGrid };
+
+std::string ToString(SchedulerKind kind);
+
+// Parses "sha" | "hyperband" | "asha" | "random" | "grid"; throws
+// std::invalid_argument naming the `scheduler` field otherwise.
+SchedulerKind ParseSchedulerKind(const std::string& text);
+
+// Grid axis resolution (kGrid only): points per hyperparameter axis. The
+// trial budget is the product; an axis with one point pins its midpoint.
+struct GridShape {
+  int lr_points = 4;
+  int wd_points = 4;
+  int momentum_points = 2;
+
+  int64_t TrialCount() const {
+    return static_cast<int64_t>(lr_points) * wd_points * momentum_points;
+  }
+};
+
+struct ExperimentIR {
+  SchedulerKind scheduler = SchedulerKind::kSha;
+  // Initial trial count n (sha/asha/random; hyperband derives per-bracket
+  // counts from max_iters, grid from the axis product).
+  int num_trials = 0;
+  // Rung structure: min_iters (r) is the first rung's cumulative budget,
+  // max_iters (R) the longest survivor's, reduction_factor (eta) the
+  // promotion rate. Random and grid train every trial straight to R.
+  int64_t min_iters = 1;
+  int64_t max_iters = 0;
+  int reduction_factor = 2;
+  // Hyperparameter bounds; also the quality response surface for grids.
+  SearchSpace::Options space;
+  GridShape grid;
+
+  // Rejects malformed IR with std::invalid_argument; every message names
+  // the offending field (e.g. "num_trials", "search_space.log10_lr_min",
+  // "grid.momentum_points") so spec-file authors get an actionable error.
+  void Validate() const;
+
+  std::string ToString() const;
+};
+
+// Parses a JSON experiment document (see examples/experiment.json):
+//   { "scheduler": "hyperband", "max_iters": 27, "reduction_factor": 3,
+//     "search_space": { "log10_lr_min": -4.0, ... },
+//     "grid": { "lr_points": 4, ... } }
+// Unknown keys and type mismatches throw naming the key; the returned IR
+// has already passed Validate().
+ExperimentIR ParseExperimentIR(const std::string& json_text);
+
+// Reads `path` and parses it; throws std::runtime_error when unreadable.
+ExperimentIR LoadExperimentIR(const std::string& path);
+
+}  // namespace rubberband
+
+#endif  // SRC_SPEC_IR_H_

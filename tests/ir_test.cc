@@ -1,0 +1,237 @@
+// Experiment-IR front-end tests: scheduler parsing, the JSON spec loader,
+// and — the property suite — a seeded generator of malformed specs proving
+// every rejection is an std::invalid_argument that names the offending
+// field (the spec-file author's contract).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/spec/ir.h"
+
+namespace rubberband {
+namespace {
+
+TEST(SpecIr, SchedulerKindRoundTrips) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kSha, SchedulerKind::kHyperband, SchedulerKind::kAsha,
+        SchedulerKind::kRandom, SchedulerKind::kGrid}) {
+    EXPECT_EQ(ParseSchedulerKind(ToString(kind)), kind);
+  }
+}
+
+TEST(SpecIr, UnknownSchedulerNamesTheField) {
+  try {
+    ParseSchedulerKind("bohb");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("scheduler"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SpecIr, ValidIrPassesValidation) {
+  ExperimentIR ir;
+  ir.scheduler = SchedulerKind::kSha;
+  ir.num_trials = 8;
+  ir.min_iters = 2;
+  ir.max_iters = 14;
+  ir.reduction_factor = 2;
+  EXPECT_NO_THROW(ir.Validate());
+}
+
+TEST(SpecIr, GridTrialCountIsAxisProduct) {
+  const GridShape grid{3, 4, 2};
+  EXPECT_EQ(grid.TrialCount(), 24);
+}
+
+TEST(SpecIr, ParseJsonDocument) {
+  const ExperimentIR ir = ParseExperimentIR(R"({
+    "scheduler": "hyperband",
+    "max_iters": 27,
+    "reduction_factor": 3,
+    "search_space": { "log10_lr_min": -3.0, "log10_lr_max": -1.0 },
+    "grid": { "lr_points": 2 }
+  })");
+  EXPECT_EQ(ir.scheduler, SchedulerKind::kHyperband);
+  EXPECT_EQ(ir.max_iters, 27);
+  EXPECT_EQ(ir.reduction_factor, 3);
+  EXPECT_DOUBLE_EQ(ir.space.log10_lr_min, -3.0);
+  EXPECT_DOUBLE_EQ(ir.space.log10_lr_max, -1.0);
+  EXPECT_EQ(ir.grid.lr_points, 2);
+}
+
+TEST(SpecIr, ParseJsonRejectsUnknownKeysByName) {
+  try {
+    ParseExperimentIR(R"({"scheduler": "sha", "num_trials": 8, "max_iters": 14,
+                          "bracket_count": 3})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bracket_count"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SpecIr, ParseJsonRequiresScheduler) {
+  EXPECT_THROW(ParseExperimentIR(R"({"num_trials": 8, "max_iters": 14})"),
+               std::invalid_argument);
+}
+
+TEST(SpecIr, LoadFromFileAndUnreadablePathThrows) {
+  const std::string path = ::testing::TempDir() + "/rb_experiment_ir_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"scheduler": "random", "num_trials": 4, "max_iters": 10})";
+  }
+  const ExperimentIR ir = LoadExperimentIR(path);
+  EXPECT_EQ(ir.scheduler, SchedulerKind::kRandom);
+  EXPECT_EQ(ir.num_trials, 4);
+  std::remove(path.c_str());
+  EXPECT_THROW(LoadExperimentIR(path), std::runtime_error);
+}
+
+// ---- Named-field rejection table ------------------------------------------
+
+struct RejectionCase {
+  const char* name;
+  std::function<void(ExperimentIR&)> poison;
+  const char* field;  // substring the error message must contain
+};
+
+ExperimentIR BaseIr(SchedulerKind kind) {
+  ExperimentIR ir;
+  ir.scheduler = kind;
+  ir.num_trials = 8;
+  ir.min_iters = 1;
+  ir.max_iters = 14;
+  ir.reduction_factor = 2;
+  return ir;
+}
+
+std::vector<RejectionCase> RejectionCases() {
+  return {
+      {"ZeroTrials", [](ExperimentIR& ir) { ir.num_trials = 0; }, "num_trials"},
+      {"NegativeTrials", [](ExperimentIR& ir) { ir.num_trials = -3; }, "num_trials"},
+      {"ZeroMinIters", [](ExperimentIR& ir) { ir.min_iters = 0; }, "min_iters"},
+      {"ZeroMaxIters", [](ExperimentIR& ir) { ir.max_iters = 0; }, "max_iters"},
+      {"MaxBelowMin",
+       [](ExperimentIR& ir) {
+         ir.min_iters = 20;
+         ir.max_iters = 10;
+       },
+       "max_iters"},
+      {"ReductionFactorBelowTwo", [](ExperimentIR& ir) { ir.reduction_factor = 1; },
+       "reduction_factor"},
+      {"RungBudgetOverflow",
+       [](ExperimentIR& ir) { ir.max_iters = (int64_t{1} << 57); }, "max_iters"},
+      {"NanLrBound",
+       [](ExperimentIR& ir) {
+         ir.space.log10_lr_min = std::numeric_limits<double>::quiet_NaN();
+       },
+       "search_space.log10_lr_min"},
+      {"InfWdBound",
+       [](ExperimentIR& ir) {
+         ir.space.log10_wd_max = std::numeric_limits<double>::infinity();
+       },
+       "search_space.log10_wd_max"},
+      {"EmptySearchSpace",
+       [](ExperimentIR& ir) {
+         ir.space.log10_lr_min = -1.0;
+         ir.space.log10_lr_max = -2.0;
+       },
+       "search_space"},
+      {"ZeroGridAxis", [](ExperimentIR& ir) { ir.grid.lr_points = 0; }, "grid.lr_points"},
+      {"NegativeMomentumPoints",
+       [](ExperimentIR& ir) { ir.grid.momentum_points = -1; }, "grid.momentum_points"},
+  };
+}
+
+TEST(SpecIrValidation, EveryRejectionNamesTheOffendingField) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kSha, SchedulerKind::kAsha, SchedulerKind::kRandom,
+        SchedulerKind::kGrid, SchedulerKind::kHyperband}) {
+    for (const RejectionCase& rejection : RejectionCases()) {
+      ExperimentIR ir = BaseIr(kind);
+      rejection.poison(ir);
+      // Some poisons only apply to some schedulers (grid shape is ignored
+      // outside kGrid; num_trials outside sha/asha/random; the promotion
+      // rate outside sha/hyperband/asha). A pass is fine — what is not
+      // fine is a rejection that fails to name its field.
+      try {
+        ir.Validate();
+      } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find(rejection.field), std::string::npos)
+            << ToString(kind) << "/" << rejection.name << ": " << e.what();
+      }
+    }
+  }
+}
+
+TEST(SpecIrValidation, TotalBudgetOverflowIsRejected) {
+  ExperimentIR ir = BaseIr(SchedulerKind::kRandom);
+  ir.num_trials = std::numeric_limits<int>::max();
+  ir.min_iters = 1;
+  ir.max_iters = int64_t{1} << 55;
+  ir.reduction_factor = 2;
+  EXPECT_THROW(ir.Validate(), std::invalid_argument);
+}
+
+// ---- Seeded fuzz: random malformed specs always reject with a field name --
+
+TEST(SpecIrFuzz, SeededMalformedSpecsRejectWithFieldNames) {
+  const std::vector<RejectionCase> poisons = RejectionCases();
+  Rng rng(20260808);
+  int rejections = 0;
+  for (int round = 0; round < 400; ++round) {
+    const SchedulerKind kind = static_cast<SchedulerKind>(rng.UniformInt(0, 4));
+    ExperimentIR ir = BaseIr(kind);
+    // Randomize the well-formed part of the spec.
+    ir.num_trials = static_cast<int>(rng.UniformInt(1, 64));
+    ir.min_iters = rng.UniformInt(1, 8);
+    ir.max_iters = ir.min_iters + rng.UniformInt(0, 100);
+    ir.reduction_factor = static_cast<int>(rng.UniformInt(2, 6));
+    ir.grid.lr_points = static_cast<int>(rng.UniformInt(1, 5));
+    ir.grid.wd_points = static_cast<int>(rng.UniformInt(1, 5));
+    ir.grid.momentum_points = static_cast<int>(rng.UniformInt(1, 3));
+
+    // Apply 1-3 random poisons and remember the fields they touched.
+    std::vector<std::string> fields;
+    const int count = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < count; ++i) {
+      const RejectionCase& poison =
+          poisons[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(poisons.size()) - 1))];
+      poison.poison(ir);
+      fields.push_back(poison.field);
+    }
+
+    try {
+      ir.Validate();
+      // Legal: every applied poison hit a field this scheduler ignores.
+    } catch (const std::invalid_argument& e) {
+      ++rejections;
+      const std::string message = e.what();
+      EXPECT_NE(message.find("invalid experiment IR"), std::string::npos) << message;
+      bool named = false;
+      for (const std::string& field : fields) {
+        // The validator may name the *root* of a compound field (an empty
+        // search space names "search_space.…"), so substring match on the
+        // poisoned field's prefix up to the first '.' is the contract.
+        const std::string root = field.substr(0, field.find('.'));
+        named = named || message.find(root) != std::string::npos;
+      }
+      EXPECT_TRUE(named) << "rejection names none of the poisoned fields: " << message;
+    } catch (const std::exception& e) {
+      FAIL() << "wrong exception type: " << e.what();
+    }
+  }
+  // The generator must actually exercise the rejection paths.
+  EXPECT_GT(rejections, 200);
+}
+
+}  // namespace
+}  // namespace rubberband

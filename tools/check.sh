@@ -24,12 +24,15 @@
 #
 # tools/check.sh --sanitize rebuilds into build-asan/ with
 # -fsanitize=address,undefined and runs the suite under both sanitizers
-# (slower; catches the memory and UB bugs the plain build cannot).
+# (slower; catches the memory and UB bugs the plain build cannot). This
+# includes the seeded experiment-IR fuzz suite (SpecIrFuzz), so malformed
+# spec rejection paths are exercised under ASan/UBSan every run.
 #
 # tools/check.sh --tsan rebuilds into build-tsan/ with -fsanitize=thread
 # and runs the concurrency-relevant subset (thread pool, parallel plan
-# evaluation, planners, service, straggler handling, metrics registry)
-# under ThreadSanitizer via the tsan ctest label (-DRB_TSAN_SUITE=ON).
+# evaluation, planners, service, straggler handling, metrics registry,
+# plus the plan-compiler and mixed-scheduler service suites) under
+# ThreadSanitizer via the tsan ctest label (-DRB_TSAN_SUITE=ON).
 #
 # tools/check.sh --chaos runs the front-door durability tier in the
 # default build tree: the WAL torn-write recovery matrix and idempotency
@@ -39,8 +42,9 @@
 #
 # tools/check.sh --perf runs the control-plane/DES-kernel throughput
 # gate in the default build tree: bench/service_throughput --fleet 10000
-# under a wall-clock budget (RB_PERF_BUDGET_S, default 60s), plus the
-# kernel microbench allocation check (bench/micro_simulator --json). Any
+# (a 10k-job sha trace plus a 2k-experiment mixed-scheduler trace) under
+# a wall-clock budget (RB_PERF_BUDGET_S, default 60s), plus the kernel
+# microbench allocation check (bench/micro_simulator --json). Any
 # EventCallback heap fallback or budget overrun fails the tier.
 #
 # tools/check.sh --spot runs the spot-market survival tier in the default

@@ -3,7 +3,9 @@
 //   rubberband plan    [flags]   compile + compare plans for one job
 //   rubberband execute [flags]   compile the elastic plan and run end-to-end
 //   rubberband sweep   [flags]   cost vs deadline exploration
-//   rubberband asha    [flags]   run the ASHA baseline on the same substrate
+//   rubberband asha    [flags]   run the legacy ASHA side-car baseline
+//                                (deprecated: prefer execute --scheduler=asha,
+//                                which plans and bills like any other job)
 //   rubberband serve   [flags]   replay a job-arrival trace on the service
 //   rubberband trace2chrome --in=<trace.csv> [--out=<trace.json>]
 //                                convert a --trace-csv event log to Chrome
@@ -11,6 +13,14 @@
 //
 // Common flags:
 //   --workload=resnet101-cifar10   (see FindWorkload for the catalog)
+//   --scheduler=sha|hyperband|asha|random|grid   experiment front end (plan,
+//                                  execute, and serve compile the experiment
+//                                  IR; sha is the default and byte-identical
+//                                  to the historical hard-coded path)
+//   --spec-file=<experiment.json>  load the experiment IR from a JSON spec
+//                                  instead of flags (see examples/)
+//   --grid-lr-points=4 --grid-wd-points=4 --grid-momentum-points=2
+//                                  grid axis resolution (--scheduler=grid)
 //   --trials=32 --min-iters=1 --max-iters=50 --eta=3      SHA parameters
 //   --deadline-min=20                                     time constraint
 //   --instance=p3.8xlarge --billing=per-instance|per-function
@@ -83,6 +93,12 @@ namespace {
 
 struct CliSetup {
   WorkloadSpec workload;
+  // The declarative experiment (from --scheduler flags or --spec-file) and
+  // its compiled lowering; `spec` is the first compiled unit — for sha the
+  // exact MakeSha spec the CLI always built, so the legacy single-spec
+  // commands stay byte-identical.
+  ExperimentIR ir;
+  CompiledPlan compiled;
   ExperimentSpec spec;
   ModelProfile profile;
   CloudProfile cloud;
@@ -165,8 +181,27 @@ bool BuildSetup(const Flags& flags, CliSetup& setup) {
   }
   setup.workload = *workload;
 
-  setup.spec = MakeSha(flags.GetInt("trials", 32), flags.GetInt64("min-iters", 1),
-                       flags.GetInt64("max-iters", 50), flags.GetInt("eta", 3));
+  const std::string spec_file = flags.GetString("spec-file", "");
+  try {
+    if (!spec_file.empty()) {
+      setup.ir = LoadExperimentIR(spec_file);
+    } else {
+      setup.ir.scheduler = ParseSchedulerKind(flags.GetString("scheduler", "sha"));
+      setup.ir.num_trials = flags.GetInt("trials", 32);
+      setup.ir.min_iters = flags.GetInt64("min-iters", 1);
+      setup.ir.max_iters = flags.GetInt64("max-iters", 50);
+      setup.ir.reduction_factor = flags.GetInt("eta", 3);
+      setup.ir.grid.lr_points = flags.GetInt("grid-lr-points", setup.ir.grid.lr_points);
+      setup.ir.grid.wd_points = flags.GetInt("grid-wd-points", setup.ir.grid.wd_points);
+      setup.ir.grid.momentum_points =
+          flags.GetInt("grid-momentum-points", setup.ir.grid.momentum_points);
+    }
+    setup.compiled = CompileExperiment(setup.ir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return false;
+  }
+  setup.spec = setup.compiled.units.front().spec;
 
   const std::string instance_name = flags.GetString("instance", "p3.8xlarge");
   const auto instance = FindInstanceType(instance_name);
@@ -224,8 +259,13 @@ bool BuildSetup(const Flags& flags, CliSetup& setup) {
   profiler_options.seed = setup.seed;
   setup.profile = ProfileWorkload(setup.workload, profiler_options).profile;
 
+  // sha keeps the historical spec banner byte for byte; the other
+  // schedulers describe the whole experiment.
+  const std::string description = setup.compiled.scheduler == SchedulerKind::kSha
+                                      ? setup.spec.ToString()
+                                      : setup.ir.ToString();
   std::printf("workload %s | %s | deadline %s | %s, %s\n", setup.workload.name.c_str(),
-              setup.spec.ToString().c_str(), FormatDuration(setup.deadline).c_str(),
+              description.c_str(), FormatDuration(setup.deadline).c_str(),
               setup.cloud.instance.name.c_str(), ToString(setup.cloud.pricing.billing).c_str());
   return true;
 }
@@ -236,7 +276,99 @@ void PrintJob(const char* name, const PlannedJob& job) {
               job.estimate.cost_mean.ToString().c_str(), job.feasible ? "" : "  [infeasible]");
 }
 
+// plan/execute for every scheduler beyond sha: one planned job per compiled
+// unit, with an aggregate experiment line (units run concurrently).
+int RunPlanCompiled(CliSetup& setup) {
+  const CompiledPlannedExperiment planned = PlanCompiledExperiment(
+      setup.compiled, setup.profile, setup.cloud, setup.deadline, setup.planner);
+  for (size_t i = 0; i < planned.units.size(); ++i) {
+    PrintJob(setup.compiled.units[i].name.c_str(), planned.units[i]);
+  }
+  std::printf("%-14s %-28s JCT %8s  cost %8s%s\n", "experiment", "",
+              FormatDuration(planned.EstimatedJct()).c_str(),
+              planned.EstimatedCost().ToString().c_str(),
+              planned.feasible ? "" : "  [infeasible]");
+  if (setup.compiled.asha) {
+    std::printf("asha: %d worker gangs on the envelope's static plan\n", planned.asha_workers);
+  }
+  return 0;
+}
+
+int RunExecuteCompiled(const Flags& flags, CliSetup& setup) {
+  const CompiledPlannedExperiment planned = PlanCompiledExperiment(
+      setup.compiled, setup.profile, setup.cloud, setup.deadline, setup.planner);
+  for (size_t i = 0; i < planned.units.size(); ++i) {
+    PrintJob(setup.compiled.units[i].name.c_str(), planned.units[i]);
+  }
+  if (setup.compiled.asha) {
+    std::printf("asha: %d worker gangs on the envelope's static plan\n", planned.asha_workers);
+  }
+
+  const ObsFlags obs = ParseObsFlags(flags);
+  ExecutorOptions options;
+  options.seed = setup.seed;
+  options.observe = obs.Enabled();
+  if (setup.mitigate_stragglers) {
+    options.straggler.detect = true;
+    options.straggler.mitigate = true;
+  }
+  if (flags.GetBool("replan")) {
+    options.replan.enabled = true;
+    options.replan.deadline = setup.deadline;
+    options.replan.model = setup.profile;
+    options.replan.planner = setup.planner;
+  }
+  const CompiledExecutionReport report =
+      ExecuteCompiled(setup.compiled, planned, setup.workload, setup.cloud, options);
+
+  if (report.units.size() == 1) {
+    ExecutionFormatOptions format;
+    format.show_faults = setup.cloud.fault.Any();
+    format.show_stragglers =
+        setup.cloud.fault.straggler_rate > 0.0 || report.units[0].stragglers_detected > 0;
+    format.show_spot = setup.cloud.spot.enabled;
+    format.deadline = setup.deadline;
+    std::fputs(FormatExecutionSummary(report.units[0], format).c_str(), stdout);
+    std::fputs(FormatStageTable(report.units[0]).c_str(), stdout);
+  } else {
+    for (size_t i = 0; i < report.units.size(); ++i) {
+      const ExecutionReport& unit = report.units[i];
+      std::printf("%-14s JCT %8s  cost %8s  best %.1f%%\n",
+                  setup.compiled.units[i].name.c_str(), FormatDuration(unit.jct).c_str(),
+                  unit.cost.Total().ToString().c_str(), 100.0 * unit.best_accuracy);
+    }
+  }
+  std::printf("experiment: JCT %s, cost %s, best %s at %.1f%%\n",
+              FormatDuration(report.jct).c_str(), report.cost.Total().ToString().c_str(),
+              report.best_config.ToString().c_str(), 100.0 * report.best_accuracy);
+  if (flags.GetBool("trace-csv")) {
+    for (const ExecutionReport& unit : report.units) {
+      std::printf("\n%s", unit.trace.ToCsv().c_str());
+    }
+  }
+
+  // The multi-unit fleet view mirrors serve's: one pid per unit.
+  MetricsSnapshot metrics;
+  Timeline fleet;
+  ChromeTraceBuilder chrome;
+  for (size_t i = 0; i < report.units.size(); ++i) {
+    const int pid = static_cast<int>(i) + 1;
+    metrics.Merge(report.units[i].metrics);
+    fleet.Append(report.units[i].timeline, pid);
+    if (!obs.chrome_trace.empty()) {
+      chrome.SetProcessName(pid, setup.compiled.units[i].name);
+      chrome.AddTimeline(report.units[i].timeline, pid);
+      chrome.AddExecutionTrace(report.units[i].trace, pid);
+    }
+  }
+  return EmitObservability(obs, metrics, fleet,
+                           obs.chrome_trace.empty() ? std::string() : chrome.ToJson());
+}
+
 int RunPlan(const Flags& flags, CliSetup& setup) {
+  if (setup.compiled.scheduler != SchedulerKind::kSha) {
+    return RunPlanCompiled(setup);
+  }
   const PlannerInputs inputs{setup.spec, setup.profile, setup.cloud, setup.deadline};
   const PlannedJob fixed = PlanStatic(inputs, setup.planner);
   const PlannedJob naive = PlanNaiveElastic(inputs, setup.planner);
@@ -257,6 +389,9 @@ int RunPlan(const Flags& flags, CliSetup& setup) {
 }
 
 int RunExecute(const Flags& flags, CliSetup& setup) {
+  if (setup.compiled.scheduler != SchedulerKind::kSha) {
+    return RunExecuteCompiled(flags, setup);
+  }
   const PlannedJob job =
       PlanGreedy({setup.spec, setup.profile, setup.cloud, setup.deadline}, setup.planner);
   PrintJob("rubberband", job);
@@ -438,14 +573,16 @@ int RunServe(const Flags& flags, CliSetup& setup) {
 
   TuningService service(config);
   for (int i = 0; i < num_jobs; ++i) {
-    JobRequest job;
+    // Every scheduler goes through the experiment front end; a sha
+    // experiment submits exactly the job the old hard-coded loop did.
+    ExperimentRequest job;
     job.name = "job-" + std::to_string(i);
-    job.spec = setup.spec;
+    job.ir = setup.ir;
     job.workload = setup.workload;
     job.submit_at = gap * i;
     job.deadline = setup.deadline;
     job.budget = Money::FromDollars(flags.GetDouble("budget", 0.0));
-    service.Submit(job);
+    service.SubmitExperiment(job);
   }
   const ServiceReport report = service.Run();
 
